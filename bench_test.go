@@ -1,0 +1,233 @@
+// Benchmarks regenerating the evaluation's tables and figures (one
+// benchmark per experiment; see DESIGN.md §5 and EXPERIMENTS.md). The
+// rendered tables come from cmd/hmc-bench; these benchmarks time the
+// underlying checker work and report executions-per-run so the growth
+// laws are visible in `go test -bench=. -benchmem` output.
+package hmc_test
+
+import (
+	"fmt"
+	"testing"
+
+	"hmc"
+	"hmc/internal/axenum"
+	"hmc/internal/core"
+	"hmc/internal/gen"
+	"hmc/internal/litmus"
+	"hmc/internal/memmodel"
+	"hmc/internal/operational"
+	"hmc/internal/prog"
+)
+
+func exploreOnce(b *testing.B, p *prog.Program, model string) *core.Result {
+	b.Helper()
+	m, err := memmodel.ByName(model)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := core.Explore(p, core.Options{Model: m})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkT1LitmusMatrix times the full corpus × model verdict matrix.
+func BenchmarkT1LitmusMatrix(b *testing.B) {
+	corpus := litmus.Corpus()
+	models := memmodel.Names()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		execs := 0
+		for _, tc := range corpus {
+			for _, model := range models {
+				execs += exploreOnce(b, tc.P, model).Executions
+			}
+		}
+		b.ReportMetric(float64(execs), "executions/op")
+	}
+}
+
+// BenchmarkT2Enumeration compares HMC against the herd-style enumerator on
+// the programs where candidate enumeration blows up (table T2).
+func BenchmarkT2Enumeration(b *testing.B) {
+	programs := []*prog.Program{gen.CoRRN(3), gen.IncN(2, 2), gen.CASContendN(3)}
+	m, _ := memmodel.ByName("imm")
+	for _, p := range programs {
+		b.Run("hmc/"+p.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				exploreOnce(b, p, "imm")
+			}
+		})
+		b.Run("enum/"+p.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := axenum.Explore(p, axenum.Options{Model: m}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkT3Operational compares HMC graphs against operational traces on
+// SB(n) under TSO (table T3). The machine side is capped at n=3: its cost
+// is the point of the comparison.
+func BenchmarkT3Operational(b *testing.B) {
+	for n := 2; n <= 4; n++ {
+		p := gen.SBN(n)
+		b.Run(fmt.Sprintf("hmc/SB%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				exploreOnce(b, p, "tso")
+			}
+		})
+		if n <= 3 {
+			b.Run(fmt.Sprintf("machine/SB%d", n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := operational.Explore(p, operational.Options{Level: operational.TSO}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkT4ScalingSB and BenchmarkT4ScalingLB are the scaling figure's
+// two series: executions double per step while time stays polynomial.
+func BenchmarkT4ScalingSB(b *testing.B) {
+	for n := 2; n <= 6; n++ {
+		p := gen.SBN(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var execs int
+			for i := 0; i < b.N; i++ {
+				execs = exploreOnce(b, p, "tso").Executions
+			}
+			b.ReportMetric(float64(execs), "executions/op")
+		})
+	}
+}
+
+func BenchmarkT4ScalingLB(b *testing.B) {
+	for n := 2; n <= 6; n++ {
+		p := gen.LBN(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var execs int
+			for i := 0; i < b.N; i++ {
+				execs = exploreOnce(b, p, "imm").Executions
+			}
+			b.ReportMetric(float64(execs), "executions/op")
+		})
+	}
+}
+
+// BenchmarkT5Ablation times full dependency-aware revisits against the
+// porf-only ablation on LB(n) (table T5); the ablation is faster but
+// misses the load-buffering executions.
+func BenchmarkT5Ablation(b *testing.B) {
+	m, _ := memmodel.ByName("imm")
+	for n := 2; n <= 5; n++ {
+		p := gen.LBN(n)
+		b.Run(fmt.Sprintf("full/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.Explore(p, core.Options{Model: m})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Executions), "executions/op")
+			}
+		})
+		b.Run(fmt.Sprintf("porfonly/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.Explore(p, core.Options{Model: m, PorfOnlyRevisits: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Executions), "executions/op")
+			}
+		})
+	}
+}
+
+// BenchmarkT6FenceMatrix times the fence/dependency repair matrix rows.
+func BenchmarkT6FenceMatrix(b *testing.B) {
+	names := []string{"SB+ffs", "MP+lw+ld", "MP+lw+addr", "LB+datas", "2+2W+lws", "IRIW+ffs"}
+	models := memmodel.Names()
+	for i := 0; i < b.N; i++ {
+		for _, name := range names {
+			tc, ok := litmus.ByName(name)
+			if !ok {
+				b.Fatalf("missing corpus test %s", name)
+			}
+			for _, model := range models {
+				exploreOnce(b, tc.P, model)
+			}
+		}
+	}
+}
+
+// BenchmarkT7Stress times the exploration statistics workloads: the
+// RMW-heavy and lock-based programs that stress revisits and steals.
+func BenchmarkT7Stress(b *testing.B) {
+	programs := []*prog.Program{
+		gen.IncN(4, 1), gen.CASContendN(4), gen.IndexerN(4),
+		gen.SpinlockN(2, hmc.FenceFull), gen.SpinlockN(2, 0),
+	}
+	for _, p := range programs {
+		b.Run(p.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := exploreOnce(b, p, "imm")
+				b.ReportMetric(float64(res.States), "states/op")
+			}
+		})
+	}
+}
+
+// BenchmarkT10Parallel times the same exploration at worker widths 1, 2,
+// 4 and 8 (experiment T10). On a multicore host the wide runs finish
+// faster; on a single CPU they expose the synchronization overhead.
+func BenchmarkT10Parallel(b *testing.B) {
+	p := gen.SBN(6)
+	m, err := memmodel.ByName("tso")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.Explore(p, core.Options{Model: m, Workers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Executions != 64 {
+					b.Fatalf("executions = %d, want 64", res.Executions)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkT11Symmetry compares full exploration against symmetry
+// reduction on the identical-thread counter (experiment T11): inc(4,1)'s
+// 24 RMW chain orders collapse into one orbit.
+func BenchmarkT11Symmetry(b *testing.B) {
+	p := gen.IncN(4, 1)
+	m, err := memmodel.ByName("sc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, symm := range []bool{false, true} {
+		name := "full"
+		if symm {
+			name = "symm"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.Explore(p, core.Options{Model: m, Symmetry: symm})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Executions), "execs/op")
+			}
+		})
+	}
+}

@@ -1,0 +1,66 @@
+// Command hmc-bench regenerates the evaluation tables and figure series
+// (experiments T1–T12 in DESIGN.md / EXPERIMENTS.md): the litmus verdict
+// matrix, the comparisons against the herd-style enumerator and the
+// operational store-buffer explorer, the scaling series, the
+// dependency-revisit ablation, the fence repair matrix, the exploration
+// statistics, the compilation and robustness matrices, and the parallel
+// and symmetry-reduction studies.
+//
+// Usage:
+//
+//	hmc-bench              # run every experiment
+//	hmc-bench -run T3,T4   # a subset
+//	hmc-bench -quick       # smaller parameter sweeps
+//	hmc-bench -csv         # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"hmc/internal/harness"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hmc-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("hmc-bench", flag.ContinueOnError)
+	runList := fs.String("run", "all", "comma-separated experiment ids (T1..T12) or 'all'")
+	quick := fs.Bool("quick", false, "shrink parameter sweeps")
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ids := harness.Experiments()
+	if *runList != "all" {
+		ids = nil
+		for _, id := range strings.Split(*runList, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+	opts := harness.Options{Quick: *quick}
+	for _, id := range ids {
+		table, err := harness.Run(id, opts)
+		if err != nil {
+			return err
+		}
+		if *csv {
+			if err := table.CSV(out); err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
+		} else if err := table.Render(out); err != nil {
+			return err
+		}
+	}
+	return nil
+}

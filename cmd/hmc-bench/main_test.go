@@ -1,0 +1,33 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBenchSubsetQuick(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-run", "T5,T7", "-quick"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "T5") || !strings.Contains(s, "T7") || strings.Contains(s, "T1 —") {
+		t.Errorf("subset selection wrong:\n%s", s)
+	}
+}
+
+func TestBenchCSV(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-run", "T11", "-quick", "-csv"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "program,model") {
+		t.Errorf("expected CSV header:\n%s", out.String())
+	}
+}
+
+func TestBenchUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-run", "T99"}, &strings.Builder{}); err == nil {
+		t.Error("unknown experiment must error")
+	}
+}

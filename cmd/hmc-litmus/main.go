@@ -1,0 +1,59 @@
+// Command hmc-litmus runs the built-in litmus corpus across every memory
+// model and prints the verdict matrix (experiment T1). Any mismatch with
+// the expected verdicts exits non-zero — this is the model-validation
+// gate, playing the role of the published model tables the real HMC
+// relies on.
+//
+// Usage:
+//
+//	hmc-litmus [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"hmc/internal/harness"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hmc-litmus:", err)
+	}
+	os.Exit(code)
+}
+
+// run executes the verdict matrix, returning the process exit code:
+// 0 clean, 1 operational error, 2 verdict mismatch.
+func run(args []string, out io.Writer) (int, error) {
+	fs := flag.NewFlagSet("hmc-litmus", flag.ContinueOnError)
+	csv := fs.Bool("csv", false, "emit CSV instead of an aligned table")
+	if err := fs.Parse(args); err != nil {
+		return 1, err
+	}
+
+	table, err := harness.Run("T1", harness.Options{})
+	if err != nil {
+		return 1, err
+	}
+	if *csv {
+		err = table.CSV(out)
+	} else {
+		err = table.Render(out)
+	}
+	if err != nil {
+		return 1, err
+	}
+	for _, row := range table.Rows {
+		for _, cell := range row {
+			if strings.Contains(cell, "(!)") {
+				return 2, fmt.Errorf("verdict mismatches detected")
+			}
+		}
+	}
+	return 0, nil
+}

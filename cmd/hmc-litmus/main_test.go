@@ -1,0 +1,34 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLitmusGateClean(t *testing.T) {
+	var out strings.Builder
+	code, err := run(nil, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("corpus gate failed: code=%d err=%v\n%s", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "T1") || !strings.Contains(out.String(), "SB") {
+		t.Errorf("matrix not rendered:\n%s", out.String())
+	}
+}
+
+func TestLitmusGateCSV(t *testing.T) {
+	var out strings.Builder
+	code, err := run([]string{"-csv"}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v", code, err)
+	}
+	if !strings.Contains(strings.Split(out.String(), "\n")[0], ",") {
+		t.Errorf("expected CSV header:\n%s", out.String())
+	}
+}
+
+func TestLitmusGateBadFlag(t *testing.T) {
+	if code, _ := run([]string{"-definitely-not-a-flag"}, &strings.Builder{}); code == 0 {
+		t.Error("bad flag must not exit 0")
+	}
+}

@@ -1,0 +1,234 @@
+// Command hmc model-checks a litmus test against a (hardware) memory
+// model. It is the front door of the library: feed it a test in the
+// plain-text litmus format (see internal/litmus.Parse) or name a built-in
+// corpus test, pick a model, and it reports whether the test's weak
+// outcome is observable, how many executions exist, and any assertion
+// failures with witness graphs.
+//
+// Usage:
+//
+//	hmc [flags] <file.lit | ->
+//	hmc [flags] -test MP
+//
+// Examples:
+//
+//	hmc -model imm examples/litmusfile/mp.lit
+//	hmc -model tso -test SB
+//	hmc -all -test LB
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"hmc/internal/core"
+	"hmc/internal/eg"
+	"hmc/internal/litmus"
+	"hmc/internal/memmodel"
+	"hmc/internal/prog"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hmc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("hmc", flag.ContinueOnError)
+	model := fs.String("model", "imm", "memory model: "+fmt.Sprint(memmodel.Names()))
+	all := fs.Bool("all", false, "check under every model")
+	testName := fs.String("test", "", "run a built-in corpus test instead of a file")
+	verbose := fs.Bool("v", false, "print every consistent execution graph")
+	maxExec := fs.Int("max", 0, "stop after this many executions (0 = all)")
+	showProg := fs.Bool("p", false, "print the parsed program")
+	dotPath := fs.String("dot", "", "write a witness execution (weak outcome if observable) as Graphviz DOT to this file")
+	robust := fs.Bool("robust", false, "additionally report whether the program is robust (SC-equivalent) under each model")
+	races := fs.Bool("races", false, "report C11 data races on plain accesses (rc11 semantics)")
+	workers := fs.Int("workers", 1, "parallel exploration workers (1 = sequential)")
+	live := fs.Bool("live", false, "check liveness: report awaits that block forever (deadlocks)")
+	symm := fs.Bool("symm", false, "symmetry reduction: explore one representative per orbit of identical threads")
+	estimate := fs.Int("estimate", 0, "skip exploration; predict the execution count with this many random probes")
+	stats := fs.Bool("stats", false, "print exploration statistics (states, memo hits, revisits)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	p, err := loadProgram(fs.Args(), *testName)
+	if err != nil {
+		return err
+	}
+	if *showProg {
+		fmt.Fprint(out, p)
+	}
+
+	models := []string{*model}
+	if *all {
+		models = memmodel.Names()
+	}
+	if *estimate > 0 {
+		for _, name := range models {
+			m, err := memmodel.ByName(name)
+			if err != nil {
+				return err
+			}
+			est, err := core.Estimate(p, core.Options{Model: m}, *estimate, 1)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "%-16s model=%-8s estimate: %v\n", p.Name, name, est)
+		}
+		return nil
+	}
+	for _, name := range models {
+		if err := check(out, p, name, *verbose, *maxExec, *dotPath, *workers, *symm, *stats); err != nil {
+			return err
+		}
+		if *robust {
+			if err := reportRobustness(out, p, name); err != nil {
+				return err
+			}
+		}
+		if *live {
+			if err := reportLiveness(out, p, name); err != nil {
+				return err
+			}
+		}
+	}
+	if *races {
+		rep, err := core.CheckRaces(p)
+		if err != nil {
+			return err
+		}
+		if len(rep.Races) == 0 {
+			fmt.Fprintf(out, "race-free: no unordered conflicting plain accesses in %d rc11 executions\n", rep.Executions)
+		} else {
+			for _, r := range rep.Races {
+				fmt.Fprintf(out, "DATA RACE: %v (location %s)\n", r, p.LocName(r.Loc))
+			}
+		}
+	}
+	return nil
+}
+
+func reportRobustness(out io.Writer, p *prog.Program, model string) error {
+	m, err := memmodel.ByName(model)
+	if err != nil {
+		return err
+	}
+	rep, err := core.CheckRobustness(p, m)
+	if err != nil {
+		return err
+	}
+	if rep.Robust {
+		fmt.Fprintf(out, "  robust against %s: every execution is sequentially consistent\n", model)
+	} else {
+		fmt.Fprintf(out, "  NOT robust against %s: %d of %d executions are non-SC; witness:\n%s",
+			model, rep.NonSC, rep.Executions, rep.Witness.StringNamed(p.LocName))
+	}
+	return nil
+}
+
+func reportLiveness(out io.Writer, p *prog.Program, model string) error {
+	m, err := memmodel.ByName(model)
+	if err != nil {
+		return err
+	}
+	rep, err := core.CheckLiveness(p, m)
+	if err != nil {
+		return err
+	}
+	if rep.Live() {
+		fmt.Fprintf(out, "  live under %s: %d blocked executions, all schedulable away (%d fairness, %d bound)\n",
+			model, rep.BlockedExecutions, rep.FairnessBlocks, rep.BoundBlocks)
+		return nil
+	}
+	for _, pb := range rep.PermanentBlocks {
+		fmt.Fprintf(out, "  DEADLOCK under %s: %v; witness:\n%s", model, pb, pb.Witness.StringNamed(p.LocName))
+	}
+	return nil
+}
+
+func loadProgram(args []string, testName string) (*prog.Program, error) {
+	if testName != "" {
+		tc, ok := litmus.ByName(testName)
+		if !ok {
+			return nil, fmt.Errorf("unknown corpus test %q (see hmc-litmus for the list)", testName)
+		}
+		return tc.P, nil
+	}
+	if len(args) != 1 {
+		return nil, fmt.Errorf("want exactly one litmus file (or '-' for stdin), or -test <name>")
+	}
+	var src []byte
+	var err error
+	if args[0] == "-" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(args[0])
+	}
+	if err != nil {
+		return nil, err
+	}
+	return litmus.Parse(string(src))
+}
+
+func check(out io.Writer, p *prog.Program, model string, verbose bool, maxExec int, dotPath string, workers int, symm, stats bool) error {
+	m, err := memmodel.ByName(model)
+	if err != nil {
+		return err
+	}
+	opts := core.Options{Model: m, MaxExecutions: maxExec, Workers: workers, Symmetry: symm}
+	var witness *eg.Graph
+	witnessWeak := false
+	opts.OnExecution = func(g *eg.Graph, fsv prog.FinalState) {
+		if verbose {
+			fmt.Fprintf(out, "--- execution (mem=%v)\n%s", fsv.Mem, g.StringNamed(p.LocName))
+		}
+		weak := p.Exists != nil && p.Exists(fsv)
+		if witness == nil || (weak && !witnessWeak) {
+			witness = g.Clone()
+			witnessWeak = weak
+		}
+	}
+	res, err := core.Explore(p, opts)
+	if err != nil {
+		return err
+	}
+	if dotPath != "" && witness != nil {
+		f, err := os.Create(dotPath)
+		if err != nil {
+			return err
+		}
+		if err := witness.WriteDot(f, p.LocName); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "witness written to %s (weak outcome: %v)\n", dotPath, witnessWeak)
+	}
+	status := "forbidden"
+	if res.ExistsCount > 0 {
+		status = "ALLOWED"
+	}
+	fmt.Fprintf(out, "%-16s model=%-8s executions=%-6d blocked=%-4d weak outcome [%s]: %s",
+		p.Name, model, res.Executions, res.Blocked, p.ExistsDesc, status)
+	if res.Truncated {
+		fmt.Fprint(out, " (truncated)")
+	}
+	fmt.Fprintln(out)
+	if stats {
+		fmt.Fprintf(out, "  states=%d memo-hits=%d consistency-checks=%d revisits=%d/%d (taken/tried) repair-fails=%d max-graph=%d\n",
+			res.States, res.MemoHits, res.ConsistencyChecks,
+			res.RevisitsTaken, res.RevisitsTried, res.RevisitsRepairFail, res.MaxGraphEvents)
+	}
+	for _, e := range res.Errors {
+		fmt.Fprintf(out, "assertion failure in thread %d: %s\nwitness:\n%s", e.Thread, e.Msg, e.Graph.StringNamed(p.LocName))
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunBuiltinTest(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-model", "tso", "-test", "SB"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"SB", "model=tso", "executions=4", "ALLOWED"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunAllModels(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-all", "-test", "LB"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(out.String(), "\n")
+	if lines != 8 {
+		t.Errorf("expected one line per model (8), got %d:\n%s", lines, out.String())
+	}
+	if !strings.Contains(out.String(), "model=arm") {
+		t.Error("arm model missing from -all output")
+	}
+}
+
+func TestRunLitmusFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "mp.lit")
+	src := `
+name MP
+T0: W x 1 ; W y 1
+T1: r0 = R y ; r1 = R x
+exists T1:r0=1 & T1:r1=0
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-model", "imm", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "ALLOWED") {
+		t.Errorf("MP under imm must be allowed:\n%s", out.String())
+	}
+}
+
+func TestRunDotWitness(t *testing.T) {
+	dir := t.TempDir()
+	dot := filepath.Join(dir, "w.dot")
+	var out strings.Builder
+	if err := run([]string{"-model", "imm", "-test", "MP", "-dot", dot}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(dot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "digraph execution") {
+		t.Error("dot file missing digraph header")
+	}
+	if !strings.Contains(out.String(), "weak outcome: true") {
+		t.Errorf("witness note missing:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-test", "not-a-test"},
+		{"-model", "not-a-model", "-test", "SB"},
+		{},                           // no file
+		{"/definitely/not/there"},    // unreadable file
+		{"-test", "SB", "extra.lit"}, // -test takes precedence; extra args ignored
+	}
+	for i, args := range cases[:4] {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("case %d (%v): expected an error", i, args)
+		}
+	}
+}
+
+func TestRunMaxTruncates(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-model", "relaxed", "-test", "IRIW", "-max", "5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "executions=5") || !strings.Contains(out.String(), "(truncated)") {
+		t.Errorf("truncation not reported:\n%s", out.String())
+	}
+}
+
+func TestRunVerbosePrintsExecutions(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-model", "sc", "-test", "SB", "-v"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out.String(), "--- execution") != 3 {
+		t.Errorf("want 3 execution dumps:\n%s", out.String())
+	}
+}
+
+func TestRunParallelWorkers(t *testing.T) {
+	var seq, par strings.Builder
+	if err := run([]string{"-model", "arm", "-test", "IRIW"}, &seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-model", "arm", "-test", "IRIW", "-workers", "4"}, &par); err != nil {
+		t.Fatal(err)
+	}
+	if seq.String() != par.String() {
+		t.Errorf("parallel output differs from sequential:\n%s\nvs\n%s", seq.String(), par.String())
+	}
+}
+
+func TestRunLiveness(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-model", "sc", "-test", "MP", "-live"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "live under sc") {
+		t.Errorf("MP is live, output:\n%s", out.String())
+	}
+}
+
+func TestRunSymmetry(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-model", "sc", "-test", "inc(2)", "-symm"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "executions=1") {
+		t.Errorf("inc(2) has one orbit under -symm:\n%s", out.String())
+	}
+}
+
+func TestRunEstimate(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-model", "tso", "-test", "SB", "-estimate", "200"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "estimate: ≈") {
+		t.Errorf("estimate not reported:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "weak outcome") {
+		t.Errorf("-estimate must skip exploration:\n%s", out.String())
+	}
+}
+
+func TestRunStats(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-model", "imm", "-test", "LB", "-stats"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "states=") || !strings.Contains(out.String(), "revisits=") {
+		t.Errorf("stats not printed:\n%s", out.String())
+	}
+}

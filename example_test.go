@@ -1,0 +1,135 @@
+package hmc_test
+
+import (
+	"fmt"
+
+	"hmc"
+)
+
+// ExampleCheck verifies store buffering under two models: sequential
+// consistency forbids the weak outcome, x86-TSO allows it.
+func ExampleCheck() {
+	b := hmc.NewProgram("SB")
+	x, y := b.Loc("x"), b.Loc("y")
+	t0 := b.Thread()
+	t0.Store(x, hmc.Const(1))
+	r0 := t0.Load(y)
+	t1 := b.Thread()
+	t1.Store(y, hmc.Const(1))
+	r1 := t1.Load(x)
+	b.Exists("both read 0", func(fs hmc.FinalState) bool {
+		return fs.Reg(0, r0) == 0 && fs.Reg(1, r1) == 0
+	})
+	p, _ := b.Build()
+
+	for _, model := range []string{"sc", "tso"} {
+		res, _ := hmc.Check(p, model)
+		fmt.Printf("%s: %d executions, weak outcome observable: %v\n",
+			model, res.Executions, res.ExistsCount > 0)
+	}
+	// Output:
+	// sc: 3 executions, weak outcome observable: false
+	// tso: 4 executions, weak outcome observable: true
+}
+
+// ExampleParseLitmus loads a test from the plain-text format, including
+// C11-style memory-order annotations for the rc11 model.
+func ExampleParseLitmus() {
+	p, err := hmc.ParseLitmus(`
+name MP+rel+acq
+T0: W x 1 ; W.rel flag 1
+T1: r0 = R.acq flag ; r1 = R x
+exists T1:r0=1 & T1:r1=0
+`)
+	if err != nil {
+		panic(err)
+	}
+	rc11, _ := hmc.Check(p, "rc11")
+	hw, _ := hmc.Check(p, "imm")
+	fmt.Printf("rc11 (annotations respected): %v\n", rc11.ExistsCount > 0)
+	fmt.Printf("imm (hardware ignores them):  %v\n", hw.ExistsCount > 0)
+	// Output:
+	// rc11 (annotations respected): false
+	// imm (hardware ignores them):  true
+}
+
+// ExampleExplore shows the witness callback: every consistent execution
+// graph is delivered exactly once.
+func ExampleExplore() {
+	p, _ := hmc.ParseLitmus(`
+T0: W x 1
+T1: r = R x
+exists T1:r=1
+`)
+	m, _ := hmc.ModelByName("sc")
+	res, _ := hmc.Explore(p, hmc.Options{
+		Model: m,
+		OnExecution: func(g *hmc.Graph, fs hmc.FinalState) {
+			fmt.Printf("execution with r=%d\n", fs.Reg(1, 0))
+		},
+	})
+	fmt.Printf("total: %d\n", res.Executions)
+	// Output:
+	// execution with r=0
+	// execution with r=1
+	// total: 2
+}
+
+// ExampleCheckRobustness asks the practitioner's question: does this code
+// behave sequentially consistently on weak hardware?
+func ExampleCheckRobustness() {
+	p, _ := hmc.ParseLitmus(`
+name SB
+T0: W x 1 ; r0 = R y
+T1: W y 1 ; r1 = R x
+`)
+	rep, _ := hmc.CheckRobustness(p, "tso")
+	fmt.Printf("robust=%v nonSC=%d of %d\n", rep.Robust, rep.NonSC, rep.Executions)
+	// Output:
+	// robust=false nonSC=1 of 4
+}
+
+// ExampleCheckLiveness finds a value that is awaited but never written.
+func ExampleCheckLiveness() {
+	p, _ := hmc.ParseLitmus(`
+name stuck
+T0: W x 1
+T1: r0 = AWAIT x 2
+`)
+	rep, _ := hmc.CheckLiveness(p, "sc")
+	fmt.Printf("live=%v deadlocked threads=%d\n", rep.Live(), len(rep.PermanentBlocks))
+	// Output:
+	// live=false deadlocked threads=1
+}
+
+// ExampleExplore_symmetry collapses the executions of identical threads
+// into orbits: three interchangeable incrementing threads have 3! = 6
+// RMW orders but a single orbit.
+func ExampleExplore_symmetry() {
+	b := hmc.NewProgram("counter")
+	x := b.Loc("x")
+	for i := 0; i < 3; i++ {
+		t := b.Thread()
+		t.FAdd(x, hmc.Const(1))
+	}
+	p, _ := b.Build()
+	m, _ := hmc.ModelByName("sc")
+	full, _ := hmc.Explore(p, hmc.Options{Model: m})
+	sym, _ := hmc.Explore(p, hmc.Options{Model: m, Symmetry: true})
+	fmt.Printf("executions=%d orbits=%d\n", full.Executions, sym.Executions)
+	// Output:
+	// executions=6 orbits=1
+}
+
+// ExampleEstimate probes the exploration cost before paying it.
+func ExampleEstimate() {
+	p, _ := hmc.ParseLitmus(`
+name SB
+T0: W x 1 ; r0 = R y
+T1: W y 1 ; r1 = R x
+`)
+	est, _ := hmc.Estimate(p, "tso", 500, 1)
+	fmt.Printf("estimated executions: %.0f\n", est.Mean)
+	// Output:
+	// estimated executions: 4
+}

@@ -1,0 +1,92 @@
+// Deadlock: find a lock-ordering deadlock with the liveness checker, then
+// verify the classic fix (a global lock order) removes it.
+//
+// Two threads take two spin locks in opposite orders — the ABBA pattern.
+// Most schedules complete, which is exactly why this bug survives testing:
+// the deadlock needs both threads to win their first lock before either
+// requests its second. Model checking enumerates that execution like any
+// other, and CheckLiveness classifies it: every thread is either finished
+// or spinning on the *final* value its awaited location will ever hold, so
+// no scheduler can make progress. Blocked executions a fair scheduler
+// would resolve (a spinner that merely saw a stale value) are counted
+// separately and not reported.
+//
+// Run with:
+//
+//	go run ./examples/deadlock
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hmc"
+)
+
+// lockPair builds two threads taking spin locks a and b. With abba, the
+// second thread takes them in the opposite order.
+func lockPair(abba bool) *hmc.Program {
+	name := "lock-order"
+	if abba {
+		name = "abba"
+	}
+	b := hmc.NewProgram(name)
+	la, lb := b.Loc("lockA"), b.Loc("lockB")
+
+	side := func(first, second hmc.Loc) {
+		t := b.Thread()
+		t.AwaitEq(first, hmc.Const(0)) // spin until free
+		t.Store(first, hmc.Const(1))   // take it
+		t.AwaitEq(second, hmc.Const(0))
+		t.Store(second, hmc.Const(1))
+		t.Store(second, hmc.Const(0)) // release in reverse order
+		t.Store(first, hmc.Const(0))
+	}
+	side(la, lb)
+	if abba {
+		side(lb, la)
+	} else {
+		side(la, lb)
+	}
+	p, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return p
+}
+
+func report(p *hmc.Program, model string) {
+	rep, err := hmc.CheckLiveness(p, model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-10s %-4s executions=%-3d blocked=%-3d fairness-only=%-3d ",
+		p.Name, model, rep.Executions, rep.BlockedExecutions, rep.FairnessBlocks)
+	if rep.Live() {
+		fmt.Println("LIVE")
+		return
+	}
+	fmt.Printf("DEADLOCK (%d threads block forever)\n", len(rep.PermanentBlocks))
+	for _, pb := range rep.PermanentBlocks {
+		fmt.Printf("  %v\n", pb)
+	}
+}
+
+func main() {
+	fmt.Println("--- opposite lock orders (ABBA)")
+	for _, model := range []string{"sc", "tso", "arm"} {
+		report(lockPair(true), model)
+	}
+
+	fmt.Println()
+	fmt.Println("--- the fix: one global lock order")
+	for _, model := range []string{"sc", "tso", "arm"} {
+		report(lockPair(false), model)
+	}
+
+	fmt.Println()
+	fmt.Println("The deadlock exists under every model — it is a scheduling bug,")
+	fmt.Println("not a memory-model bug — and disappears once both threads agree")
+	fmt.Println("on the acquisition order. Note the fairness-only blocks that")
+	fmt.Println("remain: those are spinners a fair scheduler always rescues.")
+}

@@ -1,0 +1,38 @@
+// Litmusfile: load a test from the plain-text litmus format and check it
+// under every model — the scripted counterpart of `cmd/hmc`.
+//
+// Run with:
+//
+//	go run ./examples/litmusfile
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"runtime"
+
+	"hmc"
+)
+
+func main() {
+	_, self, _, _ := runtime.Caller(0)
+	src, err := os.ReadFile(filepath.Join(filepath.Dir(self), "mp.lit"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := hmc.ParseLitmus(string(src))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(p)
+	for _, model := range hmc.Models() {
+		res, err := hmc.Check(p, model)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s executions=%-3d weak outcome: %v\n",
+			model, res.Executions, res.ExistsCount > 0)
+	}
+}

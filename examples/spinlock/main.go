@@ -1,0 +1,101 @@
+// Spinlock: verify mutual exclusion of a test-and-set lock under weak
+// memory. Each thread try-locks with an atomic exchange, increments a
+// plain (non-atomic) shared counter in the critical section, and
+// releases. The checker proves the counter safe under SC and x86-TSO,
+// finds the lost-update bug under the dependency-ordered hardware model
+// — printing a witness execution graph — and verifies the fenced version
+// everywhere. This is the classic "your lock needs acquire/release
+// barriers" lesson, mechanised.
+//
+// Run with:
+//
+//	go run ./examples/spinlock
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hmc"
+)
+
+// spinlock builds n threads contending on a try-lock around a counter
+// increment. When fence is nonzero it is inserted after acquiring and
+// before releasing.
+func spinlock(n int, fence hmc.FenceKind) *hmc.Program {
+	name := fmt.Sprintf("spinlock(%d)", n)
+	if fence != 0 {
+		name += "+fences"
+	}
+	b := hmc.NewProgram(name)
+	lock, counter := b.Loc("lock"), b.Loc("counter")
+	acquired := make([]hmc.Reg, n)
+	for i := 0; i < n; i++ {
+		t := b.Thread()
+		got := t.Xchg(lock, hmc.Const(1)) // try-lock: 0 means acquired
+		ok := t.Mov(hmc.Eq(hmc.R(got), hmc.Const(0)))
+		acquired[i] = ok
+		skip := t.BranchFwd(hmc.Not(hmc.R(ok)))
+		if fence != 0 {
+			t.Fence(fence) // acquire barrier
+		}
+		v := t.Load(counter)
+		t.Store(counter, hmc.Add(hmc.R(v), hmc.Const(1)))
+		if fence != 0 {
+			t.Fence(fence) // release barrier
+		}
+		t.Store(lock, hmc.Const(0)) // unlock
+		t.Patch(skip)
+	}
+	b.Exists("counter lost an update", func(fs hmc.FinalState) bool {
+		var want int64
+		for i, a := range acquired {
+			want += fs.Reg(i, a)
+		}
+		return fs.Mem[counter] != want
+	})
+	p, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return p
+}
+
+func main() {
+	plain := spinlock(2, 0)
+	fenced := spinlock(2, hmc.FenceFull)
+
+	for _, p := range []*hmc.Program{plain, fenced} {
+		fmt.Printf("%s\n", p.Name)
+		for _, model := range []string{"sc", "tso", "pso", "imm"} {
+			m, err := hmc.ModelByName(model)
+			if err != nil {
+				log.Fatal(err)
+			}
+			var witness *hmc.Graph
+			res, err := hmc.Explore(p, hmc.Options{
+				Model: m,
+				OnExecution: func(g *hmc.Graph, fs hmc.FinalState) {
+					if witness == nil && p.Exists(fs) {
+						witness = g.Clone()
+					}
+				},
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if res.ExistsCount > 0 {
+				fmt.Printf("  %-4s BROKEN: %d of %d executions lose an update\n",
+					model, res.ExistsCount, res.Executions)
+				if witness != nil {
+					fmt.Printf("  witness execution:\n%v", witness)
+					witness = nil
+				}
+			} else {
+				fmt.Printf("  %-4s verified: all %d executions keep the counter exact\n",
+					model, res.Executions)
+			}
+		}
+		fmt.Println()
+	}
+}

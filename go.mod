@@ -1,0 +1,3 @@
+module hmc
+
+go 1.22

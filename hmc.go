@@ -1,0 +1,197 @@
+// Package hmc is a model checker for hardware memory models: it verifies
+// bounded concurrent programs directly against axiomatic memory
+// consistency models — SC, x86-TSO, PSO, ARMv8-lite, release/acquire,
+// plain coherence, and the POWER-flavoured hardware model IMM-lite — by
+// enumerating execution graphs, in the style of HMC (Kokologiannakis &
+// Vafeiadis, ASPLOS 2020).
+//
+// The checker is exhaustive and exact: every consistent execution graph of
+// the program is visited exactly once (see DESIGN.md for the algorithm and
+// its verification). Programs are written in a small litmus-style IR with
+// loads, stores, atomic read-modify-writes, fences, branches and
+// assertions; syntactic address/data/control dependencies are tracked
+// automatically, which is what lets hardware models order (only) dependent
+// accesses.
+//
+// Quick start:
+//
+//	b := hmc.NewProgram("MP")
+//	x, y := b.Loc("x"), b.Loc("y")
+//	t0 := b.Thread()
+//	t0.Store(x, hmc.Const(1))
+//	t0.Store(y, hmc.Const(1))
+//	t1 := b.Thread()
+//	ry := t1.Load(y)
+//	rx := t1.Load(x)
+//	b.Exists("ry=1 && rx=0", func(fs hmc.FinalState) bool {
+//	    return fs.Reg(1, ry) == 1 && fs.Reg(1, rx) == 0
+//	})
+//	p, _ := b.Build()
+//	res, _ := hmc.Check(p, "imm")
+//	fmt.Println(res.ExistsCount > 0) // true: hardware allows stale reads
+//
+// Programs can also be written in a plain-text litmus format and loaded
+// with ParseLitmus; the cmd/hmc command wraps this package for the
+// command line, and cmd/hmc-bench regenerates the evaluation tables.
+package hmc
+
+import (
+	"hmc/internal/core"
+	"hmc/internal/eg"
+	"hmc/internal/litmus"
+	"hmc/internal/memmodel"
+	"hmc/internal/prog"
+)
+
+// Re-exported core types. The aliases make the library usable without
+// importing internal packages: a Program is built with Builder, checked
+// with Explore or Check, and the outcome inspected through Result.
+type (
+	// Program is a bounded concurrent test case.
+	Program = prog.Program
+	// Builder assembles a Program; obtain one with NewProgram.
+	Builder = prog.Builder
+	// ThreadBuilder appends instructions to one thread.
+	ThreadBuilder = prog.ThreadBuilder
+	// Expr is an integer expression over thread-local registers.
+	Expr = prog.Expr
+	// Reg names a thread-local register.
+	Reg = prog.Reg
+	// Loc identifies a shared memory location (from Builder.Loc).
+	Loc = eg.Loc
+	// FinalState is the observable end state of a complete execution.
+	FinalState = prog.FinalState
+	// Model is an axiomatic memory consistency model.
+	Model = memmodel.Model
+	// Options configures an exploration (model, bounds, callbacks).
+	Options = core.Options
+	// Result aggregates an exploration (executions, verdict, errors).
+	Result = core.Result
+	// Graph is an execution graph (exposed in witnesses and callbacks).
+	Graph = eg.Graph
+	// FenceKind selects a barrier strength (FenceFull, FenceLW, FenceLD).
+	FenceKind = eg.FenceKind
+)
+
+// Fence kinds, mirroring hardware: full barrier (MFENCE/sync/DMB SY),
+// lightweight store-ordering barrier (lwsync-like) and load-ordering
+// barrier (DMB LD-like).
+const (
+	FenceFull = eg.FenceFull
+	FenceLW   = eg.FenceLW
+	FenceLD   = eg.FenceLD
+)
+
+// Expression constructors, re-exported for program building.
+var (
+	Const = prog.Const
+	R     = prog.R
+	Add   = prog.Add
+	Sub   = prog.Sub
+	Mul   = prog.Mul
+	Xor   = prog.Xor
+	And   = prog.And
+	Or    = prog.Or
+	Eq    = prog.Eq
+	Ne    = prog.Ne
+	Lt    = prog.Lt
+	Le    = prog.Le
+	Gt    = prog.Gt
+	Ge    = prog.Ge
+	Not   = prog.Not
+)
+
+// NewProgram returns a builder for a program with the given name.
+func NewProgram(name string) *Builder { return prog.NewBuilder(name) }
+
+// ParseLitmus parses a test in the plain-text litmus format (see
+// internal/litmus.Parse for the grammar).
+func ParseLitmus(src string) (*Program, error) { return litmus.Parse(src) }
+
+// Models lists the available memory model names, strongest first:
+// sc, tso, pso, arm, ra, relaxed, imm.
+func Models() []string { return memmodel.Names() }
+
+// ModelByName resolves a model name.
+func ModelByName(name string) (Model, error) { return memmodel.ByName(name) }
+
+// Explore model-checks p under opts, visiting every consistent execution
+// exactly once.
+func Explore(p *Program, opts Options) (*Result, error) { return core.Explore(p, opts) }
+
+// RobustnessReport describes whether a program exhibits any non-SC
+// behaviour under a weak model (see CheckRobustness).
+type RobustnessReport = core.RobustnessReport
+
+// CheckRobustness reports whether p's executions under the named weak
+// model coincide with its sequentially consistent executions. A robust
+// program needs no weak-memory reasoning on that hardware; otherwise the
+// report carries a witness execution exhibiting the reordering.
+func CheckRobustness(p *Program, model string) (*RobustnessReport, error) {
+	m, err := memmodel.ByName(model)
+	if err != nil {
+		return nil, err
+	}
+	return core.CheckRobustness(p, m)
+}
+
+// Race identifies a data race (see CheckRaces).
+type Race = core.Race
+
+// RaceReport is the outcome of CheckRaces.
+type RaceReport = core.RaceReport
+
+// CheckRaces explores p under the rc11 model and reports C11-style data
+// races: conflicting plain (unannotated) accesses unordered by
+// happens-before in some consistent execution. A racy program has
+// undefined behaviour at the language level.
+func CheckRaces(p *Program) (*RaceReport, error) { return core.CheckRaces(p) }
+
+// LivenessReport classifies a program's blocked executions (see
+// CheckLiveness).
+type LivenessReport = core.LivenessReport
+
+// PermanentBlock identifies one thread that blocks forever in some
+// execution (see CheckLiveness).
+type PermanentBlock = core.PermanentBlock
+
+// CheckLiveness explores p under the named model and reports liveness
+// violations: executions in which no thread can ever move again — every
+// thread is done or spinning on the final value its awaited location will
+// ever hold. Blocked executions a fair scheduler would resolve (a spin
+// read that merely saw a stale value) are counted but not reported as
+// violations.
+func CheckLiveness(p *Program, model string) (*LivenessReport, error) {
+	m, err := memmodel.ByName(model)
+	if err != nil {
+		return nil, err
+	}
+	return core.CheckLiveness(p, m)
+}
+
+// EstimateResult summarizes a probe-based prediction of exploration cost
+// (see Estimate).
+type EstimateResult = core.EstimateResult
+
+// Estimate predicts the number of complete executions of p under the
+// named model by random probing (Knuth's tree-size estimator) instead of
+// exhaustive exploration — the cheap first question to ask of a program
+// that might be too big to check. Deterministic for a fixed seed; see
+// core.Estimate for the bias discussion.
+func Estimate(p *Program, model string, samples int, seed int64) (*EstimateResult, error) {
+	m, err := memmodel.ByName(model)
+	if err != nil {
+		return nil, err
+	}
+	return core.Estimate(p, core.Options{Model: m}, samples, seed)
+}
+
+// Check is the convenience form of Explore: verify p under the named
+// model with default options.
+func Check(p *Program, model string) (*Result, error) {
+	m, err := memmodel.ByName(model)
+	if err != nil {
+		return nil, err
+	}
+	return core.Explore(p, core.Options{Model: m})
+}

@@ -1,0 +1,180 @@
+package hmc_test
+
+import (
+	"testing"
+
+	"hmc"
+)
+
+// TestQuickstart is the README example, kept compiling and honest.
+func TestQuickstart(t *testing.T) {
+	b := hmc.NewProgram("MP")
+	x, y := b.Loc("x"), b.Loc("y")
+	t0 := b.Thread()
+	t0.Store(x, hmc.Const(1))
+	t0.Store(y, hmc.Const(1))
+	t1 := b.Thread()
+	ry := t1.Load(y)
+	rx := t1.Load(x)
+	b.Exists("ry=1 && rx=0", func(fs hmc.FinalState) bool {
+		return fs.Reg(1, ry) == 1 && fs.Reg(1, rx) == 0
+	})
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw, err := hmc.Check(p, "imm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hw.ExistsCount == 0 {
+		t.Error("hardware model must admit stale message passing")
+	}
+	sc, err := hmc.Check(p, "sc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.ExistsCount != 0 {
+		t.Error("SC must forbid stale message passing")
+	}
+}
+
+func TestParseLitmusFacade(t *testing.T) {
+	p, err := hmc.ParseLitmus(`
+name SB
+T0: W x 1 ; r0 = R y
+T1: W y 1 ; r1 = R x
+exists T0:r0=0 & T1:r1=0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := hmc.Check(p, "tso")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExistsCount == 0 || res.Executions != 4 {
+		t.Errorf("SB under tso: exists=%d executions=%d", res.ExistsCount, res.Executions)
+	}
+}
+
+func TestModelsRegistry(t *testing.T) {
+	names := hmc.Models()
+	if len(names) != 8 || names[0] != "sc" || names[len(names)-1] != "imm" {
+		t.Fatalf("Models() = %v", names)
+	}
+	for _, n := range names {
+		if _, err := hmc.ModelByName(n); err != nil {
+			t.Errorf("ModelByName(%q): %v", n, err)
+		}
+	}
+	if _, err := hmc.Check(&hmc.Program{}, "bogus"); err == nil {
+		t.Error("Check with unknown model must fail")
+	}
+}
+
+func TestExploreWithOptions(t *testing.T) {
+	p, err := hmc.ParseLitmus(`
+T0: W x 1
+T1: r0 = R x
+exists T1:r0=1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := hmc.ModelByName("sc")
+	count := 0
+	res, err := hmc.Explore(p, hmc.Options{
+		Model:       m,
+		OnExecution: func(g *hmc.Graph, fs hmc.FinalState) { count++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != res.Executions || count != 2 {
+		t.Errorf("callback count %d, executions %d, want 2", count, res.Executions)
+	}
+}
+
+// TestAnalysesFacade drives every analysis entry point through the public
+// API on one small racy/non-robust program.
+func TestAnalysesFacade(t *testing.T) {
+	p, err := hmc.ParseLitmus(`
+name SB
+T0: W x 1 ; r0 = R y
+T1: W y 1 ; r1 = R x
+exists T0:r0=0 & T1:r1=0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rob, err := hmc.CheckRobustness(p, "tso")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rob.Robust || rob.NonSC != 1 || rob.Witness == nil {
+		t.Errorf("SB is not robust on TSO (1 non-SC of 4): %+v", rob)
+	}
+	robSC, err := hmc.CheckRobustness(p, "sc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !robSC.Robust {
+		t.Error("every program is robust against sc itself")
+	}
+
+	races, err := hmc.CheckRaces(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(races.Races) == 0 {
+		t.Error("plain-access SB races on both locations")
+	}
+
+	live, err := hmc.CheckLiveness(p, "tso")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !live.Live() || live.BlockedExecutions != 0 {
+		t.Errorf("SB has no awaits and must be trivially live: %+v", live)
+	}
+
+	est, err := hmc.Estimate(p, "tso", 500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Mean < 3 || est.Mean > 5 {
+		t.Errorf("estimate for SB/tso (exact 4) out of range: %v", est)
+	}
+}
+
+// TestFacadeErrors: unknown model names fail cleanly everywhere.
+func TestFacadeErrors(t *testing.T) {
+	b := hmc.NewProgram("tiny")
+	x := b.Loc("x")
+	th := b.Thread()
+	th.Store(x, hmc.Const(1))
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hmc.Check(p, "power9"); err == nil {
+		t.Error("Check with unknown model must error")
+	}
+	if _, err := hmc.CheckRobustness(p, "nope"); err == nil {
+		t.Error("CheckRobustness with unknown model must error")
+	}
+	if _, err := hmc.CheckLiveness(p, "nope"); err == nil {
+		t.Error("CheckLiveness with unknown model must error")
+	}
+	if _, err := hmc.Estimate(p, "nope", 8, 1); err == nil {
+		t.Error("Estimate with unknown model must error")
+	}
+	if _, err := hmc.ModelByName("nope"); err == nil {
+		t.Error("ModelByName with unknown model must error")
+	}
+	if _, err := hmc.ParseLitmus("T0: FROB x"); err == nil {
+		t.Error("bad litmus source must error")
+	}
+}

@@ -1,0 +1,337 @@
+// Package axenum is a herd7-style axiomatic enumerator: the classic
+// baseline that HMC-style exploration is measured against. Instead of
+// exploring execution graphs incrementally, it
+//
+//  1. guesses a value for every read (bounded value oracle) and replays
+//     each thread *independently* to obtain its event list (with
+//     dependencies, via its own taint tracking — deliberately a second,
+//     independent implementation of the semantics);
+//  2. enumerates every reads-from assignment compatible with the guessed
+//     values and every coherence order per location;
+//  3. filters the resulting candidate graphs through the memory model's
+//     consistency predicate.
+//
+// The candidate set is exponentially larger than the consistent set —
+// which is precisely the comparison the paper's evaluation draws — and the
+// consistent set is exact, which makes this package the ground-truth
+// oracle for the optimality and completeness tests of internal/core.
+package axenum
+
+import (
+	"fmt"
+	"sort"
+
+	"hmc/internal/eg"
+	"hmc/internal/interp"
+	"hmc/internal/memmodel"
+	"hmc/internal/prog"
+)
+
+// Options configures the enumeration.
+type Options struct {
+	// Model is the consistency filter (required).
+	Model memmodel.Model
+	// ValueBound is the inclusive upper bound for guessed read values
+	// (lower bound 0). ≤0 derives a sound bound from the program: the
+	// largest constant plus one per RMW instruction.
+	ValueBound int64
+	// MaxSteps bounds each thread replay.
+	MaxSteps int
+	// MaxCandidates aborts after enumerating this many candidates (0 =
+	// unlimited).
+	MaxCandidates int
+}
+
+// Result aggregates the enumeration.
+type Result struct {
+	ThreadVariants int // distinct per-thread event sequences over all guesses
+	Candidates     int // well-formed rf×co candidate graphs examined
+	Consistent     int // distinct model-consistent executions
+	ExistsCount    int
+	Blocked        int // value assignments whose replay blocks
+	Truncated      bool
+	Errors         []string
+	// Keys is the set of canonical execution keys of consistent
+	// executions (same format as eg.Graph.Key, diffable against core).
+	Keys map[string]bool
+	// Finals maps canonical final states of consistent executions.
+	Finals map[string]prog.FinalState
+}
+
+// Explore enumerates all executions of p under opts.
+func Explore(p *prog.Program, opts Options) (*Result, error) {
+	if opts.Model == nil {
+		return nil, fmt.Errorf("axenum: Options.Model is required")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.MaxSteps <= 0 {
+		opts.MaxSteps = interp.DefaultMaxSteps
+	}
+	if opts.ValueBound <= 0 {
+		opts.ValueBound = deriveValueBound(p)
+	}
+	e := &enumerator{
+		p:    p,
+		opts: opts,
+		res: &Result{
+			Keys:   map[string]bool{},
+			Finals: map[string]prog.FinalState{},
+		},
+	}
+	e.run()
+	return e.res, nil
+}
+
+// deriveValueBound returns max constant in the program plus one per RMW
+// instruction (each fetch-add can raise values by its constant delta; a
+// generous sound bound for the small programs this baseline targets).
+func deriveValueBound(p *prog.Program) int64 {
+	var maxConst int64
+	var walk func(e *prog.Expr)
+	walk = func(e *prog.Expr) {
+		if e == nil {
+			return
+		}
+		if e.Op == prog.EConst && e.K > maxConst {
+			maxConst = e.K
+		}
+		walk(e.A)
+		walk(e.B)
+	}
+	growers := int64(0)
+	for _, th := range p.Threads {
+		for _, in := range th {
+			walk(in.Addr)
+			walk(in.Val)
+			walk(in.Old)
+			walk(in.New)
+			walk(in.Cond)
+			switch in.Op {
+			case prog.ICAS, prog.IFAdd, prog.IXchg:
+				growers++
+			case prog.IStore:
+				// A store whose value involves a register can re-emit a
+				// read value incremented by the expression's constants.
+				if in.Val != nil && len(in.Val.Regs(nil)) > 0 {
+					growers++
+				}
+			}
+		}
+	}
+	return maxConst + growers + 1
+}
+
+type enumerator struct {
+	p    *prog.Program
+	opts Options
+	res  *Result
+	stop bool
+}
+
+func (e *enumerator) run() {
+	// Phase 1: per-thread variants over all read-value guesses.
+	variants := make([][]threadVariant, len(e.p.Threads))
+	for t := range e.p.Threads {
+		variants[t] = e.threadVariants(t)
+	}
+	// Phase 2: combine threads, enumerate rf and co, filter.
+	combo := make([]threadVariant, len(e.p.Threads))
+	e.combine(variants, 0, combo)
+}
+
+// combine walks the cartesian product of thread variants.
+func (e *enumerator) combine(vars [][]threadVariant, t int, combo []threadVariant) {
+	if e.stop {
+		return
+	}
+	if t == len(vars) {
+		for _, v := range combo {
+			switch v.status {
+			case stBlocked:
+				e.res.Blocked++
+				return
+			case stError:
+				// The assertion failure was recorded when the variant was
+				// generated; error-terminated shapes have no complete
+				// executions to enumerate.
+				return
+			}
+		}
+		e.enumerateGraphs(combo)
+		return
+	}
+	for i := range vars[t] {
+		combo[t] = vars[t][i]
+		e.combine(vars, t+1, combo)
+	}
+}
+
+// writeRef identifies a write event and the value it leaves in memory.
+type writeRef struct {
+	id  eg.EvID
+	val int64
+}
+
+// flatEvent pairs an event with the value its read part was guessed to
+// observe.
+type flatEvent struct {
+	ev      eg.Event
+	readVal int64
+}
+
+// enumerateGraphs enumerates rf assignments and coherence orders for one
+// combination of thread event lists.
+func (e *enumerator) enumerateGraphs(combo []threadVariant) {
+	writesByLoc := make([][]writeRef, e.p.NumLocs)
+	var reads []int // indices into events
+	var events []flatEvent
+	for t, v := range combo {
+		for i, ev := range v.events {
+			ev.ID = eg.EvID{T: t, I: i}
+			events = append(events, flatEvent{ev: ev, readVal: v.readVals[i]})
+		}
+	}
+	for i, fe := range events {
+		if fe.ev.Kind.IsRead() {
+			reads = append(reads, i)
+		}
+		if fe.ev.Kind.IsWrite() {
+			writesByLoc[fe.ev.Loc] = append(writesByLoc[fe.ev.Loc], writeRef{id: fe.ev.ID, val: fe.ev.Val})
+		}
+	}
+
+	// rf candidates per read: same location, matching value (init is 0).
+	rfCands := make([][]eg.EvID, len(reads))
+	for ri, idx := range reads {
+		fe := events[idx]
+		if fe.readVal == 0 {
+			rfCands[ri] = append(rfCands[ri], eg.InitID(fe.ev.Loc))
+		}
+		for _, w := range writesByLoc[fe.ev.Loc] {
+			if w.id != fe.ev.ID && w.val == fe.readVal {
+				rfCands[ri] = append(rfCands[ri], w.id)
+			}
+		}
+		if len(rfCands[ri]) == 0 {
+			return // guessed value unjustifiable by any write
+		}
+	}
+
+	rf := make([]eg.EvID, len(reads))
+	var assignRF func(ri int)
+	assignRF = func(ri int) {
+		if e.stop {
+			return
+		}
+		if ri == len(reads) {
+			e.enumerateCo(events, reads, rf, writesByLoc)
+			return
+		}
+		for _, w := range rfCands[ri] {
+			rf[ri] = w
+			assignRF(ri + 1)
+		}
+	}
+	assignRF(0)
+}
+
+// enumerateCo enumerates, for a fixed rf assignment, every combination of
+// per-location coherence permutations, assembles the graph and checks it.
+func (e *enumerator) enumerateCo(events []flatEvent, reads []int, rf []eg.EvID, writesByLoc [][]writeRef) {
+	perms := make([][][]eg.EvID, e.p.NumLocs)
+	for l := range writesByLoc {
+		ids := make([]eg.EvID, len(writesByLoc[l]))
+		for i, w := range writesByLoc[l] {
+			ids[i] = w.id
+		}
+		perms[l] = permutations(ids)
+	}
+	co := make([][]eg.EvID, e.p.NumLocs)
+	var assignCo func(l int)
+	assignCo = func(l int) {
+		if e.stop {
+			return
+		}
+		if l == e.p.NumLocs {
+			e.checkCandidate(events, reads, rf, co)
+			return
+		}
+		for _, perm := range perms[l] {
+			co[l] = perm
+			assignCo(l + 1)
+		}
+	}
+	assignCo(0)
+}
+
+// permutations returns all orderings of ids.
+func permutations(ids []eg.EvID) [][]eg.EvID {
+	if len(ids) == 0 {
+		return [][]eg.EvID{nil}
+	}
+	var out [][]eg.EvID
+	for i := range ids {
+		rest := make([]eg.EvID, 0, len(ids)-1)
+		rest = append(rest, ids[:i]...)
+		rest = append(rest, ids[i+1:]...)
+		for _, sub := range permutations(rest) {
+			perm := append([]eg.EvID{ids[i]}, sub...)
+			out = append(out, perm)
+		}
+	}
+	return out
+}
+
+// checkCandidate assembles one candidate graph and counts it if the model
+// accepts it.
+func (e *enumerator) checkCandidate(events []flatEvent, reads []int, rf []eg.EvID, co [][]eg.EvID) {
+	e.res.Candidates++
+	if e.opts.MaxCandidates > 0 && e.res.Candidates >= e.opts.MaxCandidates {
+		e.res.Truncated = true
+		e.stop = true
+	}
+	g := eg.NewGraph(len(e.p.Threads), e.p.NumLocs)
+	for _, fe := range events {
+		g.Add(fe.ev)
+	}
+	for l, perm := range co {
+		for i, w := range perm {
+			g.CoInsert(eg.Loc(l), i, w)
+		}
+	}
+	for ri, idx := range reads {
+		g.SetRF(events[idx].ev.ID, rf[ri])
+	}
+	if !e.opts.Model.Consistent(eg.NewView(g)) {
+		return
+	}
+	key := g.Key()
+	if e.res.Keys[key] {
+		return // same execution reached via a different guess vector
+	}
+	e.res.Keys[key] = true
+	e.res.Consistent++
+	// Strict replay both validates the independent interpreter against
+	// internal/interp and produces the observable final state.
+	fs := interp.FinalState(e.p, g, e.opts.MaxSteps)
+	e.res.Finals[finalKey(fs)] = fs
+	if e.p.Exists != nil && e.p.Exists(fs) {
+		e.res.ExistsCount++
+	}
+}
+
+func finalKey(fs prog.FinalState) string {
+	return fmt.Sprintf("%v|%v", fs.Mem, fs.Regs)
+}
+
+// SortedKeys returns the consistent execution keys in sorted order.
+func (r *Result) SortedKeys() []string {
+	out := make([]string, 0, len(r.Keys))
+	for k := range r.Keys {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

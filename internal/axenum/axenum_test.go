@@ -1,0 +1,182 @@
+package axenum
+
+import (
+	"testing"
+
+	"hmc/internal/gen"
+	"hmc/internal/litmus"
+	"hmc/internal/memmodel"
+	"hmc/internal/prog"
+)
+
+func enum(t *testing.T, p *prog.Program, model string, opts Options) *Result {
+	t.Helper()
+	m, err := memmodel.ByName(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Model = m
+	res, err := Explore(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRequiresModel(t *testing.T) {
+	tc, _ := litmus.ByName("SB")
+	if _, err := Explore(tc.P, Options{}); err == nil {
+		t.Fatal("Explore without a model must fail")
+	}
+}
+
+func TestKnownCounts(t *testing.T) {
+	cases := []struct {
+		name  string
+		model string
+		want  int
+	}{
+		{"SB", "sc", 3}, {"SB", "tso", 4},
+		{"MP", "sc", 3}, {"MP", "imm", 4},
+		{"LB", "imm", 4}, {"LB", "ra", 3},
+		{"IRIW", "sc", 15}, {"IRIW", "relaxed", 16},
+		{"CoRR", "relaxed", 3},
+		{"inc(2)", "sc", 2},
+	}
+	for _, c := range cases {
+		tc, ok := litmus.ByName(c.name)
+		if !ok {
+			t.Fatalf("missing corpus test %s", c.name)
+		}
+		res := enum(t, tc.P, c.model, Options{})
+		if res.Consistent != c.want {
+			t.Errorf("%s under %s: %d consistent, want %d", c.name, c.model, res.Consistent, c.want)
+		}
+		if res.Candidates < res.Consistent {
+			t.Errorf("%s: candidates %d < consistent %d", c.name, res.Candidates, res.Consistent)
+		}
+	}
+}
+
+func TestExistsEvaluation(t *testing.T) {
+	tc, _ := litmus.ByName("SB")
+	if res := enum(t, tc.P, "tso", Options{}); res.ExistsCount != 1 {
+		t.Errorf("SB/tso exists = %d, want 1", res.ExistsCount)
+	}
+	if res := enum(t, tc.P, "sc", Options{}); res.ExistsCount != 0 {
+		t.Error("SB/sc must not observe the weak outcome")
+	}
+}
+
+func TestValueBoundDerivation(t *testing.T) {
+	// A fetch-add chain must derive a bound large enough to justify the
+	// chain's maximal value: inc(3) reaches 3.
+	p := gen.IncN(3, 1)
+	if got := deriveValueBound(p); got < 3 {
+		t.Fatalf("derived bound %d cannot justify inc(3)'s values", got)
+	}
+	res := enum(t, p, "sc", Options{})
+	if res.Consistent != 6 {
+		t.Errorf("inc(3): %d consistent, want 6", res.Consistent)
+	}
+}
+
+func TestExplicitValueBound(t *testing.T) {
+	// An insufficient explicit bound silently under-approximates — the
+	// documented contract (the caller takes responsibility).
+	p := gen.IncN(3, 1)
+	res := enum(t, p, "sc", Options{ValueBound: 1})
+	if res.Consistent >= 6 {
+		t.Errorf("bound 1 should miss deep chains, got %d", res.Consistent)
+	}
+}
+
+func TestMaxCandidatesTruncates(t *testing.T) {
+	p := gen.CoRRN(3)
+	res := enum(t, p, "sc", Options{MaxCandidates: 10})
+	if !res.Truncated || res.Candidates != 10 {
+		t.Fatalf("truncation failed: truncated=%v candidates=%d", res.Truncated, res.Candidates)
+	}
+}
+
+func TestBlockedVariants(t *testing.T) {
+	b := prog.NewBuilder("assume")
+	x := b.Loc("x")
+	t0 := b.Thread()
+	t0.Store(x, prog.Const(1))
+	t1 := b.Thread()
+	r := t1.Load(x)
+	t1.Assume(prog.Eq(prog.R(r), prog.Const(1)))
+	p := b.MustBuild()
+	res := enum(t, p, "sc", Options{})
+	if res.Blocked == 0 {
+		t.Error("assume-failing guesses must count as blocked")
+	}
+	if res.Consistent != 1 {
+		t.Errorf("consistent = %d, want 1 (only r=1 passes)", res.Consistent)
+	}
+}
+
+func TestErrorsRecorded(t *testing.T) {
+	b := prog.NewBuilder("assert")
+	x := b.Loc("x")
+	t0 := b.Thread()
+	t0.Store(x, prog.Const(1))
+	t1 := b.Thread()
+	r := t1.Load(x)
+	t1.Assert(prog.Eq(prog.R(r), prog.Const(0)), "saw the store")
+	p := b.MustBuild()
+	res := enum(t, p, "sc", Options{})
+	if len(res.Errors) == 0 {
+		t.Error("assertion-failing guesses must be recorded")
+	}
+}
+
+func TestBranchesEnumerateBothPaths(t *testing.T) {
+	// Control flow: the guessed read value steers the branch, so both
+	// thread variants must be enumerated.
+	b := prog.NewBuilder("branchy")
+	x, y := b.Loc("x"), b.Loc("y")
+	t0 := b.Thread()
+	t0.Store(x, prog.Const(1))
+	t1 := b.Thread()
+	r := t1.Load(x)
+	j := t1.BranchFwd(prog.Eq(prog.R(r), prog.Const(0)))
+	t1.Store(y, prog.Const(7))
+	t1.Patch(j)
+	p := b.MustBuild()
+	res := enum(t, p, "sc", Options{})
+	if res.ThreadVariants < 3 { // t0's single variant + t1's two paths
+		t.Errorf("ThreadVariants = %d, want ≥ 3", res.ThreadVariants)
+	}
+	if res.Consistent != 2 {
+		t.Errorf("consistent = %d, want 2 (r=0 stores y, r=1 skips)", res.Consistent)
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	tc, _ := litmus.ByName("SB")
+	res := enum(t, tc.P, "tso", Options{})
+	keys := res.SortedKeys()
+	if len(keys) != res.Consistent {
+		t.Fatalf("%d keys for %d consistent executions", len(keys), res.Consistent)
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatal("keys not sorted")
+		}
+	}
+}
+
+func TestFinalsPopulated(t *testing.T) {
+	tc, _ := litmus.ByName("MP")
+	res := enum(t, tc.P, "imm", Options{})
+	if len(res.Finals) == 0 {
+		t.Fatal("no final states recorded")
+	}
+	for _, fs := range res.Finals {
+		if len(fs.Mem) != tc.P.NumLocs {
+			t.Fatalf("final state with %d locations, want %d", len(fs.Mem), tc.P.NumLocs)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package axenum
+
+import (
+	"fmt"
+
+	"hmc/internal/eg"
+	"hmc/internal/prog"
+)
+
+// status classifies how a thread replay ended.
+type status int
+
+const (
+	stDone status = iota
+	stBlocked
+	stError
+)
+
+// threadVariant is one possible event sequence of a single thread, induced
+// by a vector of guessed read values. readVals is aligned with events and
+// holds, for read events, the guessed value observed.
+type threadVariant struct {
+	events   []eg.Event
+	readVals []int64
+	regs     []int64
+	status   status
+	msg      string
+}
+
+func variantKey(v threadVariant) string {
+	key := fmt.Sprintf("s%d|", v.status)
+	for i, ev := range v.events {
+		key += fmt.Sprintf("%v=%d;", ev, v.readVals[i])
+	}
+	return key
+}
+
+// threadVariants enumerates all distinct event sequences of thread t over
+// guessed read values in [0, ValueBound].
+func (e *enumerator) threadVariants(t int) []threadVariant {
+	var out []threadVariant
+	seen := map[string]bool{}
+	var rec func(guesses []int64)
+	rec = func(guesses []int64) {
+		v, needMore := e.replayThread(t, guesses)
+		if needMore {
+			for val := int64(0); val <= e.opts.ValueBound; val++ {
+				rec(append(guesses[:len(guesses):len(guesses)], val))
+			}
+			return
+		}
+		if v.status == stError {
+			e.res.Errors = append(e.res.Errors, v.msg)
+		}
+		key := variantKey(v)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, v)
+			e.res.ThreadVariants++
+		}
+	}
+	rec(nil)
+	return out
+}
+
+// replayThread runs thread t feeding reads from the guess vector. It is an
+// independent reimplementation of the replay semantics (on purpose: the
+// baseline doubles as a differential oracle for internal/interp).
+func (e *enumerator) replayThread(t int, guesses []int64) (threadVariant, bool) {
+	code := e.p.Threads[t]
+	regs := make([]int64, e.p.NumRegs[t])
+	taints := make([][]eg.EvID, e.p.NumRegs[t])
+	var ctrl []eg.EvID
+	var v threadVariant
+	nextGuess := 0
+	pc := 0
+	steps := 0
+
+	clone := func(ids []eg.EvID) []eg.EvID {
+		if len(ids) == 0 {
+			return nil
+		}
+		return append([]eg.EvID(nil), ids...)
+	}
+	union := func(a, b []eg.EvID) []eg.EvID {
+		out := clone(a)
+	outer:
+		for _, id := range b {
+			for _, x := range out {
+				if x == id {
+					continue outer
+				}
+			}
+			out = append(out, id)
+		}
+		return out
+	}
+	evalT := func(ex *prog.Expr) (int64, []eg.EvID) {
+		var taint []eg.EvID
+		val := ex.Eval(regs, func(r prog.Reg) {
+			taint = union(taint, taints[r])
+		})
+		return val, taint
+	}
+	emit := func(ev eg.Event, readVal int64) eg.EvID {
+		ev.ID = eg.EvID{T: t, I: len(v.events)}
+		v.events = append(v.events, ev)
+		v.readVals = append(v.readVals, readVal)
+		return ev.ID
+	}
+	guess := func() (int64, bool) {
+		if nextGuess < len(guesses) {
+			nextGuess++
+			return guesses[nextGuess-1], true
+		}
+		return 0, false
+	}
+	fail := func(st status, msg string) threadVariant {
+		v.status = st
+		v.msg = msg
+		v.regs = regs
+		return v
+	}
+
+	for {
+		if steps >= e.opts.MaxSteps {
+			return fail(stBlocked, "step bound exceeded"), false
+		}
+		steps++
+		if pc >= len(code) {
+			v.regs = regs
+			v.status = stDone
+			return v, false
+		}
+		in := code[pc]
+		pc++
+		switch in.Op {
+		case prog.IMov:
+			val, taint := evalT(in.Val)
+			regs[in.Dst] = val
+			taints[in.Dst] = taint
+
+		case prog.ILoad:
+			av, at := evalT(in.Addr)
+			if av < 0 || av >= int64(e.p.NumLocs) {
+				return fail(stError, fmt.Sprintf("thread %d: address %d out of range", t, av)), false
+			}
+			val, ok := guess()
+			if !ok {
+				return v, true
+			}
+			id := emit(eg.Event{Kind: eg.KRead, Loc: eg.Loc(av), Mode: in.Mode, Addr: at, Ctrl: clone(ctrl)}, val)
+			regs[in.Dst] = val
+			taints[in.Dst] = []eg.EvID{id}
+
+		case prog.IStore:
+			av, at := evalT(in.Addr)
+			vv, vt := evalT(in.Val)
+			if av < 0 || av >= int64(e.p.NumLocs) {
+				return fail(stError, fmt.Sprintf("thread %d: address %d out of range", t, av)), false
+			}
+			emit(eg.Event{Kind: eg.KWrite, Loc: eg.Loc(av), Val: vv, Mode: in.Mode, Addr: at, Data: vt, Ctrl: clone(ctrl)}, 0)
+
+		case prog.ICAS, prog.IFAdd, prog.IXchg:
+			av, at := evalT(in.Addr)
+			if av < 0 || av >= int64(e.p.NumLocs) {
+				return fail(stError, fmt.Sprintf("thread %d: address %d out of range", t, av)), false
+			}
+			loc := eg.Loc(av)
+			readVal, ok := guess()
+			if !ok {
+				// Evaluate operands later on the retry with the guess.
+				return v, true
+			}
+			var ev eg.Event
+			switch in.Op {
+			case prog.ICAS:
+				ov, ot := evalT(in.Old)
+				nv, nt := evalT(in.New)
+				if readVal == ov {
+					ev = eg.Event{Kind: eg.KUpdate, Loc: loc, Val: nv}
+				} else {
+					ev = eg.Event{Kind: eg.KRead, Loc: loc}
+				}
+				ev.Data = union(ot, nt)
+			case prog.IFAdd:
+				dv, dt := evalT(in.Val)
+				ev = eg.Event{Kind: eg.KUpdate, Loc: loc, Val: readVal + dv, Data: dt}
+			case prog.IXchg:
+				vv, vt := evalT(in.Val)
+				ev = eg.Event{Kind: eg.KUpdate, Loc: loc, Val: vv, Data: vt}
+			}
+			ev.Addr = at
+			ev.Ctrl = clone(ctrl)
+			ev.Excl = true
+			ev.Mode = in.Mode
+			id := emit(ev, readVal)
+			regs[in.Dst] = readVal
+			taints[in.Dst] = []eg.EvID{id}
+			if in.Op == prog.ICAS && in.Succ >= 0 {
+				if ev.Kind == eg.KUpdate {
+					regs[in.Succ] = 1
+				} else {
+					regs[in.Succ] = 0
+				}
+				taints[in.Succ] = []eg.EvID{id}
+			}
+
+		case prog.IFence:
+			emit(eg.Event{Kind: eg.KFence, Fence: in.Fence, Ctrl: clone(ctrl)}, 0)
+
+		case prog.IBranch:
+			val, taint := evalT(in.Cond)
+			ctrl = union(ctrl, taint)
+			if val != 0 {
+				pc = in.Target
+			}
+
+		case prog.IJmp:
+			pc = in.Target
+
+		case prog.IAssume:
+			val, taint := evalT(in.Cond)
+			ctrl = union(ctrl, taint)
+			if val == 0 {
+				return fail(stBlocked, "assume failed"), false
+			}
+
+		case prog.IAssert:
+			val, _ := evalT(in.Cond)
+			if val == 0 {
+				msg := in.Msg
+				if msg == "" {
+					msg = "assertion failed"
+				}
+				return fail(stError, fmt.Sprintf("thread %d: %s", t, msg)), false
+			}
+
+		default:
+			panic(fmt.Sprintf("axenum: bad instruction op %d", in.Op))
+		}
+	}
+}

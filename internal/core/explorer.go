@@ -1,0 +1,463 @@
+// Package core implements the HMC exploration algorithm: optimal stateless
+// model checking of concurrent programs directly against (hardware) memory
+// models, on execution graphs.
+//
+// The algorithm extends the GenMC family to models that permit (po ∪ rf)
+// cycles, which is the paper's contribution. Exploration is a DFS over
+// execution graphs:
+//
+//   - a deterministic scheduler picks the first thread whose replay
+//     (internal/interp) produces a new event;
+//   - a read branches over every consistent rf choice among the writes
+//     already present;
+//   - a write branches over every consistent coherence position, and — when
+//     placed coherence-maximally — additionally *backward-revisits* existing
+//     same-location reads: the graph is restricted to the *dependency
+//     prefix* of the write and the read, the read is re-bound to the new
+//     write, and exploration restarts from the restricted graph.
+//
+// The dependency prefix is where hardware models differ from RC11-style
+// models: events po-after the revisited read that do not syntactically
+// depend on it are *kept*, which is what makes load-buffering executions
+// (rf into the po-past) reachable. Optimality — each consistent execution
+// explored exactly once — comes from the TruSt-style maximality condition
+// on deleted events, validated by the duplicate-free property tests.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"hmc/internal/eg"
+	"hmc/internal/interp"
+	"hmc/internal/memmodel"
+	"hmc/internal/prog"
+)
+
+// Options configures an exploration.
+type Options struct {
+	// Model is the memory model to check against (required).
+	Model memmodel.Model
+	// MaxSteps bounds each thread replay (≤0: interp.DefaultMaxSteps).
+	MaxSteps int
+	// MaxExecutions aborts exploration after this many complete executions
+	// (0 = unlimited).
+	MaxExecutions int
+	// StopOnError aborts exploration at the first assertion failure.
+	StopOnError bool
+	// DedupSafeguard tracks complete-execution keys and suppresses
+	// duplicates, counting them in Stats.Duplicates. The algorithm is
+	// optimal, so this is a diagnostic: the test suite asserts the count
+	// stays zero. It costs memory proportional to the execution count.
+	DedupSafeguard bool
+	// PorfOnlyRevisits is the T5 ablation: restrict backward revisits to
+	// porf-prefix-closed deletions as RC11-tuned explorers do (every event
+	// po-after the revisited read is deleted; revisits that would need a
+	// po-later event in the write's prefix are skipped). Under hardware
+	// models this misses load-buffering executions.
+	PorfOnlyRevisits bool
+	// OnExecution, when non-nil, is invoked for every complete consistent
+	// execution with its graph and final state.
+	OnExecution func(g *eg.Graph, fs prog.FinalState)
+	// OnBlocked, when non-nil, is invoked for every maximal blocked
+	// execution (some thread's assume failed and no thread can add an
+	// event). Like OnExecution, invocations are serialized.
+	OnBlocked func(g *eg.Graph)
+	// CollectKeys records each complete execution's canonical key in
+	// Result.Keys (tests and cross-validation).
+	CollectKeys bool
+	// OnDuplicate, when non-nil (and DedupSafeguard set), receives each
+	// suppressed duplicate execution — a debugging hook for the
+	// optimality tests.
+	OnDuplicate func(g *eg.Graph)
+	// Workers sets the number of concurrent exploration workers (≤1:
+	// sequential). Exploration subtrees are independent — graphs are
+	// cloned per branch and the state memo is synchronized — so branches
+	// fork onto free workers and degrade to inline recursion when all
+	// slots are busy; no task ever waits. Results are identical to the
+	// sequential run except for ordering: Keys, Errors and the OnExecution
+	// callback sequence follow completion order, not DFS order (the
+	// callbacks themselves are serialized).
+	Workers int
+	// Symmetry enables symmetry reduction: states (and executions) equal
+	// up to a permutation of identical-code threads collapse to one
+	// canonical representative, so Executions counts orbits rather than
+	// raw executions. Replay commutes with renaming identical threads,
+	// which makes the reduction sound; it is only meaningful when the
+	// program's Exists/Assert conditions are themselves symmetric in
+	// those threads (an n-thread counter, contending CASes, …). The
+	// canonical key costs one extra Key computation per group permutation
+	// per state, so the win is the orbit collapse (up to n! for n
+	// identical threads) minus that constant.
+	Symmetry bool
+}
+
+// ErrorReport describes one assertion failure, with the witness graph.
+type ErrorReport struct {
+	Thread int
+	Msg    string
+	Graph  *eg.Graph
+}
+
+func (e ErrorReport) String() string {
+	return fmt.Sprintf("thread %d: %s\n%s", e.Thread, e.Msg, e.Graph)
+}
+
+// Stats aggregates exploration metrics; these are the numbers the paper's
+// tables report (executions explored, blocked executions, revisits, …).
+type Stats struct {
+	Executions         int // complete consistent executions
+	ExistsCount        int // executions satisfying the program's Exists clause
+	Blocked            int // executions ending with a blocked thread
+	Duplicates         int // duplicate executions suppressed (must stay 0)
+	RevisitsTried      int // backward revisit candidates considered
+	RevisitsTaken      int
+	States             int // distinct exploration states visited
+	MemoHits           int // states reached again and pruned by the memo
+	RevisitsRepairFail int // rejected because repair diverged or failed to converge
+	RevisitsPorfSkip   int // skipped by the PorfOnlyRevisits ablation
+	ConsistencyChecks  int
+	StuckReads         int // reads with no consistent rf option (must stay 0)
+	MaxGraphEvents     int
+	Errors             []ErrorReport
+}
+
+// Result is the outcome of Explore.
+type Result struct {
+	Stats
+	Keys      []string // canonical execution keys (when CollectKeys)
+	Truncated bool     // MaxExecutions hit
+}
+
+// Explore model-checks p under opts and returns the aggregated result.
+func Explore(p *prog.Program, opts Options) (*Result, error) {
+	if opts.Model == nil {
+		return nil, fmt.Errorf("core: Options.Model is required")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	sh := &shared{res: &Result{}, memo: make(map[string]bool)}
+	if opts.DedupSafeguard {
+		sh.seen = make(map[string]bool)
+	}
+	if opts.Workers > 1 {
+		sh.sem = make(chan struct{}, opts.Workers-1)
+	}
+	e := &explorer{p: p, opts: opts, sh: sh}
+	if opts.Symmetry {
+		e.perms = symmetryPerms(len(p.Threads), p.SymmetryGroups())
+	}
+	g := eg.NewGraph(len(p.Threads), p.NumLocs)
+	e.visit(g)
+	sh.wg.Wait()
+	return sh.res, nil
+}
+
+type explorer struct {
+	p     *prog.Program
+	opts  Options
+	sh    *shared
+	perms [][]int // non-identity symmetry permutations (Symmetry)
+	// sink, when non-nil, captures the graphs visit would explore instead
+	// of recursing — the estimator's one-step successor enumeration. Only
+	// set by successors(), never during real exploration.
+	sink *[]*eg.Graph
+}
+
+// key returns g's canonical state key: its semantic key, minimized over
+// the symmetry permutations when Symmetry is enabled.
+func (e *explorer) key(g *eg.Graph) string {
+	key := g.Key()
+	for _, perm := range e.perms {
+		if k := g.RenameThreads(perm).Key(); k < key {
+			key = k
+		}
+	}
+	return key
+}
+
+// shared is the exploration state common to all workers. The mutex guards
+// the result, the state memo and the dedup table; the stop flag is atomic
+// so branch loops can poll it without locking. Exploration subtrees only
+// read the graph they were handed (strict replay never mutates) and clone
+// before extending, so the graph itself needs no synchronization.
+type shared struct {
+	mu   sync.Mutex
+	res  *Result
+	seen map[string]bool // complete-execution keys (DedupSafeguard)
+	memo map[string]bool // semantic exploration-state keys
+	stop atomic.Bool
+	sem  chan struct{} // fork slots (nil: sequential)
+	wg   sync.WaitGroup
+}
+
+// stopped reports whether exploration has been aborted.
+func (e *explorer) stopped() bool { return e.sh.stop.Load() }
+
+// fork runs task on a free worker when one exists, inline otherwise.
+// Tasks never block waiting for a slot, so at most Workers goroutines run,
+// exhaustion degrades gracefully to sequential recursion, and a parent
+// waiting for its forked children (stepRead's stuck-read accounting) can
+// never deadlock: every child it spawned either holds a slot and runs, or
+// ran inline on the parent itself.
+func (e *explorer) fork(task func()) {
+	if e.sh.sem != nil {
+		select {
+		case e.sh.sem <- struct{}{}:
+			e.sh.wg.Add(1)
+			go func() {
+				defer func() {
+					<-e.sh.sem
+					e.sh.wg.Done()
+				}()
+				task()
+			}()
+			return
+		default:
+		}
+	}
+	task()
+}
+
+// visit explores all extensions of g. Exploration states are memoized on
+// their semantic key (per-thread events with values, rf and co): replay is
+// deterministic, so two graphs with equal keys have identical futures, and
+// each state — in particular each complete execution — is explored exactly
+// once. The memo is also what guarantees termination: the state space of a
+// bounded program is finite, while revisit chains could otherwise rebuild
+// semantically identical graphs forever.
+func (e *explorer) visit(g *eg.Graph) {
+	if e.sink != nil {
+		*e.sink = append(*e.sink, g)
+		return
+	}
+	if e.stopped() {
+		return
+	}
+	key := e.key(g)
+	e.sh.mu.Lock()
+	if e.sh.memo[key] {
+		e.sh.res.MemoHits++
+		e.sh.mu.Unlock()
+		return
+	}
+	e.sh.memo[key] = true
+	e.sh.res.States++
+	if n := g.NumEvents(); n > e.sh.res.MaxGraphEvents {
+		e.sh.res.MaxGraphEvents = n
+	}
+	e.sh.mu.Unlock()
+	blocked := false
+	for t := range e.p.Threads {
+		a := interp.Next(e.p, g, t, e.opts.MaxSteps)
+		switch a.Kind {
+		case interp.ActDone:
+			continue
+		case interp.ActBlocked:
+			blocked = true
+			continue
+		case interp.ActError:
+			e.sh.mu.Lock()
+			e.sh.res.Errors = append(e.sh.res.Errors, ErrorReport{Thread: t, Msg: a.Msg, Graph: g.Clone()})
+			e.sh.mu.Unlock()
+			if e.opts.StopOnError {
+				e.sh.stop.Store(true)
+			}
+			return
+		default:
+			e.step(g, t, a)
+			return
+		}
+	}
+	if blocked {
+		e.sh.mu.Lock()
+		e.sh.res.Blocked++
+		if e.opts.OnBlocked != nil {
+			e.opts.OnBlocked(g)
+		}
+		e.sh.mu.Unlock()
+		return
+	}
+	e.complete(g)
+}
+
+// complete records a finished execution. The final state is computed
+// outside the lock (pure graph read); everything else — dedup, counters,
+// key collection and the user callback — runs under it, so OnExecution
+// invocations are serialized even in parallel mode.
+func (e *explorer) complete(g *eg.Graph) {
+	key := e.key(g)
+	var fs prog.FinalState
+	if e.p.Exists != nil || e.opts.OnExecution != nil {
+		fs = interp.FinalState(e.p, g, e.opts.MaxSteps)
+	}
+	e.sh.mu.Lock()
+	defer e.sh.mu.Unlock()
+	if e.sh.res.Truncated {
+		return // a parallel worker completed while the cap was being hit
+	}
+	if e.sh.seen != nil {
+		if e.sh.seen[key] {
+			e.sh.res.Duplicates++
+			if e.opts.OnDuplicate != nil {
+				e.opts.OnDuplicate(g)
+			}
+			return
+		}
+		e.sh.seen[key] = true
+	}
+	e.sh.res.Executions++
+	if e.p.Exists != nil && e.p.Exists(fs) {
+		e.sh.res.ExistsCount++
+	}
+	if e.opts.CollectKeys {
+		e.sh.res.Keys = append(e.sh.res.Keys, key)
+	}
+	if e.opts.OnExecution != nil {
+		e.opts.OnExecution(g, fs)
+	}
+	if e.opts.MaxExecutions > 0 && e.sh.res.Executions >= e.opts.MaxExecutions {
+		e.sh.res.Truncated = true
+		e.sh.stop.Store(true)
+	}
+}
+
+// consistent checks g under the model, counting the check.
+func (e *explorer) consistent(g *eg.Graph) bool {
+	e.sh.mu.Lock()
+	e.sh.res.ConsistencyChecks++
+	e.sh.mu.Unlock()
+	return e.opts.Model.Consistent(eg.NewView(g))
+}
+
+// count applies a Stats mutation under the shared lock.
+func (e *explorer) count(f func(*Stats)) {
+	e.sh.mu.Lock()
+	f(&e.sh.res.Stats)
+	e.sh.mu.Unlock()
+}
+
+// step handles thread t's next action on g.
+func (e *explorer) step(g *eg.Graph, t int, a interp.Action) {
+	id := eg.EvID{T: t, I: g.ThreadLen(t)}
+	switch {
+	case a.Kind == interp.ActFence:
+		g2 := g.Clone()
+		g2.Add(a.MakeEvent(id, 0))
+		if e.consistent(g2) {
+			e.visit(g2)
+		}
+
+	case a.Reads():
+		e.stepRead(g, id, a)
+
+	case a.Kind == interp.ActStore:
+		e.stepWrite(g, id, a)
+
+	default:
+		panic("core: unhandled action " + a.Kind.String())
+	}
+}
+
+// stepRead branches over the rf options of a read or RMW. Future writes
+// reach this read via backward revisits later.
+//
+// A new *update* reading a write w that some existing update u already
+// reads performs a forward chain steal: the new update slots in
+// coherence-immediately after w and u is rebound to read from it (values
+// downstream repaired). This is the GenMC treatment of RMW chains — every
+// permutation of an atomic-update chain is reached forward, with no
+// deletions — and it is why backward revisits never target updates with
+// an update revisitor (that pair is exactly a steal).
+func (e *explorer) stepRead(g *eg.Graph, id eg.EvID, a interp.Action) {
+	ws := g.WritesTo(a.Loc) // coherence order, init first
+	var anyConsistent atomic.Bool
+	var wg sync.WaitGroup
+	for _, w := range ws {
+		if e.stopped() {
+			break
+		}
+		ev := a.MakeEvent(id, g.ValueOf(w))
+		g2 := g.Clone()
+		g2.Add(ev)
+		g2.SetRF(id, w)
+		if ev.Kind == eg.KUpdate {
+			g2.CoInsert(a.Loc, g2.CoIndex(a.Loc, w)+1, id)
+			if u, ok := updateReading(g, a.Loc, w); ok {
+				// Chain steal: u now reads the new update; its written
+				// value (and anything downstream) needs repair. If the
+				// rebind diverges structurally (u's thread branches on
+				// the stolen value), fall back to a revisit-style rebind
+				// of u, which deletes and re-derives the affected suffix.
+				pre := g2.Clone()
+				g2.SetRF(u, id)
+				if !interp.RepairAll(e.p, g2, e.opts.MaxSteps) {
+					e.revisit(pre, id, u)
+					continue
+				}
+			}
+		}
+		wg.Add(1)
+		e.fork(func() {
+			defer wg.Done()
+			if !e.consistent(g2) {
+				return
+			}
+			anyConsistent.Store(true)
+			e.visit(g2)
+			if ev.Kind == eg.KUpdate {
+				// The update's write part may backward-revisit plain
+				// reads; computed per rf-branch so the kept prefix
+				// includes this branch's rf source.
+				e.revisitsFrom(g2, id, a.Loc)
+			}
+		})
+	}
+	wg.Wait()
+	if !anyConsistent.Load() && !e.stopped() {
+		// Extensibility says reading co-max must be consistent; a stuck
+		// read indicates a model that violates the algorithm's assumptions.
+		e.count(func(s *Stats) { s.StuckReads++ })
+	}
+}
+
+// updateReading returns the update event that reads from w at loc, if any
+// (at most one exists in an atomicity-consistent graph).
+func updateReading(g *eg.Graph, loc eg.Loc, w eg.EvID) (eg.EvID, bool) {
+	var found eg.EvID
+	ok := false
+	g.ForEach(func(ev eg.Event) {
+		if ev.Kind == eg.KUpdate && ev.Loc == loc {
+			if src, has := g.RF(ev.ID); has && src == w {
+				found = ev.ID
+				ok = true
+			}
+		}
+	})
+	return found, ok
+}
+
+// stepWrite branches over coherence positions; each consistent placement
+// additionally performs backward revisits (per position, so the kept
+// prefix reflects this branch's coherence binding).
+func (e *explorer) stepWrite(g *eg.Graph, id eg.EvID, a interp.Action) {
+	n := len(g.CoLoc(a.Loc))
+	for pos := 0; pos <= n; pos++ {
+		if e.stopped() {
+			return
+		}
+		ev := a.MakeEvent(id, 0)
+		g2 := g.Clone()
+		g2.Add(ev)
+		g2.CoInsert(a.Loc, pos, id)
+		e.fork(func() {
+			if !e.consistent(g2) {
+				return
+			}
+			e.visit(g2)
+			e.revisitsFrom(g2, id, a.Loc)
+		})
+	}
+}

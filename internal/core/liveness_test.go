@@ -1,0 +1,201 @@
+package core
+
+import (
+	"testing"
+
+	"hmc/internal/eg"
+	"hmc/internal/gen"
+	"hmc/internal/memmodel"
+	"hmc/internal/prog"
+)
+
+func checkLive(t *testing.T, p *prog.Program, model string) *LivenessReport {
+	t.Helper()
+	m, err := memmodel.ByName(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := CheckLiveness(p, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestLivenessCircularWait detects the classic deadlock: two threads each
+// awaiting a flag the other only sets after its own await.
+func TestLivenessCircularWait(t *testing.T) {
+	b := prog.NewBuilder("circular-wait")
+	x, y := b.Loc("x"), b.Loc("y")
+	t0 := b.Thread()
+	t0.AwaitEq(y, prog.Const(1))
+	t0.Store(x, prog.Const(1))
+	t1 := b.Thread()
+	t1.AwaitEq(x, prog.Const(1))
+	t1.Store(y, prog.Const(1))
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep := checkLive(t, p, "sc")
+	if rep.Live() {
+		t.Fatal("circular wait must be a liveness violation")
+	}
+	if rep.Executions != 0 {
+		t.Errorf("no execution completes, got %d", rep.Executions)
+	}
+	if len(rep.PermanentBlocks) != 2 {
+		t.Errorf("both threads block forever, got %v", rep.PermanentBlocks)
+	}
+	for _, pb := range rep.PermanentBlocks {
+		if pb.Witness == nil {
+			t.Error("permanent block without witness")
+		}
+	}
+}
+
+// TestLivenessValueNeverWritten detects a one-sided deadlock: the awaited
+// value never appears even after every writer finishes.
+func TestLivenessValueNeverWritten(t *testing.T) {
+	b := prog.NewBuilder("await-2")
+	x := b.Loc("x")
+	t0 := b.Thread()
+	t0.Store(x, prog.Const(1))
+	t1 := b.Thread()
+	t1.AwaitEq(x, prog.Const(2))
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep := checkLive(t, p, "sc")
+	if rep.Live() {
+		t.Fatal("awaiting a value never written must be a violation")
+	}
+	if len(rep.PermanentBlocks) != 1 || rep.PermanentBlocks[0].Thread != 1 {
+		t.Errorf("want one permanent block in thread 1, got %v", rep.PermanentBlocks)
+	}
+	// The execution where the await reads the stale init value is only a
+	// fairness block, and it must not be double-counted as permanent.
+	if rep.FairnessBlocks != 1 {
+		t.Errorf("FairnessBlocks = %d, want 1 (await reading init 0 while 1 is pending)", rep.FairnessBlocks)
+	}
+}
+
+// TestLivenessFairnessOnly: the awaited value does arrive; the only
+// blocked execution is the one where the reader never re-reads — an
+// unfair-scheduler artifact, not a violation.
+func TestLivenessFairnessOnly(t *testing.T) {
+	b := prog.NewBuilder("handshake")
+	x := b.Loc("x")
+	t0 := b.Thread()
+	t0.Store(x, prog.Const(1))
+	t1 := b.Thread()
+	t1.AwaitEq(x, prog.Const(1))
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep := checkLive(t, p, "tso")
+	if !rep.Live() {
+		t.Fatalf("handshake is live, got %v", rep.PermanentBlocks)
+	}
+	if rep.Executions != 1 || rep.FairnessBlocks != 1 {
+		t.Errorf("want 1 execution + 1 fairness block, got %d/%d", rep.Executions, rep.FairnessBlocks)
+	}
+}
+
+// TestLivenessRegisterAssume: a guard no memory write can ever satisfy is
+// permanent even without a spin-read.
+func TestLivenessRegisterAssume(t *testing.T) {
+	b := prog.NewBuilder("register-assume")
+	b.Loc("x")
+	t0 := b.Thread()
+	r := t0.Mov(prog.Const(0))
+	t0.Assume(prog.Eq(prog.R(r), prog.Const(1)))
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep := checkLive(t, p, "sc")
+	if rep.Live() {
+		t.Fatal("a false register assume can never be revived")
+	}
+	if len(rep.PermanentBlocks) != 1 {
+		t.Fatalf("want 1 permanent block, got %v", rep.PermanentBlocks)
+	}
+	if got := rep.PermanentBlocks[0].Read; got != (eg.EvID{}) {
+		t.Errorf("memory-independent block must carry the zero Read, got %v", got)
+	}
+}
+
+// TestLivenessProtocolsLive: the realistic protocols in the generator —
+// spinlocks and fence-complete Peterson — are deadlock-free under every
+// model; the liveness checker must agree. (Peterson's deadlock-freedom is
+// textbook; a PermanentBlock here would be a checker bug.)
+func TestLivenessProtocolsLive(t *testing.T) {
+	progs := []*prog.Program{
+		gen.SpinlockN(2, eg.FenceFull),
+		gen.SpinlockN(2, eg.FenceNone),
+		gen.Peterson(eg.FenceFull),
+		gen.Peterson(eg.FenceNone),
+	}
+	for _, p := range progs {
+		for _, model := range []string{"sc", "tso", "arm"} {
+			rep := checkLive(t, p, model)
+			if !rep.Live() {
+				t.Errorf("%s/%s: spurious liveness violation: %v", p.Name, model, rep.PermanentBlocks)
+			}
+		}
+	}
+}
+
+// TestLivenessBlockedCountsConsistent: the classifier partitions blocked
+// executions (permanent ones are those neither fairness- nor
+// bound-classified; each blocked execution lands in exactly one bucket,
+// totalled against the explorer's Blocked stat).
+func TestLivenessBlockedCountsConsistent(t *testing.T) {
+	p := gen.SpinlockN(2, eg.FenceFull)
+	m, _ := memmodel.ByName("tso")
+	res, err := Explore(p, Options{Model: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := checkLive(t, p, "tso")
+	if rep.BlockedExecutions != res.Blocked {
+		t.Errorf("BlockedExecutions = %d, explorer counted %d", rep.BlockedExecutions, res.Blocked)
+	}
+	if rep.Live() && rep.FairnessBlocks+rep.BoundBlocks != rep.BlockedExecutions {
+		t.Errorf("live program: fairness(%d)+bound(%d) must equal blocked(%d)",
+			rep.FairnessBlocks, rep.BoundBlocks, rep.BlockedExecutions)
+	}
+}
+
+// TestLivenessABBA: the lock-ordering deadlock is detected, and the
+// spin-suffix staleness scope is what makes it visible — each deadlocked
+// thread's own earlier acquire read is stale (its own lock write follows
+// it in coherence) but that history must not mask the violation.
+func TestLivenessABBA(t *testing.T) {
+	p := gen.ABBADeadlock()
+	for _, model := range []string{"sc", "tso", "arm"} {
+		rep := checkLive(t, p, model)
+		if rep.Live() {
+			t.Errorf("%s: ABBA deadlock not detected (blocked=%d fairness=%d)",
+				model, rep.BlockedExecutions, rep.FairnessBlocks)
+			continue
+		}
+		threads := map[int]bool{}
+		for _, pb := range rep.PermanentBlocks {
+			threads[pb.Thread] = true
+		}
+		if !threads[0] || !threads[1] {
+			t.Errorf("%s: both threads deadlock in some execution, got %v", model, rep.PermanentBlocks)
+		}
+		if rep.Executions == 0 {
+			t.Errorf("%s: ABBA also has completing executions (one thread wins both locks)", model)
+		}
+	}
+}

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"hmc/internal/eg"
+	"hmc/internal/interp"
+)
+
+// revisitsFrom attempts a backward revisit of every same-location read by
+// the write w — which is already part of g, carrying its rf (if an update)
+// and coherence position. Revisits are computed per forward branch of w's
+// addition, so the kept prefix reflects exactly the bindings of this
+// branch.
+func (e *explorer) revisitsFrom(g *eg.Graph, w eg.EvID, loc eg.Loc) {
+	var reads []eg.EvID
+	g.ForEach(func(ev eg.Event) {
+		if !ev.Kind.IsRead() || ev.Loc != loc || ev.ID == w {
+			return
+		}
+		if src, ok := g.RF(ev.ID); ok && src == w {
+			return // already bound to w (e.g. by a chain steal): a no-op
+		}
+		reads = append(reads, ev.ID)
+	})
+	for _, r := range reads {
+		if e.stopped() {
+			return
+		}
+		r := r
+		e.fork(func() { e.revisit(g, w, r) })
+	}
+}
+
+// revisit performs one backward revisit: the write w (already in g)
+// becomes the rf source of the existing read r. The graph is restricted to
+// the kept set
+//
+//	V = prefix(w) ∪ prefix(r) ∪ {r}
+//
+// where prefix is the downward closure under po-predecessors and rf edges
+// — except r's own rf edge, which the revisit erases. The revisit goes
+// through when
+//
+//  1. re-replaying every thread against the rebound graph *repairs* it:
+//     kept events whose data depends on r get their written values (and
+//     CAS success/failure) patched, and no event diverges structurally.
+//     This is the HMC dependency condition: independent po-successors of
+//     r survive, which is what makes po∪rf-cyclic — load-buffering —
+//     executions reachable under hardware memory models;
+//  2. the resulting graph is consistent under the memory model;
+//  3. the resulting exploration state is new (the explorer's state memo;
+//     see explorer.visit). Different branches collapse into the same
+//     revisited state because the revisit erases r's binding and deletes
+//     events; the memo admits exactly one of them.
+func (e *explorer) revisit(g *eg.Graph, w, r eg.EvID) {
+	e.count(func(s *Stats) { s.RevisitsTried++ })
+
+	// Phase 1: keep everything the revisit does not causally erase and
+	// rely on replay repair to patch values (value-preserving dependency
+	// idioms survive this way).
+	keep := keepSet(g, w, r)
+	ok := e.rebindAndVisit(g, keep, w, r)
+	// Phase 2: when replay diverged structurally — or the repaired graph
+	// was inconsistent, which extra deletion may cure — events whose
+	// existence hangs on r (control/address dependencies and their
+	// dependents) are deleted and re-derived instead. The state memo
+	// deduplicates any overlap between the phases.
+	if ok {
+		return
+	}
+	keep2 := keepSet(g, w, r)
+	if !pruneTainted(g, keep2, w, r) {
+		e.count(func(s *Stats) { s.RevisitsRepairFail++ })
+		return
+	}
+	if len(keep2) == len(keep) {
+		// Nothing prunable: the divergence is a genuine value cycle
+		// (out-of-thin-air), which constructive exploration rejects.
+		e.count(func(s *Stats) { s.RevisitsRepairFail++ })
+		return
+	}
+	if !e.rebindAndVisit(g, keep2, w, r) {
+		e.count(func(s *Stats) { s.RevisitsRepairFail++ })
+	}
+}
+
+// rebindAndVisit restricts g to keep, rebinds r to w, repairs and — when
+// replay converges — checks consistency and explores. It reports whether
+// the rebound graph both repaired and passed the consistency check.
+func (e *explorer) rebindAndVisit(g *eg.Graph, keep map[eg.EvID]bool, w, r eg.EvID) bool {
+	if e.opts.PorfOnlyRevisits {
+		// Ablation: RC11-style revisits delete everything po-after r.
+		// If a kept event is po-after r the revisit is skipped entirely
+		// (under porf-acyclic models it would be inconsistent anyway).
+		for ev := range keep {
+			if ev != w && ev.T == r.T && ev.I > r.I {
+				e.count(func(s *Stats) { s.RevisitsPorfSkip++ })
+				return true
+			}
+		}
+	}
+
+	g2 := g.Restrict(func(ev eg.EvID) bool { return keep[ev] })
+	loc := g2.Event(r).Loc
+	g2.SetRF(r, w)
+
+	// A rebound update must sit coherence-immediately after its new rf
+	// source: move it there (its old position was tied to its old rf).
+	if g2.Event(r).Kind == eg.KUpdate {
+		g2.CoRemove(loc, r)
+		g2.CoInsert(loc, g2.CoIndex(loc, w)+1, r)
+	}
+
+	if !interp.RepairAll(e.p, g2, e.opts.MaxSteps) {
+		return false
+	}
+	if !e.consistent(g2) {
+		return false
+	}
+	e.count(func(s *Stats) { s.RevisitsTaken++ })
+	e.fork(func() { e.visit(g2) })
+	return true
+}
+
+// keepSet computes the events surviving the revisit (r, w): everything
+// added before r, plus the downward closure of w (and of r itself) under
+// po-predecessors and rf edges — excluding r's own rf edge, which the
+// revisit erases. Events added after r that the revisiting write does not
+// causally need are deleted and re-derived by continued exploration; the
+// rf-closure pulls back any deleted write that a kept read still needs,
+// so the restricted graph replays. Init events are implicit and never
+// tracked.
+func keepSet(g *eg.Graph, w, r eg.EvID) map[eg.EvID]bool {
+	keep := make(map[eg.EvID]bool)
+	var stack []eg.EvID
+	push := func(id eg.EvID) {
+		if !id.IsInit() && !keep[id] {
+			keep[id] = true
+			stack = append(stack, id)
+		}
+	}
+	rStamp := g.Event(r).Stamp
+	g.ForEach(func(ev eg.Event) {
+		if ev.Stamp < rStamp {
+			push(ev.ID)
+		}
+	})
+	push(w)
+	push(r)
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for i := 0; i < id.I; i++ {
+			push(eg.EvID{T: id.T, I: i})
+		}
+		if id != r && g.Event(id).Kind.IsRead() {
+			if src, ok := g.RF(id); ok {
+				push(src)
+			}
+		}
+	}
+	return keep
+}
+
+// pruneTainted removes from keep every event whose *existence* depends on
+// the revisited read r: events with a control or address dependency on a
+// value-tainted read (their branch outcome or target location may change
+// when r is rebound), plus everything that transitively needs them
+// (po-successors and readers). Value-only taint (data dependencies) stays:
+// replay repair patches written values in place. It reports false when the
+// revisiting write w or r itself would have to go — the revisit is then
+// contradictory and abandoned.
+func pruneTainted(g *eg.Graph, keep map[eg.EvID]bool, w, r eg.EvID) bool {
+	// Value taint: reads whose observed value may change when r is
+	// rebound, and writes whose stored value may change.
+	taintedReads := map[eg.EvID]bool{r: true}
+	taintedWrites := map[eg.EvID]bool{}
+	for changed := true; changed; {
+		changed = false
+		g.ForEach(func(ev eg.Event) {
+			if !keep[ev.ID] {
+				return
+			}
+			if ev.Kind.IsWrite() && !taintedWrites[ev.ID] {
+				for _, d := range ev.Data {
+					if taintedReads[d] {
+						taintedWrites[ev.ID] = true
+						changed = true
+					}
+				}
+			}
+			if ev.Kind.IsRead() && !taintedReads[ev.ID] {
+				if src, ok := g.RF(ev.ID); ok && taintedWrites[src] {
+					taintedReads[ev.ID] = true
+					changed = true
+				}
+			}
+		})
+	}
+
+	// Existence taint: ctrl/addr dependency on a tainted read, closed
+	// under po-successors and readers-of-deleted-writes.
+	doomed := map[eg.EvID]bool{}
+	mark := func(id eg.EvID) bool {
+		if !keep[id] || doomed[id] {
+			return false
+		}
+		doomed[id] = true
+		return true
+	}
+	g.ForEach(func(ev eg.Event) {
+		if !keep[ev.ID] || ev.ID == r {
+			return
+		}
+		for _, set := range [][]eg.EvID{ev.Ctrl, ev.Addr} {
+			for _, d := range set {
+				if taintedReads[d] {
+					mark(ev.ID)
+				}
+			}
+		}
+	})
+	for changed := true; changed; {
+		changed = false
+		g.ForEach(func(ev eg.Event) {
+			if !keep[ev.ID] || doomed[ev.ID] {
+				return
+			}
+			// po-successor of a doomed event
+			for i := 0; i < ev.ID.I; i++ {
+				if doomed[eg.EvID{T: ev.ID.T, I: i}] {
+					if mark(ev.ID) {
+						changed = true
+					}
+					return
+				}
+			}
+			// reader of a doomed write
+			if ev.Kind.IsRead() && ev.ID != r {
+				if src, ok := g.RF(ev.ID); ok && doomed[src] {
+					if mark(ev.ID) {
+						changed = true
+					}
+				}
+			}
+		})
+	}
+	if doomed[w] || doomed[r] {
+		return false
+	}
+	for id := range doomed {
+		delete(keep, id)
+	}
+	return true
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"hmc/internal/eg"
+	"hmc/internal/memmodel"
+	"hmc/internal/prog"
+)
+
+// RobustnessReport is the outcome of CheckRobustness.
+type RobustnessReport struct {
+	// Robust is true when every execution the weak model admits is also
+	// sequentially consistent — the program exhibits no weak behaviour at
+	// all, so SC reasoning about it is sound on that hardware.
+	Robust bool
+	// Executions counts the weak model's consistent executions.
+	Executions int
+	// NonSC counts those that are not sequentially consistent.
+	NonSC int
+	// Witness is one non-SC execution (nil when robust).
+	Witness *eg.Graph
+}
+
+// CheckRobustness reports whether p is robust against the given weak
+// model: whether its executions under that model coincide with its SC
+// executions. Robustness is the practical verification target for
+// portable code — a robust program needs no weak-memory reasoning — and
+// the witness, when present, is precisely the reordering an engineer must
+// either accept or fence away.
+func CheckRobustness(p *prog.Program, weak memmodel.Model) (*RobustnessReport, error) {
+	sc, err := memmodel.ByName("sc")
+	if err != nil {
+		return nil, err
+	}
+	rep := &RobustnessReport{Robust: true}
+	res, err := Explore(p, Options{
+		Model: weak,
+		OnExecution: func(g *eg.Graph, fs prog.FinalState) {
+			if !sc.Consistent(eg.NewView(g)) {
+				rep.NonSC++
+				rep.Robust = false
+				if rep.Witness == nil {
+					rep.Witness = g.Clone()
+				}
+			}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.Executions = res.Executions
+	return rep, nil
+}

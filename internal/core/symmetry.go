@@ -1,0 +1,82 @@
+package core
+
+// maxSymmetryPerms caps the permutation set used for canonicalization.
+// Using a subgroup of the full symmetry group is still sound (keys then
+// collapse the subgroup's orbits, which are finer), so when the product of
+// group factorials exceeds the cap, trailing groups are simply dropped.
+const maxSymmetryPerms = 5040
+
+// symmetryPerms enumerates the non-identity thread permutations generated
+// by the program's symmetry groups: every combination of a permutation
+// within each group, identity elsewhere.
+func symmetryPerms(n int, groups [][]int) [][]int {
+	id := make([]int, n)
+	for i := range id {
+		id[i] = i
+	}
+	acc := [][]int{id}
+	total := 1
+	for _, grp := range groups {
+		total *= factorial(len(grp))
+		if total > maxSymmetryPerms {
+			break // keep the subgroup built so far — still sound
+		}
+		var next [][]int
+		forEachPerm(len(grp), func(sig []int) {
+			for _, base := range acc {
+				p := append([]int(nil), base...)
+				for i, gi := range grp {
+					p[gi] = grp[sig[i]]
+				}
+				next = append(next, p)
+			}
+		})
+		acc = next
+	}
+	out := acc[:0]
+	for _, p := range acc {
+		if !isIdentityPerm(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func factorial(n int) int {
+	f := 1
+	for i := 2; i <= n; i++ {
+		f *= i
+	}
+	return f
+}
+
+func isIdentityPerm(p []int) bool {
+	for i, v := range p {
+		if i != v {
+			return false
+		}
+	}
+	return true
+}
+
+// forEachPerm invokes f with every permutation of [0, n) (f must not
+// retain the slice).
+func forEachPerm(n int, f func([]int)) {
+	sig := make([]int, n)
+	for i := range sig {
+		sig[i] = i
+	}
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			f(sig)
+			return
+		}
+		for i := k; i < n; i++ {
+			sig[k], sig[i] = sig[i], sig[k]
+			rec(k + 1)
+			sig[k], sig[i] = sig[i], sig[k]
+		}
+	}
+	rec(0)
+}

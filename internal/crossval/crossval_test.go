@@ -1,0 +1,244 @@
+// Package crossval cross-validates the two independent checker
+// implementations: the HMC-style execution-graph explorer (internal/core,
+// axiomatic models) against the operational explicit-state machines
+// (internal/operational). For SC, TSO and PSO both must observe exactly
+// the same set of final states on every program — this is the strongest
+// end-to-end evidence that the axiomatic models, the dependency-tracking
+// interpreter, and the revisit machinery are correct.
+package crossval
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"hmc/internal/core"
+	"hmc/internal/eg"
+	"hmc/internal/litmus"
+	"hmc/internal/memmodel"
+	"hmc/internal/operational"
+	"hmc/internal/prog"
+)
+
+// coreFinals runs the graph explorer and returns the sorted set of
+// canonical final-state keys.
+func coreFinals(t *testing.T, p *prog.Program, model string) ([]string, *core.Result) {
+	t.Helper()
+	m, err := memmodel.ByName(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	finals := map[string]bool{}
+	res, err := core.Explore(p, core.Options{
+		Model:          m,
+		DedupSafeguard: true,
+		OnExecution: func(g *eg.Graph, fs prog.FinalState) {
+			if err := g.CheckWellFormed(); err != nil {
+				t.Errorf("ill-formed execution graph: %v\n%v", err, g)
+			}
+			finals[operational.FinalKey(fs)] = true
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, 0, len(finals))
+	for k := range finals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys, res
+}
+
+// machineFinals runs the memoized operational machine.
+func machineFinals(t *testing.T, p *prog.Program, level operational.Level) []string {
+	t.Helper()
+	res, err := operational.Explore(p, operational.Options{Level: level, Memo: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.FinalKeys()
+}
+
+var levels = map[string]operational.Level{
+	"sc":  operational.SC,
+	"tso": operational.TSO,
+	"pso": operational.PSO,
+}
+
+func compare(t *testing.T, name string, p *prog.Program) {
+	t.Helper()
+	for model, level := range levels {
+		got, res := coreFinals(t, p, model)
+		want := machineFinals(t, p, level)
+		if strings.Join(got, ";") != strings.Join(want, ";") {
+			t.Errorf("%s under %s: final-state sets differ\ngraph explorer (%d): %v\nmachine        (%d): %v\nprogram:\n%v",
+				name, model, len(got), got, len(want), want, p)
+		}
+		if res.Duplicates != 0 {
+			t.Errorf("%s under %s: %d duplicate executions", name, model, res.Duplicates)
+		}
+		if res.StuckReads != 0 {
+			t.Errorf("%s under %s: %d stuck reads", name, model, res.StuckReads)
+		}
+	}
+}
+
+// corpusTests exposes the litmus corpus to the reference tests.
+func corpusTests() []litmus.Test { return litmus.Corpus() }
+
+// corpusByName fetches one corpus program.
+func corpusByName(name string) (*prog.Program, bool) {
+	tc, ok := litmus.ByName(name)
+	if !ok {
+		return nil, false
+	}
+	return tc.P, true
+}
+
+func TestCorpusAgainstMachines(t *testing.T) {
+	for _, tc := range litmus.Corpus() {
+		compare(t, tc.Name, tc.P)
+	}
+}
+
+// randomProgram builds a small random concurrent program exercising
+// stores, loads, RMWs, fences, dependencies and branches.
+func randomProgram(seed int64) *prog.Program {
+	rng := rand.New(rand.NewSource(seed))
+	b := prog.NewBuilder(fmt.Sprintf("rand-%d", seed))
+	nLocs := 1 + rng.Intn(2)
+	locs := b.Locs("x", nLocs)
+	loc := func() eg.Loc { return locs[rng.Intn(len(locs))] }
+
+	modes := []eg.Mode{eg.ModePlain, eg.ModeRlx, eg.ModeAcq, eg.ModeRel, eg.ModeSC}
+	wmode := func() eg.Mode {
+		m := modes[rng.Intn(len(modes))]
+		if m == eg.ModeAcq {
+			m = eg.ModeRel
+		}
+		return m
+	}
+	rmode := func() eg.Mode {
+		m := modes[rng.Intn(len(modes))]
+		if m == eg.ModeRel {
+			m = eg.ModeAcq
+		}
+		return m
+	}
+	nThreads := 2 + rng.Intn(2)
+	for ti := 0; ti < nThreads; ti++ {
+		th := b.Thread()
+		var loaded []prog.Reg
+		n := 1 + rng.Intn(3)
+		for i := 0; i < n; i++ {
+			switch rng.Intn(10) {
+			case 0, 1:
+				th.StoreM(loc(), prog.Const(int64(1+rng.Intn(2))), wmode())
+			case 2, 3:
+				loaded = append(loaded, th.LoadM(loc(), rmode()))
+			case 4:
+				if len(loaded) > 0 {
+					r := loaded[rng.Intn(len(loaded))]
+					th.Store(loc(), prog.Add(prog.R(r), prog.Const(1)))
+				} else {
+					th.Store(loc(), prog.Const(3))
+				}
+			case 5:
+				loaded = append(loaded, th.FAdd(loc(), prog.Const(1)))
+			case 6:
+				v, _ := th.CAS(loc(), prog.Const(0), prog.Const(int64(1+rng.Intn(2))))
+				loaded = append(loaded, v)
+			case 7:
+				kinds := []eg.FenceKind{eg.FenceFull, eg.FenceLW}
+				th.Fence(kinds[rng.Intn(2)])
+			case 8:
+				if len(loaded) > 0 {
+					// Conditionally skip a store: real control flow.
+					r := loaded[rng.Intn(len(loaded))]
+					j := th.BranchFwd(prog.Eq(prog.R(r), prog.Const(0)))
+					th.Store(loc(), prog.Const(int64(5+rng.Intn(2))))
+					th.Patch(j)
+				} else {
+					loaded = append(loaded, th.Load(loc()))
+				}
+			default:
+				loaded = append(loaded, th.Xchg(loc(), prog.Const(int64(1+rng.Intn(2)))))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestRandomProgramsAgainstMachines(t *testing.T) {
+	n := 300
+	if testing.Short() {
+		n = 60
+	}
+	for seed := int64(0); seed < int64(n); seed++ {
+		compare(t, fmt.Sprintf("rand-%d", seed), randomProgram(seed))
+	}
+}
+
+// TestRandomProgramsOptimality checks duplicate-freedom for the weaker
+// models too (ra, relaxed, imm have no operational oracle, but optimality
+// and extensibility must still hold).
+func TestRandomProgramsOptimality(t *testing.T) {
+	n := 200
+	if testing.Short() {
+		n = 40
+	}
+	for seed := int64(0); seed < int64(n); seed++ {
+		p := randomProgram(seed)
+		for _, model := range []string{"arm", "ra", "rc11", "relaxed", "imm"} {
+			_, res := coreFinals(t, p, model)
+			if res.Duplicates != 0 {
+				t.Errorf("%s under %s: %d duplicates\n%v", p.Name, model, res.Duplicates, p)
+			}
+			if res.StuckReads != 0 {
+				t.Errorf("%s under %s: %d stuck reads\n%v", p.Name, model, res.StuckReads, p)
+			}
+		}
+	}
+}
+
+// TestModelNestingOnRandomPrograms checks that the per-model execution
+// counts respect model strength: SC ⊆ TSO ⊆ PSO ⊆ Relaxed and SC ⊆ RA/IMM
+// ⊆ Relaxed (as sets of executions, approximated by counts of final
+// states, which are monotone under set inclusion).
+func TestModelNestingOnRandomPrograms(t *testing.T) {
+	n := 150
+	if testing.Short() {
+		n = 30
+	}
+	chains := [][]string{
+		{"sc", "tso", "pso", "arm", "imm", "relaxed"},
+		{"sc", "ra", "relaxed"},
+		{"sc", "rc11", "relaxed"},
+	}
+	for seed := int64(0); seed < int64(n); seed++ {
+		p := randomProgram(seed)
+		finals := map[string]map[string]bool{}
+		for _, model := range memmodel.Names() {
+			keys, _ := coreFinals(t, p, model)
+			set := map[string]bool{}
+			for _, k := range keys {
+				set[k] = true
+			}
+			finals[model] = set
+		}
+		for _, chain := range chains {
+			for i := 0; i+1 < len(chain); i++ {
+				lo, hi := chain[i], chain[i+1]
+				for k := range finals[lo] {
+					if !finals[hi][k] {
+						t.Errorf("%s: final state %q observable under %s but not under %s",
+							p.Name, k, lo, hi)
+					}
+				}
+			}
+		}
+	}
+}

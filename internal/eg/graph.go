@@ -1,0 +1,517 @@
+package eg
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Graph is an execution graph under construction or complete. It owns the
+// per-thread event sequences, the reads-from map and the per-location
+// coherence orders. The zero value is unusable; construct with NewGraph.
+//
+// Invariants (checked by CheckWellFormed):
+//   - threads[t] holds events with IDs {T: t, I: 0..len-1} in order;
+//   - every read/update has an rf edge to a same-location write (or init);
+//   - co[l] lists exactly the non-init writes/updates to location l, in
+//     coherence order (the init write is implicitly first);
+//   - stamps are unique and reflect addition order.
+type Graph struct {
+	numLocs int
+	threads [][]Event
+	rf      map[EvID]EvID
+	co      [][]EvID
+	next    int // next stamp
+
+}
+
+// NewGraph returns an empty graph for a program with the given number of
+// threads and shared locations. Initial writes (value 0) exist implicitly
+// for every location and carry stamp 0.
+func NewGraph(numThreads, numLocs int) *Graph {
+	g := &Graph{
+		numLocs: numLocs,
+		threads: make([][]Event, numThreads),
+		rf:      make(map[EvID]EvID),
+		co:      make([][]EvID, numLocs),
+		next:    1,
+	}
+	return g
+}
+
+// NumThreads returns the number of program threads.
+func (g *Graph) NumThreads() int { return len(g.threads) }
+
+// NumLocs returns the number of shared locations.
+func (g *Graph) NumLocs() int { return g.numLocs }
+
+// ThreadLen returns the number of events added for thread t.
+func (g *Graph) ThreadLen(t int) int { return len(g.threads[t]) }
+
+// NumEvents returns the number of non-init events in the graph.
+func (g *Graph) NumEvents() int {
+	n := 0
+	for _, th := range g.threads {
+		n += len(th)
+	}
+	return n
+}
+
+// Clone returns a deep copy of g (stamps preserved).
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		numLocs: g.numLocs,
+		threads: make([][]Event, len(g.threads)),
+		rf:      make(map[EvID]EvID, len(g.rf)),
+		co:      make([][]EvID, len(g.co)),
+		next:    g.next,
+	}
+	for t, th := range g.threads {
+		c.threads[t] = append([]Event(nil), th...)
+	}
+	for r, w := range g.rf {
+		c.rf[r] = w
+	}
+	for l, ws := range g.co {
+		c.co[l] = append([]EvID(nil), ws...)
+	}
+	return c
+}
+
+// Add appends ev to its thread, assigning the next stamp. The event's
+// ID.I must equal the thread's current length.
+func (g *Graph) Add(ev Event) {
+	if ev.ID.IsInit() {
+		panic("eg: cannot add init events")
+	}
+	t := ev.ID.T
+	if t < 0 || t >= len(g.threads) {
+		panic(fmt.Sprintf("eg: thread %d out of range", t))
+	}
+	if ev.ID.I != len(g.threads[t]) {
+		panic(fmt.Sprintf("eg: event %v added out of order (thread has %d events)", ev.ID, len(g.threads[t])))
+	}
+	ev.Stamp = g.next
+	g.next++
+	g.threads[t] = append(g.threads[t], ev)
+}
+
+// Has reports whether the event id is present (init events always are).
+func (g *Graph) Has(id EvID) bool {
+	if id.IsInit() {
+		return id.I >= 0 && id.I < g.numLocs
+	}
+	return id.T >= 0 && id.T < len(g.threads) && id.I >= 0 && id.I < len(g.threads[id.T])
+}
+
+// Event returns the event with the given id. Init IDs yield a synthetic
+// KInit event with stamp 0.
+func (g *Graph) Event(id EvID) Event {
+	if id.IsInit() {
+		if id.I < 0 || id.I >= g.numLocs {
+			panic(fmt.Sprintf("eg: init event for unknown location %d", id.I))
+		}
+		return Event{ID: id, Kind: KInit, Loc: Loc(id.I)}
+	}
+	return g.threads[id.T][id.I]
+}
+
+// SetRF records that read r reads from write w. Both must be present,
+// r must be a read/update, w a write/update/init, and locations must match.
+func (g *Graph) SetRF(r, w EvID) {
+	re := g.Event(r)
+	we := g.Event(w)
+	if !re.Kind.IsRead() {
+		panic(fmt.Sprintf("eg: SetRF source %v is not a read", r))
+	}
+	if !we.Kind.IsWrite() {
+		panic(fmt.Sprintf("eg: SetRF target %v is not a write", w))
+	}
+	if re.Loc != we.Loc {
+		panic(fmt.Sprintf("eg: SetRF location mismatch %v vs %v", re, we))
+	}
+	g.rf[r] = w
+}
+
+// HasReaders reports whether any read in the graph reads from w.
+func (g *Graph) HasReaders(w EvID) bool {
+	for _, src := range g.rf {
+		if src == w {
+			return true
+		}
+	}
+	return false
+}
+
+// ReadersOf returns the reads whose rf source is w, in stable order.
+func (g *Graph) ReadersOf(w EvID) []EvID {
+	var out []EvID
+	for r, src := range g.rf {
+		if src == w {
+			out = append(out, r)
+		}
+	}
+	SortEvIDs(out)
+	return out
+}
+
+// RF returns the write that read r reads from.
+func (g *Graph) RF(r EvID) (EvID, bool) {
+	w, ok := g.rf[r]
+	return w, ok
+}
+
+// CoLoc returns the coherence order of location l, excluding the implicit
+// init write. The returned slice is owned by the graph.
+func (g *Graph) CoLoc(l Loc) []EvID { return g.co[l] }
+
+// CoInsert places write w at position pos in location l's coherence order
+// (0 = immediately after init). The write event must already be in the
+// graph.
+func (g *Graph) CoInsert(l Loc, pos int, w EvID) {
+	ws := g.co[l]
+	if pos < 0 || pos > len(ws) {
+		panic(fmt.Sprintf("eg: co position %d out of range [0,%d]", pos, len(ws)))
+	}
+	ws = append(ws, EvID{})
+	copy(ws[pos+1:], ws[pos:])
+	ws[pos] = w
+	g.co[l] = ws
+}
+
+// CoIndex returns the position of write w in location l's coherence order,
+// or -1 if absent. Init writes have index -1 by convention (they precede
+// position 0).
+func (g *Graph) CoIndex(l Loc, w EvID) int {
+	if w.IsInit() {
+		return -1
+	}
+	for i, x := range g.co[l] {
+		if x == w {
+			return i
+		}
+	}
+	return -1
+}
+
+// WritesTo returns all writes to location l in coherence order, including
+// the init write first. The slice is fresh.
+func (g *Graph) WritesTo(l Loc) []EvID {
+	out := make([]EvID, 0, len(g.co[l])+1)
+	out = append(out, InitID(l))
+	out = append(out, g.co[l]...)
+	return out
+}
+
+// CoMax returns the coherence-maximal write to location l (init if no
+// other write exists).
+func (g *Graph) CoMax(l Loc) EvID {
+	if len(g.co[l]) == 0 {
+		return InitID(l)
+	}
+	return g.co[l][len(g.co[l])-1]
+}
+
+// ValueOf returns the value written by the given write event (0 for init).
+func (g *Graph) ValueOf(w EvID) int64 {
+	if w.IsInit() {
+		return 0
+	}
+	return g.Event(w).Val
+}
+
+// ReadValue returns the value observed by read r via its rf edge.
+func (g *Graph) ReadValue(r EvID) (int64, bool) {
+	w, ok := g.rf[r]
+	if !ok {
+		return 0, false
+	}
+	return g.ValueOf(w), true
+}
+
+// SetEventVal patches the written value of a write/update event. Used by
+// replay repair after a backward revisit rebinds a read that feeds the
+// event's data.
+func (g *Graph) SetEventVal(id EvID, val int64) {
+	ev := g.Event(id)
+	if !ev.Kind.IsWrite() || ev.Kind == KInit {
+		panic(fmt.Sprintf("eg: SetEventVal on non-write %v", id))
+	}
+	g.threads[id.T][id.I].Val = val
+}
+
+// SetEventKind rewrites the kind of an event (KRead ↔ KUpdate, for CAS
+// events whose success flips when their rf source changes). Coherence
+// membership must be adjusted by the caller (CoInsert/CoRemove).
+func (g *Graph) SetEventKind(id EvID, kind Kind) {
+	if kind != KRead && kind != KUpdate {
+		panic(fmt.Sprintf("eg: SetEventKind to unsupported kind %v", kind))
+	}
+	g.threads[id.T][id.I].Kind = kind
+}
+
+// CoRemove deletes write w from location l's coherence order.
+func (g *Graph) CoRemove(l Loc, w EvID) {
+	i := g.CoIndex(l, w)
+	if i < 0 {
+		panic(fmt.Sprintf("eg: CoRemove of absent %v", w))
+	}
+	g.co[l] = append(g.co[l][:i], g.co[l][i+1:]...)
+}
+
+// LastEvent returns the po-last event of thread t, or ok=false if the
+// thread has no events yet.
+func (g *Graph) LastEvent(t int) (Event, bool) {
+	th := g.threads[t]
+	if len(th) == 0 {
+		return Event{}, false
+	}
+	return th[len(th)-1], true
+}
+
+// MaxStamp returns the largest stamp assigned so far.
+func (g *Graph) MaxStamp() int { return g.next - 1 }
+
+// ForEach calls fn for every non-init event in (thread, index) order.
+func (g *Graph) ForEach(fn func(Event)) {
+	for _, th := range g.threads {
+		for _, ev := range th {
+			fn(ev)
+		}
+	}
+}
+
+// Restrict returns a new graph containing exactly the events for which
+// keep returns true. The kept set must be po-prefix-closed per thread
+// (Restrict panics otherwise). rf edges whose reader is kept but whose
+// writer was deleted are dropped (the caller re-binds them); coherence
+// orders are filtered. Stamps of surviving events are preserved, and the
+// stamp counter stays at its high-water mark so newly added events are
+// stamped after every surviving event.
+func (g *Graph) Restrict(keep func(EvID) bool) *Graph {
+	c := &Graph{
+		numLocs: g.numLocs,
+		threads: make([][]Event, len(g.threads)),
+		rf:      make(map[EvID]EvID),
+		co:      make([][]EvID, g.numLocs),
+		next:    g.next,
+	}
+	for t, th := range g.threads {
+		cut := len(th)
+		for i, ev := range th {
+			if !keep(ev.ID) {
+				cut = i
+				break
+			}
+		}
+		for i := cut; i < len(th); i++ {
+			if keep(th[i].ID) {
+				panic(fmt.Sprintf("eg: Restrict keep-set not po-prefix-closed at %v", th[i].ID))
+			}
+		}
+		c.threads[t] = append([]Event(nil), th[:cut]...)
+	}
+	for r, w := range g.rf {
+		if c.Has(r) && c.Has(w) {
+			c.rf[r] = w
+		}
+	}
+	for l, ws := range g.co {
+		for _, w := range ws {
+			if c.Has(w) {
+				c.co[l] = append(c.co[l], w)
+			}
+		}
+	}
+	return c
+}
+
+// Key returns a canonical string identifying the execution: thread event
+// lists with written values, rf edges and coherence orders. Two graphs
+// over the same program represent the same execution iff their keys match.
+// This is the exploration memo's hash input — the hottest path in the
+// checker — so it is built with raw integer appends rather than fmt.
+func (g *Graph) Key() string {
+	b := make([]byte, 0, 16*g.NumEvents()+16)
+	appendID := func(id EvID) {
+		if id.IsInit() {
+			b = append(b, 'i')
+			b = strconv.AppendInt(b, int64(id.I), 10)
+			return
+		}
+		b = strconv.AppendInt(b, int64(id.T), 10)
+		b = append(b, ':')
+		b = strconv.AppendInt(b, int64(id.I), 10)
+	}
+	for t, th := range g.threads {
+		b = append(b, 'T')
+		b = strconv.AppendInt(b, int64(t), 10)
+		b = append(b, '[')
+		for _, ev := range th {
+			switch ev.Kind {
+			case KRead:
+				b = append(b, 'R')
+				b = strconv.AppendInt(b, int64(ev.Loc), 10)
+				b = append(b, '<')
+				appendID(g.rf[ev.ID])
+			case KUpdate:
+				b = append(b, 'U')
+				b = strconv.AppendInt(b, int64(ev.Loc), 10)
+				b = append(b, '=')
+				b = strconv.AppendInt(b, ev.Val, 10)
+				b = append(b, '<')
+				appendID(g.rf[ev.ID])
+			case KWrite:
+				b = append(b, 'W')
+				b = strconv.AppendInt(b, int64(ev.Loc), 10)
+				b = append(b, '=')
+				b = strconv.AppendInt(b, ev.Val, 10)
+			case KFence:
+				b = append(b, 'F')
+				b = strconv.AppendInt(b, int64(ev.Fence), 10)
+			}
+			b = append(b, ';')
+		}
+		b = append(b, ']')
+	}
+	for l := 0; l < g.numLocs; l++ {
+		if len(g.co[l]) > 1 {
+			b = append(b, 'c')
+			b = strconv.AppendInt(b, int64(l), 10)
+			b = append(b, ':')
+			for _, w := range g.co[l] {
+				appendID(w)
+				b = append(b, ';')
+			}
+		}
+	}
+	return string(b)
+}
+
+// String renders the graph for debugging.
+func (g *Graph) String() string {
+	return g.StringNamed(func(l Loc) string { return fmt.Sprintf("x%d", l) })
+}
+
+// StringNamed renders the graph like String but with source-level
+// location names (witness output in the CLI and the analyses).
+func (g *Graph) StringNamed(locName func(Loc) string) string {
+	var sb strings.Builder
+	for t, th := range g.threads {
+		fmt.Fprintf(&sb, "thread %d:\n", t)
+		for _, ev := range th {
+			sb.WriteString("  ")
+			sb.WriteString(ev.StringNamed(locName))
+			if ev.Kind.IsRead() {
+				if w, ok := g.rf[ev.ID]; ok {
+					src := w.String()
+					if w.IsInit() {
+						src = "init[" + locName(Loc(w.I)) + "]"
+					}
+					fmt.Fprintf(&sb, "  [rf: %s = %d]", src, g.ValueOf(w))
+				} else {
+					sb.WriteString("  [rf: ?]")
+				}
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	for l := 0; l < g.numLocs; l++ {
+		if len(g.co[l]) > 0 {
+			fmt.Fprintf(&sb, "co %s: init", locName(Loc(l)))
+			for _, w := range g.co[l] {
+				fmt.Fprintf(&sb, " -> %v", w)
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+// CheckWellFormed verifies the graph invariants, returning a descriptive
+// error for the first violation found. Intended for tests and debug mode.
+func (g *Graph) CheckWellFormed() error {
+	seen := map[int]EvID{0: {T: InitThread, I: 0}}
+	for t, th := range g.threads {
+		for i, ev := range th {
+			if ev.ID.T != t || ev.ID.I != i {
+				return fmt.Errorf("event at thread %d pos %d has ID %v", t, i, ev.ID)
+			}
+			if prev, dup := seen[ev.Stamp]; dup {
+				return fmt.Errorf("duplicate stamp %d on %v and %v", ev.Stamp, prev, ev.ID)
+			}
+			seen[ev.Stamp] = ev.ID
+			if ev.Kind.IsRead() {
+				w, ok := g.rf[ev.ID]
+				if !ok {
+					return fmt.Errorf("read %v has no rf edge", ev.ID)
+				}
+				if !g.Has(w) {
+					return fmt.Errorf("read %v reads from absent %v", ev.ID, w)
+				}
+				we := g.Event(w)
+				if !we.Kind.IsWrite() || we.Loc != ev.Loc {
+					return fmt.Errorf("read %v reads from incompatible %v", ev.ID, we)
+				}
+			}
+			for _, dep := range [][]EvID{ev.Addr, ev.Data, ev.Ctrl} {
+				for _, d := range dep {
+					if d.T != t || d.I >= i {
+						return fmt.Errorf("event %v depends on non-po-earlier %v", ev.ID, d)
+					}
+					if !g.Event(d).Kind.IsRead() {
+						return fmt.Errorf("event %v depends on non-read %v", ev.ID, d)
+					}
+				}
+			}
+		}
+	}
+	for r := range g.rf {
+		if !g.Has(r) {
+			return fmt.Errorf("rf edge from absent read %v", r)
+		}
+	}
+	for l := 0; l < g.numLocs; l++ {
+		inCo := map[EvID]bool{}
+		for _, w := range g.co[l] {
+			if inCo[w] {
+				return fmt.Errorf("write %v appears twice in co[%d]", w, l)
+			}
+			inCo[w] = true
+			if !g.Has(w) {
+				return fmt.Errorf("co[%d] references absent %v", l, w)
+			}
+			we := g.Event(w)
+			if !we.Kind.IsWrite() || we.Loc != Loc(l) {
+				return fmt.Errorf("co[%d] contains incompatible %v", l, we)
+			}
+		}
+		count := 0
+		g.ForEach(func(ev Event) {
+			if ev.Kind.IsWrite() && ev.Loc == Loc(l) {
+				count++
+				if !inCo[ev.ID] {
+					// Writes are placed in co the moment they are added,
+					// so every write must appear.
+				}
+			}
+		})
+		missing := count - len(g.co[l])
+		if missing != 0 {
+			return fmt.Errorf("co[%d] has %d entries but graph has %d writes", l, len(g.co[l]), count)
+		}
+	}
+	return nil
+}
+
+// SortEvIDs sorts ids in (thread, index) order with init events first.
+func SortEvIDs(ids []EvID) {
+	sort.Slice(ids, func(i, j int) bool {
+		a, b := ids[i], ids[j]
+		if a.T != b.T {
+			return a.T < b.T
+		}
+		return a.I < b.I
+	})
+}

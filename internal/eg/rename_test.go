@@ -1,0 +1,77 @@
+package eg
+
+import "testing"
+
+// buildRenameFixture makes a 3-thread graph with rf, co and dependency
+// edges crossing threads.
+func buildRenameFixture(t *testing.T) *Graph {
+	t.Helper()
+	g := NewGraph(3, 2)
+	w0 := EvID{T: 0, I: 0}
+	g.Add(Event{ID: w0, Kind: KWrite, Loc: 0, Val: 1})
+	g.CoInsert(0, 0, w0)
+	r1 := EvID{T: 1, I: 0}
+	g.Add(Event{ID: r1, Kind: KRead, Loc: 0, Val: 1})
+	g.SetRF(r1, w0)
+	w1 := EvID{T: 1, I: 1}
+	g.Add(Event{ID: w1, Kind: KWrite, Loc: 1, Val: 2, Data: []EvID{r1}})
+	g.CoInsert(1, 0, w1)
+	r2 := EvID{T: 2, I: 0}
+	g.Add(Event{ID: r2, Kind: KRead, Loc: 1, Val: 2})
+	g.SetRF(r2, w1)
+	if err := g.CheckWellFormed(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestRenameThreadsRoundTrip(t *testing.T) {
+	g := buildRenameFixture(t)
+	perm := []int{2, 0, 1} // 0→2, 1→0, 2→1
+	inv := []int{1, 2, 0}
+	h := g.RenameThreads(perm)
+	if err := h.CheckWellFormed(); err != nil {
+		t.Fatalf("renamed graph ill-formed: %v", err)
+	}
+	if h.Key() == g.Key() {
+		t.Error("non-trivial rename of an asymmetric graph must change the key")
+	}
+	back := h.RenameThreads(inv)
+	if back.Key() != g.Key() {
+		t.Errorf("inverse rename must restore the key:\n%s\nvs\n%s", back.Key(), g.Key())
+	}
+}
+
+func TestRenameThreadsMovesEverything(t *testing.T) {
+	g := buildRenameFixture(t)
+	h := g.RenameThreads([]int{2, 0, 1})
+	// Old thread 1 (read+write with a data dep) is now thread 0.
+	if h.ThreadLen(0) != 2 {
+		t.Fatalf("renamed thread 0 has %d events, want 2", h.ThreadLen(0))
+	}
+	w1 := h.Event(EvID{T: 0, I: 1})
+	if w1.Kind != KWrite || len(w1.Data) != 1 || w1.Data[0] != (EvID{T: 0, I: 0}) {
+		t.Errorf("data dependency not renamed: %+v", w1)
+	}
+	// Old rf w0→r1 is now {T:2}→{T:0}.
+	src, ok := h.RF(EvID{T: 0, I: 0})
+	if !ok || src != (EvID{T: 2, I: 0}) {
+		t.Errorf("rf not renamed: %v %v", src, ok)
+	}
+	// co of loc 1 now holds the renamed writer.
+	if ws := h.CoLoc(1); len(ws) != 1 || ws[0] != (EvID{T: 0, I: 1}) {
+		t.Errorf("co not renamed: %v", ws)
+	}
+}
+
+func TestRenameThreadsInitFixed(t *testing.T) {
+	g := NewGraph(2, 1)
+	r := EvID{T: 0, I: 0}
+	g.Add(Event{ID: r, Kind: KRead, Loc: 0})
+	g.SetRF(r, InitID(0))
+	h := g.RenameThreads([]int{1, 0})
+	src, ok := h.RF(EvID{T: 1, I: 0})
+	if !ok || !src.IsInit() {
+		t.Errorf("init rf source must stay init: %v %v", src, ok)
+	}
+}

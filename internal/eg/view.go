@@ -1,0 +1,265 @@
+package eg
+
+import (
+	"hmc/internal/relation"
+)
+
+// View is a dense snapshot of a graph: every event (init events first, then
+// thread events in (thread, index) order) is assigned an index 0..N-1, and
+// the standard memory-model relations are exposed as relation.Rel values.
+// Relations are memoized; a View must not outlive mutations of its Graph.
+type View struct {
+	G      *Graph
+	Events []Event // dense order
+	N      int
+
+	idx map[EvID]int
+
+	po, poloc, rf, rfe, rfi, co, fr   *relation.Rel
+	depAddr, depData, depCtrl, depAll *relation.Rel
+}
+
+// NewView snapshots g.
+func NewView(g *Graph) *View {
+	v := &View{G: g, idx: make(map[EvID]int)}
+	for l := 0; l < g.NumLocs(); l++ {
+		id := InitID(Loc(l))
+		v.idx[id] = len(v.Events)
+		v.Events = append(v.Events, g.Event(id))
+	}
+	g.ForEach(func(ev Event) {
+		v.idx[ev.ID] = len(v.Events)
+		v.Events = append(v.Events, ev)
+	})
+	v.N = len(v.Events)
+	return v
+}
+
+// Idx returns the dense index of an event.
+func (v *View) Idx(id EvID) int {
+	i, ok := v.idx[id]
+	if !ok {
+		panic("eg: view index for absent event " + id.String())
+	}
+	return i
+}
+
+// Empty returns a fresh empty relation over the view's universe.
+func (v *View) Empty() *relation.Rel { return relation.New(v.N) }
+
+// Po returns program order: same-thread (i < j) pairs, plus every init
+// event before every thread event (the conventional extension that makes
+// SC's acyclicity include initialisation).
+func (v *View) Po() *relation.Rel {
+	if v.po != nil {
+		return v.po
+	}
+	r := v.Empty()
+	for a := 0; a < v.N; a++ {
+		ea := v.Events[a]
+		for b := 0; b < v.N; b++ {
+			eb := v.Events[b]
+			if ea.ID.IsInit() && !eb.ID.IsInit() {
+				r.Add(a, b)
+				continue
+			}
+			if !ea.ID.IsInit() && ea.ID.T == eb.ID.T && ea.ID.I < eb.ID.I {
+				r.Add(a, b)
+			}
+		}
+	}
+	v.po = r
+	return r
+}
+
+// PoLoc returns po restricted to same-location memory accesses (init
+// events relate only to accesses of their own location).
+func (v *View) PoLoc() *relation.Rel {
+	if v.poloc != nil {
+		return v.poloc
+	}
+	r := v.Empty()
+	v.Po().Pairs(func(a, b int) {
+		ea, eb := v.Events[a], v.Events[b]
+		if ea.Kind == KFence || eb.Kind == KFence {
+			return
+		}
+		if ea.Loc == eb.Loc {
+			r.Add(a, b)
+		}
+	})
+	v.poloc = r
+	return r
+}
+
+// Rf returns the reads-from relation (write → read).
+func (v *View) Rf() *relation.Rel {
+	if v.rf != nil {
+		return v.rf
+	}
+	r := v.Empty()
+	for read, w := range v.G.rf {
+		r.Add(v.Idx(w), v.Idx(read))
+	}
+	v.rf = r
+	return r
+}
+
+// Rfe returns external reads-from: write and read in different threads
+// (init counts as external to every thread).
+func (v *View) Rfe() *relation.Rel {
+	if v.rfe != nil {
+		return v.rfe
+	}
+	r := v.Empty()
+	v.Rf().Pairs(func(a, b int) {
+		if v.Events[a].ID.T != v.Events[b].ID.T {
+			r.Add(a, b)
+		}
+	})
+	v.rfe = r
+	return r
+}
+
+// Rfi returns internal (same-thread) reads-from.
+func (v *View) Rfi() *relation.Rel {
+	if v.rfi != nil {
+		return v.rfi
+	}
+	v.rfi = v.Rf().Minus(v.Rfe())
+	return v.rfi
+}
+
+// Co returns the coherence order: for each location, init before every
+// write, and co-list order between writes.
+func (v *View) Co() *relation.Rel {
+	if v.co != nil {
+		return v.co
+	}
+	r := v.Empty()
+	for l := 0; l < v.G.NumLocs(); l++ {
+		ws := v.G.WritesTo(Loc(l)) // init first
+		for i := 0; i < len(ws); i++ {
+			for j := i + 1; j < len(ws); j++ {
+				r.Add(v.Idx(ws[i]), v.Idx(ws[j]))
+			}
+		}
+	}
+	v.co = r
+	return r
+}
+
+// Fr returns from-read: rf⁻¹ ; co, minus reflexive pairs (an update is a
+// co-successor of its own rf source and must not fr-loop onto itself).
+func (v *View) Fr() *relation.Rel {
+	if v.fr != nil {
+		return v.fr
+	}
+	fr := v.Rf().Inverse().Compose(v.Co())
+	for i := 0; i < v.N; i++ {
+		fr.Remove(i, i)
+	}
+	v.fr = fr
+	return fr
+}
+
+// Eco returns the extended communication order (rf ∪ co ∪ fr)⁺.
+func (v *View) Eco() *relation.Rel {
+	return v.Rf().Union(v.Co()).UnionWith(v.Fr()).TransitiveClose()
+}
+
+func (v *View) depRel(pick func(Event) []EvID) *relation.Rel {
+	r := v.Empty()
+	for b, ev := range v.Events {
+		for _, d := range pick(ev) {
+			r.Add(v.Idx(d), b)
+		}
+	}
+	return r
+}
+
+// DepAddr returns address dependencies (read → dependent event).
+func (v *View) DepAddr() *relation.Rel {
+	if v.depAddr == nil {
+		v.depAddr = v.depRel(func(e Event) []EvID { return e.Addr })
+	}
+	return v.depAddr
+}
+
+// DepData returns data dependencies (read → dependent write).
+func (v *View) DepData() *relation.Rel {
+	if v.depData == nil {
+		v.depData = v.depRel(func(e Event) []EvID { return e.Data })
+	}
+	return v.depData
+}
+
+// DepCtrl returns control dependencies (read → every event po-after a
+// branch whose condition depends on the read).
+func (v *View) DepCtrl() *relation.Rel {
+	if v.depCtrl == nil {
+		v.depCtrl = v.depRel(func(e Event) []EvID { return e.Ctrl })
+	}
+	return v.depCtrl
+}
+
+// Deps returns addr ∪ data ∪ ctrl.
+func (v *View) Deps() *relation.Rel {
+	if v.depAll == nil {
+		v.depAll = v.DepAddr().Union(v.DepData()).UnionWith(v.DepCtrl())
+	}
+	return v.depAll
+}
+
+// FilterIdx returns the set of dense indices whose event satisfies pred.
+func (v *View) FilterIdx(pred func(Event) bool) []int {
+	var out []int
+	for i, ev := range v.Events {
+		if pred(ev) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SeqFence returns the relation {(a,b) | a po f po b} for fences f of the
+// given kinds — the building block of barrier-ordering relations.
+func (v *View) SeqFence(kinds ...FenceKind) *relation.Rel {
+	want := map[FenceKind]bool{}
+	for _, k := range kinds {
+		want[k] = true
+	}
+	fences := v.FilterIdx(func(e Event) bool { return e.Kind == KFence && want[e.Fence] })
+	r := v.Empty()
+	po := v.Po()
+	for _, f := range fences {
+		for a := 0; a < v.N; a++ {
+			if !po.Has(a, f) {
+				continue
+			}
+			for b := 0; b < v.N; b++ {
+				if po.Has(f, b) {
+					r.Add(a, b)
+				}
+			}
+		}
+	}
+	return r
+}
+
+// Restrict returns r with all pairs removed whose source does not satisfy
+// from or whose target does not satisfy to. Either predicate may be nil
+// (no constraint).
+func (v *View) Restrict(r *relation.Rel, from, to func(Event) bool) *relation.Rel {
+	out := v.Empty()
+	r.Pairs(func(a, b int) {
+		if from != nil && !from(v.Events[a]) {
+			return
+		}
+		if to != nil && !to(v.Events[b]) {
+			return
+		}
+		out.Add(a, b)
+	})
+	return out
+}

@@ -1,0 +1,206 @@
+package eg
+
+import "testing"
+
+func TestViewIndexingOrder(t *testing.T) {
+	g := buildMP(t)
+	v := NewView(g)
+	if v.N != 6 { // 2 init + 4 thread events
+		t.Fatalf("N = %d, want 6", v.N)
+	}
+	if v.Idx(InitID(0)) != 0 || v.Idx(InitID(1)) != 1 {
+		t.Fatal("init events must come first in dense order")
+	}
+	if v.Idx(EvID{T: 0, I: 0}) != 2 || v.Idx(EvID{T: 1, I: 1}) != 5 {
+		t.Fatal("thread events must follow in (thread,index) order")
+	}
+}
+
+func TestViewPo(t *testing.T) {
+	g := buildMP(t)
+	v := NewView(g)
+	po := v.Po()
+	// Same-thread ordering.
+	if !po.Has(v.Idx(EvID{T: 0, I: 0}), v.Idx(EvID{T: 0, I: 1})) {
+		t.Error("po missing t0:0 -> t0:1")
+	}
+	if po.Has(v.Idx(EvID{T: 0, I: 1}), v.Idx(EvID{T: 0, I: 0})) {
+		t.Error("po must not be symmetric")
+	}
+	// Cross-thread events unrelated.
+	if po.Has(v.Idx(EvID{T: 0, I: 0}), v.Idx(EvID{T: 1, I: 0})) {
+		t.Error("po must not relate different threads")
+	}
+	// Init before everything.
+	if !po.Has(v.Idx(InitID(0)), v.Idx(EvID{T: 1, I: 1})) {
+		t.Error("init must be po-before thread events")
+	}
+	if po.Has(v.Idx(InitID(0)), v.Idx(InitID(1))) {
+		t.Error("init events unrelated to each other")
+	}
+}
+
+func TestViewPoLoc(t *testing.T) {
+	g := buildMP(t)
+	v := NewView(g)
+	pl := v.PoLoc()
+	// W x (t0:0) and W y (t0:1) touch different locations.
+	if pl.Has(v.Idx(EvID{T: 0, I: 0}), v.Idx(EvID{T: 0, I: 1})) {
+		t.Error("poloc must not relate accesses of different locations")
+	}
+	// init x before R x in t1.
+	if !pl.Has(v.Idx(InitID(0)), v.Idx(EvID{T: 1, I: 1})) {
+		t.Error("poloc missing init x -> R x")
+	}
+	if pl.Has(v.Idx(InitID(0)), v.Idx(EvID{T: 1, I: 0})) {
+		t.Error("poloc must not relate init x to R y")
+	}
+}
+
+func TestViewRfSplit(t *testing.T) {
+	g := buildMP(t)
+	v := NewView(g)
+	rf := v.Rf()
+	if rf.Len() != 2 {
+		t.Fatalf("rf Len = %d, want 2", rf.Len())
+	}
+	if !rf.Has(v.Idx(EvID{T: 0, I: 1}), v.Idx(EvID{T: 1, I: 0})) {
+		t.Error("rf missing Wy -> Ry")
+	}
+	// Both rf edges are external here.
+	if v.Rfe().Len() != 2 || v.Rfi().Len() != 0 {
+		t.Errorf("rfe/rfi split wrong: %d/%d", v.Rfe().Len(), v.Rfi().Len())
+	}
+}
+
+func TestViewRfiInternal(t *testing.T) {
+	g := NewGraph(1, 1)
+	w := Event{ID: EvID{T: 0, I: 0}, Kind: KWrite, Loc: 0, Val: 1}
+	r := Event{ID: EvID{T: 0, I: 1}, Kind: KRead, Loc: 0}
+	g.Add(w)
+	g.CoInsert(0, 0, w.ID)
+	g.Add(r)
+	g.SetRF(r.ID, w.ID)
+	v := NewView(g)
+	if v.Rfi().Len() != 1 || v.Rfe().Len() != 0 {
+		t.Fatalf("same-thread rf must be internal: rfi=%d rfe=%d", v.Rfi().Len(), v.Rfe().Len())
+	}
+}
+
+func TestViewCoAndFr(t *testing.T) {
+	g := buildMP(t)
+	v := NewView(g)
+	co := v.Co()
+	// init x -> W x and init y -> W y.
+	if !co.Has(v.Idx(InitID(0)), v.Idx(EvID{T: 0, I: 0})) {
+		t.Error("co missing init x -> Wx")
+	}
+	if co.Len() != 2 {
+		t.Errorf("co Len = %d, want 2", co.Len())
+	}
+	fr := v.Fr()
+	// rx reads init x; Wx is co-after init x, so rx fr Wx.
+	if !fr.Has(v.Idx(EvID{T: 1, I: 1}), v.Idx(EvID{T: 0, I: 0})) {
+		t.Error("fr missing Rx -> Wx")
+	}
+	// ry reads the co-maximal write to y: no fr edge from ry.
+	found := false
+	fr.Successors(v.Idx(EvID{T: 1, I: 0}), func(int) { found = true })
+	if found {
+		t.Error("ry reads latest write, must have no fr successors")
+	}
+}
+
+func TestViewFrUpdateNotReflexive(t *testing.T) {
+	// T0: U x (CAS) reading from init and writing 1. fr must not contain (u,u).
+	g := NewGraph(1, 1)
+	u := Event{ID: EvID{T: 0, I: 0}, Kind: KUpdate, Loc: 0, Val: 1}
+	g.Add(u)
+	g.CoInsert(0, 0, u.ID)
+	g.SetRF(u.ID, InitID(0))
+	v := NewView(g)
+	if !v.Fr().Irreflexive() {
+		t.Fatal("fr contains a reflexive pair for the update")
+	}
+}
+
+func TestViewEcoTransitive(t *testing.T) {
+	g := buildMP(t)
+	v := NewView(g)
+	eco := v.Eco()
+	// rx fr Wx (direct) — and eco is transitive over rf∪co∪fr.
+	if !eco.Has(v.Idx(EvID{T: 1, I: 1}), v.Idx(EvID{T: 0, I: 0})) {
+		t.Error("eco missing rx -> Wx")
+	}
+	// init x co Wx, so init x eco rx? No: eco goes init->Wx, Wx has no rf
+	// to rx. But init x rf rx directly.
+	if !eco.Has(v.Idx(InitID(0)), v.Idx(EvID{T: 1, I: 1})) {
+		t.Error("eco missing init x -> rx (rf)")
+	}
+}
+
+func TestViewDeps(t *testing.T) {
+	// T0: r = R x; W y = r (data dep); branch on r then W z (ctrl dep).
+	g := NewGraph(1, 3)
+	r := Event{ID: EvID{T: 0, I: 0}, Kind: KRead, Loc: 0}
+	wy := Event{ID: EvID{T: 0, I: 1}, Kind: KWrite, Loc: 1, Val: 0, Data: []EvID{r.ID}}
+	wz := Event{ID: EvID{T: 0, I: 2}, Kind: KWrite, Loc: 2, Val: 1, Ctrl: []EvID{r.ID}}
+	g.Add(r)
+	g.SetRF(r.ID, InitID(0))
+	g.Add(wy)
+	g.CoInsert(1, 0, wy.ID)
+	g.Add(wz)
+	g.CoInsert(2, 0, wz.ID)
+	v := NewView(g)
+	if !v.DepData().Has(v.Idx(r.ID), v.Idx(wy.ID)) {
+		t.Error("data dep missing")
+	}
+	if !v.DepCtrl().Has(v.Idx(r.ID), v.Idx(wz.ID)) {
+		t.Error("ctrl dep missing")
+	}
+	if v.DepAddr().Len() != 0 {
+		t.Error("no addr deps expected")
+	}
+	if v.Deps().Len() != 2 {
+		t.Errorf("Deps Len = %d, want 2", v.Deps().Len())
+	}
+}
+
+func TestViewSeqFence(t *testing.T) {
+	// T0: W x; F.full; R y  — fence orders Wx before Ry.
+	g := NewGraph(1, 2)
+	w := Event{ID: EvID{T: 0, I: 0}, Kind: KWrite, Loc: 0, Val: 1}
+	f := Event{ID: EvID{T: 0, I: 1}, Kind: KFence, Fence: FenceFull}
+	r := Event{ID: EvID{T: 0, I: 2}, Kind: KRead, Loc: 1}
+	g.Add(w)
+	g.CoInsert(0, 0, w.ID)
+	g.Add(f)
+	g.Add(r)
+	g.SetRF(r.ID, InitID(1))
+	v := NewView(g)
+	sf := v.SeqFence(FenceFull)
+	if !sf.Has(v.Idx(w.ID), v.Idx(r.ID)) {
+		t.Error("fence ordering missing Wx -> Ry")
+	}
+	if sf.Has(v.Idx(r.ID), v.Idx(w.ID)) {
+		t.Error("fence ordering must follow po direction")
+	}
+	if v.SeqFence(FenceLW).Len() != 0 {
+		t.Error("no lw fences present")
+	}
+}
+
+func TestViewRestrict(t *testing.T) {
+	g := buildMP(t)
+	v := NewView(g)
+	// po restricted to write sources only.
+	wOnly := v.Restrict(v.Po(), func(e Event) bool { return e.Kind == KWrite }, nil)
+	wOnly.Pairs(func(a, b int) {
+		if v.Events[a].Kind != KWrite {
+			t.Errorf("pair source %v is not a write", v.Events[a])
+		}
+	})
+	if wOnly.Len() == 0 {
+		t.Error("expected some write-sourced po pairs")
+	}
+}

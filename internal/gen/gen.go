@@ -1,0 +1,424 @@
+// Package gen builds the parametric benchmark families used by the
+// evaluation (experiments T3, T4, T5, T7): scalable versions of the
+// classic litmus shapes plus the standard stateless-model-checking
+// stress programs (atomic counters, CAS contention, lock-protected
+// critical sections). Every generator returns a self-contained
+// prog.Program whose Exists clause identifies the family's "weak" outcome.
+package gen
+
+import (
+	"fmt"
+
+	"hmc/internal/eg"
+	"hmc/internal/prog"
+)
+
+// SBN builds the n-thread store-buffering ring: thread i writes x_i and
+// reads x_{i+1 mod n}. The weak outcome is every read returning 0
+// (forbidden under SC, allowed from TSO on). Consistent executions: 2^n
+// on store-buffer models, 2^n − 1 under SC.
+func SBN(n int) *prog.Program {
+	b := prog.NewBuilder(fmt.Sprintf("SB(%d)", n))
+	locs := b.Locs("x", n)
+	regs := make([]prog.Reg, n)
+	for i := 0; i < n; i++ {
+		t := b.Thread()
+		t.Store(locs[i], prog.Const(1))
+		regs[i] = t.Load(locs[(i+1)%n])
+	}
+	b.Exists("all reads 0", func(fs prog.FinalState) bool {
+		for i, r := range regs {
+			if fs.Reg(i, r) != 0 {
+				return false
+			}
+		}
+		return true
+	})
+	return b.MustBuild()
+}
+
+// LBN builds the n-thread load-buffering ring: thread i reads x_i and
+// writes x_{i+1 mod n} := 1. The weak outcome is every read returning 1 —
+// a po∪rf cycle, reachable only under hardware models (IMM here): the
+// paper's headline scaling family.
+func LBN(n int) *prog.Program {
+	b := prog.NewBuilder(fmt.Sprintf("LB(%d)", n))
+	locs := b.Locs("x", n)
+	regs := make([]prog.Reg, n)
+	for i := 0; i < n; i++ {
+		t := b.Thread()
+		regs[i] = t.Load(locs[i])
+		t.Store(locs[(i+1)%n], prog.Const(1))
+	}
+	b.Exists("all reads 1", func(fs prog.FinalState) bool {
+		for i, r := range regs {
+			if fs.Reg(i, r) != 1 {
+				return false
+			}
+		}
+		return true
+	})
+	return b.MustBuild()
+}
+
+// MPN builds message passing with n data locations: the writer stores
+// d_1..d_n then raises the flag; the reader reads the flag and then every
+// data location. Weak outcome: flag observed set but some datum stale.
+func MPN(n int) *prog.Program {
+	b := prog.NewBuilder(fmt.Sprintf("MP(%d)", n))
+	data := b.Locs("d", n)
+	flag := b.Loc("flag")
+	w := b.Thread()
+	for _, d := range data {
+		w.Store(d, prog.Const(1))
+	}
+	w.Store(flag, prog.Const(1))
+	r := b.Thread()
+	rf := r.Load(flag)
+	dr := make([]prog.Reg, n)
+	for i, d := range data {
+		dr[i] = r.Load(d)
+	}
+	b.Exists("flag=1 && some d=0", func(fs prog.FinalState) bool {
+		if fs.Reg(1, rf) != 1 {
+			return false
+		}
+		for _, reg := range dr {
+			if fs.Reg(1, reg) == 0 {
+				return true
+			}
+		}
+		return false
+	})
+	return b.MustBuild()
+}
+
+// IRIWN builds independent-reads-of-independent-writes with n reader
+// pairs: two writers and 2n readers; reader pair k disagrees on the order
+// of the two writes. Weak outcome: some pair observes opposite orders.
+func IRIWN(n int) *prog.Program {
+	b := prog.NewBuilder(fmt.Sprintf("IRIW(%d)", n))
+	x, y := b.Loc("x"), b.Loc("y")
+	tw := b.Thread()
+	tw.Store(x, prog.Const(1))
+	tw2 := b.Thread()
+	tw2.Store(y, prog.Const(1))
+	type pair struct{ a, b, c, d prog.Reg }
+	pairs := make([]pair, n)
+	for k := 0; k < n; k++ {
+		t1 := b.Thread()
+		a := t1.Load(x)
+		bb := t1.Load(y)
+		t2 := b.Thread()
+		c := t2.Load(y)
+		d := t2.Load(x)
+		pairs[k] = pair{a, bb, c, d}
+	}
+	b.Exists("some pair sees opposite orders", func(fs prog.FinalState) bool {
+		for k, p := range pairs {
+			t1, t2 := 2+2*k, 3+2*k
+			if fs.Reg(t1, p.a) == 1 && fs.Reg(t1, p.b) == 0 &&
+				fs.Reg(t2, p.c) == 1 && fs.Reg(t2, p.d) == 0 {
+				return true
+			}
+		}
+		return false
+	})
+	return b.MustBuild()
+}
+
+// CoRRN builds the coherence stress family: one writer performing n
+// sequential writes to x, one reader performing n reads. The consistent
+// executions are the monotone read sequences; the weak (always forbidden)
+// outcome is observing a newer write before an older one.
+func CoRRN(n int) *prog.Program {
+	b := prog.NewBuilder(fmt.Sprintf("CoRR(%d)", n))
+	x := b.Loc("x")
+	w := b.Thread()
+	for i := 1; i <= n; i++ {
+		w.Store(x, prog.Const(int64(i)))
+	}
+	r := b.Thread()
+	regs := make([]prog.Reg, n)
+	for i := 0; i < n; i++ {
+		regs[i] = r.Load(x)
+	}
+	b.Exists("non-monotone reads", func(fs prog.FinalState) bool {
+		for i := 1; i < n; i++ {
+			if fs.Reg(1, regs[i]) < fs.Reg(1, regs[i-1]) {
+				return true
+			}
+		}
+		return false
+	})
+	return b.MustBuild()
+}
+
+// TwoPlusTwoWN builds the n-thread 2+2W ring: thread i writes x_i := 1
+// then x_{i+1 mod n} := 2. Weak outcome: every location retains its
+// thread's *first* write (x_i = 1 for all i), requiring W→W reordering.
+func TwoPlusTwoWN(n int) *prog.Program {
+	b := prog.NewBuilder(fmt.Sprintf("2+2W(%d)", n))
+	locs := b.Locs("x", n)
+	for i := 0; i < n; i++ {
+		t := b.Thread()
+		t.Store(locs[i], prog.Const(1))
+		t.Store(locs[(i+1)%n], prog.Const(2))
+	}
+	b.Exists("all locations = 1", func(fs prog.FinalState) bool {
+		for _, l := range locs {
+			if fs.Mem[l] != 1 {
+				return false
+			}
+		}
+		return true
+	})
+	return b.MustBuild()
+}
+
+// IncN builds n threads each atomically incrementing a counter k times
+// (fetch-add). Executions number (n·k)!/(k!)^n. The weak outcome — a lost
+// update — is forbidden under every model.
+func IncN(n, k int) *prog.Program {
+	b := prog.NewBuilder(fmt.Sprintf("inc(%d,%d)", n, k))
+	x := b.Loc("x")
+	for i := 0; i < n; i++ {
+		t := b.Thread()
+		for j := 0; j < k; j++ {
+			t.FAdd(x, prog.Const(1))
+		}
+	}
+	total := int64(n * k)
+	b.Exists("lost update", func(fs prog.FinalState) bool {
+		return fs.Mem[x] != total
+	})
+	return b.MustBuild()
+}
+
+// CASContendN builds n threads all CASing x from 0 to their id+1 once.
+// Exactly one succeeds; the weak outcome (no winner, or two winners'
+// values observed) is forbidden.
+func CASContendN(n int) *prog.Program {
+	b := prog.NewBuilder(fmt.Sprintf("cas(%d)", n))
+	x := b.Loc("x")
+	succ := make([]prog.Reg, n)
+	for i := 0; i < n; i++ {
+		t := b.Thread()
+		_, s := t.CAS(x, prog.Const(0), prog.Const(int64(i+1)))
+		succ[i] = s
+	}
+	b.Exists("not exactly one winner", func(fs prog.FinalState) bool {
+		winners := 0
+		for i, s := range succ {
+			winners += int(fs.Reg(i, s))
+		}
+		return winners != 1
+	})
+	return b.MustBuild()
+}
+
+// IndexerN builds a bounded variant of the classic "indexer" DPOR
+// benchmark: n threads insert into a hash table of 4 slots by CASing
+// slot (id mod 4), falling back to the next slot on failure (one retry).
+// Weak outcome: a thread fails both probes (only possible with ≥ 3
+// threads contending on a slot chain).
+func IndexerN(n int) *prog.Program {
+	b := prog.NewBuilder(fmt.Sprintf("indexer(%d)", n))
+	const slots = 4
+	tab := b.Locs("h", slots)
+	fail := make([]prog.Reg, n)
+	for i := 0; i < n; i++ {
+		t := b.Thread()
+		first := tab[i%slots]
+		second := tab[(i+1)%slots]
+		_, s1 := t.CAS(first, prog.Const(0), prog.Const(int64(i+1)))
+		// if s1 goto done
+		j := t.BranchFwd(prog.R(s1))
+		_, s2 := t.CAS(second, prog.Const(0), prog.Const(int64(i+1)))
+		t.Patch(j)
+		// failed = !s1 && !s2  (s2 is 0 if the first probe won)
+		failed := t.Mov(prog.And(prog.Not(prog.R(s1)), prog.Not(prog.R(s2))))
+		fail[i] = failed
+	}
+	b.Exists("some thread failed both probes", func(fs prog.FinalState) bool {
+		for i, f := range fail {
+			if fs.Reg(i, f) == 1 {
+				return true
+			}
+		}
+		return false
+	})
+	return b.MustBuild()
+}
+
+// SpinlockN builds n threads taking a test-and-set try-lock (one atomic
+// exchange), incrementing a non-atomic shared counter inside the critical
+// section, and releasing. fence selects the acquire/release barriers:
+// with FenceNone the critical section can leak under dependency-ordered
+// hardware models (the acquiring exchange does not order the plain
+// counter accesses), losing updates; with full fences the final counter
+// equals the number of acquirers under every model. Threads that fail to
+// acquire skip the critical section.
+func SpinlockN(n int, fence eg.FenceKind) *prog.Program {
+	name := fmt.Sprintf("spinlock(%d)+%v", n, fence)
+	b := prog.NewBuilder(name)
+	lock := b.Loc("lock")
+	counter := b.Loc("c")
+	acquired := make([]prog.Reg, n)
+	for i := 0; i < n; i++ {
+		t := b.Thread()
+		got := t.Xchg(lock, prog.Const(1)) // returns 0 iff acquired
+		ok := t.Mov(prog.Eq(prog.R(got), prog.Const(0)))
+		acquired[i] = ok
+		skip := t.BranchFwd(prog.Not(prog.R(ok)))
+		if fence != eg.FenceNone {
+			t.Fence(fence)
+		}
+		v := t.Load(counter)
+		t.Store(counter, prog.Add(prog.R(v), prog.Const(1)))
+		if fence != eg.FenceNone {
+			t.Fence(fence)
+		}
+		t.Store(lock, prog.Const(0))
+		t.Patch(skip)
+	}
+	b.Exists("counter lost an update", func(fs prog.FinalState) bool {
+		var want int64
+		for i, a := range acquired {
+			want += fs.Reg(i, a)
+		}
+		return fs.Mem[counter] != want
+	})
+	return b.MustBuild()
+}
+
+// Peterson builds Peterson's mutual-exclusion algorithm for two threads,
+// each entering the critical section once to increment a plain counter.
+// The entry await is modelled with a bounded assume (executions where the
+// condition never holds are blocked). fence, when nonzero, is placed at
+// the four spots weak models require: between the entry protocol's two
+// stores (PSO-class machines commit them out of order), between its
+// stores and loads (the W→R barrier Peterson needs even on x86-TSO),
+// after the await (acquire: dependency-ordered hardware speculates the
+// critical section's loads past the await otherwise), and before the
+// exit's flag release (release: without it the critical section's plain
+// stores leak past the unlock). Model checking found each of these — see
+// TestPeterson and the witnesses it prints on regression.
+func Peterson(fence eg.FenceKind) *prog.Program {
+	name := "peterson"
+	if fence != eg.FenceNone {
+		name += "+" + fence.String()
+	}
+	b := prog.NewBuilder(name)
+	flag0, flag1, turn, counter := b.Loc("flag0"), b.Loc("flag1"), b.Loc("turn"), b.Loc("c")
+
+	side := func(me, myFlag, otherFlag eg.Loc, myTurn int64) {
+		t := b.Thread()
+		t.Store(myFlag, prog.Const(1))
+		if fence != eg.FenceNone {
+			t.Fence(fence) // store-store: the flag must be visible before the yield
+		}
+		t.Store(turn, prog.Const(1-myTurn)) // yield to the other thread
+		if fence != eg.FenceNone {
+			t.Fence(fence) // store-load: the classic TSO barrier
+		}
+		of := t.Load(otherFlag)
+		tn := t.Load(turn)
+		// await: other not interested, or it is our turn
+		t.Assume(prog.Or(
+			prog.Eq(prog.R(of), prog.Const(0)),
+			prog.Eq(prog.R(tn), prog.Const(myTurn)),
+		))
+		if fence != eg.FenceNone {
+			t.Fence(fence) // acquire: order the critical section after the await
+		}
+		v := t.Load(counter)
+		t.Store(counter, prog.Add(prog.R(v), prog.Const(1)))
+		if fence != eg.FenceNone {
+			t.Fence(fence) // release: publish the critical section before unlocking
+		}
+		t.Store(myFlag, prog.Const(0))
+		_ = me
+	}
+	side(flag0, flag0, flag1, 0)
+	side(flag1, flag1, flag0, 1)
+
+	b.Exists("mutual exclusion violated (lost increment)", func(fs prog.FinalState) bool {
+		return fs.Mem[counter] != 2
+	})
+	return b.MustBuild()
+}
+
+// TreiberPushPop builds a bounded Treiber-stack interaction: one thread
+// pushes a node (write payload, link it, CAS the head), one thread pops
+// (read head, address-dependent read of the node's next pointer, CAS the
+// head, address-dependent read of the payload) and asserts the payload is
+// initialised. Node pointers are 1-based location indices (0 = nil), so
+// the pop-side loads are *real* address dependencies.
+//
+// Without a release fence before the publishing CAS, dependency-ordered
+// hardware (imm) lets the pop observe the node before its payload — the
+// canonical unpublished-node bug; TSO's ordered store buffer hides it.
+func TreiberPushPop(fence eg.FenceKind) *prog.Program {
+	name := "treiber"
+	if fence != eg.FenceNone {
+		name += "+" + fence.String()
+	}
+	b := prog.NewBuilder(name)
+	head := b.Loc("head")
+	val := b.Loc("val0")   // payload of node 1
+	next := b.Loc("next0") // next pointer of node 1
+
+	// Pusher: initialise node 1, link it to the current head, publish.
+	push := b.Thread()
+	push.Store(val, prog.Const(42))
+	h := push.Load(head)
+	push.Store(next, prog.R(h))
+	if fence != eg.FenceNone {
+		push.Fence(fence) // release: payload and link before publication
+	}
+	push.CAS(head, prog.R(h), prog.Const(1))
+
+	// Popper: read head; if non-nil, unlink via CAS and read the payload
+	// through the pointer (address dependencies on h2).
+	pop := b.Thread()
+	h2 := pop.Load(head)
+	empty := pop.BranchFwd(prog.Eq(prog.R(h2), prog.Const(0)))
+	// next pointer of node h2: location next0 + (h2-1); payload likewise.
+	nxt := pop.LoadAt(prog.Add(prog.Const(int64(next)), prog.Sub(prog.R(h2), prog.Const(1))))
+	_, ok := pop.CAS(head, prog.R(h2), prog.R(nxt))
+	gotIt := pop.BranchFwd(prog.Not(prog.R(ok)))
+	v := pop.LoadAt(prog.Add(prog.Const(int64(val)), prog.Sub(prog.R(h2), prog.Const(1))))
+	pop.Assert(prog.Eq(prog.R(v), prog.Const(42)), "popped an unpublished node")
+	pop.Patch(gotIt)
+	pop.Patch(empty)
+
+	b.Exists("pop succeeded", func(fs prog.FinalState) bool {
+		return fs.Reg(1, ok) == 1
+	})
+	return b.MustBuild()
+}
+
+// ABBADeadlock builds the classic lock-ordering deadlock: two spin locks
+// a and b, one thread acquiring a-then-b, the other b-then-a. Executions
+// where each thread grabs its first lock before the other requests it end
+// with both spinning on a lock that will never be released — the textbook
+// target for CheckLiveness, which must report both threads permanently
+// blocked (their spin reads observe the held lock, the final value those
+// locations will ever take).
+func ABBADeadlock() *prog.Program {
+	b := prog.NewBuilder("abba")
+	a, l := b.Loc("a"), b.Loc("b")
+	side := func(first, second eg.Loc) {
+		t := b.Thread()
+		t.AwaitEq(first, prog.Const(0)) // acquire first lock
+		t.Store(first, prog.Const(1))
+		t.AwaitEq(second, prog.Const(0)) // acquire second lock
+		t.Store(second, prog.Const(1))
+		t.Store(second, prog.Const(0)) // release in reverse order
+		t.Store(first, prog.Const(0))
+	}
+	side(a, l)
+	side(l, a)
+	return b.MustBuild()
+}

@@ -1,0 +1,612 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"hmc/internal/axenum"
+	"hmc/internal/core"
+	"hmc/internal/eg"
+	"hmc/internal/gen"
+	"hmc/internal/litmus"
+	"hmc/internal/memmodel"
+	"hmc/internal/operational"
+	"hmc/internal/prog"
+)
+
+// Options scales the experiments.
+type Options struct {
+	// Quick shrinks parameter sweeps for smoke runs (CI, -short tests).
+	Quick bool
+}
+
+// Experiments lists the experiment ids in order.
+func Experiments() []string {
+	return []string{"T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9", "T10", "T11", "T12"}
+}
+
+// Run executes one experiment by id.
+func Run(id string, opts Options) (*Table, error) {
+	switch id {
+	case "T1":
+		return T1LitmusMatrix(opts), nil
+	case "T2":
+		return T2AxenumComparison(opts), nil
+	case "T3":
+		return T3OperationalComparison(opts), nil
+	case "T4":
+		return T4Scaling(opts), nil
+	case "T5":
+		return T5Ablation(opts), nil
+	case "T6":
+		return T6FenceMatrix(opts), nil
+	case "T7":
+		return T7OptimalityStats(opts), nil
+	case "T8":
+		return T8Compilation(opts), nil
+	case "T9":
+		return T9Robustness(opts), nil
+	case "T10":
+		return T10Parallel(opts), nil
+	case "T11":
+		return T11Symmetry(opts), nil
+	case "T12":
+		return T12Estimate(opts), nil
+	}
+	return nil, fmt.Errorf("harness: unknown experiment %q (have %v)", id, Experiments())
+}
+
+func mustModel(name string) memmodel.Model {
+	m, err := memmodel.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// explore runs the HMC explorer and times it.
+func explore(p *prog.Program, model string) (*core.Result, time.Duration) {
+	start := time.Now()
+	res, err := core.Explore(p, core.Options{Model: mustModel(model)})
+	if err != nil {
+		panic(fmt.Sprintf("harness: %s under %s: %v", p.Name, model, err))
+	}
+	return res, time.Since(start)
+}
+
+func ms(d time.Duration) string { return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000) }
+
+func verdict(observed bool) string {
+	if observed {
+		return "allowed"
+	}
+	return "forbidden"
+}
+
+func mark(observed, expected bool) string {
+	v := verdict(observed)
+	if observed == expected {
+		return v
+	}
+	return v + " (!)"
+}
+
+// T1LitmusMatrix checks every corpus litmus test under every model and
+// compares the verdict with the expected one — the reproduction of the
+// paper's model-validation table.
+func T1LitmusMatrix(opts Options) *Table {
+	models := memmodel.Names()
+	t := &Table{
+		ID:      "T1",
+		Title:   "litmus verdict matrix (observed verdict; (!) marks a mismatch with the expected table)",
+		Columns: append([]string{"test"}, models...),
+	}
+	mismatches := 0
+	for _, tc := range litmus.Corpus() {
+		row := []any{tc.Name}
+		for _, model := range models {
+			res, _ := explore(tc.P, model)
+			observed := res.ExistsCount > 0
+			expected, known := tc.Allowed[model]
+			cell := verdict(observed)
+			if known {
+				cell = mark(observed, expected)
+				if observed != expected {
+					mismatches++
+				}
+			}
+			row = append(row, cell)
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("%d verdict mismatches against the expected matrix", mismatches))
+	return t
+}
+
+// T2AxenumComparison compares HMC exploration against the herd-style
+// enumeration baseline on the corpus under the hardware model: executions
+// explored vs candidate graphs enumerated, and wall-clock time.
+func T2AxenumComparison(opts Options) *Table {
+	t := &Table{
+		ID:      "T2",
+		Title:   "HMC vs herd-style enumeration (model: imm)",
+		Columns: []string{"test", "hmc execs", "hmc time", "enum candidates", "enum consistent", "enum time", "candidates/exec"},
+	}
+	type entry struct {
+		name string
+		p    *prog.Program
+	}
+	var tests []entry
+	corpus := litmus.Corpus()
+	if opts.Quick {
+		corpus = corpus[:6]
+	}
+	for _, tc := range corpus {
+		tests = append(tests, entry{tc.Name, tc.P})
+	}
+	if !opts.Quick {
+		// Coherence permutations and RMW chains are where candidate
+		// enumeration explodes combinatorially.
+		for _, p := range []*prog.Program{
+			gen.CoRRN(3), gen.CoRRN(4), gen.IncN(3, 1), gen.IncN(2, 2), gen.CASContendN(3),
+		} {
+			tests = append(tests, entry{p.Name, p})
+		}
+	}
+	for _, tc := range tests {
+		res, d := explore(tc.p, "imm")
+		start := time.Now()
+		ref, err := axenum.Explore(tc.p, axenum.Options{Model: mustModel("imm")})
+		if err != nil {
+			panic(err)
+		}
+		refD := time.Since(start)
+		ratio := "-"
+		if res.Executions > 0 {
+			ratio = fmt.Sprintf("%.1fx", float64(ref.Candidates)/float64(res.Executions))
+		}
+		t.AddRow(tc.name, res.Executions, ms(d), ref.Candidates, ref.Consistent, ms(refD), ratio)
+	}
+	t.Notes = append(t.Notes,
+		"enumeration guesses read values and filters rf×co candidates: its candidate set grows exponentially faster than the consistent set HMC visits directly")
+	return t
+}
+
+// T3OperationalComparison compares HMC against the operational store-buffer
+// explorer (the Nidhugg-style baseline) under TSO: consistent execution
+// graphs vs machine traces.
+func T3OperationalComparison(opts Options) *Table {
+	t := &Table{
+		ID:      "T3",
+		Title:   "HMC graphs vs operational traces (model: tso)",
+		Columns: []string{"program", "hmc execs", "hmc time", "machine traces", "machine time", "traces/exec"},
+	}
+	// Per-family caps keep the *trace* enumeration tractable — the very
+	// blowup the table demonstrates (graph counts stay tiny).
+	caps := []struct {
+		build func(int) *prog.Program
+		max   int
+	}{
+		{gen.SBN, 4},
+		{gen.MPN, 4},
+		{gen.TwoPlusTwoWN, 3},
+		{func(n int) *prog.Program { return gen.IncN(n, 1) }, 5},
+	}
+	var programs []*prog.Program
+	for _, c := range caps {
+		max := c.max
+		if opts.Quick && max > 3 {
+			max = 3
+		}
+		for n := 2; n <= max; n++ {
+			programs = append(programs, c.build(n))
+		}
+	}
+	for _, p := range programs {
+		res, d := explore(p, "tso")
+		start := time.Now()
+		op, err := operational.Explore(p, operational.Options{Level: operational.TSO})
+		if err != nil {
+			panic(err)
+		}
+		opD := time.Since(start)
+		t.AddRow(p.Name, res.Executions, ms(d), op.Traces, ms(opD),
+			fmt.Sprintf("%.1fx", float64(op.Traces)/float64(max1(res.Executions))))
+	}
+	t.Notes = append(t.Notes,
+		"the operational explorer enumerates interleavings and buffer-commit schedules; graphs abstract both, so the gap widens with thread count")
+	return t
+}
+
+func max1(n int) int {
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// T4Scaling produces the scaling figure's series: time and work vs n for
+// the three checkers on SB(n) and LB(n).
+func T4Scaling(opts Options) *Table {
+	t := &Table{
+		ID:      "T4",
+		Title:   "scaling with parameter n (series rows; model per family noted)",
+		Columns: []string{"family", "n", "hmc execs", "hmc time", "machine traces", "machine time", "enum candidates", "enum time"},
+	}
+	max := 5
+	machineMax := 4 // trace enumeration explodes beyond this
+	if opts.Quick {
+		max, machineMax = 3, 3
+	}
+	for n := 2; n <= max; n++ {
+		p := gen.SBN(n)
+		res, d := explore(p, "tso")
+		traces, opTime := "-", "-"
+		if n <= machineMax {
+			opStart := time.Now()
+			op, _ := operational.Explore(p, operational.Options{Level: operational.TSO})
+			traces, opTime = fmt.Sprint(op.Traces), ms(time.Since(opStart))
+		}
+		enumStart := time.Now()
+		en, _ := axenum.Explore(p, axenum.Options{Model: mustModel("tso")})
+		enD := time.Since(enumStart)
+		t.AddRow("SB/tso", n, res.Executions, ms(d), traces, opTime, en.Candidates, ms(enD))
+	}
+	for n := 2; n <= max; n++ {
+		p := gen.LBN(n)
+		res, d := explore(p, "imm")
+		enumStart := time.Now()
+		en, _ := axenum.Explore(p, axenum.Options{Model: mustModel("imm")})
+		enD := time.Since(enumStart)
+		t.AddRow("LB/imm", n, res.Executions, ms(d), "-", "-", en.Candidates, ms(enD))
+	}
+	t.Notes = append(t.Notes,
+		"LB(n) has no operational baseline: no store-buffer machine exhibits load buffering — the gap HMC exists to fill")
+	return t
+}
+
+// T5Ablation compares full dependency-aware revisits against the
+// porf-prefix-only ablation (GenMC-style) on the load-buffering family
+// under the hardware model: the ablation misses every po∪rf-cyclic
+// execution.
+func T5Ablation(opts Options) *Table {
+	t := &Table{
+		ID:      "T5",
+		Title:   "dependency-aware revisits vs porf-only ablation (model: imm)",
+		Columns: []string{"program", "full execs", "full weak?", "ablation execs", "ablation weak?", "missed"},
+	}
+	max := 5
+	if opts.Quick {
+		max = 3
+	}
+	var programs []*prog.Program
+	for n := 2; n <= max; n++ {
+		programs = append(programs, gen.LBN(n))
+	}
+	lbVariants := []string{"LB", "LB+data+po", "LB+datas"}
+	for _, name := range lbVariants {
+		if tc, ok := litmus.ByName(name); ok {
+			programs = append(programs, tc.P)
+		}
+	}
+	for _, p := range programs {
+		full, _ := core.Explore(p, core.Options{Model: mustModel("imm")})
+		abl, _ := core.Explore(p, core.Options{Model: mustModel("imm"), PorfOnlyRevisits: true})
+		t.AddRow(p.Name, full.Executions, full.ExistsCount > 0,
+			abl.Executions, abl.ExistsCount > 0, full.Executions-abl.Executions)
+	}
+	t.Notes = append(t.Notes,
+		"porf-only revisits delete every po-successor of the revisited read, so rf edges into the po-past — allowed by hardware models — are unreachable")
+	return t
+}
+
+// T6FenceMatrix shows how fences and dependencies repair the classic weak
+// behaviours across models — the programming-guidance table.
+func T6FenceMatrix(opts Options) *Table {
+	models := memmodel.Names()
+	t := &Table{
+		ID:      "T6",
+		Title:   "fence/dependency repair matrix (is the weak outcome observable?)",
+		Columns: append([]string{"test"}, models...),
+	}
+	names := []string{
+		"SB", "SB+ffs",
+		"MP", "MP+lw+ld", "MP+lw+addr", "MP+lw+ctrl",
+		"LB", "LB+datas", "LB+ctrls",
+		"2+2W", "2+2W+lws",
+		"IRIW", "IRIW+ffs", "IRIW+addrs",
+	}
+	for _, name := range names {
+		tc, ok := litmus.ByName(name)
+		if !ok {
+			continue
+		}
+		row := []any{name}
+		for _, model := range models {
+			res, _ := explore(tc.P, model)
+			row = append(row, map[bool]string{true: "yes", false: "no"}[res.ExistsCount > 0])
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// T7OptimalityStats reports the exploration statistics across the corpus
+// and generator families: executions, states, memo hits, revisits, blocked
+// runs — and, crucially, zero duplicates.
+func T7OptimalityStats(opts Options) *Table {
+	t := &Table{
+		ID:      "T7",
+		Title:   "exploration statistics (model: imm)",
+		Columns: []string{"program", "execs", "blocked", "states", "memo hits", "revisits", "repair fails", "duplicates"},
+	}
+	var programs []*prog.Program
+	for _, tc := range litmus.Corpus() {
+		programs = append(programs, tc.P)
+	}
+	max := 4
+	if opts.Quick {
+		max = 3
+	}
+	for n := 2; n <= max; n++ {
+		programs = append(programs, gen.SBN(n), gen.LBN(n), gen.IncN(n, 1), gen.CASContendN(n))
+	}
+	programs = append(programs, gen.SpinlockN(2, eg.FenceNone), gen.IndexerN(3))
+	totalDup := 0
+	for _, p := range programs {
+		res, err := core.Explore(p, core.Options{Model: mustModel("imm"), DedupSafeguard: true})
+		if err != nil {
+			panic(err)
+		}
+		totalDup += res.Duplicates
+		t.AddRow(p.Name, res.Executions, res.Blocked, res.States, res.MemoHits,
+			res.RevisitsTaken, res.RevisitsRepairFail, res.Duplicates)
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("total duplicate executions across all programs: %d (optimality)", totalDup))
+	return t
+}
+
+// T8Compilation contrasts language-level rel/acq annotations (respected
+// by rc11 only) with their hardware compilations (fences/dependencies):
+// the formal version of "atomics must be compiled to barriers". Each
+// annotated test is paired with the fence-based variant that implements
+// it on hardware.
+func T8Compilation(opts Options) *Table {
+	models := []string{"rc11", "tso", "pso", "arm", "imm"}
+	t := &Table{
+		ID:      "T8",
+		Title:   "rel/acq annotations vs their hardware compilations (weak outcome observable?)",
+		Columns: append([]string{"test"}, models...),
+	}
+	rows := []struct {
+		label string
+		name  string
+	}{
+		{"MP+rel+acq (annotation)", "MP+rel+acq"},
+		{"MP+lw+ld (compiled)", "MP+lw+ld"},
+		{"MP+lw+addr (compiled, dep)", "MP+lw+addr"},
+		{"MP plain (no ordering)", "MP"},
+		{"SB+scs (seq_cst annotation)", "SB+scs"},
+		{"SB+ffs (compiled)", "SB+ffs"},
+		{"SB+sc+rlx (one side annotated)", "SB+sc+rlx"},
+		{"IRIW+scs (seq_cst annotation)", "IRIW+scs"},
+		{"IRIW+ffs (compiled)", "IRIW+ffs"},
+		{"MP+rel-rmw+acq (release sequence)", "MP+rel-rmw+acq"},
+	}
+	for _, row := range rows {
+		tc, ok := litmus.ByName(row.name)
+		if !ok {
+			continue
+		}
+		cells := []any{row.label}
+		for _, model := range models {
+			res, _ := explore(tc.P, model)
+			cells = append(cells, map[bool]string{true: "yes", false: "no"}[res.ExistsCount > 0])
+		}
+		t.AddRow(cells...)
+	}
+	t.Notes = append(t.Notes,
+		"rc11 enforces the annotations; hardware models ignore them — the 'yes' cells in the annotation rows are exactly the reorderings a compiler must prevent with the fence rows' barriers")
+	return t
+}
+
+// T9Robustness reports, for realistic concurrent idioms, whether every
+// execution under each weak model is sequentially consistent — the
+// verdict practitioners actually want ("can I reason about this code as
+// if it ran under SC?"), with non-SC execution counts where not.
+func T9Robustness(opts Options) *Table {
+	models := []string{"tso", "pso", "arm", "imm"}
+	t := &Table{
+		ID:      "T9",
+		Title:   "robustness: is every execution sequentially consistent? (no = count of non-SC executions)",
+		Columns: append([]string{"program"}, models...),
+	}
+	programs := []*prog.Program{}
+	for _, name := range []string{"SB", "SB+ffs", "MP", "MP+lw+addr", "inc(2)"} {
+		if tc, ok := litmus.ByName(name); ok {
+			programs = append(programs, tc.P)
+		}
+	}
+	programs = append(programs,
+		gen.Peterson(eg.FenceNone), gen.Peterson(eg.FenceFull),
+		gen.SpinlockN(2, eg.FenceNone), gen.SpinlockN(2, eg.FenceFull),
+		gen.TreiberPushPop(eg.FenceNone), gen.TreiberPushPop(eg.FenceLW),
+		gen.CASContendN(3),
+	)
+	for _, p := range programs {
+		row := []any{p.Name}
+		for _, model := range models {
+			rep, err := core.CheckRobustness(p, mustModel(model))
+			if err != nil {
+				panic(err)
+			}
+			if rep.Robust {
+				row = append(row, "robust")
+			} else {
+				row = append(row, fmt.Sprintf("no (%d/%d)", rep.NonSC, rep.Executions))
+			}
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes,
+		"atomic RMW programs are naturally robust; fence-repaired protocols become robust exactly when the weak outcomes vanish")
+	return t
+}
+
+// T10Parallel measures parallel exploration: the same state space explored
+// with 1, 2, 4 and 8 workers. Subtrees fork onto free workers, the state
+// memo is shared, and the run asserts the execution count is identical at
+// every width — speedup without losing optimality.
+func T10Parallel(opts Options) *Table {
+	widths := []int{1, 2, 4, 8}
+	t := &Table{
+		ID:      "T10",
+		Title:   "parallel exploration: wall time by worker count (identical execution sets)",
+		Columns: []string{"program", "model", "execs", "t(1)", "t(2)", "t(4)", "t(8)", "speedup(8)"},
+	}
+	type job struct {
+		p     *prog.Program
+		model string
+	}
+	jobs := []job{
+		{gen.SBN(6), "tso"},
+		{gen.LBN(4), "imm"},
+		{gen.IncN(3, 2), "arm"},
+		{gen.Peterson(eg.FenceNone), "pso"},
+	}
+	if opts.Quick {
+		widths = []int{1, 4}
+		t.Columns = []string{"program", "model", "execs", "t(1)", "t(4)", "speedup(4)"}
+		jobs = []job{{gen.SBN(4), "tso"}, {gen.LBN(3), "imm"}}
+	}
+	for _, j := range jobs {
+		row := []any{j.p.Name, j.model}
+		var execs int
+		var base, last time.Duration
+		for i, w := range widths {
+			start := time.Now()
+			res, err := core.Explore(j.p, core.Options{Model: mustModel(j.model), Workers: w})
+			if err != nil {
+				panic(err)
+			}
+			d := time.Since(start)
+			if i == 0 {
+				execs = res.Executions
+				base = d
+				row = append(row, execs)
+			} else if res.Executions != execs {
+				panic(fmt.Sprintf("T10: %s/%s: %d workers found %d executions, 1 worker found %d",
+					j.p.Name, j.model, w, res.Executions, execs))
+			}
+			last = d
+			row = append(row, ms(d))
+		}
+		row = append(row, fmt.Sprintf("%.2fx", float64(base)/float64(last)))
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes,
+		"each width re-explores from scratch; execution counts are asserted equal across widths",
+		"speedup saturates where consistency checks are cheap relative to lock traffic on the shared state memo",
+		fmt.Sprintf("host: GOMAXPROCS=%d — speedup requires multicore; on a single-CPU host the table measures synchronization overhead instead (expect ≈1x)", runtime.GOMAXPROCS(0)))
+	return t
+}
+
+// T11Symmetry measures symmetry reduction on programs with identical
+// threads: executions collapse to orbits (up to n! for n interchangeable
+// threads) at the cost of extra key computations per state.
+func T11Symmetry(opts Options) *Table {
+	t := &Table{
+		ID:      "T11",
+		Title:   "symmetry reduction: executions vs orbits for identical-thread programs",
+		Columns: []string{"program", "model", "execs", "time", "orbits", "time(symm)", "reduction"},
+	}
+	type job struct {
+		p     *prog.Program
+		model string
+	}
+	jobs := []job{
+		{gen.IncN(3, 1), "sc"},
+		{gen.IncN(4, 1), "sc"},
+		{gen.IncN(3, 2), "sc"},
+		{gen.IncN(3, 1), "arm"},
+		{gen.IncN(2, 3), "tso"},
+	}
+	if !opts.Quick {
+		jobs = append(jobs, job{gen.IncN(5, 1), "sc"}, job{gen.IncN(4, 2), "tso"})
+	}
+	for _, j := range jobs {
+		full, d := exploreOpts(j.p, j.model, core.Options{})
+		sym, ds := exploreOpts(j.p, j.model, core.Options{Symmetry: true})
+		if sym.ExistsCount > 0 != (full.ExistsCount > 0) {
+			panic(fmt.Sprintf("T11: %s/%s: reduction changed the verdict", j.p.Name, j.model))
+		}
+		t.AddRow(j.p.Name, j.model, full.Executions, ms(d), sym.Executions, ms(ds),
+			fmt.Sprintf("%.1fx", float64(full.Executions)/float64(sym.Executions)))
+	}
+	t.Notes = append(t.Notes,
+		"inc(n,1) collapses n! RMW chain orders into a single orbit",
+		"verdicts (Exists observable?) are asserted identical with and without reduction")
+	return t
+}
+
+// T12Estimate calibrates the probe estimator against exhaustive counts in
+// its two regimes: tree-shaped spaces (MemoHits = 0 — store/load
+// workloads), where the Knuth estimator is unbiased and lands within a
+// few percent, and revisit-heavy spaces (RMW chains), where the
+// unmemoized probe tree over-counts by path multiplicity and the large
+// spread is the reliability signal.
+func T12Estimate(opts Options) *Table {
+	t := &Table{
+		ID:      "T12",
+		Title:   "probe estimator calibration: exact vs estimated execution counts",
+		Columns: []string{"program", "model", "exact", "memo hits", "estimate", "stderr", "regime"},
+	}
+	samples := 3000
+	if opts.Quick {
+		samples = 400
+	}
+	type job struct {
+		p     *prog.Program
+		model string
+	}
+	jobs := []job{
+		{gen.SBN(5), "tso"},
+		{gen.MPN(4), "tso"},
+		{gen.CoRRN(3), "tso"},
+		{gen.TwoPlusTwoWN(3), "tso"},
+		{gen.LBN(4), "imm"},
+		{gen.IncN(3, 2), "tso"},
+	}
+	for _, j := range jobs {
+		exact, _ := exploreOpts(j.p, j.model, core.Options{})
+		est, err := core.Estimate(j.p, core.Options{Model: mustModel(j.model)}, samples, 1)
+		if err != nil {
+			panic(err)
+		}
+		regime := "tree-shaped: unbiased"
+		if exact.MemoHits > 0 {
+			regime = "revisit-heavy: upper bound"
+		} else if diff := est.Mean - float64(exact.Executions); diff > float64(exact.Executions)/10 || -diff > float64(exact.Executions)/10 {
+			panic(fmt.Sprintf("T12: %s/%s: tree-shaped estimate %.1f deviates >10%% from exact %d",
+				j.p.Name, j.model, est.Mean, exact.Executions))
+		}
+		t.AddRow(j.p.Name, j.model, exact.Executions, exact.MemoHits,
+			fmt.Sprintf("%.1f", est.Mean), fmt.Sprintf("%.1f", est.StdErr), regime)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%d probes per program, fixed seed; tree-shaped rows are asserted within 10%% of exact", samples),
+		"revisit-heavy rows over-count by the unmemoized path multiplicity — safe as a 'too big to check?' upper bound, and the stderr ≈ mean spread is the tell")
+	return t
+}
+
+// exploreOpts explores with extra options, timing the run.
+func exploreOpts(p *prog.Program, model string, opts core.Options) (*core.Result, time.Duration) {
+	opts.Model = mustModel(model)
+	start := time.Now()
+	res, err := core.Explore(p, opts)
+	if err != nil {
+		panic(err)
+	}
+	return res, time.Since(start)
+}

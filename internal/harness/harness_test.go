@@ -1,0 +1,130 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{
+		ID:      "TX",
+		Title:   "demo",
+		Columns: []string{"name", "count"},
+		Notes:   []string{"a note"},
+	}
+	tb.AddRow("alpha", 12)
+	tb.AddRow("b", 3)
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"TX — demo", "name", "alpha", "12", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := &Table{Columns: []string{"a", "b"}}
+	tb.AddRow("x,y", `he said "hi"`)
+	var buf bytes.Buffer
+	if err := tb.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	want := "a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("T99", Options{}); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+}
+
+// TestAllExperimentsQuick smoke-runs every experiment in quick mode and
+// checks experiment-specific invariants.
+func TestAllExperimentsQuick(t *testing.T) {
+	for _, id := range Experiments() {
+		tb, err := Run(id, Options{Quick: true})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tb.Rows) == 0 {
+			t.Errorf("%s: empty table", id)
+		}
+		var buf bytes.Buffer
+		if err := tb.Render(&buf); err != nil {
+			t.Errorf("%s: render: %v", id, err)
+		}
+		switch id {
+		case "T1":
+			if !strings.Contains(strings.Join(tb.Notes, " "), "0 verdict mismatches") {
+				t.Errorf("T1 reports mismatches: %v", tb.Notes)
+			}
+			for _, row := range tb.Rows {
+				for _, cell := range row {
+					if strings.Contains(cell, "(!)") {
+						t.Errorf("T1 verdict mismatch in row %v", row)
+					}
+				}
+			}
+		case "T7":
+			if !strings.Contains(strings.Join(tb.Notes, " "), "duplicate executions across all programs: 0") {
+				t.Errorf("T7 found duplicates: %v", tb.Notes)
+			}
+		case "T8":
+			// The annotation row must be forbidden under rc11 and
+			// observable under imm.
+			for _, row := range tb.Rows {
+				if strings.HasPrefix(row[0], "MP+rel+acq") {
+					if row[1] != "no" || row[len(row)-1] != "yes" {
+						t.Errorf("T8 compilation row wrong: %v", row)
+					}
+				}
+			}
+		case "T9":
+			for _, row := range tb.Rows {
+				switch row[0] {
+				case "inc(2)", "peterson+full", "SB+ffs":
+					for _, cell := range row[1:] {
+						if cell != "robust" {
+							t.Errorf("T9: %s must be robust everywhere: %v", row[0], row)
+						}
+					}
+				case "SB+pos":
+					for _, cell := range row[1:] {
+						if cell == "robust" {
+							t.Errorf("T9: SB must not be robust: %v", row)
+						}
+					}
+				}
+			}
+		case "T11":
+			for _, row := range tb.Rows {
+				if strings.HasSuffix(row[0], ",1)") && row[4] != "1" {
+					t.Errorf("T11: %s must collapse to a single orbit: %v", row[0], row)
+				}
+			}
+		case "T5":
+			// The ablation must miss at least one execution on LB(2).
+			missedAny := false
+			for _, row := range tb.Rows {
+				if row[len(row)-1] != "0" {
+					missedAny = true
+				}
+				if row[0] == "LB(2)" && row[4] != "false" {
+					t.Errorf("ablation observed the LB weak outcome: %v", row)
+				}
+			}
+			if !missedAny {
+				t.Error("ablation missed nothing — the T5 claim is empty")
+			}
+		}
+	}
+}

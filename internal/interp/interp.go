@@ -1,0 +1,535 @@
+// Package interp deterministically replays program threads against an
+// execution graph. This is the front end of the HMC algorithm: the graph
+// fully determines each thread's behaviour (reads take their values from
+// their rf edges), so replaying a thread either consumes events already in
+// the graph or stops at the thread's *next* action — the event the explorer
+// should consider adding, together with its syntactic dependency sets.
+//
+// Dependency tracking is taint-based: every register carries the set of
+// same-thread load events its value was derived from; address/data
+// dependencies of an access are the taints of its operand expressions, and
+// control dependencies are the accumulated taints of all branch conditions
+// evaluated on the path so far (accumulation is the standard conservative
+// treatment: a control dependency never disappears at a join).
+//
+// The package offers two replay modes:
+//
+//   - Next: normal exploration. Consumed events must match the program
+//     exactly; a mismatch panics, because it means the explorer broke its
+//     own invariants.
+//   - Repair: after a backward revisit rebinds a read, downstream values
+//     may be stale. Repair re-replays a thread, patching written values
+//     (and flipping CAS success/failure, with the coherence adjustment
+//     that entails). It reports structural divergence — a different
+//     instruction path, location, or dependency set — as non-repairable,
+//     which causes the explorer to abandon the revisit. Keeping repair
+//     value-only is what makes exploration constructive: values can never
+//     appear out of thin air.
+package interp
+
+import (
+	"fmt"
+	"sort"
+
+	"hmc/internal/eg"
+	"hmc/internal/prog"
+)
+
+// ActionKind classifies the next action of a thread.
+type ActionKind uint8
+
+const (
+	ActLoad    ActionKind = iota // add a read event
+	ActStore                     // add a write event
+	ActCAS                       // add an update (success) or read (failure)
+	ActFAdd                      // add an update writing read+Val
+	ActXchg                      // add an update writing Val
+	ActFence                     // add a fence event
+	ActDone                      // thread finished
+	ActBlocked                   // assume failed or step bound exceeded
+	ActError                     // assertion failed
+)
+
+func (k ActionKind) String() string {
+	switch k {
+	case ActLoad:
+		return "load"
+	case ActStore:
+		return "store"
+	case ActCAS:
+		return "cas"
+	case ActFAdd:
+		return "fadd"
+	case ActXchg:
+		return "xchg"
+	case ActFence:
+		return "fence"
+	case ActDone:
+		return "done"
+	case ActBlocked:
+		return "blocked"
+	case ActError:
+		return "error"
+	}
+	return fmt.Sprintf("ActionKind(%d)", uint8(k))
+}
+
+// IsRMW reports whether the action produces a potential update event.
+func (k ActionKind) IsRMW() bool { return k == ActCAS || k == ActFAdd || k == ActXchg }
+
+// Action is a thread's next step, as determined by replay.
+type Action struct {
+	Kind  ActionKind
+	Loc   eg.Loc
+	Val   int64 // store value; xchg value; fadd addend
+	Old   int64 // CAS expected value
+	New   int64 // CAS replacement value
+	Fence eg.FenceKind
+	Mode  eg.Mode // C11-style order annotation (rc11 model)
+	Msg   string  // error/blocked description
+
+	// Dependency sets for the event to be added.
+	Addr []eg.EvID
+	Data []eg.EvID
+	Ctrl []eg.EvID
+
+	// Regs is the thread's register file at this point (final values when
+	// Kind == ActDone).
+	Regs []int64
+}
+
+// MakeEvent materializes the event this action adds at id, given the value
+// the event would read (readVal; ignored for non-reads). For ActCAS the
+// event is an update when readVal equals the expected value and a plain
+// read otherwise.
+func (a Action) MakeEvent(id eg.EvID, readVal int64) eg.Event {
+	ev := eg.Event{ID: id, Loc: a.Loc, Addr: a.Addr, Data: a.Data, Ctrl: a.Ctrl, Mode: a.Mode}
+	ev.Excl = a.Kind.IsRMW()
+	switch a.Kind {
+	case ActLoad:
+		ev.Kind = eg.KRead
+	case ActStore:
+		ev.Kind = eg.KWrite
+		ev.Val = a.Val
+	case ActCAS:
+		if readVal == a.Old {
+			ev.Kind = eg.KUpdate
+			ev.Val = a.New
+		} else {
+			ev.Kind = eg.KRead
+		}
+	case ActFAdd:
+		ev.Kind = eg.KUpdate
+		ev.Val = readVal + a.Val
+	case ActXchg:
+		ev.Kind = eg.KUpdate
+		ev.Val = a.Val
+	case ActFence:
+		ev.Kind = eg.KFence
+		ev.Fence = a.Fence
+	default:
+		panic("interp: MakeEvent on non-event action " + a.Kind.String())
+	}
+	return ev
+}
+
+// Reads reports whether the action's event reads memory.
+func (a Action) Reads() bool { return a.Kind == ActLoad || a.Kind.IsRMW() }
+
+// DefaultMaxSteps bounds replay of a single thread (loop unrolling bound).
+const DefaultMaxSteps = 4096
+
+// Next replays thread t of p against g and returns its next action.
+// maxSteps bounds the number of interpreted instructions (≤ 0 means
+// DefaultMaxSteps); exceeding it yields ActBlocked, which makes
+// verification of looping programs bounded but sound for the explored
+// prefix.
+func Next(p *prog.Program, g *eg.Graph, t int, maxSteps int) Action {
+	a, _, ok := replay(p, g, t, maxSteps, false)
+	if !ok {
+		panic("interp: unreachable: strict replay reported divergence")
+	}
+	return a
+}
+
+// Repair re-replays thread t, patching stale written values and CAS kinds
+// left behind by a revisit. It returns whether anything was patched and
+// whether the thread replays to a structurally identical event sequence.
+func Repair(p *prog.Program, g *eg.Graph, t int, maxSteps int) (changed, ok bool) {
+	_, changed, ok = replay(p, g, t, maxSteps, true)
+	return changed, ok
+}
+
+// replay is the single interpreter loop behind Next and Repair.
+func replay(p *prog.Program, g *eg.Graph, t int, maxSteps int, repair bool) (act Action, changed, ok bool) {
+	if maxSteps <= 0 {
+		maxSteps = DefaultMaxSteps
+	}
+	code := p.Threads[t]
+	regs := make([]int64, p.NumRegs[t])
+	taints := make([][]eg.EvID, p.NumRegs[t])
+	var ctrl []eg.EvID
+	consumed := 0
+	steps := 0
+	pc := 0
+
+	// diverge reports a replay/graph mismatch: fatal in strict mode,
+	// a repair failure otherwise.
+	diverge := func(format string, args ...any) (Action, bool, bool) {
+		if !repair {
+			panic(fmt.Sprintf("interp: replay mismatch in thread %d: %s (explorer invariant broken)",
+				t, fmt.Sprintf(format, args...)))
+		}
+		return Action{}, changed, false
+	}
+	// leftover reports whether graph events remain unconsumed at a point
+	// where the thread stops executing — fine in strict mode only if the
+	// stop is an action the explorer sees; never fine during repair.
+	leftover := func() bool { return consumed < g.ThreadLen(t) }
+
+	evalT := func(e *prog.Expr) (int64, []eg.EvID) {
+		var taint []eg.EvID
+		v := e.Eval(regs, func(r prog.Reg) {
+			taint = unionIDs(taint, taints[r])
+		})
+		return v, taint
+	}
+
+	nextEvent := func() (eg.Event, bool) {
+		if consumed < g.ThreadLen(t) {
+			return g.Event(eg.EvID{T: t, I: consumed}), true
+		}
+		return eg.Event{}, false
+	}
+
+	for {
+		if steps >= maxSteps {
+			if repair && leftover() {
+				return diverge("step bound hit with %d events left", g.ThreadLen(t)-consumed)
+			}
+			return Action{Kind: ActBlocked, Msg: "step bound exceeded", Regs: regs}, changed, true
+		}
+		steps++
+		if pc >= len(code) {
+			if leftover() {
+				return diverge("thread finished with %d events left", g.ThreadLen(t)-consumed)
+			}
+			return Action{Kind: ActDone, Regs: regs}, changed, true
+		}
+		in := code[pc]
+		pc++
+		switch in.Op {
+		case prog.IMov:
+			v, taint := evalT(in.Val)
+			regs[in.Dst] = v
+			taints[in.Dst] = taint
+
+		case prog.ILoad:
+			av, at := evalT(in.Addr)
+			loc, err := locOf(p, av)
+			if err != nil {
+				if repair && leftover() {
+					return diverge("%v", err)
+				}
+				return Action{Kind: ActError, Msg: err.Error(), Regs: regs}, changed, true
+			}
+			if ev, present := nextEvent(); present {
+				if ev.Kind != eg.KRead || ev.Loc != loc || ev.Mode != in.Mode {
+					return diverge("program load of x%d vs graph %v", loc, ev)
+				}
+				if repair && !sameDeps(ev, at, nil, ctrl) {
+					return diverge("dependency sets changed at %v", ev.ID)
+				}
+				v, haveRF := g.ReadValue(ev.ID)
+				if !haveRF {
+					return diverge("read %v has no rf", ev.ID)
+				}
+				regs[in.Dst] = v
+				taints[in.Dst] = []eg.EvID{ev.ID}
+				consumed++
+				continue
+			}
+			return Action{Kind: ActLoad, Loc: loc, Mode: in.Mode, Addr: at, Ctrl: cloneIDs(ctrl), Regs: regs}, changed, true
+
+		case prog.IStore:
+			av, at := evalT(in.Addr)
+			vv, vt := evalT(in.Val)
+			loc, err := locOf(p, av)
+			if err != nil {
+				if repair && leftover() {
+					return diverge("%v", err)
+				}
+				return Action{Kind: ActError, Msg: err.Error(), Regs: regs}, changed, true
+			}
+			if ev, present := nextEvent(); present {
+				if ev.Kind != eg.KWrite || ev.Loc != loc {
+					return diverge("program store to x%d vs graph %v", loc, ev)
+				}
+				if repair && !sameDeps(ev, at, vt, ctrl) {
+					return diverge("dependency sets changed at %v", ev.ID)
+				}
+				if ev.Val != vv {
+					if !repair {
+						return diverge("graph W x%d=%d, program writes %d", ev.Loc, ev.Val, vv)
+					}
+					g.SetEventVal(ev.ID, vv)
+					changed = true
+				}
+				consumed++
+				continue
+			}
+			return Action{Kind: ActStore, Loc: loc, Val: vv, Mode: in.Mode, Addr: at, Data: vt, Ctrl: cloneIDs(ctrl), Regs: regs}, changed, true
+
+		case prog.ICAS, prog.IFAdd, prog.IXchg:
+			av, at := evalT(in.Addr)
+			loc, err := locOf(p, av)
+			if err != nil {
+				if repair && leftover() {
+					return diverge("%v", err)
+				}
+				return Action{Kind: ActError, Msg: err.Error(), Regs: regs}, changed, true
+			}
+			var a Action
+			switch in.Op {
+			case prog.ICAS:
+				ov, ot := evalT(in.Old)
+				nv, nt := evalT(in.New)
+				a = Action{Kind: ActCAS, Loc: loc, Old: ov, New: nv, Mode: in.Mode, Data: unionIDs(ot, nt)}
+			case prog.IFAdd:
+				dv, dt := evalT(in.Val)
+				a = Action{Kind: ActFAdd, Loc: loc, Val: dv, Mode: in.Mode, Data: dt}
+			case prog.IXchg:
+				vv, vt := evalT(in.Val)
+				a = Action{Kind: ActXchg, Loc: loc, Val: vv, Mode: in.Mode, Data: vt}
+			}
+			if ev, present := nextEvent(); present {
+				if (ev.Kind != eg.KUpdate && ev.Kind != eg.KRead) || ev.Loc != loc {
+					return diverge("program rmw on x%d vs graph %v", loc, ev)
+				}
+				if in.Op != prog.ICAS && ev.Kind != eg.KUpdate {
+					return diverge("unconditional rmw %v became a read", ev.ID)
+				}
+				if repair && !sameDeps(ev, at, a.Data, ctrl) {
+					return diverge("dependency sets changed at %v", ev.ID)
+				}
+				readVal, haveRF := g.ReadValue(ev.ID)
+				if !haveRF {
+					return diverge("rmw %v has no rf", ev.ID)
+				}
+				// Reconcile the event's kind and written value with the
+				// (possibly rebound) value read.
+				wantKind, wantVal := rmwOutcome(a, readVal)
+				if ev.Kind != wantKind {
+					if !repair {
+						return diverge("CAS %v kind %v, want %v for read value %d", ev.ID, ev.Kind, wantKind, readVal)
+					}
+					src, _ := g.RF(ev.ID)
+					if wantKind == eg.KUpdate {
+						g.SetEventKind(ev.ID, eg.KUpdate)
+						g.SetEventVal(ev.ID, wantVal)
+						g.CoInsert(loc, g.CoIndex(loc, src)+1, ev.ID)
+					} else {
+						// Demote to a plain read. Readers of the vanishing
+						// write inherit its rf source: they were coherence-
+						// adjacent through it, and dropping the update from
+						// co splices them onto that source. Their values are
+						// repaired on subsequent passes.
+						for _, rd := range g.ReadersOf(ev.ID) {
+							g.SetRF(rd, src)
+						}
+						g.CoRemove(loc, ev.ID)
+						g.SetEventKind(ev.ID, eg.KRead)
+					}
+					changed = true
+				} else if wantKind == eg.KUpdate && ev.Val != wantVal {
+					if !repair {
+						return diverge("graph U x%d=%d, program writes %d", ev.Loc, ev.Val, wantVal)
+					}
+					g.SetEventVal(ev.ID, wantVal)
+					changed = true
+				}
+				regs[in.Dst] = readVal
+				taints[in.Dst] = []eg.EvID{ev.ID}
+				if in.Op == prog.ICAS && in.Succ >= 0 {
+					regs[in.Succ] = b2i(wantKind == eg.KUpdate)
+					taints[in.Succ] = []eg.EvID{ev.ID}
+				}
+				consumed++
+				continue
+			}
+			a.Addr = at
+			a.Ctrl = cloneIDs(ctrl)
+			a.Regs = regs
+			return a, changed, true
+
+		case prog.IFence:
+			if ev, present := nextEvent(); present {
+				if ev.Kind != eg.KFence || ev.Fence != in.Fence {
+					return diverge("program fence.%v vs graph %v", in.Fence, ev)
+				}
+				consumed++
+				continue
+			}
+			return Action{Kind: ActFence, Fence: in.Fence, Ctrl: cloneIDs(ctrl), Regs: regs}, changed, true
+
+		case prog.IBranch:
+			v, taint := evalT(in.Cond)
+			ctrl = unionIDs(ctrl, taint)
+			if v != 0 {
+				pc = in.Target
+			}
+
+		case prog.IJmp:
+			pc = in.Target
+
+		case prog.IAssume:
+			v, taint := evalT(in.Cond)
+			ctrl = unionIDs(ctrl, taint)
+			if v == 0 {
+				if repair && leftover() {
+					return diverge("assume failed with %d events left", g.ThreadLen(t)-consumed)
+				}
+				return Action{Kind: ActBlocked, Msg: "assume failed", Regs: regs}, changed, true
+			}
+
+		case prog.IAssert:
+			v, _ := evalT(in.Cond)
+			if v == 0 {
+				msg := in.Msg
+				if msg == "" {
+					msg = "assertion failed"
+				}
+				if repair && leftover() {
+					return diverge("assertion failed with %d events left", g.ThreadLen(t)-consumed)
+				}
+				return Action{Kind: ActError, Msg: msg, Regs: regs}, changed, true
+			}
+
+		default:
+			panic(fmt.Sprintf("interp: bad instruction op %d", in.Op))
+		}
+	}
+}
+
+// rmwOutcome computes the event kind and written value an RMW action
+// produces for a given read value.
+func rmwOutcome(a Action, readVal int64) (eg.Kind, int64) {
+	switch a.Kind {
+	case ActCAS:
+		if readVal == a.Old {
+			return eg.KUpdate, a.New
+		}
+		return eg.KRead, 0
+	case ActFAdd:
+		return eg.KUpdate, readVal + a.Val
+	case ActXchg:
+		return eg.KUpdate, a.Val
+	}
+	panic("interp: rmwOutcome on non-rmw action")
+}
+
+// RepairAll re-replays every thread until values stabilise. It returns
+// false if any thread diverges structurally or the propagation fails to
+// converge (a genuine value cycle — out-of-thin-air — which constructive
+// exploration rejects).
+func RepairAll(p *prog.Program, g *eg.Graph, maxSteps int) bool {
+	limit := g.NumEvents() + 2
+	for pass := 0; pass < limit; pass++ {
+		anyChange := false
+		for t := range p.Threads {
+			changed, ok := Repair(p, g, t, maxSteps)
+			if !ok {
+				return false
+			}
+			anyChange = anyChange || changed
+		}
+		if !anyChange {
+			return true
+		}
+	}
+	return false
+}
+
+func locOf(p *prog.Program, v int64) (eg.Loc, error) {
+	if v < 0 || v >= int64(p.NumLocs) {
+		return 0, fmt.Errorf("address %d out of range [0,%d)", v, p.NumLocs)
+	}
+	return eg.Loc(v), nil
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// sameDeps compares an event's recorded dependency sets against freshly
+// computed taints.
+func sameDeps(ev eg.Event, addr, data, ctrl []eg.EvID) bool {
+	return equalIDs(ev.Addr, addr) && equalIDs(ev.Data, data) && equalIDs(ev.Ctrl, ctrl)
+}
+
+func equalIDs(a, b []eg.EvID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// cloneIDs returns a copy of ids (actions must not alias the interpreter's
+// evolving ctrl set).
+func cloneIDs(ids []eg.EvID) []eg.EvID {
+	if len(ids) == 0 {
+		return nil
+	}
+	return append([]eg.EvID(nil), ids...)
+}
+
+// unionIDs returns the sorted union of two EvID sets.
+func unionIDs(a, b []eg.EvID) []eg.EvID {
+	if len(b) == 0 {
+		return a
+	}
+	out := append(cloneIDs(a), b...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].T != out[j].T {
+			return out[i].T < out[j].T
+		}
+		return out[i].I < out[j].I
+	})
+	k := 0
+	for i, id := range out {
+		if i == 0 || id != out[k-1] {
+			out[k] = id
+			k++
+		}
+	}
+	return out[:k]
+}
+
+// FinalState assembles the observable final state of a complete execution:
+// coherence-maximal values per location plus each thread's final registers.
+// It must only be called when every thread's Next is ActDone.
+func FinalState(p *prog.Program, g *eg.Graph, maxSteps int) prog.FinalState {
+	fs := prog.FinalState{
+		Mem:  make([]int64, p.NumLocs),
+		Regs: make([][]int64, len(p.Threads)),
+	}
+	for l := 0; l < p.NumLocs; l++ {
+		fs.Mem[l] = g.ValueOf(g.CoMax(eg.Loc(l)))
+	}
+	for t := range p.Threads {
+		a := Next(p, g, t, maxSteps)
+		if a.Kind != ActDone {
+			panic(fmt.Sprintf("interp: FinalState on incomplete execution (thread %d is %v)", t, a.Kind))
+		}
+		fs.Regs[t] = a.Regs
+	}
+	return fs
+}

@@ -1,0 +1,521 @@
+// Package litmus provides the classic litmus-test corpus with per-model
+// expected verdicts. The corpus plays two roles: it pins the behaviour of
+// the axiomatic models in internal/memmodel (the role the published model
+// tables play for the real HMC), and it is the workload of experiments T1,
+// T2 and T6.
+package litmus
+
+import (
+	"fmt"
+
+	"hmc/internal/eg"
+	"hmc/internal/prog"
+)
+
+// Test is one litmus test: a program with an Exists clause (the "weak
+// outcome"), the expected verdict per model, and — where hand-computed —
+// the expected number of consistent executions per model.
+type Test struct {
+	Name string
+	P    *prog.Program
+	// Allowed maps model name → whether the Exists outcome is observable.
+	Allowed map[string]bool
+	// Executions maps model name → expected count of consistent complete
+	// executions (entries present only where hand-verified).
+	Executions map[string]int
+}
+
+// dep helpers: value-preserving expressions that carry a syntactic
+// dependency on register r.
+
+// dataDep returns an expression equal to e but data-dependent on r.
+func dataDep(r prog.Reg, e *prog.Expr) *prog.Expr {
+	return prog.Add(prog.Mul(prog.R(r), prog.Const(0)), e)
+}
+
+// addrOf returns an address expression for loc that is address-dependent
+// on r (the classic xor/multiply-by-zero idiom).
+func addrOf(r prog.Reg, loc eg.Loc) *prog.Expr {
+	return prog.Add(prog.Mul(prog.R(r), prog.Const(0)), prog.Const(int64(loc)))
+}
+
+// ctrlDep emits a branch on r that falls through either way, creating a
+// control dependency for everything po-later.
+func ctrlDep(t *prog.ThreadBuilder, r prog.Reg) {
+	t.Branch(prog.Ne(prog.R(r), prog.Const(-1)), t.Here()+1)
+}
+
+// fenceName renders a fence kind for test names.
+func fenceName(k eg.FenceKind) string {
+	switch k {
+	case eg.FenceFull:
+		return "ff"
+	case eg.FenceLW:
+		return "lw"
+	case eg.FenceLD:
+		return "ld"
+	}
+	return "po"
+}
+
+// ---- Store buffering -----------------------------------------------------
+
+// SB builds the store-buffering test, optionally with a fence between each
+// thread's write and read.
+func SB(fence eg.FenceKind) *prog.Program {
+	b := prog.NewBuilder("SB+" + fenceName(fence) + "s")
+	x, y := b.Loc("x"), b.Loc("y")
+	t0 := b.Thread()
+	t0.Store(x, prog.Const(1))
+	if fence != eg.FenceNone {
+		t0.Fence(fence)
+	}
+	r0 := t0.Load(y)
+	t1 := b.Thread()
+	t1.Store(y, prog.Const(1))
+	if fence != eg.FenceNone {
+		t1.Fence(fence)
+	}
+	r1 := t1.Load(x)
+	b.Exists("r0=0 && r1=0", func(fs prog.FinalState) bool {
+		return fs.Reg(0, r0) == 0 && fs.Reg(1, r1) == 0
+	})
+	return b.MustBuild()
+}
+
+// ---- Message passing -----------------------------------------------------
+
+// MPDep selects the reader-side ordering mechanism for MP.
+type MPDep int
+
+const (
+	MPNone MPDep = iota
+	MPAddr       // address dependency between the reads
+	MPCtrl       // control dependency (does not order R→R on hardware)
+)
+
+// MP builds message passing: writer stores data then flag (with optional
+// fence between), reader loads flag then data (with optional fence or
+// dependency between).
+func MP(writerFence, readerFence eg.FenceKind, dep MPDep) *prog.Program {
+	name := fmt.Sprintf("MP+%s+%s", fenceName(writerFence), fenceName(readerFence))
+	switch dep {
+	case MPAddr:
+		name = fmt.Sprintf("MP+%s+addr", fenceName(writerFence))
+	case MPCtrl:
+		name = fmt.Sprintf("MP+%s+ctrl", fenceName(writerFence))
+	}
+	b := prog.NewBuilder(name)
+	x, y := b.Loc("x"), b.Loc("y")
+	t0 := b.Thread()
+	t0.Store(x, prog.Const(1))
+	if writerFence != eg.FenceNone {
+		t0.Fence(writerFence)
+	}
+	t0.Store(y, prog.Const(1))
+	t1 := b.Thread()
+	ry := t1.Load(y)
+	var rx prog.Reg
+	switch dep {
+	case MPAddr:
+		rx = t1.LoadAt(addrOf(ry, x))
+	case MPCtrl:
+		ctrlDep(t1, ry)
+		rx = t1.Load(x)
+	default:
+		if readerFence != eg.FenceNone {
+			t1.Fence(readerFence)
+		}
+		rx = t1.Load(x)
+	}
+	b.Exists("ry=1 && rx=0", func(fs prog.FinalState) bool {
+		return fs.Reg(1, ry) == 1 && fs.Reg(1, rx) == 0
+	})
+	return b.MustBuild()
+}
+
+// ---- Load buffering --------------------------------------------------------
+
+// LBDep selects the thread-local ordering mechanism for LB.
+type LBDep int
+
+const (
+	LBNone LBDep = iota
+	LBData       // data dependency from each read into the following write
+	LBCtrl       // control dependency
+	LBOne        // data dependency on one side only
+)
+
+// LB builds load buffering: each thread reads one location then writes the
+// other; the weak outcome is both reads observing 1.
+func LB(dep LBDep) *prog.Program {
+	name := map[LBDep]string{LBNone: "LB", LBData: "LB+datas", LBCtrl: "LB+ctrls", LBOne: "LB+data+po"}[dep]
+	b := prog.NewBuilder(name)
+	x, y := b.Loc("x"), b.Loc("y")
+
+	side := func(t *prog.ThreadBuilder, from, to eg.Loc, withDep bool) prog.Reg {
+		r := t.Load(from)
+		val := prog.Const(1)
+		switch {
+		case withDep && dep == LBCtrl:
+			ctrlDep(t, r)
+		case withDep:
+			val = dataDep(r, val)
+		}
+		t.Store(to, val)
+		return r
+	}
+	t0 := b.Thread()
+	r0 := side(t0, x, y, dep != LBNone)
+	t1 := b.Thread()
+	r1 := side(t1, y, x, dep == LBData || dep == LBCtrl)
+	b.Exists("r0=1 && r1=1", func(fs prog.FinalState) bool {
+		return fs.Reg(0, r0) == 1 && fs.Reg(1, r1) == 1
+	})
+	return b.MustBuild()
+}
+
+// LBVal builds load buffering with *genuine* value copies: each thread
+// stores the value it read. The "both 1" outcome is out of thin air.
+func LBVal() *prog.Program {
+	b := prog.NewBuilder("LB+valdeps")
+	x, y := b.Loc("x"), b.Loc("y")
+	t0 := b.Thread()
+	r0 := t0.Load(x)
+	t0.Store(y, prog.R(r0))
+	t1 := b.Thread()
+	r1 := t1.Load(y)
+	t1.Store(x, prog.R(r1))
+	b.Exists("r0=1 && r1=1", func(fs prog.FinalState) bool {
+		return fs.Reg(0, r0) == 1 && fs.Reg(1, r1) == 1
+	})
+	return b.MustBuild()
+}
+
+// ---- 2+2W ----------------------------------------------------------------
+
+// TwoPlusTwoW builds the 2+2W test: each thread writes both locations in
+// opposite orders; the weak outcome is each location retaining the *first*
+// write of a thread (x=1 ∧ y=1).
+func TwoPlusTwoW(fence eg.FenceKind) *prog.Program {
+	b := prog.NewBuilder("2+2W+" + fenceName(fence) + "s")
+	x, y := b.Loc("x"), b.Loc("y")
+	t0 := b.Thread()
+	t0.Store(x, prog.Const(1))
+	if fence != eg.FenceNone {
+		t0.Fence(fence)
+	}
+	t0.Store(y, prog.Const(2))
+	t1 := b.Thread()
+	t1.Store(y, prog.Const(1))
+	if fence != eg.FenceNone {
+		t1.Fence(fence)
+	}
+	t1.Store(x, prog.Const(2))
+	b.Exists("x=1 && y=1", func(fs prog.FinalState) bool {
+		return fs.Mem[x] == 1 && fs.Mem[y] == 1
+	})
+	return b.MustBuild()
+}
+
+// ---- IRIW ------------------------------------------------------------------
+
+// IRIW builds independent-reads-of-independent-writes with optional fences
+// or address dependencies between each reader's loads.
+func IRIW(fence eg.FenceKind, addrDeps bool) *prog.Program {
+	name := "IRIW+" + fenceName(fence) + "s"
+	if addrDeps {
+		name = "IRIW+addrs"
+	}
+	b := prog.NewBuilder(name)
+	x, y := b.Loc("x"), b.Loc("y")
+	t0 := b.Thread()
+	t0.Store(x, prog.Const(1))
+	t1 := b.Thread()
+	t1.Store(y, prog.Const(1))
+	reader := func(first, second eg.Loc) (prog.Reg, prog.Reg) {
+		t := b.Thread()
+		a := t.Load(first)
+		var c prog.Reg
+		if addrDeps {
+			c = t.LoadAt(addrOf(a, second))
+		} else {
+			if fence != eg.FenceNone {
+				t.Fence(fence)
+			}
+			c = t.Load(second)
+		}
+		return a, c
+	}
+	r2x, r2y := reader(x, y)
+	r3y, r3x := reader(y, x)
+	b.Exists("r2=(1,0) && r3=(1,0)", func(fs prog.FinalState) bool {
+		return fs.Reg(2, r2x) == 1 && fs.Reg(2, r2y) == 0 &&
+			fs.Reg(3, r3y) == 1 && fs.Reg(3, r3x) == 0
+	})
+	return b.MustBuild()
+}
+
+// ---- WRC, S, R -------------------------------------------------------------
+
+// WRC builds write-to-read causality: T0 writes x; T1 reads x and writes y;
+// T2 reads y then x. With deps: data dep into T1's write, addr dep between
+// T2's reads.
+func WRC(deps bool) *prog.Program {
+	name := "WRC"
+	if deps {
+		name = "WRC+data+addr"
+	}
+	b := prog.NewBuilder(name)
+	x, y := b.Loc("x"), b.Loc("y")
+	t0 := b.Thread()
+	t0.Store(x, prog.Const(1))
+	t1 := b.Thread()
+	rx := t1.Load(x)
+	val := prog.Const(1)
+	if deps {
+		val = dataDep(rx, val)
+	}
+	t1.Store(y, val)
+	t2 := b.Thread()
+	ry := t2.Load(y)
+	var rx2 prog.Reg
+	if deps {
+		rx2 = t2.LoadAt(addrOf(ry, x))
+	} else {
+		rx2 = t2.Load(x)
+	}
+	b.Exists("t1.rx=1 && t2.ry=1 && t2.rx=0", func(fs prog.FinalState) bool {
+		return fs.Reg(1, rx) == 1 && fs.Reg(2, ry) == 1 && fs.Reg(2, rx2) == 0
+	})
+	return b.MustBuild()
+}
+
+// S builds the S test: T0 writes x=2 then (fence) y=1; T1 reads y and
+// (data-dependent) writes x=1. Weak outcome: y read 1 yet x finally 2
+// (T1's write coherence-before T0's).
+func S(fence eg.FenceKind, dep bool) *prog.Program {
+	name := "S+" + fenceName(fence) + "+po"
+	if dep {
+		name = "S+" + fenceName(fence) + "+data"
+	}
+	b := prog.NewBuilder(name)
+	x, y := b.Loc("x"), b.Loc("y")
+	t0 := b.Thread()
+	t0.Store(x, prog.Const(2))
+	if fence != eg.FenceNone {
+		t0.Fence(fence)
+	}
+	t0.Store(y, prog.Const(1))
+	t1 := b.Thread()
+	ry := t1.Load(y)
+	val := prog.Const(1)
+	if dep {
+		val = dataDep(ry, val)
+	}
+	t1.Store(x, val)
+	b.Exists("ry=1 && x=2", func(fs prog.FinalState) bool {
+		return fs.Reg(1, ry) == 1 && fs.Mem[x] == 2
+	})
+	return b.MustBuild()
+}
+
+// R builds the R test: T0 writes x then y; T1 writes y then reads x. Weak
+// outcome: T1's write coherence-after T0's y-write, yet T1 reads x=0.
+func R(fence eg.FenceKind) *prog.Program {
+	b := prog.NewBuilder("R+" + fenceName(fence) + "s")
+	x, y := b.Loc("x"), b.Loc("y")
+	t0 := b.Thread()
+	t0.Store(x, prog.Const(1))
+	if fence != eg.FenceNone {
+		t0.Fence(fence)
+	}
+	t0.Store(y, prog.Const(1))
+	t1 := b.Thread()
+	t1.Store(y, prog.Const(2))
+	if fence != eg.FenceNone {
+		t1.Fence(fence)
+	}
+	rx := t1.Load(x)
+	b.Exists("y=2 && rx=0", func(fs prog.FinalState) bool {
+		return fs.Mem[y] == 2 && fs.Reg(1, rx) == 0
+	})
+	return b.MustBuild()
+}
+
+// ISA2 chains message passing through three threads: T0 publishes x then
+// (fence) y; T1 reads y and (data-dependent) writes z; T2 reads z and
+// (addr-dependent) reads x. With the fence and both dependencies the
+// stale read of x is forbidden on every hardware model (B-cumulativity of
+// the fence); without them it is allowed.
+func ISA2(fence eg.FenceKind, deps bool) *prog.Program {
+	name := "ISA2"
+	if fence != eg.FenceNone || deps {
+		name = fmt.Sprintf("ISA2+%s+%s", fenceName(fence), map[bool]string{true: "data+addr", false: "po+po"}[deps])
+	}
+	b := prog.NewBuilder(name)
+	x, y, z := b.Loc("x"), b.Loc("y"), b.Loc("z")
+	t0 := b.Thread()
+	t0.Store(x, prog.Const(1))
+	if fence != eg.FenceNone {
+		t0.Fence(fence)
+	}
+	t0.Store(y, prog.Const(1))
+	t1 := b.Thread()
+	ry := t1.Load(y)
+	val := prog.Const(1)
+	if deps {
+		val = dataDep(ry, val)
+	}
+	t1.Store(z, val)
+	t2 := b.Thread()
+	rz := t2.Load(z)
+	var rx prog.Reg
+	if deps {
+		rx = t2.LoadAt(addrOf(rz, x))
+	} else {
+		rx = t2.Load(x)
+	}
+	b.Exists("ry=1 && rz=1 && rx=0", func(fs prog.FinalState) bool {
+		return fs.Reg(1, ry) == 1 && fs.Reg(2, rz) == 1 && fs.Reg(2, rx) == 0
+	})
+	return b.MustBuild()
+}
+
+// RWC is read-to-write causality: T0 writes x; T1 reads x then (fence)
+// reads y; T2 writes y then (fence) reads x. The weak outcome chains an
+// observed write with two stale reads.
+func RWC(fence eg.FenceKind) *prog.Program {
+	b := prog.NewBuilder("RWC+" + fenceName(fence) + "s")
+	x, y := b.Loc("x"), b.Loc("y")
+	t0 := b.Thread()
+	t0.Store(x, prog.Const(1))
+	t1 := b.Thread()
+	rx := t1.Load(x)
+	if fence != eg.FenceNone {
+		t1.Fence(fence)
+	}
+	ry := t1.Load(y)
+	t2 := b.Thread()
+	t2.Store(y, prog.Const(1))
+	if fence != eg.FenceNone {
+		t2.Fence(fence)
+	}
+	rx2 := t2.Load(x)
+	b.Exists("t1 sees x not y; t2 sees neither", func(fs prog.FinalState) bool {
+		return fs.Reg(1, rx) == 1 && fs.Reg(1, ry) == 0 && fs.Reg(2, rx2) == 0
+	})
+	return b.MustBuild()
+}
+
+// CoWR checks write-read coherence on one thread: after writing x := 1,
+// the same thread must not read an older (init) value even if another
+// thread writes concurrently.
+func CoWR() *prog.Program {
+	b := prog.NewBuilder("CoWR")
+	x := b.Loc("x")
+	t0 := b.Thread()
+	t0.Store(x, prog.Const(1))
+	r := t0.Load(x)
+	t1 := b.Thread()
+	t1.Store(x, prog.Const(2))
+	b.Exists("own write overtaken by init", func(fs prog.FinalState) bool {
+		return fs.Reg(0, r) == 0
+	})
+	return b.MustBuild()
+}
+
+// ---- Coherence and RMW -----------------------------------------------------
+
+// CoRR builds the coherence read-read test: one writer, one reader reading
+// twice; the weak (forbidden everywhere) outcome is new-then-old.
+func CoRR() *prog.Program {
+	b := prog.NewBuilder("CoRR")
+	x := b.Loc("x")
+	t0 := b.Thread()
+	t0.Store(x, prog.Const(1))
+	t1 := b.Thread()
+	r1 := t1.Load(x)
+	r2 := t1.Load(x)
+	b.Exists("r1=1 && r2=0", func(fs prog.FinalState) bool {
+		return fs.Reg(1, r1) == 1 && fs.Reg(1, r2) == 0
+	})
+	return b.MustBuild()
+}
+
+// CoWW checks write-write coherence: a thread's two same-location writes
+// must hit coherence in program order — the older value can never be the
+// final one.
+func CoWW() *prog.Program {
+	b := prog.NewBuilder("CoWW")
+	x := b.Loc("x")
+	t0 := b.Thread()
+	t0.Store(x, prog.Const(1))
+	t0.Store(x, prog.Const(2))
+	b.Exists("final x = 1 (po-earlier write co-last)", func(fs prog.FinalState) bool {
+		return fs.Mem[x] == 1
+	})
+	return b.MustBuild()
+}
+
+// CoRW1 checks read-write coherence within one thread: a read must not
+// observe the same thread's po-later write.
+func CoRW1() *prog.Program {
+	b := prog.NewBuilder("CoRW1")
+	x := b.Loc("x")
+	t0 := b.Thread()
+	r := t0.Load(x)
+	t0.Store(x, prog.Const(1))
+	b.Exists("r = 1 (read from own future write)", func(fs prog.FinalState) bool {
+		return fs.Reg(0, r) == 1
+	})
+	return b.MustBuild()
+}
+
+// CoRW2 checks read-write coherence across threads: if a read observes
+// another thread's write, the reader's own po-later write must be
+// coherence-after it (the observed write cannot also be final).
+func CoRW2() *prog.Program {
+	b := prog.NewBuilder("CoRW2")
+	x := b.Loc("x")
+	t0 := b.Thread()
+	r := t0.Load(x)
+	t0.Store(x, prog.Const(1))
+	t1 := b.Thread()
+	t1.Store(x, prog.Const(2))
+	b.Exists("r = 2 && final x = 2", func(fs prog.FinalState) bool {
+		return fs.Reg(0, r) == 2 && fs.Mem[x] == 2
+	})
+	return b.MustBuild()
+}
+
+// Inc builds n threads each atomically incrementing a counter; the Exists
+// clause asks whether the final count can be *less* than n (lost update —
+// forbidden by atomicity under every model).
+func Inc(n int) *prog.Program {
+	b := prog.NewBuilder(fmt.Sprintf("inc(%d)", n))
+	x := b.Loc("x")
+	for i := 0; i < n; i++ {
+		t := b.Thread()
+		t.FAdd(x, prog.Const(1))
+	}
+	b.Exists(fmt.Sprintf("x < %d", n), func(fs prog.FinalState) bool {
+		return fs.Mem[x] < int64(n)
+	})
+	return b.MustBuild()
+}
+
+// CASAgree builds two threads CASing x from 0 to their ID; the weak
+// outcome is both succeeding (forbidden by atomicity).
+func CASAgree() *prog.Program {
+	b := prog.NewBuilder("cas-agree")
+	x := b.Loc("x")
+	t0 := b.Thread()
+	_, s0 := t0.CAS(x, prog.Const(0), prog.Const(1))
+	t1 := b.Thread()
+	_, s1 := t1.CAS(x, prog.Const(0), prog.Const(2))
+	b.Exists("both CAS succeed", func(fs prog.FinalState) bool {
+		return fs.Reg(0, s0) == 1 && fs.Reg(1, s1) == 1
+	})
+	return b.MustBuild()
+}

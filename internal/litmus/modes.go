@@ -1,0 +1,148 @@
+package litmus
+
+import (
+	"hmc/internal/eg"
+	"hmc/internal/prog"
+)
+
+// This file adds mode-annotated (C11-style) litmus tests for the rc11
+// model — and documents the compilation story: rel/acq annotations mean
+// nothing to the hardware models (they order via fences and dependencies
+// only), which is exactly why compilers must map rel/acq onto fences.
+
+// MPModes builds message passing with the given write mode on the flag
+// store and read mode on the flag load.
+func MPModes(wmode, rmode eg.Mode) *prog.Program {
+	b := prog.NewBuilder("MP+" + wmode.String() + "+" + rmode.String())
+	x, y := b.Loc("x"), b.Loc("y")
+	t0 := b.Thread()
+	t0.Store(x, prog.Const(1))
+	t0.StoreM(y, prog.Const(1), wmode)
+	t1 := b.Thread()
+	ry := t1.LoadM(y, rmode)
+	rx := t1.Load(x)
+	b.Exists("ry=1 && rx=0", func(fs prog.FinalState) bool {
+		return fs.Reg(1, ry) == 1 && fs.Reg(1, rx) == 0
+	})
+	return b.MustBuild()
+}
+
+// SBSC builds store buffering with seq_cst accesses throughout.
+func SBSC() *prog.Program {
+	b := prog.NewBuilder("SB+scs")
+	x, y := b.Loc("x"), b.Loc("y")
+	t0 := b.Thread()
+	t0.StoreM(x, prog.Const(1), eg.ModeSC)
+	r0 := t0.LoadM(y, eg.ModeSC)
+	t1 := b.Thread()
+	t1.StoreM(y, prog.Const(1), eg.ModeSC)
+	r1 := t1.LoadM(x, eg.ModeSC)
+	b.Exists("r0=0 && r1=0", func(fs prog.FinalState) bool {
+		return fs.Reg(0, r0) == 0 && fs.Reg(1, r1) == 0
+	})
+	return b.MustBuild()
+}
+
+// MPRelAcqRMW builds message passing where the flag is raised by a
+// release fetch-add and consumed by an acquire read through a relaxed
+// RMW chain — exercising rc11 release sequences.
+func MPRelAcqRMW() *prog.Program {
+	b := prog.NewBuilder("MP+rel-rmw+acq")
+	x, y := b.Loc("x"), b.Loc("y")
+	t0 := b.Thread()
+	t0.Store(x, prog.Const(1))
+	t0.FAddM(y, prog.Const(1), eg.ModeRel) // release head of the sequence
+	t1 := b.Thread()
+	t1.FAddM(y, prog.Const(1), eg.ModeRlx) // relaxed link in the chain
+	t2 := b.Thread()
+	ry := t2.LoadM(y, eg.ModeAcq)
+	rx := t2.Load(x)
+	b.Exists("ry=2 && rx=0", func(fs prog.FinalState) bool {
+		return fs.Reg(2, ry) == 2 && fs.Reg(2, rx) == 0
+	})
+	return b.MustBuild()
+}
+
+// IRIWSC builds independent-reads-independent-writes with every access
+// seq_cst: the canonical psc test. C11 guarantees a total order over SC
+// accesses, so the two readers cannot disagree on the write order — while
+// the same program with the annotations stripped is observable on
+// non-MCA hardware.
+func IRIWSC() *prog.Program {
+	b := prog.NewBuilder("IRIW+scs")
+	x, y := b.Loc("x"), b.Loc("y")
+	t0 := b.Thread()
+	t0.StoreM(x, prog.Const(1), eg.ModeSC)
+	t1 := b.Thread()
+	t1.StoreM(y, prog.Const(1), eg.ModeSC)
+	t2 := b.Thread()
+	rx := t2.LoadM(x, eg.ModeSC)
+	ry := t2.LoadM(y, eg.ModeSC)
+	t3 := b.Thread()
+	ry2 := t3.LoadM(y, eg.ModeSC)
+	rx2 := t3.LoadM(x, eg.ModeSC)
+	b.Exists("readers disagree on the write order", func(fs prog.FinalState) bool {
+		return fs.Reg(2, rx) == 1 && fs.Reg(2, ry) == 0 &&
+			fs.Reg(3, ry2) == 1 && fs.Reg(3, rx2) == 0
+	})
+	return b.MustBuild()
+}
+
+// SBSCRlx builds store buffering with one thread seq_cst and the other
+// relaxed: rc11's psc axiom only orders SC-annotated events, so a single
+// annotated thread buys nothing — the weak outcome stays observable.
+func SBSCRlx() *prog.Program {
+	b := prog.NewBuilder("SB+sc+rlx")
+	x, y := b.Loc("x"), b.Loc("y")
+	t0 := b.Thread()
+	t0.StoreM(x, prog.Const(1), eg.ModeSC)
+	r0 := t0.LoadM(y, eg.ModeSC)
+	t1 := b.Thread()
+	t1.StoreM(y, prog.Const(1), eg.ModeRlx)
+	r1 := t1.LoadM(x, eg.ModeRlx)
+	b.Exists("r0=0 && r1=0", func(fs prog.FinalState) bool {
+		return fs.Reg(0, r0) == 0 && fs.Reg(1, r1) == 0
+	})
+	return b.MustBuild()
+}
+
+// modeTests returns the mode-annotated corpus entries. Hardware models
+// ignore the annotations, so the weak outcomes stay observable there —
+// the formal witness that rel/acq must be *compiled* to fences.
+func modeTests() []Test {
+	return []Test{
+		{Name: "MP+rel+acq", P: MPModes(eg.ModeRel, eg.ModeAcq),
+			Allowed: map[string]bool{
+				"sc": false, "ra": false, "rc11": false, // synchronised
+				"pso": true, "arm": true, "imm": true, // annotations mean nothing in hardware
+				"relaxed": true,
+			}},
+		{Name: "MP+rel+rlx", P: MPModes(eg.ModeRel, eg.ModeRlx),
+			// No acquire on the reader: no synchronises-with edge.
+			Allowed: map[string]bool{"rc11": true, "ra": false, "sc": false}},
+		{Name: "MP+rlx+acq", P: MPModes(eg.ModeRlx, eg.ModeAcq),
+			Allowed: map[string]bool{"rc11": true, "ra": false, "sc": false}},
+		{Name: "SB+scs", P: SBSC(),
+			Allowed: map[string]bool{
+				"sc": false, "rc11": false, // seq_cst restores SB
+				"tso": true, "arm": true, "imm": true, // hardware ignores modes
+			}},
+		{Name: "MP+rel-rmw+acq", P: MPRelAcqRMW(),
+			// The acquire read synchronises through the whole release
+			// sequence, including the relaxed RMW link.
+			Allowed: map[string]bool{"rc11": false, "sc": false, "relaxed": true, "imm": true}},
+		{Name: "IRIW+scs", P: IRIWSC(),
+			Allowed: map[string]bool{
+				"sc": false, "rc11": false, // psc totally orders the SC accesses
+				// Hardware ignores the annotations, so the plain-IRIW
+				// verdicts apply: forbidden on tso (no R-R reorder, MCA),
+				// observable on arm/imm/ra/relaxed.
+				"tso": false, "arm": true, "imm": true,
+				"relaxed": true, "ra": true,
+			}},
+		{Name: "SB+sc+rlx", P: SBSCRlx(),
+			// psc only constrains SC-annotated events: annotating one
+			// thread buys nothing.
+			Allowed: map[string]bool{"sc": false, "rc11": true, "tso": true, "relaxed": true}},
+	}
+}

@@ -1,0 +1,317 @@
+package litmus
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"hmc/internal/eg"
+	"hmc/internal/prog"
+)
+
+// Parse reads a litmus test in the repository's plain-text format:
+//
+//	# store buffering with fences
+//	name SB+ff
+//	T0: W x 1 ; F full ; r0 = R y
+//	T1: W y 1 ; F full ; r1 = R x
+//	exists T0:r0=0 & T1:r1=0
+//
+// Grammar (line-oriented; '#' starts a comment):
+//
+//	name <string>                     optional test name
+//	T<n>: <instr> [; <instr>]...      thread n's instructions (appendable
+//	                                  across several lines)
+//	exists <atom> [& <atom>]...       the weak-outcome predicate
+//
+// Instructions:
+//
+//	W <loc> <val>                     store
+//	<reg> = R <loc>                   load
+//	F full|lw|ld                      fence
+//	<reg> = CAS <loc> <old> <new>     compare-and-swap (reg gets the value
+//	                                  read; "<reg>,<flag> = CAS ..." also
+//	                                  binds the 0/1 success flag)
+//	<reg> = FADD <loc> <delta>        atomic fetch-add
+//	<reg> = XCHG <loc> <val>          atomic exchange
+//	<reg> = AWAIT <loc> <val>         spin until the location holds val
+//	                                  (load + assume; executions where the
+//	                                  value never shows up count as
+//	                                  blocked, and -live classifies them)
+//
+// Memory-order suffixes for the rc11 model attach with a dot: "W.rel",
+// "R.acq", "CAS.acqrel", "W.sc", "R.rlx", … (hardware models ignore them).
+//
+// Atoms: "T<n>:<reg>=<val>" (a thread's final register) or "<loc>=<val>"
+// (a location's final value). Locations and registers are interned on
+// first use.
+func Parse(src string) (*prog.Program, error) {
+	p := &parser{
+		b:    prog.NewBuilder("litmus"),
+		regs: map[int]map[string]prog.Reg{},
+	}
+	for i, raw := range strings.Split(src, "\n") {
+		line := raw
+		if j := strings.IndexByte(line, '#'); j >= 0 {
+			line = line[:j]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if err := p.line(line); err != nil {
+			return nil, fmt.Errorf("line %d: %w", i+1, err)
+		}
+	}
+	if len(p.threads) == 0 {
+		return nil, fmt.Errorf("litmus: no threads defined")
+	}
+	if p.exists != nil {
+		atoms := p.exists
+		desc := p.existsDesc
+		p.b.Exists(desc, func(fs prog.FinalState) bool {
+			for _, a := range atoms {
+				if !a(fs) {
+					return false
+				}
+			}
+			return true
+		})
+	}
+	return p.b.Build()
+}
+
+type parser struct {
+	b          *prog.Builder
+	threads    []*prog.ThreadBuilder
+	regs       map[int]map[string]prog.Reg
+	exists     []func(prog.FinalState) bool
+	existsDesc string
+}
+
+func (p *parser) thread(n int) (*prog.ThreadBuilder, error) {
+	if n != len(p.threads) && n >= len(p.threads) {
+		return nil, fmt.Errorf("thread T%d declared out of order (next is T%d)", n, len(p.threads))
+	}
+	if n == len(p.threads) {
+		p.threads = append(p.threads, p.b.Thread())
+		p.regs[n] = map[string]prog.Reg{}
+	}
+	return p.threads[n], nil
+}
+
+func (p *parser) reg(t int, name string, define bool) (prog.Reg, error) {
+	if r, ok := p.regs[t][name]; ok {
+		return r, nil
+	}
+	if !define {
+		return 0, fmt.Errorf("unknown register %q in T%d", name, t)
+	}
+	r := p.threads[t].NewReg()
+	p.regs[t][name] = r
+	return r, nil
+}
+
+func (p *parser) line(line string) error {
+	switch {
+	case strings.HasPrefix(line, "name "):
+		// Recorded via the builder-produced program below.
+		p.b.SetName(strings.TrimSpace(strings.TrimPrefix(line, "name ")))
+		return nil
+	case strings.HasPrefix(line, "exists "):
+		return p.parseExists(strings.TrimPrefix(line, "exists "))
+	case strings.HasPrefix(line, "T"):
+		colon := strings.IndexByte(line, ':')
+		if colon < 0 {
+			return fmt.Errorf("expected 'T<n>:' prefix")
+		}
+		n, err := strconv.Atoi(line[1:colon])
+		if err != nil {
+			return fmt.Errorf("bad thread id %q", line[:colon])
+		}
+		t, err := p.thread(n)
+		if err != nil {
+			return err
+		}
+		for _, stmt := range strings.Split(line[colon+1:], ";") {
+			stmt = strings.TrimSpace(stmt)
+			if stmt == "" {
+				continue
+			}
+			if err := p.instr(n, t, stmt); err != nil {
+				return fmt.Errorf("%q: %w", stmt, err)
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("unrecognised line %q", line)
+}
+
+func (p *parser) instr(n int, t *prog.ThreadBuilder, stmt string) error {
+	if eq := strings.Index(stmt, "="); eq >= 0 && !strings.HasPrefix(strings.TrimSpace(stmt[eq+1:]), "=") {
+		dsts := strings.Split(strings.TrimSpace(stmt[:eq]), ",")
+		return p.assignment(n, t, dsts, strings.TrimSpace(stmt[eq+1:]))
+	}
+	fields := strings.Fields(stmt)
+	switch {
+	case len(fields) == 3 && strings.HasPrefix(fields[0], "W"):
+		mode, err := parseMode(fields[0], "W")
+		if err != nil {
+			return err
+		}
+		val, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad store value %q", fields[2])
+		}
+		t.StoreM(p.b.Loc(fields[1]), prog.Const(val), mode)
+		return nil
+	case len(fields) == 2 && fields[0] == "F":
+		kind, ok := map[string]eg.FenceKind{
+			"full": eg.FenceFull, "lw": eg.FenceLW, "ld": eg.FenceLD,
+		}[fields[1]]
+		if !ok {
+			return fmt.Errorf("bad fence kind %q (want full/lw/ld)", fields[1])
+		}
+		t.Fence(kind)
+		return nil
+	}
+	return fmt.Errorf("unrecognised instruction")
+}
+
+func (p *parser) assignment(n int, t *prog.ThreadBuilder, dsts []string, rhs string) error {
+	fields := strings.Fields(rhs)
+	if len(fields) == 0 {
+		return fmt.Errorf("empty right-hand side")
+	}
+	bind := func(name string, r prog.Reg) {
+		p.regs[n][strings.TrimSpace(name)] = r
+	}
+	num := func(s string) (int64, error) {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad integer %q", s)
+		}
+		return v, nil
+	}
+	op := fields[0]
+	var mode eg.Mode
+	if dot := strings.IndexByte(op, '.'); dot >= 0 {
+		var err error
+		if mode, err = parseMode(op, op[:dot]); err != nil {
+			return err
+		}
+		op = op[:dot]
+	}
+	switch op {
+	case "R":
+		if len(fields) != 2 || len(dsts) != 1 {
+			return fmt.Errorf("want '<reg> = R <loc>'")
+		}
+		bind(dsts[0], t.LoadM(p.b.Loc(fields[1]), mode))
+		return nil
+	case "AWAIT":
+		if len(fields) != 3 || len(dsts) != 1 {
+			return fmt.Errorf("want '<reg> = AWAIT <loc> <val>'")
+		}
+		val, err := num(fields[2])
+		if err != nil {
+			return err
+		}
+		r := t.LoadM(p.b.Loc(fields[1]), mode)
+		t.Assume(prog.Eq(prog.R(r), prog.Const(val)))
+		bind(dsts[0], r)
+		return nil
+	case "CAS":
+		if len(fields) != 4 || len(dsts) < 1 || len(dsts) > 2 {
+			return fmt.Errorf("want '<reg>[,<flag>] = CAS <loc> <old> <new>'")
+		}
+		old, err := num(fields[2])
+		if err != nil {
+			return err
+		}
+		repl, err := num(fields[3])
+		if err != nil {
+			return err
+		}
+		v, s := t.CASM(p.b.Loc(fields[1]), prog.Const(old), prog.Const(repl), mode)
+		bind(dsts[0], v)
+		if len(dsts) == 2 {
+			bind(dsts[1], s)
+		}
+		return nil
+	case "FADD", "XCHG":
+		fields[0] = op // mode suffix stripped above
+		if len(fields) != 3 || len(dsts) != 1 {
+			return fmt.Errorf("want '<reg> = %s <loc> <val>'", fields[0])
+		}
+		v, err := num(fields[2])
+		if err != nil {
+			return err
+		}
+		var r prog.Reg
+		if op == "FADD" {
+			r = t.FAddM(p.b.Loc(fields[1]), prog.Const(v), mode)
+		} else {
+			r = t.XchgM(p.b.Loc(fields[1]), prog.Const(v), mode)
+		}
+		bind(dsts[0], r)
+		return nil
+	}
+	return fmt.Errorf("unrecognised operation %q", fields[0])
+}
+
+// parseMode extracts a ".order" suffix from an op token.
+func parseMode(tok, op string) (eg.Mode, error) {
+	rest := strings.TrimPrefix(tok, op)
+	if rest == "" {
+		return eg.ModePlain, nil
+	}
+	if !strings.HasPrefix(rest, ".") {
+		return 0, fmt.Errorf("unrecognised instruction %q", tok)
+	}
+	m, ok := map[string]eg.Mode{
+		"rlx": eg.ModeRlx, "acq": eg.ModeAcq, "rel": eg.ModeRel,
+		"acqrel": eg.ModeAcqRel, "sc": eg.ModeSC,
+	}[rest[1:]]
+	if !ok {
+		return 0, fmt.Errorf("bad memory order %q (want rlx/acq/rel/acqrel/sc)", rest[1:])
+	}
+	return m, nil
+}
+
+func (p *parser) parseExists(expr string) error {
+	p.existsDesc = strings.TrimSpace(expr)
+	for _, atom := range strings.Split(expr, "&") {
+		atom = strings.TrimSpace(atom)
+		eq := strings.IndexByte(atom, '=')
+		if eq < 0 {
+			return fmt.Errorf("bad atom %q (want lhs=val)", atom)
+		}
+		lhs := strings.TrimSpace(atom[:eq])
+		val, err := strconv.ParseInt(strings.TrimSpace(atom[eq+1:]), 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad atom value in %q", atom)
+		}
+		if strings.HasPrefix(lhs, "T") && strings.Contains(lhs, ":") {
+			colon := strings.IndexByte(lhs, ':')
+			tn, err := strconv.Atoi(lhs[1:colon])
+			if err != nil || tn < 0 || tn >= len(p.threads) {
+				return fmt.Errorf("bad thread in atom %q", atom)
+			}
+			r, err := p.reg(tn, lhs[colon+1:], false)
+			if err != nil {
+				return err
+			}
+			thread := tn
+			p.exists = append(p.exists, func(fs prog.FinalState) bool {
+				return fs.Reg(thread, r) == val
+			})
+		} else {
+			loc := p.b.Loc(lhs)
+			p.exists = append(p.exists, func(fs prog.FinalState) bool {
+				return fs.Mem[loc] == val
+			})
+		}
+	}
+	return nil
+}

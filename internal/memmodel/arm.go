@@ -1,0 +1,68 @@
+package memmodel
+
+import (
+	"hmc/internal/eg"
+	"hmc/internal/relation"
+)
+
+// ARM is "ARMv8-lite": a dependency-aware, *multi-copy-atomic* hardware
+// model in the style of the revised ARMv8 axiomatic model (Pulte et al.,
+// POPL'18). Where IMM-lite is POWER-flavoured (writes may become visible
+// to different observers at different times), ARMv8 guarantees that all
+// other observers see writes in a single order: the *ordered-before*
+// relation threads external communication (rfe, coe, fre) directly
+// through the thread-local preserved order, and must be acyclic.
+//
+// Axioms (beyond shared coherence and atomicity):
+//
+//	dob := addr ∪ data ∪ ctrl∩(→W), extended through store-to-load
+//	       forwarding ([R];(deps ∪ rfi)⁺ as in IMM-lite)
+//	bob := po;[Ffull];po                          (DMB SY)
+//	     ∪ po;[Flw];po ∩ (W×W)                    (DMB ST)
+//	     ∪ [R];po;[Fld];po                        (DMB LD)
+//	ob  := dob ∪ bob ∪ rfe ∪ coe ∪ fre            must be acyclic
+//
+// Consequences, all pinned by the litmus corpus: SB/MP/LB/2+2W behave as
+// on IMM-lite, but IRIW (and WRC) become forbidden as soon as the readers
+// are ordered by *anything* — an address dependency suffices — because
+// fre and coe participate in ob (multi-copy atomicity). On IMM-lite the
+// same tests stay allowed (POWER's non-MCA behaviour).
+type ARM struct{}
+
+// Name implements Model.
+func (ARM) Name() string { return "arm" }
+
+// Consistent implements Model.
+func (ARM) Consistent(v *eg.View) bool {
+	if !baseConsistent(v) {
+		return false
+	}
+	return armOB(v).Acyclic()
+}
+
+// armOB computes the ordered-before relation.
+func armOB(v *eg.View) *relation.Rel {
+	ob := immPPO(v) // [R];(deps ∪ rfi)⁺ — same dependency skeleton as IMM-lite
+	ob.UnionWith(immBob(v))
+	ob.UnionWith(v.Rfe())
+	// External coherence and from-read: the multi-copy-atomic ingredients.
+	ext := func(r *relation.Rel) *relation.Rel {
+		return v.Restrict(r, nil, nil).Minus(sameThread(v, r))
+	}
+	ob.UnionWith(ext(v.Co()))
+	ob.UnionWith(ext(v.Fr()))
+	return ob
+}
+
+// sameThread returns the pairs of r whose endpoints share a thread
+// (init events count as external to every thread).
+func sameThread(v *eg.View, r *relation.Rel) *relation.Rel {
+	out := v.Empty()
+	r.Pairs(func(a, b int) {
+		ea, eb := v.Events[a], v.Events[b]
+		if !ea.ID.IsInit() && !eb.ID.IsInit() && ea.ID.T == eb.ID.T {
+			out.Add(a, b)
+		}
+	})
+	return out
+}

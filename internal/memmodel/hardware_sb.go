@@ -1,0 +1,130 @@
+package memmodel
+
+import (
+	"hmc/internal/eg"
+	"hmc/internal/relation"
+)
+
+// This file defines the store-buffer family: SC, x86-TSO and PSO, all of
+// the form coherence ∧ atomicity ∧ acyclic(ghb) where ghb = ppo ∪ rfe ∪
+// co ∪ fr and ppo is program order with the model's buffered pairs
+// removed (and restored across fences and atomic updates, which drain the
+// buffer).
+
+// SC is sequential consistency: acyclic(po ∪ rf ∪ co ∪ fr).
+type SC struct{}
+
+// Name implements Model.
+func (SC) Name() string { return "sc" }
+
+// Consistent implements Model.
+func (SC) Consistent(v *eg.View) bool {
+	if !baseConsistent(v) {
+		return false
+	}
+	ghb := v.Po().Union(v.Rf()).UnionWith(v.Co()).UnionWith(v.Fr())
+	return ghb.Acyclic()
+}
+
+// TSO is x86-TSO/SPARC-TSO: stores may be delayed past later loads of
+// other locations (W→R relaxed); full fences and atomic updates drain the
+// store buffer; loads may forward from the local buffer (rfi excluded from
+// the global-happens-before check).
+type TSO struct{}
+
+// Name implements Model.
+func (TSO) Name() string { return "tso" }
+
+// Consistent implements Model.
+func (TSO) Consistent(v *eg.View) bool {
+	if !baseConsistent(v) {
+		return false
+	}
+	ppo := storeBufferPPO(v, false)
+	ghb := ppo.UnionWith(v.Rfe()).UnionWith(v.Co()).UnionWith(v.Fr())
+	return ghb.Acyclic()
+}
+
+// PSO additionally relaxes W→W (per-location store buffers): stores to
+// different locations may commit out of order. lw fences restore W→W;
+// full fences and updates restore everything.
+type PSO struct{}
+
+// Name implements Model.
+func (PSO) Name() string { return "pso" }
+
+// Consistent implements Model.
+func (PSO) Consistent(v *eg.View) bool {
+	if !baseConsistent(v) {
+		return false
+	}
+	ppo := storeBufferPPO(v, true)
+	ghb := ppo.UnionWith(v.Rfe()).UnionWith(v.Co()).UnionWith(v.Fr())
+	return ghb.Acyclic()
+}
+
+// storeBufferPPO computes preserved program order for the store-buffer
+// models. Starting from po it removes W→R pairs (and, when relaxWW is
+// set, W→W pairs to different locations), then restores pairs separated
+// by a sufficient fence or an atomic update:
+//
+//   - full fences and updates restore both W→R and W→W;
+//   - lw fences restore W→W only.
+//
+// Updates count as both reads and writes and are never buffered
+// (x86 locked instructions and SPARC atomics are fencing).
+func storeBufferPPO(v *eg.View, relaxWW bool) *relation.Rel {
+	po := v.Po()
+	ppo := po.Clone()
+
+	isPlainWrite := func(e eg.Event) bool { return e.Kind == eg.KWrite }
+	isPlainRead := func(e eg.Event) bool { return e.Kind == eg.KRead && !e.Excl }
+
+	// Separators: a full fence or an update restores all order; an lw
+	// fence restores store-store order.
+	sepFull := make([]bool, v.N)
+	sepWW := make([]bool, v.N)
+	for i, e := range v.Events {
+		if e.Kind == eg.KUpdate || (e.Kind == eg.KRead && e.Excl) ||
+			(e.Kind == eg.KFence && e.Fence == eg.FenceFull) {
+			sepFull[i] = true
+			sepWW[i] = true
+		}
+		if e.Kind == eg.KFence && e.Fence == eg.FenceLW {
+			sepWW[i] = true
+		}
+	}
+	separated := func(a, b int, sep []bool) bool {
+		for m := 0; m < v.N; m++ {
+			if sep[m] && po.Has(a, m) && po.Has(m, b) {
+				return true
+			}
+		}
+		return false
+	}
+
+	po.Pairs(func(a, b int) {
+		ea, eb := v.Events[a], v.Events[b]
+		// Fences are not global-order nodes themselves: they only restore
+		// access pairs around them. Leaving fence-incident po edges in ghb
+		// would smuggle W→R order through the fence node.
+		if ea.Kind == eg.KFence || eb.Kind == eg.KFence {
+			ppo.Remove(a, b)
+			return
+		}
+		if ea.ID.IsInit() {
+			return // init writes are globally visible from the start
+		}
+		switch {
+		case isPlainWrite(ea) && isPlainRead(eb):
+			if !separated(a, b, sepFull) {
+				ppo.Remove(a, b)
+			}
+		case relaxWW && isPlainWrite(ea) && eb.Kind == eg.KWrite && ea.Loc != eb.Loc:
+			if !separated(a, b, sepWW) {
+				ppo.Remove(a, b)
+			}
+		}
+	})
+	return ppo
+}

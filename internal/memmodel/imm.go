@@ -1,0 +1,107 @@
+package memmodel
+
+import (
+	"hmc/internal/eg"
+	"hmc/internal/relation"
+)
+
+// IMM is "IMM-lite": a dependency-aware hardware memory model in the style
+// of IMM (Podkopaev, Lahav, Vafeiadis, POPL'19) and the POWER/ARM models it
+// abstracts. It is the model the HMC reproduction targets: unlike SC/TSO/
+// PSO/RA it permits (po ∪ rf) cycles — load buffering without dependencies
+// is observable — while syntactic dependencies and barriers restore order.
+//
+// Axioms (beyond shared coherence and atomicity):
+//
+//	ppo  := [R];(addr ∪ data ∪ ctrl∩(→W) ∪ rfi)⁺      (dependency chains,
+//	        extended through store-to-load forwarding, always starting at
+//	        a read: loads create order, stores do not)
+//	bob  := po;[Ffull];po                              (full barrier)
+//	      ∪ po;[Flw];po minus W→R                      (lwsync-like)
+//	      ∪ [R];po;[Fld];po                            (load barrier)
+//	hb   := (ppo ∪ bob ∪ rfe)⁺
+//	prop := acyclic(co ∪ hb)                           (no thin air +
+//	        barrier-ordered store propagation, e.g. 2+2W+lwsync)
+//	obs  := irreflexive(hb ; eco)                      (observation /
+//	        fenced or dependency-ordered message passing)
+//	psc  := acyclic([Ffull];(po ∪ po;eco;po);[Ffull])  (full fences are
+//	        SC fences: restores SB and IRIW)
+//
+// The model is POWER-flavoured (non-multi-copy-atomic): IRIW with only
+// dependencies or lwsync remains allowed; IRIW with full fences is
+// forbidden via psc. The litmus corpus in internal/litmus pins this
+// behaviour matrix.
+type IMM struct{}
+
+// Name implements Model.
+func (IMM) Name() string { return "imm" }
+
+// Consistent implements Model.
+func (IMM) Consistent(v *eg.View) bool {
+	if !baseConsistent(v) {
+		return false
+	}
+	hb := immHB(v)
+	if !v.Co().Union(hb).Acyclic() {
+		return false // thin air or barrier-ordered propagation violation
+	}
+	if !hb.Compose(v.Eco()).Irreflexive() {
+		return false // observation violation (e.g. fenced message passing)
+	}
+	return pscAcyclic(v)
+}
+
+// immHB computes (ppo ∪ bob ∪ rfe)⁺.
+func immHB(v *eg.View) *relation.Rel {
+	ord := immPPO(v).UnionWith(immBob(v)).UnionWith(v.Rfe())
+	return ord.TransitiveClose()
+}
+
+// immPPO returns the dependency-induced preserved program order:
+// [R];(addr ∪ data ∪ ctrl-to-writes ∪ rfi)⁺.
+func immPPO(v *eg.View) *relation.Rel {
+	isWrite := func(e eg.Event) bool { return e.Kind.IsWrite() }
+	isRead := func(e eg.Event) bool { return e.Kind.IsRead() }
+
+	step := v.DepAddr().Union(v.DepData())
+	step.UnionWith(v.Restrict(v.DepCtrl(), nil, isWrite))
+	step.UnionWith(v.Rfi())
+	chains := step.TransitiveClose()
+	return v.Restrict(chains, isRead, nil)
+}
+
+// immBob returns the barrier-ordered-before relation.
+func immBob(v *eg.View) *relation.Rel {
+	isRead := func(e eg.Event) bool { return e.Kind.IsRead() }
+
+	bob := v.SeqFence(eg.FenceFull)
+	lw := v.SeqFence(eg.FenceLW)
+	lw.MinusWith(v.Restrict(lw,
+		func(e eg.Event) bool { return e.Kind == eg.KWrite },
+		func(e eg.Event) bool { return e.Kind == eg.KRead }))
+	bob.UnionWith(lw)
+	bob.UnionWith(v.Restrict(v.SeqFence(eg.FenceLD), isRead, nil))
+	return bob
+}
+
+// pscAcyclic checks the SC-fence axiom: the order
+// [Ffull];(po ∪ po;eco;po);[Ffull] between full fences must be acyclic.
+func pscAcyclic(v *eg.View) bool {
+	isFull := func(e eg.Event) bool { return e.Kind == eg.KFence && e.Fence == eg.FenceFull }
+	fences := v.FilterIdx(isFull)
+	if len(fences) < 2 {
+		return true
+	}
+	po := v.Po()
+	poEcoPo := po.Compose(v.Eco()).Compose(po)
+	step := po.Union(poEcoPo)
+	psc := v.Empty()
+	for _, f := range fences {
+		for _, g := range fences {
+			if f != g && step.Has(f, g) {
+				psc.Add(f, g)
+			}
+		}
+	}
+	return psc.Acyclic()
+}

@@ -1,0 +1,42 @@
+package memmodel
+
+import (
+	"hmc/internal/eg"
+)
+
+// RA is the release/acquire fragment of C11 with every access treated as
+// release (writes) or acquire (reads): happens-before hb = (po ∪ rf)⁺ must
+// be acyclic (which forbids load-buffering outright — the language-model
+// restriction that HMC lifts for hardware models), and coherence is
+// strengthened to irreflexive(hb ; eco).
+//
+// RA is included as the strongest *language-level* contrast model: its
+// porf-acyclicity is exactly the assumption that GenMC-style exploration
+// relies on and that hardware models violate.
+type RA struct{}
+
+// Name implements Model.
+func (RA) Name() string { return "ra" }
+
+// Consistent implements Model.
+func (RA) Consistent(v *eg.View) bool {
+	if !baseConsistent(v) {
+		return false
+	}
+	hb := v.Po().Union(v.Rf()).TransitiveClose()
+	if !hb.Irreflexive() {
+		return false
+	}
+	return hb.Compose(v.Eco()).Irreflexive()
+}
+
+// Relaxed is the weakest model: coherence and atomicity only. It admits
+// out-of-thin-air behaviour and exists as the permissiveness bound for
+// monotonicity tests (everything any other model allows, Relaxed allows).
+type Relaxed struct{}
+
+// Name implements Model.
+func (Relaxed) Name() string { return "relaxed" }
+
+// Consistent implements Model.
+func (Relaxed) Consistent(v *eg.View) bool { return baseConsistent(v) }

@@ -1,0 +1,704 @@
+package memmodel
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hmc/internal/eg"
+)
+
+// gb is a tiny execution-graph builder for tests. Writes are appended
+// co-last by default; co can be rearranged with coOrder.
+type gb struct {
+	t *testing.T
+	g *eg.Graph
+}
+
+func newGB(t *testing.T, threads, locs int) *gb {
+	t.Helper()
+	return &gb{t: t, g: eg.NewGraph(threads, locs)}
+}
+
+func (b *gb) next(t int) eg.EvID { return eg.EvID{T: t, I: b.g.ThreadLen(t)} }
+
+// W appends a write of val to loc on thread t (co-last).
+func (b *gb) W(t int, loc eg.Loc, val int64, deps ...dep) eg.EvID {
+	id := b.next(t)
+	ev := eg.Event{ID: id, Kind: eg.KWrite, Loc: loc, Val: val}
+	applyDeps(&ev, deps)
+	b.g.Add(ev)
+	b.g.CoInsert(loc, len(b.g.CoLoc(loc)), id)
+	return id
+}
+
+// R appends a read of loc on thread t reading from w.
+func (b *gb) R(t int, loc eg.Loc, w eg.EvID, deps ...dep) eg.EvID {
+	id := b.next(t)
+	ev := eg.Event{ID: id, Kind: eg.KRead, Loc: loc}
+	applyDeps(&ev, deps)
+	b.g.Add(ev)
+	b.g.SetRF(id, w)
+	return id
+}
+
+// U appends an atomic update reading from w and writing val, placed
+// co-immediately after w.
+func (b *gb) U(t int, loc eg.Loc, w eg.EvID, val int64, deps ...dep) eg.EvID {
+	id := b.next(t)
+	ev := eg.Event{ID: id, Kind: eg.KUpdate, Loc: loc, Val: val}
+	applyDeps(&ev, deps)
+	b.g.Add(ev)
+	b.g.CoInsert(loc, b.g.CoIndex(loc, w)+1, id)
+	b.g.SetRF(id, w)
+	return id
+}
+
+// F appends a fence of the given kind on thread t.
+func (b *gb) F(t int, kind eg.FenceKind) eg.EvID {
+	id := b.next(t)
+	b.g.Add(eg.Event{ID: id, Kind: eg.KFence, Fence: kind})
+	return id
+}
+
+type dep struct {
+	kind byte // 'a', 'd', 'c'
+	on   eg.EvID
+}
+
+func addrDep(on eg.EvID) dep { return dep{'a', on} }
+func dataDep(on eg.EvID) dep { return dep{'d', on} }
+func ctrlDep(on eg.EvID) dep { return dep{'c', on} }
+
+func applyDeps(ev *eg.Event, deps []dep) {
+	for _, d := range deps {
+		switch d.kind {
+		case 'a':
+			ev.Addr = append(ev.Addr, d.on)
+		case 'd':
+			ev.Data = append(ev.Data, d.on)
+		case 'c':
+			ev.Ctrl = append(ev.Ctrl, d.on)
+		}
+	}
+}
+
+func (b *gb) view() *eg.View {
+	if err := b.g.CheckWellFormed(); err != nil {
+		b.t.Fatalf("test graph ill-formed: %v", err)
+	}
+	return eg.NewView(b.g)
+}
+
+// verdicts maps model name → allowed?
+type verdicts map[string]bool
+
+func checkVerdicts(t *testing.T, name string, v *eg.View, want verdicts) {
+	t.Helper()
+	for _, m := range All() {
+		expect, ok := want[m.Name()]
+		if !ok {
+			continue
+		}
+		if got := m.Consistent(v); got != expect {
+			t.Errorf("%s under %s: allowed=%v, want %v", name, m.Name(), got, expect)
+		}
+	}
+}
+
+const (
+	x = eg.Loc(0)
+	y = eg.Loc(1)
+)
+
+// ---- Store buffering ----------------------------------------------------
+
+func sbGraph(t *testing.T, fence eg.FenceKind) *eg.View {
+	b := newGB(t, 2, 2)
+	b.W(0, x, 1)
+	if fence != eg.FenceNone {
+		b.F(0, fence)
+	}
+	b.R(0, y, eg.InitID(y))
+	b.W(1, y, 1)
+	if fence != eg.FenceNone {
+		b.F(1, fence)
+	}
+	b.R(1, x, eg.InitID(x))
+	return b.view()
+}
+
+func TestSB(t *testing.T) {
+	checkVerdicts(t, "SB", sbGraph(t, eg.FenceNone), verdicts{
+		"sc": false, "tso": true, "pso": true, "ra": true, "imm": true, "relaxed": true,
+	})
+}
+
+func TestSBFullFence(t *testing.T) {
+	checkVerdicts(t, "SB+ff", sbGraph(t, eg.FenceFull), verdicts{
+		"sc": false, "tso": false, "pso": false, "imm": false, "relaxed": true,
+	})
+}
+
+func TestSBLwFence(t *testing.T) {
+	// lwsync does not order W→R: SB stays allowed on TSO-like? lw fences
+	// are no-ops for the W→R pair in every model here.
+	checkVerdicts(t, "SB+lw", sbGraph(t, eg.FenceLW), verdicts{
+		"tso": true, "pso": true, "imm": true,
+	})
+}
+
+// ---- Message passing ----------------------------------------------------
+
+type mpOpt struct {
+	writerFence, readerFence eg.FenceKind
+	readerDep                bool // addr dep from first read to second
+}
+
+func mpGraph(t *testing.T, o mpOpt) *eg.View {
+	b := newGB(t, 2, 2)
+	b.W(0, x, 1)
+	if o.writerFence != eg.FenceNone {
+		b.F(0, o.writerFence)
+	}
+	wy := b.W(0, y, 1)
+	ry := b.R(1, y, wy)
+	if o.readerFence != eg.FenceNone {
+		b.F(1, o.readerFence)
+	}
+	if o.readerDep {
+		b.R(1, x, eg.InitID(x), addrDep(ry))
+	} else {
+		b.R(1, x, eg.InitID(x))
+	}
+	return b.view()
+}
+
+func TestMP(t *testing.T) {
+	checkVerdicts(t, "MP", mpGraph(t, mpOpt{}), verdicts{
+		"sc": false, "tso": false, "pso": true, "ra": false, "imm": true, "relaxed": true,
+	})
+}
+
+func TestMPFullFences(t *testing.T) {
+	checkVerdicts(t, "MP+ff+ff", mpGraph(t, mpOpt{writerFence: eg.FenceFull, readerFence: eg.FenceFull}), verdicts{
+		"pso": false, "imm": false, "relaxed": true,
+	})
+}
+
+func TestMPLwLd(t *testing.T) {
+	checkVerdicts(t, "MP+lw+ld", mpGraph(t, mpOpt{writerFence: eg.FenceLW, readerFence: eg.FenceLD}), verdicts{
+		"pso": false, "imm": false,
+	})
+}
+
+func TestMPLwAddr(t *testing.T) {
+	checkVerdicts(t, "MP+lw+addr", mpGraph(t, mpOpt{writerFence: eg.FenceLW, readerDep: true}), verdicts{
+		"imm": false,
+	})
+}
+
+func TestMPOnlyWriterFence(t *testing.T) {
+	// Fence on the writer alone does not fix MP on IMM (reader may
+	// reorder its reads).
+	checkVerdicts(t, "MP+lw+-", mpGraph(t, mpOpt{writerFence: eg.FenceLW}), verdicts{
+		"imm": true,
+	})
+}
+
+func TestMPOnlyReaderDep(t *testing.T) {
+	// Dependency on the reader alone does not fix MP on IMM/PSO (writer
+	// stores may commit out of order).
+	checkVerdicts(t, "MP+-+addr", mpGraph(t, mpOpt{readerDep: true}), verdicts{
+		"imm": true, "pso": true, "tso": false,
+	})
+}
+
+// ---- Load buffering ------------------------------------------------------
+
+func lbGraph(t *testing.T, deps bool) *eg.View {
+	// T0: r1 = x (reads T1's write); y = 1
+	// T1: r2 = y (reads T0's write); x = 1
+	// rf edges cross forwards, so add all events first, then bind rf.
+	b := newGB(t, 2, 2)
+	b.g.Add(eg.Event{ID: eg.EvID{T: 0, I: 0}, Kind: eg.KRead, Loc: x})
+	wy := eg.Event{ID: eg.EvID{T: 0, I: 1}, Kind: eg.KWrite, Loc: y, Val: 1}
+	if deps {
+		wy.Data = []eg.EvID{{T: 0, I: 0}}
+	}
+	b.g.Add(wy)
+	b.g.CoInsert(y, 0, wy.ID)
+	b.g.Add(eg.Event{ID: eg.EvID{T: 1, I: 0}, Kind: eg.KRead, Loc: y})
+	wx := eg.Event{ID: eg.EvID{T: 1, I: 1}, Kind: eg.KWrite, Loc: x, Val: 1}
+	if deps {
+		wx.Data = []eg.EvID{{T: 1, I: 0}}
+	}
+	b.g.Add(wx)
+	b.g.CoInsert(x, 0, wx.ID)
+	b.g.SetRF(eg.EvID{T: 0, I: 0}, wx.ID)
+	b.g.SetRF(eg.EvID{T: 1, I: 0}, wy.ID)
+	return b.view()
+}
+
+func TestLB(t *testing.T) {
+	checkVerdicts(t, "LB", lbGraph(t, false), verdicts{
+		// The HMC headline: hardware models allow LB without deps;
+		// porf-acyclic models forbid it.
+		"sc": false, "tso": false, "pso": false, "ra": false, "imm": true, "relaxed": true,
+	})
+}
+
+func TestLBDeps(t *testing.T) {
+	checkVerdicts(t, "LB+deps", lbGraph(t, true), verdicts{
+		"imm": false, "relaxed": true, // relaxed admits thin air
+	})
+}
+
+// ---- 2+2W ----------------------------------------------------------------
+
+func twoPlusTwoW(t *testing.T, fence eg.FenceKind) *eg.View {
+	b := newGB(t, 2, 2)
+	// Bad outcome x=1 ∧ y=1: each thread's *first* write is co-last.
+	// T0: Wx=1; Wy=2   T1: Wy=1; Wx=2   co: Wx2 -> Wx1, Wy2 -> Wy1.
+	g := b.g
+	a := eg.Event{ID: eg.EvID{T: 0, I: 0}, Kind: eg.KWrite, Loc: x, Val: 1}
+	g.Add(a)
+	g.CoInsert(x, 0, a.ID)
+	if fence != eg.FenceNone {
+		b.F(0, fence)
+	}
+	bb := eg.Event{ID: eg.EvID{T: 0, I: g.ThreadLen(0)}, Kind: eg.KWrite, Loc: y, Val: 2}
+	g.Add(bb)
+	g.CoInsert(y, 0, bb.ID)
+	c := eg.Event{ID: eg.EvID{T: 1, I: 0}, Kind: eg.KWrite, Loc: y, Val: 1}
+	g.Add(c)
+	g.CoInsert(y, 1, c.ID) // co: Wy2(b) -> Wy1(c): y final = 1
+	if fence != eg.FenceNone {
+		b.F(1, fence)
+	}
+	d := eg.Event{ID: eg.EvID{T: 1, I: g.ThreadLen(1)}, Kind: eg.KWrite, Loc: x, Val: 2}
+	g.Add(d)
+	g.CoInsert(x, 0, d.ID) // co: Wx2(d) -> Wx1(a): x final = 1
+	return b.view()
+}
+
+func Test2Plus2W(t *testing.T) {
+	checkVerdicts(t, "2+2W", twoPlusTwoW(t, eg.FenceNone), verdicts{
+		"sc": false, "tso": false, "pso": true, "ra": true, "imm": true,
+	})
+}
+
+func Test2Plus2WLw(t *testing.T) {
+	checkVerdicts(t, "2+2W+lw", twoPlusTwoW(t, eg.FenceLW), verdicts{
+		"pso": false, "imm": false,
+	})
+}
+
+// ---- IRIW ------------------------------------------------------------------
+
+func iriwGraph(t *testing.T, fence eg.FenceKind, useDeps bool) *eg.View {
+	b := newGB(t, 4, 2)
+	wx := b.W(0, x, 1)
+	wy := b.W(1, y, 1)
+	r1 := b.R(2, x, wx)
+	if fence != eg.FenceNone {
+		b.F(2, fence)
+	}
+	if useDeps {
+		b.R(2, y, eg.InitID(y), addrDep(r1))
+	} else {
+		b.R(2, y, eg.InitID(y))
+	}
+	r3 := b.R(3, y, wy)
+	if fence != eg.FenceNone {
+		b.F(3, fence)
+	}
+	if useDeps {
+		b.R(3, x, eg.InitID(x), addrDep(r3))
+	} else {
+		b.R(3, x, eg.InitID(x))
+	}
+	return b.view()
+}
+
+func TestIRIW(t *testing.T) {
+	checkVerdicts(t, "IRIW", iriwGraph(t, eg.FenceNone, false), verdicts{
+		"sc": false, "tso": false, "pso": false, "ra": true, "imm": true,
+	})
+}
+
+func TestIRIWFullFences(t *testing.T) {
+	checkVerdicts(t, "IRIW+ff", iriwGraph(t, eg.FenceFull, false), verdicts{
+		"imm": false, "ra": true, // RA ignores fences
+	})
+}
+
+func TestIRIWAddrDeps(t *testing.T) {
+	// POWER-flavoured non-multi-copy-atomicity: deps alone do not forbid IRIW.
+	checkVerdicts(t, "IRIW+addrs", iriwGraph(t, eg.FenceNone, true), verdicts{
+		"imm": true,
+	})
+}
+
+// ---- Coherence -------------------------------------------------------------
+
+func TestCoRR(t *testing.T) {
+	// T0: Wx=1   T1: Rx=1; Rx=0 — reading new then old is forbidden
+	// everywhere, including Relaxed.
+	b := newGB(t, 2, 1)
+	w := b.W(0, x, 1)
+	b.R(1, x, w)
+	b.R(1, x, eg.InitID(x))
+	v := b.view()
+	for _, m := range All() {
+		if m.Consistent(v) {
+			t.Errorf("CoRR allowed under %s", m.Name())
+		}
+	}
+}
+
+func TestCoWWAgainstPo(t *testing.T) {
+	// T0: Wx=1; Wx=2 with co inverted — forbidden everywhere.
+	b := newGB(t, 1, 1)
+	g := b.g
+	w1 := eg.Event{ID: eg.EvID{T: 0, I: 0}, Kind: eg.KWrite, Loc: x, Val: 1}
+	w2 := eg.Event{ID: eg.EvID{T: 0, I: 1}, Kind: eg.KWrite, Loc: x, Val: 2}
+	g.Add(w1)
+	g.Add(w2)
+	g.CoInsert(x, 0, w2.ID)
+	g.CoInsert(x, 1, w1.ID) // co: w2 -> w1, against po
+	v := b.view()
+	for _, m := range All() {
+		if m.Consistent(v) {
+			t.Errorf("CoWW-inverted allowed under %s", m.Name())
+		}
+	}
+}
+
+func TestCoherentPositive(t *testing.T) {
+	b := newGB(t, 2, 2)
+	w := b.W(0, x, 1)
+	b.R(1, x, w)
+	v := b.view()
+	for _, m := range All() {
+		if !m.Consistent(v) {
+			t.Errorf("trivial graph rejected by %s", m.Name())
+		}
+	}
+}
+
+// ---- Atomicity ---------------------------------------------------------------
+
+func TestAtomicityViolation(t *testing.T) {
+	// Two updates reading from init: both cannot be co-immediately after it.
+	b := newGB(t, 2, 1)
+	g := b.g
+	u1 := eg.Event{ID: eg.EvID{T: 0, I: 0}, Kind: eg.KUpdate, Loc: x, Val: 1}
+	u2 := eg.Event{ID: eg.EvID{T: 1, I: 0}, Kind: eg.KUpdate, Loc: x, Val: 2}
+	g.Add(u1)
+	g.CoInsert(x, 0, u1.ID)
+	g.Add(u2)
+	g.CoInsert(x, 1, u2.ID)
+	g.SetRF(u1.ID, eg.InitID(x))
+	g.SetRF(u2.ID, eg.InitID(x)) // u2 also claims init: violates atomicity
+	v := b.view()
+	for _, m := range All() {
+		if m.Consistent(v) {
+			t.Errorf("atomicity violation allowed under %s", m.Name())
+		}
+	}
+}
+
+func TestAtomicityChainOK(t *testing.T) {
+	// u1 reads init, u2 reads u1: a correct fetch-add chain.
+	b := newGB(t, 2, 1)
+	u1 := b.U(0, x, eg.InitID(x), 1)
+	b.U(1, x, u1, 2)
+	v := b.view()
+	for _, m := range All() {
+		if !m.Consistent(v) {
+			t.Errorf("valid RMW chain rejected by %s", m.Name())
+		}
+	}
+}
+
+// ---- Registry ------------------------------------------------------------------
+
+func TestByName(t *testing.T) {
+	for _, n := range Names() {
+		m, err := ByName(n)
+		if err != nil || m.Name() != n {
+			t.Errorf("ByName(%q) = %v, %v", n, m, err)
+		}
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Error("ByName(bogus) must fail")
+	}
+	if len(All()) != len(Names()) {
+		t.Error("All() size mismatch")
+	}
+}
+
+// ---- Model-strength monotonicity (property test) ---------------------------------
+
+// randomView builds a random well-formed execution graph.
+func randomView(rng *rand.Rand) *eg.View {
+	threads := 2 + rng.Intn(2)
+	locs := 1 + rng.Intn(2)
+	g := eg.NewGraph(threads, locs)
+	type pending struct{ id eg.EvID }
+	var reads []pending
+	var readsByThread [][]eg.EvID
+	readsByThread = make([][]eg.EvID, threads)
+	for t := 0; t < threads; t++ {
+		n := rng.Intn(4)
+		for i := 0; i < n; i++ {
+			id := eg.EvID{T: t, I: i}
+			loc := eg.Loc(rng.Intn(locs))
+			switch rng.Intn(5) {
+			case 0, 1: // write
+				ev := eg.Event{ID: id, Kind: eg.KWrite, Loc: loc, Val: int64(rng.Intn(3) + 1)}
+				if len(readsByThread[t]) > 0 && rng.Intn(2) == 0 {
+					ev.Data = []eg.EvID{readsByThread[t][rng.Intn(len(readsByThread[t]))]}
+				}
+				g.Add(ev)
+				g.CoInsert(loc, rng.Intn(len(g.CoLoc(loc))+1), id)
+			case 2, 3: // read
+				ev := eg.Event{ID: id, Kind: eg.KRead, Loc: loc}
+				if len(readsByThread[t]) > 0 && rng.Intn(3) == 0 {
+					ev.Addr = []eg.EvID{readsByThread[t][rng.Intn(len(readsByThread[t]))]}
+				}
+				g.Add(ev)
+				reads = append(reads, pending{id})
+				readsByThread[t] = append(readsByThread[t], id)
+			default: // fence
+				kinds := []eg.FenceKind{eg.FenceFull, eg.FenceLW, eg.FenceLD}
+				g.Add(eg.Event{ID: id, Kind: eg.KFence, Fence: kinds[rng.Intn(3)]})
+			}
+		}
+	}
+	for _, p := range reads {
+		loc := g.Event(p.id).Loc
+		ws := g.WritesTo(loc)
+		g.SetRF(p.id, ws[rng.Intn(len(ws))])
+	}
+	return eg.NewView(g)
+}
+
+func TestPropModelStrengthMonotone(t *testing.T) {
+	implications := []struct{ strong, weak string }{
+		{"sc", "tso"},
+		{"tso", "pso"},
+		{"pso", "arm"},
+		{"arm", "imm"},
+		{"sc", "ra"},
+		{"sc", "rc11"},
+		{"rc11", "relaxed"},
+		{"sc", "imm"},
+		{"tso", "relaxed"},
+		{"pso", "relaxed"},
+		{"ra", "relaxed"},
+		{"imm", "relaxed"},
+	}
+	models := map[string]Model{}
+	for _, n := range Names() {
+		m, _ := ByName(n)
+		models[n] = m
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := randomView(rng)
+		for _, imp := range implications {
+			if models[imp.strong].Consistent(v) && !models[imp.weak].Consistent(v) {
+				t.Logf("graph consistent under %s but not %s:\n%s", imp.strong, imp.weak, v.G)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropCoherentImpliedByAll(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := randomView(rng)
+		for _, m := range All() {
+			if m.Consistent(v) && !Coherent(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// ---- ARMv8-lite: the multi-copy-atomicity divide -------------------------
+
+func TestARMAllowsLoadBuffering(t *testing.T) {
+	v := lbGraph(t, false)
+	m, _ := ByName("arm")
+	if !m.Consistent(v) {
+		t.Fatal("plain LB must be allowed under arm (hardware load buffering)")
+	}
+	if m.Consistent(lbGraph(t, true)) {
+		t.Fatal("LB with data dependencies must be forbidden under arm")
+	}
+}
+
+func TestARMMultiCopyAtomicity(t *testing.T) {
+	m, _ := ByName("arm")
+	imm, _ := ByName("imm")
+	// IRIW with address dependencies: the MCA divide.
+	v := iriwGraph(t, eg.FenceNone, true)
+	if m.Consistent(v) {
+		t.Error("IRIW+addrs must be forbidden under arm (multi-copy-atomic)")
+	}
+	if !imm.Consistent(v) {
+		t.Error("IRIW+addrs must stay allowed under imm (non-MCA)")
+	}
+	// Plain IRIW: readers unordered locally — allowed on both.
+	plain := iriwGraph(t, eg.FenceNone, false)
+	if !m.Consistent(plain) {
+		t.Error("plain IRIW must be allowed under arm")
+	}
+	// Full fences forbid it on both.
+	if m.Consistent(iriwGraph(t, eg.FenceFull, false)) {
+		t.Error("IRIW+ffs must be forbidden under arm")
+	}
+}
+
+func TestARMClassicVerdicts(t *testing.T) {
+	checkVerdicts(t, "SB/arm", sbGraph(t, eg.FenceNone), verdicts{"arm": true})
+	checkVerdicts(t, "SB+ff/arm", sbGraph(t, eg.FenceFull), verdicts{"arm": false})
+	checkVerdicts(t, "MP/arm", mpGraph(t, mpOpt{}), verdicts{"arm": true})
+	checkVerdicts(t, "MP+lw+addr/arm", mpGraph(t, mpOpt{writerFence: eg.FenceLW, readerDep: true}), verdicts{"arm": false})
+	checkVerdicts(t, "2+2W/arm", twoPlusTwoW(t, eg.FenceNone), verdicts{"arm": true})
+	checkVerdicts(t, "2+2W+lw/arm", twoPlusTwoW(t, eg.FenceLW), verdicts{"arm": false})
+}
+
+// ---- RC11: per-access memory orders ---------------------------------------
+
+// mpModes builds the MP graph with the given modes on the flag store/load.
+func mpModes(t *testing.T, wm, rm eg.Mode) *eg.View {
+	b := newGB(t, 2, 2)
+	b.W(0, x, 1)
+	id := b.next(0)
+	ev := eg.Event{ID: id, Kind: eg.KWrite, Loc: y, Val: 1, Mode: wm}
+	b.g.Add(ev)
+	b.g.CoInsert(y, len(b.g.CoLoc(y)), id)
+	rid := b.next(1)
+	b.g.Add(eg.Event{ID: rid, Kind: eg.KRead, Loc: y, Mode: rm})
+	b.g.SetRF(rid, id)
+	b.R(1, x, eg.InitID(x))
+	return b.view()
+}
+
+func TestRC11MessagePassing(t *testing.T) {
+	m, _ := ByName("rc11")
+	if m.Consistent(mpModes(t, eg.ModeRel, eg.ModeAcq)) {
+		t.Error("MP+rel+acq must be forbidden under rc11 (synchronises-with)")
+	}
+	if !m.Consistent(mpModes(t, eg.ModeRel, eg.ModeRlx)) {
+		t.Error("MP+rel+rlx must be allowed under rc11 (no acquire)")
+	}
+	if !m.Consistent(mpModes(t, eg.ModeRlx, eg.ModeAcq)) {
+		t.Error("MP+rlx+acq must be allowed under rc11 (no release)")
+	}
+	if !m.Consistent(mpModes(t, eg.ModePlain, eg.ModePlain)) {
+		t.Error("plain MP must be allowed under rc11 (relaxed atomics)")
+	}
+	// Hardware ignores annotations entirely.
+	imm, _ := ByName("imm")
+	if !imm.Consistent(mpModes(t, eg.ModeRel, eg.ModeAcq)) {
+		t.Error("rel/acq annotations must mean nothing to imm")
+	}
+}
+
+func TestRC11ForbidsLoadBuffering(t *testing.T) {
+	m, _ := ByName("rc11")
+	if m.Consistent(lbGraph(t, false)) {
+		t.Error("rc11 must forbid every po∪rf cycle (its out-of-thin-air fix)")
+	}
+}
+
+func TestRC11SeqCstSB(t *testing.T) {
+	// SB with SC accesses everywhere is forbidden; with relaxed, allowed.
+	build := func(mode eg.Mode) *eg.View {
+		b := newGB(t, 2, 2)
+		g := b.g
+		add := func(tid int, kind eg.Kind, loc eg.Loc, val int64) eg.EvID {
+			id := eg.EvID{T: tid, I: g.ThreadLen(tid)}
+			g.Add(eg.Event{ID: id, Kind: kind, Loc: loc, Val: val, Mode: mode})
+			if kind.IsWrite() {
+				g.CoInsert(loc, len(g.CoLoc(loc)), id)
+			}
+			return id
+		}
+		add(0, eg.KWrite, x, 1)
+		r0 := add(0, eg.KRead, y, 0)
+		g.SetRF(r0, eg.InitID(y))
+		add(1, eg.KWrite, y, 1)
+		r1 := add(1, eg.KRead, x, 0)
+		g.SetRF(r1, eg.InitID(x))
+		return b.view()
+	}
+	m, _ := ByName("rc11")
+	if m.Consistent(build(eg.ModeSC)) {
+		t.Error("SB with seq_cst accesses must be forbidden under rc11")
+	}
+	if !m.Consistent(build(eg.ModeRlx)) {
+		t.Error("SB with relaxed accesses must be allowed under rc11")
+	}
+}
+
+func TestRC11ReleaseSequence(t *testing.T) {
+	// Release store, relaxed RMW chained on it, acquire read of the RMW:
+	// synchronisation flows through the release sequence.
+	b := newGB(t, 3, 2)
+	g := b.g
+	b.W(0, x, 1)
+	wy := eg.EvID{T: 0, I: 1}
+	g.Add(eg.Event{ID: wy, Kind: eg.KWrite, Loc: y, Val: 1, Mode: eg.ModeRel})
+	g.CoInsert(y, 0, wy)
+	u := eg.EvID{T: 1, I: 0}
+	g.Add(eg.Event{ID: u, Kind: eg.KUpdate, Loc: y, Val: 2, Mode: eg.ModeRlx, Excl: true})
+	g.CoInsert(y, 1, u)
+	g.SetRF(u, wy)
+	ry := eg.EvID{T: 2, I: 0}
+	g.Add(eg.Event{ID: ry, Kind: eg.KRead, Loc: y, Mode: eg.ModeAcq})
+	g.SetRF(ry, u)
+	rx := eg.EvID{T: 2, I: 1}
+	g.Add(eg.Event{ID: rx, Kind: eg.KRead, Loc: x})
+	g.SetRF(rx, eg.InitID(x))
+	v := b.view()
+
+	m, _ := ByName("rc11")
+	if m.Consistent(v) {
+		t.Error("acquire of an RMW in the release sequence must synchronise (stale x read forbidden)")
+	}
+}
+
+func TestModeHelpers(t *testing.T) {
+	if !eg.ModeAcq.Acquire() || eg.ModeAcq.Release() {
+		t.Error("acq semantics wrong")
+	}
+	if !eg.ModeRel.Release() || eg.ModeRel.Acquire() {
+		t.Error("rel semantics wrong")
+	}
+	if !eg.ModeSC.Acquire() || !eg.ModeSC.Release() {
+		t.Error("sc must be both")
+	}
+	if eg.ModePlain.Acquire() || eg.ModeRlx.Release() {
+		t.Error("plain/rlx must be neither")
+	}
+	for _, m := range []eg.Mode{eg.ModePlain, eg.ModeRlx, eg.ModeAcq, eg.ModeRel, eg.ModeAcqRel, eg.ModeSC} {
+		if m.String() == "" {
+			t.Error("missing Mode string")
+		}
+	}
+}

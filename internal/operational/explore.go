@@ -1,0 +1,329 @@
+package operational
+
+import (
+	"fmt"
+	"sort"
+
+	"hmc/internal/eg"
+	"hmc/internal/prog"
+)
+
+// Options configures an operational exploration.
+type Options struct {
+	// Level selects the machine (SC, TSO, PSO).
+	Level Level
+	// MaxSteps bounds each thread's instruction count (≤0: default).
+	MaxSteps int
+	// MaxTraces aborts after this many complete traces (0 = unlimited).
+	MaxTraces int
+	// Memo enables state memoization: each machine state is explored once.
+	// This makes the explorer a fast, complete *final-state oracle* but
+	// makes Traces count distinct explored states' terminal visits rather
+	// than interleavings.
+	Memo bool
+	// StopOnError aborts at the first assertion failure.
+	StopOnError bool
+}
+
+// DefaultMaxSteps bounds per-thread execution.
+const DefaultMaxSteps = 4096
+
+// Result aggregates an operational exploration.
+type Result struct {
+	Traces      int // complete maximal runs (the Nidhugg-style count)
+	Blocked     int // runs ending with a dead (assume-failed/bounded) thread
+	States      int // states visited (distinct when Memo)
+	ExistsCount int // complete runs satisfying the Exists clause
+	Errors      []string
+	Truncated   bool
+	// Finals maps canonical final-state keys to one representative.
+	Finals map[string]prog.FinalState
+}
+
+// FinalKeys returns the sorted canonical final-state keys (for
+// cross-validation against the graph-based explorer).
+func (r *Result) FinalKeys() []string {
+	keys := make([]string, 0, len(r.Finals))
+	for k := range r.Finals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// FinalKey canonicalizes a final state.
+func FinalKey(fs prog.FinalState) string {
+	return fmt.Sprintf("%v|%v", fs.Mem, fs.Regs)
+}
+
+// Explore runs the operational machine of opts.Level over p.
+func Explore(p *prog.Program, opts Options) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.MaxSteps <= 0 {
+		opts.MaxSteps = DefaultMaxSteps
+	}
+	e := &opExplorer{p: p, opts: opts, res: &Result{Finals: map[string]prog.FinalState{}}}
+	if opts.Memo {
+		e.seen = map[string]bool{}
+	}
+	e.visit(initialState(p))
+	return e.res, nil
+}
+
+type opExplorer struct {
+	p    *prog.Program
+	opts Options
+	res  *Result
+	seen map[string]bool
+	stop bool
+}
+
+// runLocal advances thread t through register-only instructions. It stops
+// at a visible (memory/fence) instruction, at thread end, or on a
+// blocking/erroring local instruction. It returns an error message for
+// assertion failures.
+func (e *opExplorer) runLocal(s *state, t int) (errMsg string) {
+	th := &s.threads[t]
+	code := e.p.Threads[t]
+	for !th.done && !th.blocked {
+		if th.pc >= len(code) {
+			th.done = true
+			return ""
+		}
+		if th.steps >= e.opts.MaxSteps {
+			th.blocked = true
+			return ""
+		}
+		in := code[th.pc]
+		switch in.Op {
+		case prog.IMov:
+			th.regs[in.Dst] = in.Val.Eval(th.regs, nil)
+		case prog.IBranch:
+			if in.Cond.Eval(th.regs, nil) != 0 {
+				th.pc = in.Target
+				th.steps++
+				continue
+			}
+		case prog.IJmp:
+			th.pc = in.Target
+			th.steps++
+			continue
+		case prog.IAssume:
+			if in.Cond.Eval(th.regs, nil) == 0 {
+				th.blocked = true
+				return ""
+			}
+		case prog.IAssert:
+			if in.Cond.Eval(th.regs, nil) == 0 {
+				msg := in.Msg
+				if msg == "" {
+					msg = "assertion failed"
+				}
+				return fmt.Sprintf("thread %d: %s", t, msg)
+			}
+		default:
+			return "" // visible instruction: stop here
+		}
+		th.pc++
+		th.steps++
+	}
+	return ""
+}
+
+// normalize runs every thread's local instructions. Local steps commute
+// with everything, so collapsing them shrinks the state space without
+// losing behaviours.
+func (e *opExplorer) normalize(s *state) (errMsg string) {
+	for t := range s.threads {
+		if msg := e.runLocal(s, t); msg != "" {
+			return msg
+		}
+	}
+	return ""
+}
+
+// choice is one enabled transition.
+type choice struct {
+	thread int
+	commit int // buffer index to commit, or -1 for an instruction step
+}
+
+// enabled lists the transitions available in s.
+func (e *opExplorer) enabled(s *state) []choice {
+	var out []choice
+	for t := range s.threads {
+		th := &s.threads[t]
+		if !th.done && !th.blocked && th.pc < len(e.p.Threads[t]) {
+			in := e.p.Threads[t][th.pc]
+			ready := true
+			switch in.Op {
+			case prog.ICAS, prog.IFAdd, prog.IXchg:
+				ready = s.bufferEmpty(t)
+			case prog.IFence:
+				if in.Fence == eg.FenceFull {
+					ready = s.bufferEmpty(t)
+				}
+			}
+			if ready {
+				out = append(out, choice{thread: t, commit: -1})
+			}
+		}
+		for _, i := range s.commitable(e.opts.Level, t) {
+			out = append(out, choice{thread: t, commit: i})
+		}
+	}
+	return out
+}
+
+// apply executes choice c on a clone of s and returns it, or nil if the
+// step errored (recorded).
+func (e *opExplorer) apply(s *state, c choice) *state {
+	ns := s.clone()
+	if c.commit >= 0 {
+		ns.commit(c.thread, c.commit)
+		return ns
+	}
+	t := c.thread
+	th := &ns.threads[t]
+	in := e.p.Threads[t][th.pc]
+	evalLoc := func(a *prog.Expr) (eg.Loc, bool) {
+		v := a.Eval(th.regs, nil)
+		if v < 0 || v >= int64(e.p.NumLocs) {
+			e.recordError(fmt.Sprintf("thread %d: address %d out of range", t, v))
+			return 0, false
+		}
+		return eg.Loc(v), true
+	}
+	switch in.Op {
+	case prog.ILoad:
+		loc, ok := evalLoc(in.Addr)
+		if !ok {
+			return nil
+		}
+		th.regs[in.Dst] = ns.loadValue(t, loc)
+	case prog.IStore:
+		loc, ok := evalLoc(in.Addr)
+		if !ok {
+			return nil
+		}
+		val := in.Val.Eval(th.regs, nil)
+		if e.opts.Level == SC {
+			ns.mem[loc] = val
+		} else {
+			th.buf = append(th.buf, bufEntry{loc: loc, val: val})
+		}
+	case prog.ICAS:
+		loc, ok := evalLoc(in.Addr)
+		if !ok {
+			return nil
+		}
+		old := in.Old.Eval(th.regs, nil)
+		repl := in.New.Eval(th.regs, nil)
+		cur := ns.mem[loc]
+		th.regs[in.Dst] = cur
+		succ := cur == old
+		if succ {
+			ns.mem[loc] = repl
+		}
+		if in.Succ >= 0 {
+			if succ {
+				th.regs[in.Succ] = 1
+			} else {
+				th.regs[in.Succ] = 0
+			}
+		}
+	case prog.IFAdd:
+		loc, ok := evalLoc(in.Addr)
+		if !ok {
+			return nil
+		}
+		delta := in.Val.Eval(th.regs, nil)
+		th.regs[in.Dst] = ns.mem[loc]
+		ns.mem[loc] += delta
+	case prog.IXchg:
+		loc, ok := evalLoc(in.Addr)
+		if !ok {
+			return nil
+		}
+		val := in.Val.Eval(th.regs, nil)
+		th.regs[in.Dst] = ns.mem[loc]
+		ns.mem[loc] = val
+	case prog.IFence:
+		// A W→W barrier is only meaningful with a pending store before it;
+		// pushed onto an empty buffer it would never be popped.
+		if e.opts.Level == PSO && in.Fence == eg.FenceLW && !ns.bufferEmpty(t) {
+			th.buf = append(th.buf, bufEntry{barrier: true})
+		}
+		// Full fences were gated on an empty buffer in enabled(); lw on
+		// SC/TSO and ld everywhere are no-ops.
+	default:
+		panic("operational: non-visible instruction reached apply: " + in.String())
+	}
+	th.pc++
+	th.steps++
+	return ns
+}
+
+func (e *opExplorer) recordError(msg string) {
+	e.res.Errors = append(e.res.Errors, msg)
+	if e.opts.StopOnError {
+		e.stop = true
+	}
+}
+
+// visit explores all runs from s (which need not be normalized).
+func (e *opExplorer) visit(s *state) {
+	if e.stop {
+		return
+	}
+	if msg := e.normalize(s); msg != "" {
+		e.recordError(msg)
+		return
+	}
+	if e.seen != nil {
+		k := s.key()
+		if e.seen[k] {
+			return
+		}
+		e.seen[k] = true
+	}
+	e.res.States++
+	cs := e.enabled(s)
+	if len(cs) == 0 {
+		e.terminal(s)
+		return
+	}
+	for _, c := range cs {
+		if e.stop {
+			return
+		}
+		if ns := e.apply(s, c); ns != nil {
+			e.visit(ns)
+		}
+	}
+}
+
+// terminal records a maximal run.
+func (e *opExplorer) terminal(s *state) {
+	for t := range s.threads {
+		if s.threads[t].blocked {
+			e.res.Blocked++
+			return
+		}
+		if !s.bufferEmpty(t) {
+			panic("operational: terminal state with pending stores (commit scheduling broken)")
+		}
+	}
+	e.res.Traces++
+	fs := s.finalState()
+	e.res.Finals[FinalKey(fs)] = fs
+	if e.p.Exists != nil && e.p.Exists(fs) {
+		e.res.ExistsCount++
+	}
+	if e.opts.MaxTraces > 0 && e.res.Traces >= e.opts.MaxTraces {
+		e.res.Truncated = true
+		e.stop = true
+	}
+}

@@ -1,0 +1,195 @@
+// Package operational implements explicit-state operational explorers for
+// SC, x86-TSO and PSO: the baseline family HMC-style graph exploration is
+// compared against (Nidhugg and friends explore exactly these machines).
+//
+// The machines are standard:
+//
+//   - SC: threads take turns performing atomic memory operations.
+//   - TSO: each thread owns a FIFO store buffer; loads forward from the
+//     youngest buffered store to the same location; buffered stores commit
+//     to memory nondeterministically in order; full fences and RMWs drain
+//     the buffer.
+//   - PSO: same buffer, but entries to *different* locations may commit out
+//     of order; an lw fence inserts a barrier entry that store commits
+//     cannot overtake (restoring W→W order only).
+//
+// Exploration is a DFS over all scheduling and commit choices, optionally
+// with state memoization (for use as a final-state oracle rather than a
+// trace counter).
+package operational
+
+import (
+	"fmt"
+	"strings"
+
+	"hmc/internal/eg"
+	"hmc/internal/prog"
+)
+
+// Level selects the machine.
+type Level int
+
+const (
+	SC Level = iota
+	TSO
+	PSO
+)
+
+func (l Level) String() string {
+	switch l {
+	case SC:
+		return "sc"
+	case TSO:
+		return "tso"
+	case PSO:
+		return "pso"
+	}
+	return fmt.Sprintf("Level(%d)", int(l))
+}
+
+// bufEntry is one store-buffer slot: a pending store, or a W→W barrier.
+type bufEntry struct {
+	barrier bool
+	loc     eg.Loc
+	val     int64
+}
+
+// threadState is one thread's execution state.
+type threadState struct {
+	pc      int
+	regs    []int64
+	steps   int
+	done    bool
+	blocked bool // assume failed or step bound exceeded: dead
+	buf     []bufEntry
+}
+
+func (t *threadState) clone() threadState {
+	c := *t
+	c.regs = append([]int64(nil), t.regs...)
+	c.buf = append([]bufEntry(nil), t.buf...)
+	return c
+}
+
+// state is a full machine configuration.
+type state struct {
+	mem     []int64
+	threads []threadState
+}
+
+func (s *state) clone() *state {
+	c := &state{
+		mem:     append([]int64(nil), s.mem...),
+		threads: make([]threadState, len(s.threads)),
+	}
+	for i := range s.threads {
+		c.threads[i] = s.threads[i].clone()
+	}
+	return c
+}
+
+// key canonicalizes the state for memoization.
+func (s *state) key() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "m%v", s.mem)
+	for i := range s.threads {
+		t := &s.threads[i]
+		fmt.Fprintf(&sb, "|t%d:%d,%v,%v,%v,%v", i, t.pc, t.regs, t.done, t.blocked, t.buf)
+	}
+	return sb.String()
+}
+
+func initialState(p *prog.Program) *state {
+	s := &state{
+		mem:     make([]int64, p.NumLocs),
+		threads: make([]threadState, len(p.Threads)),
+	}
+	for i := range s.threads {
+		s.threads[i].regs = make([]int64, p.NumRegs[i])
+	}
+	return s
+}
+
+// loadValue reads loc as thread t sees it: youngest buffered store to loc,
+// else memory.
+func (s *state) loadValue(t int, loc eg.Loc) int64 {
+	buf := s.threads[t].buf
+	for i := len(buf) - 1; i >= 0; i-- {
+		if !buf[i].barrier && buf[i].loc == loc {
+			return buf[i].val
+		}
+	}
+	return s.mem[loc]
+}
+
+// bufferEmpty reports whether thread t has no pending stores (barriers do
+// not count: a barrier with nothing before it is inert).
+func (s *state) bufferEmpty(t int) bool {
+	for _, e := range s.threads[t].buf {
+		if !e.barrier {
+			return false
+		}
+	}
+	return true
+}
+
+// commitable returns the buffer indices of thread t that may commit next
+// under the given level: under TSO only the head; under PSO any entry not
+// preceded by a barrier or a same-location store.
+func (s *state) commitable(level Level, t int) []int {
+	buf := s.threads[t].buf
+	var out []int
+	for i, e := range buf {
+		if e.barrier {
+			if level == PSO {
+				continue // barriers block what follows; skip as candidates
+			}
+			break
+		}
+		out = append(out, i)
+		if level == TSO {
+			break
+		}
+	}
+	if level == PSO {
+		// Filter: entry i commits only if no earlier barrier and no
+		// earlier same-location entry.
+		filtered := out[:0]
+		for _, i := range out {
+			ok := true
+			for j := 0; j < i; j++ {
+				if buf[j].barrier || buf[j].loc == buf[i].loc {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				filtered = append(filtered, i)
+			}
+		}
+		out = filtered
+	}
+	return out
+}
+
+// commit pops buffer entry i of thread t into memory, discarding any
+// leading barriers that become inert.
+func (s *state) commit(t, i int) {
+	th := &s.threads[t]
+	e := th.buf[i]
+	th.buf = append(th.buf[:i], th.buf[i+1:]...)
+	s.mem[e.loc] = e.val
+	for len(th.buf) > 0 && th.buf[0].barrier {
+		th.buf = th.buf[1:]
+	}
+}
+
+// finalState converts a terminal machine state into the program-level
+// observable state.
+func (s *state) finalState() prog.FinalState {
+	fs := prog.FinalState{Mem: append([]int64(nil), s.mem...)}
+	for i := range s.threads {
+		fs.Regs = append(fs.Regs, append([]int64(nil), s.threads[i].regs...))
+	}
+	return fs
+}

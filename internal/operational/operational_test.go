@@ -1,0 +1,225 @@
+package operational
+
+import (
+	"strings"
+	"testing"
+
+	"hmc/internal/eg"
+	"hmc/internal/litmus"
+	"hmc/internal/prog"
+)
+
+func run(t *testing.T, p *prog.Program, opts Options) *Result {
+	t.Helper()
+	res, err := Explore(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSCTraceCountSB(t *testing.T) {
+	p := litmus.SB(eg.FenceNone)
+	res := run(t, p, Options{Level: SC})
+	// Two visible ops per thread: C(4,2) = 6 interleavings.
+	if res.Traces != 6 {
+		t.Fatalf("SB under SC machine: %d traces, want 6", res.Traces)
+	}
+	if res.ExistsCount != 0 {
+		t.Fatal("SC machine must not observe SB weak outcome")
+	}
+	if len(res.Finals) != 3 {
+		t.Fatalf("SB under SC: %d distinct finals, want 3", len(res.Finals))
+	}
+}
+
+func TestTSOObservesSB(t *testing.T) {
+	p := litmus.SB(eg.FenceNone)
+	res := run(t, p, Options{Level: TSO})
+	if res.ExistsCount == 0 {
+		t.Fatal("TSO machine must observe SB weak outcome")
+	}
+	if len(res.Finals) != 4 {
+		t.Fatalf("SB under TSO: %d distinct finals, want 4", len(res.Finals))
+	}
+}
+
+func TestTSOFenceRestoresSB(t *testing.T) {
+	p := litmus.SB(eg.FenceFull)
+	res := run(t, p, Options{Level: TSO})
+	if res.ExistsCount != 0 {
+		t.Fatal("SB+mfence must be forbidden on the TSO machine")
+	}
+}
+
+func TestTSOForbidsMPButPSOAllows(t *testing.T) {
+	p := litmus.MP(eg.FenceNone, eg.FenceNone, litmus.MPNone)
+	if res := run(t, p, Options{Level: TSO}); res.ExistsCount != 0 {
+		t.Fatal("TSO machine must not reorder stores (MP)")
+	}
+	if res := run(t, p, Options{Level: PSO}); res.ExistsCount == 0 {
+		t.Fatal("PSO machine must observe MP weak outcome")
+	}
+}
+
+func TestPSOLwFenceRestoresMP(t *testing.T) {
+	p := litmus.MP(eg.FenceLW, eg.FenceNone, litmus.MPNone)
+	// Writer-side lw alone suffices on PSO (reader reads are in order).
+	if res := run(t, p, Options{Level: PSO}); res.ExistsCount != 0 {
+		t.Fatal("MP+lw writer must be forbidden on the PSO machine")
+	}
+}
+
+func TestPSOLwDoesNotRestoreSB(t *testing.T) {
+	p := litmus.SB(eg.FenceLW)
+	if res := run(t, p, Options{Level: PSO}); res.ExistsCount == 0 {
+		t.Fatal("lw fences must not forbid SB on PSO (no W→R ordering)")
+	}
+}
+
+func TestPSO2Plus2W(t *testing.T) {
+	if res := run(t, litmus.TwoPlusTwoW(eg.FenceNone), Options{Level: PSO}); res.ExistsCount == 0 {
+		t.Fatal("PSO machine must observe 2+2W")
+	}
+	if res := run(t, litmus.TwoPlusTwoW(eg.FenceLW), Options{Level: PSO}); res.ExistsCount != 0 {
+		t.Fatal("2+2W+lw must be forbidden on PSO")
+	}
+	if res := run(t, litmus.TwoPlusTwoW(eg.FenceNone), Options{Level: TSO}); res.ExistsCount != 0 {
+		t.Fatal("2+2W must be forbidden on TSO")
+	}
+}
+
+func TestLBForbiddenOnAllMachines(t *testing.T) {
+	// No store-buffer machine produces load buffering: that is exactly why
+	// graph-based checking for hardware models goes beyond them.
+	p := litmus.LB(litmus.LBNone)
+	for _, lvl := range []Level{SC, TSO, PSO} {
+		if res := run(t, p, Options{Level: lvl}); res.ExistsCount != 0 {
+			t.Errorf("LB weak outcome observed on %v machine", lvl)
+		}
+	}
+}
+
+func TestRMWAtomicity(t *testing.T) {
+	res := run(t, litmus.Inc(2), Options{Level: TSO})
+	if res.ExistsCount != 0 {
+		t.Fatal("atomic increments lost an update on the TSO machine")
+	}
+	for _, fs := range res.Finals {
+		if fs.Mem[0] != 2 {
+			t.Fatalf("inc(2) final x = %d, want 2", fs.Mem[0])
+		}
+	}
+}
+
+func TestCASOnlyOneWinner(t *testing.T) {
+	res := run(t, litmus.CASAgree(), Options{Level: PSO})
+	if res.ExistsCount != 0 {
+		t.Fatal("both CAS succeeded on the PSO machine")
+	}
+}
+
+func TestMemoMatchesPlainFinals(t *testing.T) {
+	for _, name := range []string{"SB", "MP", "IRIW", "inc(2)"} {
+		tc, ok := litmus.ByName(name)
+		if !ok {
+			t.Fatalf("missing corpus entry %s", name)
+		}
+		for _, lvl := range []Level{SC, TSO, PSO} {
+			plain := run(t, tc.P, Options{Level: lvl})
+			memo := run(t, tc.P, Options{Level: lvl, Memo: true})
+			pk := strings.Join(plain.FinalKeys(), ";")
+			mk := strings.Join(memo.FinalKeys(), ";")
+			if pk != mk {
+				t.Errorf("%s on %v: memo finals differ:\nplain: %s\nmemo:  %s", name, lvl, pk, mk)
+			}
+			if memo.Traces > plain.Traces {
+				t.Errorf("%s on %v: memoized explored more terminals than plain", name, lvl)
+			}
+		}
+	}
+}
+
+func TestBlockedRuns(t *testing.T) {
+	b := prog.NewBuilder("assume-block")
+	x := b.Loc("x")
+	t0 := b.Thread()
+	t0.Store(x, prog.Const(1))
+	t1 := b.Thread()
+	r := t1.Load(x)
+	t1.Assume(prog.Eq(prog.R(r), prog.Const(1)))
+	p := b.MustBuild()
+	res := run(t, p, Options{Level: SC})
+	if res.Blocked == 0 {
+		t.Fatal("expected blocked runs when the assume fails")
+	}
+	for _, fs := range res.Finals {
+		if fs.Reg(1, r) != 1 {
+			t.Fatalf("final with failed assume leaked: %v", fs)
+		}
+	}
+}
+
+func TestAssertionDetected(t *testing.T) {
+	b := prog.NewBuilder("bad-assert")
+	x := b.Loc("x")
+	t0 := b.Thread()
+	t0.Store(x, prog.Const(1))
+	t1 := b.Thread()
+	r := t1.Load(x)
+	t1.Assert(prog.Eq(prog.R(r), prog.Const(0)), "x observed as 1")
+	p := b.MustBuild()
+	res := run(t, p, Options{Level: SC})
+	if len(res.Errors) == 0 {
+		t.Fatal("expected assertion failures")
+	}
+	resStop := run(t, p, Options{Level: SC, StopOnError: true})
+	if len(resStop.Errors) != 1 {
+		t.Fatalf("StopOnError: %d errors, want 1", len(resStop.Errors))
+	}
+}
+
+func TestMaxTracesTruncates(t *testing.T) {
+	p := litmus.IRIW(eg.FenceNone, false)
+	res := run(t, p, Options{Level: SC, MaxTraces: 7})
+	if !res.Truncated || res.Traces != 7 {
+		t.Fatalf("truncation failed: %v traces=%d", res.Truncated, res.Traces)
+	}
+}
+
+func TestStepBoundBlocks(t *testing.T) {
+	b := prog.NewBuilder("spin")
+	x := b.Loc("x")
+	t0 := b.Thread()
+	top := t0.Here()
+	r := t0.Load(x)
+	t0.Branch(prog.Eq(prog.R(r), prog.Const(0)), top)
+	p := b.MustBuild()
+	res := run(t, p, Options{Level: SC, MaxSteps: 50})
+	if res.Blocked == 0 {
+		t.Fatal("spinloop must exhaust the step bound and block")
+	}
+}
+
+func TestBufferForwarding(t *testing.T) {
+	// T0: Wx=1; r=Rx — must read its own buffered store (1) on TSO even
+	// before commit.
+	b := prog.NewBuilder("fwd")
+	x := b.Loc("x")
+	t0 := b.Thread()
+	t0.Store(x, prog.Const(1))
+	r := t0.Load(x)
+	p := b.MustBuild()
+	res := run(t, p, Options{Level: TSO})
+	for _, fs := range res.Finals {
+		if fs.Reg(0, r) != 1 {
+			t.Fatalf("store forwarding broken: read %d", fs.Reg(0, r))
+		}
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if SC.String() != "sc" || TSO.String() != "tso" || PSO.String() != "pso" {
+		t.Fatal("Level naming broken")
+	}
+}

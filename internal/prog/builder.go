@@ -1,0 +1,251 @@
+package prog
+
+import (
+	"fmt"
+
+	"hmc/internal/eg"
+)
+
+// Builder assembles a Program. Typical use:
+//
+//	b := prog.NewBuilder("MP")
+//	x, y := b.Loc("x"), b.Loc("y")
+//	t0 := b.Thread()
+//	t0.Store(x, prog.Const(1))
+//	t0.Store(y, prog.Const(1))
+//	t1 := b.Thread()
+//	ry := t1.Load(y)
+//	rx := t1.Load(x)
+//	b.Exists("ry=1 && rx=0", func(fs prog.FinalState) bool {
+//	    return fs.Reg(1, ry) == 1 && fs.Reg(1, rx) == 0
+//	})
+//	p, err := b.Build()
+type Builder struct {
+	p    *Program
+	locs map[string]eg.Loc
+	ts   []*ThreadBuilder
+}
+
+// NewBuilder returns a builder for a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		p:    &Program{Name: name},
+		locs: map[string]eg.Loc{},
+	}
+}
+
+// SetName renames the program under construction.
+func (b *Builder) SetName(name string) { b.p.Name = name }
+
+// Loc interns a shared location by name, returning its index.
+func (b *Builder) Loc(name string) eg.Loc {
+	if l, ok := b.locs[name]; ok {
+		return l
+	}
+	l := eg.Loc(len(b.p.LocNames))
+	b.locs[name] = l
+	b.p.LocNames = append(b.p.LocNames, name)
+	b.p.NumLocs = len(b.p.LocNames)
+	return l
+}
+
+// Locs interns n locations named prefix0..prefix(n-1), returning them.
+func (b *Builder) Locs(prefix string, n int) []eg.Loc {
+	out := make([]eg.Loc, n)
+	for i := range out {
+		out[i] = b.Loc(fmt.Sprintf("%s%d", prefix, i))
+	}
+	return out
+}
+
+// Thread starts a new thread and returns its builder.
+func (b *Builder) Thread() *ThreadBuilder {
+	t := &ThreadBuilder{b: b, t: len(b.ts)}
+	b.ts = append(b.ts, t)
+	return t
+}
+
+// Exists sets the final-state predicate and its description.
+func (b *Builder) Exists(desc string, pred func(FinalState) bool) {
+	b.p.ExistsDesc = desc
+	b.p.Exists = pred
+}
+
+// Build finalizes and validates the program.
+func (b *Builder) Build() (*Program, error) {
+	for _, t := range b.ts {
+		b.p.Threads = append(b.p.Threads, t.code)
+		b.p.NumRegs = append(b.p.NumRegs, t.regs)
+	}
+	b.ts = nil
+	if err := b.p.Validate(); err != nil {
+		return nil, err
+	}
+	return b.p, nil
+}
+
+// MustBuild is Build that panics on error — for test corpora and
+// generators where programs are static.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// ThreadBuilder assembles one thread's instruction list.
+type ThreadBuilder struct {
+	b    *Builder
+	t    int
+	code []Instr
+	regs int
+}
+
+// ID returns the thread's index.
+func (t *ThreadBuilder) ID() int { return t.t }
+
+// NewReg allocates a fresh register.
+func (t *ThreadBuilder) NewReg() Reg {
+	r := Reg(t.regs)
+	t.regs++
+	return r
+}
+
+func (t *ThreadBuilder) emit(in Instr) int {
+	t.code = append(t.code, in)
+	return len(t.code) - 1
+}
+
+// Load emits r = *loc and returns r.
+func (t *ThreadBuilder) Load(loc eg.Loc) Reg { return t.LoadAt(Const(int64(loc))) }
+
+// LoadM emits a load with a C11-style memory order (for the rc11 model;
+// hardware models ignore modes).
+func (t *ThreadBuilder) LoadM(loc eg.Loc, mode eg.Mode) Reg {
+	r := t.NewReg()
+	t.emit(Instr{Op: ILoad, Dst: r, Addr: Const(int64(loc)), Mode: mode})
+	return r
+}
+
+// LoadAt emits a load from a computed address (enables address
+// dependencies) and returns the destination register.
+func (t *ThreadBuilder) LoadAt(addr *Expr) Reg {
+	r := t.NewReg()
+	t.emit(Instr{Op: ILoad, Dst: r, Addr: addr})
+	return r
+}
+
+// Store emits *loc = val.
+func (t *ThreadBuilder) Store(loc eg.Loc, val *Expr) { t.StoreAt(Const(int64(loc)), val) }
+
+// StoreM emits a store with a C11-style memory order.
+func (t *ThreadBuilder) StoreM(loc eg.Loc, val *Expr, mode eg.Mode) {
+	t.emit(Instr{Op: IStore, Addr: Const(int64(loc)), Val: val, Mode: mode})
+}
+
+// StoreAt emits a store to a computed address.
+func (t *ThreadBuilder) StoreAt(addr, val *Expr) {
+	t.emit(Instr{Op: IStore, Addr: addr, Val: val})
+}
+
+// CAS emits an atomic compare-and-swap; returns the register holding the
+// value read and the 0/1 success flag register.
+func (t *ThreadBuilder) CAS(loc eg.Loc, old, new *Expr) (val, succ Reg) {
+	val, succ = t.NewReg(), t.NewReg()
+	t.emit(Instr{Op: ICAS, Dst: val, Succ: succ, Addr: Const(int64(loc)), Old: old, New: new})
+	return val, succ
+}
+
+// CASM is CAS with a C11-style memory order.
+func (t *ThreadBuilder) CASM(loc eg.Loc, old, new *Expr, mode eg.Mode) (val, succ Reg) {
+	val, succ = t.NewReg(), t.NewReg()
+	t.emit(Instr{Op: ICAS, Dst: val, Succ: succ, Addr: Const(int64(loc)), Old: old, New: new, Mode: mode})
+	return val, succ
+}
+
+// FAddM is FAdd with a C11-style memory order.
+func (t *ThreadBuilder) FAddM(loc eg.Loc, delta *Expr, mode eg.Mode) Reg {
+	r := t.NewReg()
+	t.emit(Instr{Op: IFAdd, Dst: r, Addr: Const(int64(loc)), Val: delta, Mode: mode})
+	return r
+}
+
+// XchgM is Xchg with a C11-style memory order.
+func (t *ThreadBuilder) XchgM(loc eg.Loc, val *Expr, mode eg.Mode) Reg {
+	r := t.NewReg()
+	t.emit(Instr{Op: IXchg, Dst: r, Addr: Const(int64(loc)), Val: val, Mode: mode})
+	return r
+}
+
+// FAdd emits an atomic fetch-add of delta; returns the value read.
+func (t *ThreadBuilder) FAdd(loc eg.Loc, delta *Expr) Reg {
+	r := t.NewReg()
+	t.emit(Instr{Op: IFAdd, Dst: r, Addr: Const(int64(loc)), Val: delta})
+	return r
+}
+
+// Xchg emits an atomic exchange; returns the value read.
+func (t *ThreadBuilder) Xchg(loc eg.Loc, val *Expr) Reg {
+	r := t.NewReg()
+	t.emit(Instr{Op: IXchg, Dst: r, Addr: Const(int64(loc)), Val: val})
+	return r
+}
+
+// Fence emits a barrier.
+func (t *ThreadBuilder) Fence(kind eg.FenceKind) { t.emit(Instr{Op: IFence, Fence: kind}) }
+
+// Mov emits r = val and returns r.
+func (t *ThreadBuilder) Mov(val *Expr) Reg {
+	r := t.NewReg()
+	t.emit(Instr{Op: IMov, Dst: r, Val: val})
+	return r
+}
+
+// Here returns the current pc (the index of the next emitted instruction),
+// for use as a backward branch target.
+func (t *ThreadBuilder) Here() int { return len(t.code) }
+
+// Branch emits "if cond goto target" (target from Here or a patch).
+func (t *ThreadBuilder) Branch(cond *Expr, target int) {
+	t.emit(Instr{Op: IBranch, Cond: cond, Target: target})
+}
+
+// BranchFwd emits a conditional branch whose target is patched later with
+// Patch. It returns the instruction index to pass to Patch.
+func (t *ThreadBuilder) BranchFwd(cond *Expr) int {
+	return t.emit(Instr{Op: IBranch, Cond: cond, Target: -1})
+}
+
+// Jmp emits an unconditional jump.
+func (t *ThreadBuilder) Jmp(target int) { t.emit(Instr{Op: IJmp, Target: target}) }
+
+// JmpFwd emits a jump patched later.
+func (t *ThreadBuilder) JmpFwd() int { return t.emit(Instr{Op: IJmp, Target: -1}) }
+
+// Patch sets the target of a forward branch/jump to the current pc.
+func (t *ThreadBuilder) Patch(idx int) {
+	if t.code[idx].Op != IBranch && t.code[idx].Op != IJmp {
+		panic("prog: Patch target is not a branch")
+	}
+	t.code[idx].Target = len(t.code)
+}
+
+// AwaitEq emits a bounded await: load loc and assume it equals val.
+// Executions in which the value never shows up are counted as blocked —
+// the standard stateless-model-checking treatment of spin loops (a
+// completed await is equivalent to the loop's final iteration). The
+// register holding the observed value is returned.
+func (t *ThreadBuilder) AwaitEq(loc eg.Loc, val *Expr) Reg {
+	r := t.Load(loc)
+	t.Assume(Eq(R(r), val))
+	return r
+}
+
+// Assume emits a blocking assumption.
+func (t *ThreadBuilder) Assume(cond *Expr) { t.emit(Instr{Op: IAssume, Cond: cond}) }
+
+// Assert emits a safety assertion.
+func (t *ThreadBuilder) Assert(cond *Expr, msg string) {
+	t.emit(Instr{Op: IAssert, Cond: cond, Msg: msg})
+}

@@ -1,0 +1,119 @@
+package prog
+
+import (
+	"strings"
+	"testing"
+
+	"hmc/internal/eg"
+)
+
+// TestBuilderFullSurface drives every builder method through a program
+// that uses them all, then checks the rendered form and Validate.
+func TestBuilderFullSurface(t *testing.T) {
+	b := NewBuilder("initial")
+	b.SetName("surface")
+	x := b.Loc("x")
+	ys := b.Locs("y", 2)
+	if len(ys) != 2 || ys[0] == ys[1] {
+		t.Fatalf("Locs returned %v", ys)
+	}
+	if b.Loc("x") != x {
+		t.Error("Loc must intern by name")
+	}
+
+	th := b.Thread()
+	if th.ID() != 0 {
+		t.Errorf("first thread ID = %d", th.ID())
+	}
+	r0 := th.LoadM(x, eg.ModeAcq)
+	th.StoreM(x, Const(1), eg.ModeRel)
+	v, s := th.CAS(x, Const(1), Const(2))
+	v2, s2 := th.CASM(x, Const(2), Const(3), eg.ModeSC)
+	fa := th.FAddM(x, Const(1), eg.ModeAcqRel)
+	xc := th.XchgM(x, Const(9), eg.ModeRlx)
+	xc2 := th.Xchg(ys[0], Const(5))
+	mv := th.Mov(Add(R(r0), Const(1)))
+	j := th.JmpFwd()
+	th.Store(ys[1], Const(7)) // skipped by the jump
+	th.Patch(j)
+	aw := th.AwaitEq(ys[0], Const(5))
+	th.Assume(Ge(R(aw), Const(0)))
+	_ = []Reg{v, s, v2, s2, fa, xc, xc2, mv}
+
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "surface" {
+		t.Errorf("SetName not applied: %q", p.Name)
+	}
+	if p.LocName(x) != "x" || p.LocName(ys[1]) != "y1" {
+		t.Errorf("LocName wrong: %q %q", p.LocName(x), p.LocName(ys[1]))
+	}
+	out := p.String()
+	for _, want := range []string{"surface", "cas", "fadd", "xchg", "goto", "assume"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("program rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestValidateRejects: Validate catches out-of-range branch targets and
+// registers (hand-corrupted programs; the builder cannot produce these).
+func TestValidateRejects(t *testing.T) {
+	mk := func() *Program {
+		b := NewBuilder("bad")
+		x := b.Loc("x")
+		th := b.Thread()
+		th.Load(x)
+		return b.MustBuild()
+	}
+
+	p := mk()
+	p.Threads[0] = append(p.Threads[0], Instr{Op: IJmp, Target: 99})
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "target") {
+		t.Errorf("want target error, got %v", err)
+	}
+
+	p = mk()
+	p.Threads[0] = append(p.Threads[0], Instr{Op: IAssume, Cond: R(42)})
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "register") {
+		t.Errorf("want register error, got %v", err)
+	}
+
+	empty := &Program{Name: "e"}
+	if err := empty.Validate(); err == nil {
+		t.Error("no locations must be rejected")
+	}
+}
+
+// TestPatchPanicsOnNonBranch: Patch targets must be branches or jumps.
+func TestPatchPanicsOnNonBranch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Patch on a store must panic")
+		}
+	}()
+	b := NewBuilder("p")
+	x := b.Loc("x")
+	th := b.Thread()
+	th.Store(x, Const(1))
+	th.Patch(0)
+}
+
+// TestExprString covers the expression renderer across every operator.
+func TestExprString(t *testing.T) {
+	e := Or(
+		And(Eq(R(0), Const(1)), Ne(R(1), Const(2))),
+		Not(Lt(Sub(R(2), Const(3)), Mul(Xor(R(3), Const(4)), Add(R(4), Const(5))))),
+	)
+	s := e.String()
+	for _, want := range []string{"==", "!=", "<", "-", "*", "^", "+", "!", "&", "|"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("expression rendering missing %q: %s", want, s)
+		}
+	}
+	if Le(R(0), Const(1)).String() == "" || Gt(R(0), Const(1)).String() == "" || Ge(R(0), Const(1)).String() == "" {
+		t.Error("comparison rendering empty")
+	}
+}

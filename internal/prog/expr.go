@@ -1,0 +1,175 @@
+// Package prog defines the litmus-style concurrent program IR that the
+// model checker verifies: per-thread instruction lists over thread-local
+// registers and shared memory locations, with loads, stores, atomic
+// read-modify-writes, fences, branches, assumptions and assertions.
+//
+// The IR is deliberately low-level (registers + branches rather than
+// structured control flow) because syntactic dependency tracking — the
+// heart of checking *hardware* memory models — is defined on exactly this
+// shape: an event's address/data dependencies are the loads whose results
+// flow into the corresponding operands, and its control dependencies are
+// the loads feeding the branches on its path.
+package prog
+
+import "fmt"
+
+// Reg is a thread-local register index.
+type Reg int
+
+// ExprOp enumerates expression node kinds.
+type ExprOp uint8
+
+const (
+	EConst ExprOp = iota
+	EReg
+	EAdd
+	ESub
+	EMul
+	EXor
+	EAnd
+	EOr
+	EEq
+	ENe
+	ELt
+	ELe
+	EGt
+	EGe
+	ENot
+)
+
+// Expr is an integer expression over registers and constants. Comparison
+// operators yield 0/1. Expressions are immutable trees.
+type Expr struct {
+	Op   ExprOp
+	A, B *Expr // operands (B nil for ENot)
+	K    int64 // EConst
+	R    Reg   // EReg
+}
+
+// Const returns a constant expression.
+func Const(k int64) *Expr { return &Expr{Op: EConst, K: k} }
+
+// R returns a register reference expression.
+func R(r Reg) *Expr { return &Expr{Op: EReg, R: r} }
+
+// Binary constructors.
+func Add(a, b *Expr) *Expr { return &Expr{Op: EAdd, A: a, B: b} }
+func Sub(a, b *Expr) *Expr { return &Expr{Op: ESub, A: a, B: b} }
+func Mul(a, b *Expr) *Expr { return &Expr{Op: EMul, A: a, B: b} }
+func Xor(a, b *Expr) *Expr { return &Expr{Op: EXor, A: a, B: b} }
+func And(a, b *Expr) *Expr { return &Expr{Op: EAnd, A: a, B: b} }
+func Or(a, b *Expr) *Expr  { return &Expr{Op: EOr, A: a, B: b} }
+func Eq(a, b *Expr) *Expr  { return &Expr{Op: EEq, A: a, B: b} }
+func Ne(a, b *Expr) *Expr  { return &Expr{Op: ENe, A: a, B: b} }
+func Lt(a, b *Expr) *Expr  { return &Expr{Op: ELt, A: a, B: b} }
+func Le(a, b *Expr) *Expr  { return &Expr{Op: ELe, A: a, B: b} }
+func Gt(a, b *Expr) *Expr  { return &Expr{Op: EGt, A: a, B: b} }
+func Ge(a, b *Expr) *Expr  { return &Expr{Op: EGe, A: a, B: b} }
+
+// Not returns the logical negation (0 ↦ 1, non-zero ↦ 0).
+func Not(a *Expr) *Expr { return &Expr{Op: ENot, A: a} }
+
+// Eval computes the expression's value in the given register file and
+// calls touch for every register read (taint tracking hooks in here).
+func (e *Expr) Eval(regs []int64, touch func(Reg)) int64 {
+	switch e.Op {
+	case EConst:
+		return e.K
+	case EReg:
+		if touch != nil {
+			touch(e.R)
+		}
+		return regs[e.R]
+	case ENot:
+		if e.A.Eval(regs, touch) == 0 {
+			return 1
+		}
+		return 0
+	}
+	a := e.A.Eval(regs, touch)
+	b := e.B.Eval(regs, touch)
+	switch e.Op {
+	case EAdd:
+		return a + b
+	case ESub:
+		return a - b
+	case EMul:
+		return a * b
+	case EXor:
+		return a ^ b
+	case EAnd:
+		return a & b
+	case EOr:
+		return a | b
+	case EEq:
+		return b2i(a == b)
+	case ENe:
+		return b2i(a != b)
+	case ELt:
+		return b2i(a < b)
+	case ELe:
+		return b2i(a <= b)
+	case EGt:
+		return b2i(a > b)
+	case EGe:
+		return b2i(a >= b)
+	}
+	panic(fmt.Sprintf("prog: bad expr op %d", e.Op))
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Regs appends the registers mentioned in e to out.
+func (e *Expr) Regs(out []Reg) []Reg {
+	switch e.Op {
+	case EConst:
+		return out
+	case EReg:
+		return append(out, e.R)
+	case ENot:
+		return e.A.Regs(out)
+	}
+	return e.B.Regs(e.A.Regs(out))
+}
+
+func (e *Expr) String() string {
+	op2 := func(sym string) string { return "(" + e.A.String() + sym + e.B.String() + ")" }
+	switch e.Op {
+	case EConst:
+		return fmt.Sprintf("%d", e.K)
+	case EReg:
+		return fmt.Sprintf("r%d", e.R)
+	case EAdd:
+		return op2("+")
+	case ESub:
+		return op2("-")
+	case EMul:
+		return op2("*")
+	case EXor:
+		return op2("^")
+	case EAnd:
+		return op2("&")
+	case EOr:
+		return op2("|")
+	case EEq:
+		return op2("==")
+	case ENe:
+		return op2("!=")
+	case ELt:
+		return op2("<")
+	case ELe:
+		return op2("<=")
+	case EGt:
+		return op2(">")
+	case EGe:
+		return op2(">=")
+	case ENot:
+		return "!" + e.A.String()
+	}
+	return "?"
+}

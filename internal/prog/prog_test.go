@@ -1,0 +1,208 @@
+package prog
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestExprEval(t *testing.T) {
+	regs := []int64{3, 5}
+	cases := []struct {
+		e    *Expr
+		want int64
+	}{
+		{Const(7), 7},
+		{R(0), 3},
+		{Add(R(0), R(1)), 8},
+		{Sub(R(1), R(0)), 2},
+		{Mul(R(0), Const(4)), 12},
+		{Xor(Const(6), Const(3)), 5},
+		{And(Const(6), Const(3)), 2},
+		{Or(Const(4), Const(1)), 5},
+		{Eq(R(0), Const(3)), 1},
+		{Eq(R(0), Const(4)), 0},
+		{Ne(R(0), Const(4)), 1},
+		{Lt(R(0), R(1)), 1},
+		{Le(Const(5), R(1)), 1},
+		{Gt(R(0), R(1)), 0},
+		{Ge(R(1), R(1)), 1},
+		{Not(Const(0)), 1},
+		{Not(Const(9)), 0},
+	}
+	for _, c := range cases {
+		if got := c.e.Eval(regs, nil); got != c.want {
+			t.Errorf("%v = %d, want %d", c.e, got, c.want)
+		}
+	}
+}
+
+func TestExprTouchCallback(t *testing.T) {
+	var touched []Reg
+	e := Add(R(1), Mul(R(0), R(1)))
+	e.Eval([]int64{2, 3}, func(r Reg) { touched = append(touched, r) })
+	if len(touched) != 3 {
+		t.Fatalf("touched %v, want 3 register reads", touched)
+	}
+}
+
+func TestExprRegs(t *testing.T) {
+	e := Add(R(2), Not(Eq(R(0), Const(1))))
+	rs := e.Regs(nil)
+	if len(rs) != 2 || rs[0] != 2 || rs[1] != 0 {
+		t.Fatalf("Regs = %v", rs)
+	}
+	if got := Const(1).Regs(nil); len(got) != 0 {
+		t.Fatalf("const Regs = %v", got)
+	}
+}
+
+func TestPropExprEvalDeterministic(t *testing.T) {
+	f := func(a, b int64) bool {
+		regs := []int64{a, b}
+		e := Xor(Add(R(0), R(1)), Mul(R(0), Const(3)))
+		return e.Eval(regs, nil) == e.Eval(regs, nil)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuilderMP(t *testing.T) {
+	b := NewBuilder("MP")
+	x, y := b.Loc("x"), b.Loc("y")
+	if x == y {
+		t.Fatal("distinct names must intern to distinct locations")
+	}
+	if b.Loc("x") != x {
+		t.Fatal("interning must be stable")
+	}
+	t0 := b.Thread()
+	t0.Store(x, Const(1))
+	t0.Store(y, Const(1))
+	t1 := b.Thread()
+	ry := t1.Load(y)
+	rx := t1.Load(x)
+	b.Exists("ry=1 && rx=0", func(fs FinalState) bool {
+		return fs.Reg(1, ry) == 1 && fs.Reg(1, rx) == 0
+	})
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Threads) != 2 || p.NumLocs != 2 {
+		t.Fatalf("unexpected shape: %d threads, %d locs", len(p.Threads), p.NumLocs)
+	}
+	if p.NumRegs[1] != 2 {
+		t.Fatalf("thread 1 regs = %d, want 2", p.NumRegs[1])
+	}
+	if p.Exists == nil || !strings.Contains(p.ExistsDesc, "ry=1") {
+		t.Fatal("exists clause lost")
+	}
+}
+
+func TestBuilderLocs(t *testing.T) {
+	b := NewBuilder("multi")
+	ls := b.Locs("a", 3)
+	if len(ls) != 3 || ls[0] == ls[2] {
+		t.Fatalf("Locs = %v", ls)
+	}
+	if b.p.NumLocs != 3 {
+		t.Fatalf("NumLocs = %d", b.p.NumLocs)
+	}
+}
+
+func TestBuilderBranchesAndPatch(t *testing.T) {
+	b := NewBuilder("loop")
+	x := b.Loc("x")
+	t0 := b.Thread()
+	r := t0.Load(x)
+	j := t0.BranchFwd(Eq(R(r), Const(0)))
+	t0.Store(x, Const(2))
+	t0.Patch(j)
+	top := t0.Here()
+	t0.Store(x, Const(3))
+	t0.Branch(Const(0), top)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Threads[0][1].Target != 3 {
+		t.Fatalf("patched target = %d, want 3 (after the skipped store)", p.Threads[0][1].Target)
+	}
+}
+
+func TestValidateCatchesBadTarget(t *testing.T) {
+	p := &Program{
+		Name:    "bad",
+		NumLocs: 1,
+		Threads: [][]Instr{{{Op: IJmp, Target: 99}}},
+		NumRegs: []int{0},
+	}
+	if err := p.Validate(); err == nil {
+		t.Fatal("expected validation error for wild jump")
+	}
+}
+
+func TestValidateCatchesBadRegister(t *testing.T) {
+	p := &Program{
+		Name:    "badreg",
+		NumLocs: 1,
+		Threads: [][]Instr{{{Op: IStore, Addr: Const(0), Val: R(5)}}},
+		NumRegs: []int{1},
+	}
+	if err := p.Validate(); err == nil {
+		t.Fatal("expected validation error for out-of-range register")
+	}
+}
+
+func TestValidateCatchesNoLocations(t *testing.T) {
+	p := &Program{Name: "empty"}
+	if err := p.Validate(); err == nil {
+		t.Fatal("expected validation error for zero locations")
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	b := NewBuilder("show")
+	x := b.Loc("x")
+	t0 := b.Thread()
+	r := t0.Load(x)
+	t0.Store(x, Add(R(r), Const(1)))
+	t0.Fence(2)
+	t0.Assert(Ne(R(r), Const(7)), "r != 7")
+	p := b.MustBuild()
+	s := p.String()
+	for _, want := range []string{"program \"show\"", "load", "store", "fence", "assert"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBuild must panic on invalid program")
+		}
+	}()
+	b := NewBuilder("invalid")
+	_ = b.Thread() // no locations at all
+	b.MustBuild()
+}
+
+func TestInstrString(t *testing.T) {
+	ins := []Instr{
+		{Op: ILoad, Dst: 0, Addr: Const(1)},
+		{Op: ICAS, Dst: 1, Addr: Const(0), Old: Const(0), New: Const(1)},
+		{Op: IFAdd, Dst: 2, Addr: Const(0), Val: Const(1)},
+		{Op: IXchg, Dst: 0, Addr: Const(0), Val: Const(5)},
+		{Op: IAssume, Cond: Const(1)},
+		{Op: IBranch, Cond: Const(0), Target: 3},
+	}
+	for _, in := range ins {
+		if in.String() == "?" {
+			t.Errorf("missing String case for op %d", in.Op)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package prog
+
+// SymmetryGroups partitions the program's threads into groups of two or
+// more threads with structurally identical code. Threads in one group are
+// interchangeable: renaming them maps executions to executions, which is
+// what symmetry reduction (core.Options.Symmetry) exploits. Threads whose
+// code matches no other thread are omitted.
+func (p *Program) SymmetryGroups() [][]int {
+	var groups [][]int
+	taken := make([]bool, len(p.Threads))
+	for i := range p.Threads {
+		if taken[i] {
+			continue
+		}
+		group := []int{i}
+		for j := i + 1; j < len(p.Threads); j++ {
+			if !taken[j] && codeEqual(p.Threads[i], p.Threads[j]) {
+				group = append(group, j)
+				taken[j] = true
+			}
+		}
+		if len(group) > 1 {
+			groups = append(groups, group)
+		}
+	}
+	return groups
+}
+
+// codeEqual reports structural equality of two instruction sequences.
+func codeEqual(a, b []Instr) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !instrEqual(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func instrEqual(a, b Instr) bool {
+	return a.Op == b.Op && a.Dst == b.Dst && a.Succ == b.Succ &&
+		a.Target == b.Target && a.Fence == b.Fence && a.Mode == b.Mode &&
+		a.Msg == b.Msg &&
+		ExprEqual(a.Addr, b.Addr) && ExprEqual(a.Val, b.Val) &&
+		ExprEqual(a.Old, b.Old) && ExprEqual(a.New, b.New) &&
+		ExprEqual(a.Cond, b.Cond)
+}
+
+// ExprEqual reports structural equality of two expression trees (both nil
+// counts as equal).
+func ExprEqual(a, b *Expr) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Op != b.Op || a.K != b.K || a.R != b.R {
+		return false
+	}
+	return ExprEqual(a.A, b.A) && ExprEqual(a.B, b.B)
+}

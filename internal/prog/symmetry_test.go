@@ -1,0 +1,98 @@
+package prog
+
+import (
+	"testing"
+
+	"hmc/internal/eg"
+)
+
+func TestSymmetryGroups(t *testing.T) {
+	b := NewBuilder("mix")
+	x, y := b.Loc("x"), b.Loc("y")
+	// Threads 0 and 2 identical; thread 1 differs by location; thread 3
+	// differs by constant; threads 4 and 5 identical (another group).
+	mk := func(loc eg.Loc, k int64) {
+		th := b.Thread()
+		th.Store(loc, Const(k))
+		th.Load(loc)
+	}
+	mk(x, 1) // 0
+	mk(y, 1) // 1
+	mk(x, 1) // 2
+	mk(x, 2) // 3
+	mk(y, 7) // 4
+	mk(y, 7) // 5
+	p := b.MustBuild()
+
+	groups := p.SymmetryGroups()
+	if len(groups) != 2 {
+		t.Fatalf("groups = %v, want [[0 2] [4 5]]", groups)
+	}
+	if groups[0][0] != 0 || groups[0][1] != 2 || groups[1][0] != 4 || groups[1][1] != 5 {
+		t.Fatalf("groups = %v, want [[0 2] [4 5]]", groups)
+	}
+}
+
+func TestSymmetryGroupsExact(t *testing.T) {
+	b := NewBuilder("pair")
+	x := b.Loc("x")
+	for i := 0; i < 2; i++ {
+		th := b.Thread()
+		th.FAdd(x, Const(1))
+	}
+	th := b.Thread()
+	th.Store(x, Const(5))
+	p := b.MustBuild()
+
+	groups := p.SymmetryGroups()
+	if len(groups) != 1 || len(groups[0]) != 2 || groups[0][0] != 0 || groups[0][1] != 1 {
+		t.Fatalf("groups = %v, want [[0 1]]", groups)
+	}
+}
+
+func TestSymmetryDistinguishesControlFlow(t *testing.T) {
+	mkLoop := func(b *Builder, x eg.Loc, branchTarget bool) {
+		th := b.Thread()
+		r := th.Load(x)
+		j := th.BranchFwd(R(r))
+		th.Store(x, Const(1))
+		if branchTarget {
+			th.Patch(j)
+			th.Store(x, Const(2))
+		} else {
+			th.Store(x, Const(2))
+			th.Patch(j)
+		}
+	}
+	b := NewBuilder("ctrl")
+	x := b.Loc("x")
+	mkLoop(b, x, true)
+	mkLoop(b, x, false)
+	p := b.MustBuild()
+	if groups := p.SymmetryGroups(); len(groups) != 0 {
+		t.Errorf("different branch targets must not be symmetric: %v", groups)
+	}
+}
+
+func TestExprEqual(t *testing.T) {
+	cases := []struct {
+		a, b *Expr
+		want bool
+	}{
+		{nil, nil, true},
+		{Const(1), nil, false},
+		{Const(1), Const(1), true},
+		{Const(1), Const(2), false},
+		{R(0), R(0), true},
+		{R(0), R(1), false},
+		{Add(R(0), Const(1)), Add(R(0), Const(1)), true},
+		{Add(R(0), Const(1)), Add(Const(1), R(0)), false}, // not commutative-aware
+		{Not(R(2)), Not(R(2)), true},
+		{Eq(R(1), Const(3)), Ne(R(1), Const(3)), false},
+	}
+	for i, tc := range cases {
+		if got := ExprEqual(tc.a, tc.b); got != tc.want {
+			t.Errorf("case %d: ExprEqual = %v, want %v", i, got, tc.want)
+		}
+	}
+}
