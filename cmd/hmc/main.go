@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -53,6 +54,7 @@ func run(args []string, out io.Writer) error {
 	symm := fs.Bool("symm", false, "symmetry reduction: explore one representative per orbit of identical threads")
 	estimate := fs.Int("estimate", 0, "skip exploration; predict the execution count with this many random probes")
 	stats := fs.Bool("stats", false, "print exploration statistics (states, memo hits, revisits)")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget for each check (0 = none); an interrupted check prints INTERRUPTED with its partial counts")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -65,6 +67,15 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprint(out, p)
 	}
 
+	// The timeout budgets each check/analysis individually: one slow
+	// model under -all does not starve the rest of their budget.
+	newCtx := func() (context.Context, context.CancelFunc) {
+		if *timeout > 0 {
+			return context.WithTimeout(context.Background(), *timeout)
+		}
+		return context.Background(), func() {}
+	}
+
 	models := []string{*model}
 	if *all {
 		models = memmodel.Names()
@@ -75,55 +86,72 @@ func run(args []string, out io.Writer) error {
 			if err != nil {
 				return err
 			}
-			est, err := core.Estimate(p, core.Options{Model: m}, *estimate, 1)
+			ctx, cancel := newCtx()
+			est, err := core.Estimate(p, core.Options{Model: m, Context: ctx}, *estimate, 1)
+			cancel()
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(out, "%-16s model=%-8s estimate: %v\n", p.Name, name, est)
+			note := ""
+			if est.Interrupted {
+				note = " INTERRUPTED (partial probes)"
+			}
+			fmt.Fprintf(out, "%-16s model=%-8s estimate: %v%s\n", p.Name, name, est, note)
 		}
 		return nil
 	}
 	for _, name := range models {
-		if err := check(out, p, name, *verbose, *maxExec, *dotPath, *workers, *symm, *stats); err != nil {
+		if err := check(out, p, name, *verbose, *maxExec, *dotPath, *workers, *symm, *stats, newCtx); err != nil {
 			return err
 		}
 		if *robust {
-			if err := reportRobustness(out, p, name); err != nil {
+			if err := reportRobustness(out, p, name, newCtx); err != nil {
 				return err
 			}
 		}
 		if *live {
-			if err := reportLiveness(out, p, name); err != nil {
+			if err := reportLiveness(out, p, name, newCtx); err != nil {
 				return err
 			}
 		}
 	}
 	if *races {
-		rep, err := core.CheckRaces(p)
+		ctx, cancel := newCtx()
+		defer cancel()
+		rep, err := core.CheckRaces(p, core.Options{Context: ctx})
 		if err != nil {
 			return err
 		}
-		if len(rep.Races) == 0 {
-			fmt.Fprintf(out, "race-free: no unordered conflicting plain accesses in %d rc11 executions\n", rep.Executions)
-		} else {
+		switch {
+		case len(rep.Races) > 0:
 			for _, r := range rep.Races {
 				fmt.Fprintf(out, "DATA RACE: %v (location %s)\n", r, p.LocName(r.Loc))
 			}
+		case rep.Interrupted:
+			fmt.Fprintf(out, "race check INTERRUPTED (partial: no race in the %d rc11 executions examined)\n", rep.Executions)
+		default:
+			fmt.Fprintf(out, "race-free: no unordered conflicting plain accesses in %d rc11 executions\n", rep.Executions)
 		}
 	}
 	return nil
 }
 
-func reportRobustness(out io.Writer, p *prog.Program, model string) error {
+func reportRobustness(out io.Writer, p *prog.Program, model string, newCtx func() (context.Context, context.CancelFunc)) error {
 	m, err := memmodel.ByName(model)
 	if err != nil {
 		return err
 	}
-	rep, err := core.CheckRobustness(p, m)
+	ctx, cancel := newCtx()
+	defer cancel()
+	rep, err := core.CheckRobustness(p, m, core.Options{Context: ctx})
 	if err != nil {
 		return err
 	}
 	if rep.Robust {
+		if rep.Interrupted {
+			fmt.Fprintf(out, "  robustness against %s INTERRUPTED (partial: %d executions, all SC so far)\n", model, rep.Executions)
+			return nil
+		}
 		fmt.Fprintf(out, "  robust against %s: every execution is sequentially consistent\n", model)
 	} else {
 		fmt.Fprintf(out, "  NOT robust against %s: %d of %d executions are non-SC; witness:\n%s",
@@ -132,16 +160,23 @@ func reportRobustness(out io.Writer, p *prog.Program, model string) error {
 	return nil
 }
 
-func reportLiveness(out io.Writer, p *prog.Program, model string) error {
+func reportLiveness(out io.Writer, p *prog.Program, model string, newCtx func() (context.Context, context.CancelFunc)) error {
 	m, err := memmodel.ByName(model)
 	if err != nil {
 		return err
 	}
-	rep, err := core.CheckLiveness(p, m)
+	ctx, cancel := newCtx()
+	defer cancel()
+	rep, err := core.CheckLiveness(p, m, core.Options{Context: ctx})
 	if err != nil {
 		return err
 	}
 	if rep.Live() {
+		if rep.Interrupted {
+			fmt.Fprintf(out, "  liveness under %s INTERRUPTED (partial: no deadlock in %d blocked executions so far)\n",
+				model, rep.BlockedExecutions)
+			return nil
+		}
 		fmt.Fprintf(out, "  live under %s: %d blocked executions, all schedulable away (%d fairness, %d bound)\n",
 			model, rep.BlockedExecutions, rep.FairnessBlocks, rep.BoundBlocks)
 		return nil
@@ -176,12 +211,14 @@ func loadProgram(args []string, testName string) (*prog.Program, error) {
 	return litmus.Parse(string(src))
 }
 
-func check(out io.Writer, p *prog.Program, model string, verbose bool, maxExec int, dotPath string, workers int, symm, stats bool) error {
+func check(out io.Writer, p *prog.Program, model string, verbose bool, maxExec int, dotPath string, workers int, symm, stats bool, newCtx func() (context.Context, context.CancelFunc)) error {
 	m, err := memmodel.ByName(model)
 	if err != nil {
 		return err
 	}
-	opts := core.Options{Model: m, MaxExecutions: maxExec, Workers: workers, Symmetry: symm}
+	ctx, cancel := newCtx()
+	defer cancel()
+	opts := core.Options{Model: m, Context: ctx, MaxExecutions: maxExec, Workers: workers, Symmetry: symm}
 	var witness *eg.Graph
 	witnessWeak := false
 	opts.OnExecution = func(g *eg.Graph, fsv prog.FinalState) {
@@ -212,16 +249,28 @@ func check(out io.Writer, p *prog.Program, model string, verbose bool, maxExec i
 		}
 		fmt.Fprintf(out, "witness written to %s (weak outcome: %v)\n", dotPath, witnessWeak)
 	}
-	status := "forbidden"
-	if res.ExistsCount > 0 {
-		status = "ALLOWED"
+	if res.Interrupted {
+		// Partial counts must not read like a verdict: an interrupted run
+		// proves only what it observed (a weak outcome it did find is
+		// real; "forbidden" would be unfounded).
+		verdict := "not observed (INCONCLUSIVE)"
+		if res.ExistsCount > 0 {
+			verdict = "ALLOWED"
+		}
+		fmt.Fprintf(out, "%-16s model=%-8s INTERRUPTED (partial: %d executions, %d blocked) weak outcome [%s]: %s\n",
+			p.Name, model, res.Executions, res.Blocked, p.ExistsDesc, verdict)
+	} else {
+		status := "forbidden"
+		if res.ExistsCount > 0 {
+			status = "ALLOWED"
+		}
+		fmt.Fprintf(out, "%-16s model=%-8s executions=%-6d blocked=%-4d weak outcome [%s]: %s",
+			p.Name, model, res.Executions, res.Blocked, p.ExistsDesc, status)
+		if res.Truncated {
+			fmt.Fprint(out, " (truncated)")
+		}
+		fmt.Fprintln(out)
 	}
-	fmt.Fprintf(out, "%-16s model=%-8s executions=%-6d blocked=%-4d weak outcome [%s]: %s",
-		p.Name, model, res.Executions, res.Blocked, p.ExistsDesc, status)
-	if res.Truncated {
-		fmt.Fprint(out, " (truncated)")
-	}
-	fmt.Fprintln(out)
 	if stats {
 		fmt.Fprintf(out, "  states=%d memo-hits=%d consistency-checks=%d revisits=%d/%d (taken/tried) repair-fails=%d max-graph=%d\n",
 			res.States, res.MemoHits, res.ConsistencyChecks,

@@ -100,6 +100,48 @@ func TestRunMaxTruncates(t *testing.T) {
 	}
 }
 
+func TestRunTimeoutInterrupts(t *testing.T) {
+	// A 1ns budget is spent before exploration starts: the run must
+	// report INTERRUPTED with its (empty) partial counts, not a verdict.
+	var out strings.Builder
+	if err := run([]string{"-model", "sc", "-test", "IRIW", "-timeout", "1ns"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "INTERRUPTED (partial: 0 executions") {
+		t.Errorf("interruption not reported:\n%s", got)
+	}
+	if strings.Contains(got, "forbidden") {
+		t.Errorf("an interrupted run must not claim a forbidden verdict:\n%s", got)
+	}
+
+	// A generous budget must leave the normal output untouched.
+	out.Reset()
+	if err := run([]string{"-model", "sc", "-test", "SB", "-timeout", "1m"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "executions=3") || strings.Contains(out.String(), "INTERRUPTED") {
+		t.Errorf("in-budget run must report normally:\n%s", out.String())
+	}
+}
+
+func TestRunTimeoutInterruptsAnalyses(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-model", "tso", "-test", "SB", "-timeout", "1ns", "-robust", "-live", "-races"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"robustness against tso INTERRUPTED",
+		"liveness under tso INTERRUPTED",
+		"race check INTERRUPTED",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing %q in:\n%s", want, got)
+		}
+	}
+}
+
 func TestRunVerbosePrintsExecutions(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"-model", "sc", "-test", "SB", "-v"}, &out); err != nil {

@@ -1,0 +1,107 @@
+// Command hmcd is the model-checking daemon: a long-running HTTP service
+// over the HMC explorer. Clients submit litmus tests (plain-text source
+// or built-in corpus names), poll for verdicts, and scrape metrics;
+// repeat submissions of an already-verified program are answered from a
+// content-addressed verdict cache, and every job runs under its own
+// deadline so one oversized exploration cannot wedge the service.
+//
+// Usage:
+//
+//	hmcd [-addr :8433] [-queue 64] [-workers 2] [-cache 128]
+//	     [-timeout 30s] [-max-timeout 5m]
+//
+// Endpoints (see internal/service for the full API):
+//
+//	POST   /v1/jobs      {"source": "...", "model": "imm", "timeout_ms": 5000}
+//	GET    /v1/jobs/{id} poll status and result
+//	DELETE /v1/jobs/{id} cancel
+//	GET    /v1/models    GET /v1/tests    GET /healthz    GET /metrics
+//
+// SIGINT/SIGTERM drains gracefully: the listener stops, queued and
+// running jobs get the drain grace period to finish, then are cancelled.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hmc/internal/service"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "hmcd:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and blocks until ctx is cancelled, then drains.
+// ready, when non-nil, is called with the bound address once the listener
+// is accepting (tests bind ":0" and need the resolved port).
+func run(ctx context.Context, args []string, out io.Writer, ready func(addr string)) error {
+	fs := flag.NewFlagSet("hmcd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8433", "listen address")
+	queue := fs.Int("queue", 64, "job queue capacity (full queue rejects with 503)")
+	workers := fs.Int("workers", 2, "jobs explored concurrently")
+	cache := fs.Int("cache", 128, "verdict cache entries (negative disables)")
+	defTimeout := fs.Duration("timeout", 30*time.Second, "default per-job deadline (0 = none)")
+	maxTimeout := fs.Duration("max-timeout", 5*time.Minute, "cap on requested per-job deadlines (0 = none)")
+	drainGrace := fs.Duration("drain", 10*time.Second, "shutdown grace before in-flight jobs are cancelled")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	svc := service.New(service.Config{
+		QueueSize:      *queue,
+		Workers:        *workers,
+		CacheSize:      *cache,
+		DefaultTimeout: *defTimeout,
+		MaxTimeout:     *maxTimeout,
+	})
+	srv := &http.Server{Handler: svc.Handler()}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// Report the effective configuration: out-of-range flag values (zero
+	// or negative workers/queue) are clamped by the service's defaults.
+	eff := svc.Config()
+	fmt.Fprintf(out, "hmcd: listening on %s (workers=%d queue=%d cache=%d timeout=%v)\n",
+		ln.Addr(), eff.Workers, eff.QueueSize, eff.CacheSize, eff.DefaultTimeout)
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintf(out, "hmcd: draining (grace %v)\n", *drainGrace)
+	grace, cancel := context.WithTimeout(context.Background(), *drainGrace)
+	defer cancel()
+	if err := srv.Shutdown(grace); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(out, "hmcd: http shutdown: %v\n", err)
+	}
+	if err := svc.Shutdown(grace); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	fmt.Fprintln(out, "hmcd: stopped")
+	return nil
+}

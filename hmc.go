@@ -63,9 +63,12 @@ type (
 	FinalState = prog.FinalState
 	// Model is an axiomatic memory consistency model.
 	Model = memmodel.Model
-	// Options configures an exploration (model, bounds, callbacks).
+	// Options configures an exploration (model, bounds, callbacks, and a
+	// Context for cancellation/deadlines — a cancelled run returns its
+	// partial Result with Interrupted set).
 	Options = core.Options
-	// Result aggregates an exploration (executions, verdict, errors).
+	// Result aggregates an exploration (executions, verdict, errors,
+	// Truncated/Interrupted partiality flags).
 	Result = core.Result
 	// Graph is an execution graph (exposed in witnesses and callbacks).
 	Graph = eg.Graph
@@ -127,12 +130,17 @@ type RobustnessReport = core.RobustnessReport
 // model coincide with its sequentially consistent executions. A robust
 // program needs no weak-memory reasoning on that hardware; otherwise the
 // report carries a witness execution exhibiting the reordering.
-func CheckRobustness(p *Program, model string) (*RobustnessReport, error) {
+//
+// An optional Options value supplies exploration bounds — MaxExecutions,
+// Context (cancellation/deadline), Workers, Symmetry; its Model and
+// callback fields are ignored. Bounded or cancelled runs mark the report
+// Truncated/Interrupted.
+func CheckRobustness(p *Program, model string, opts ...Options) (*RobustnessReport, error) {
 	m, err := memmodel.ByName(model)
 	if err != nil {
 		return nil, err
 	}
-	return core.CheckRobustness(p, m)
+	return core.CheckRobustness(p, m, opts...)
 }
 
 // Race identifies a data race (see CheckRaces).
@@ -144,8 +152,11 @@ type RaceReport = core.RaceReport
 // CheckRaces explores p under the rc11 model and reports C11-style data
 // races: conflicting plain (unannotated) accesses unordered by
 // happens-before in some consistent execution. A racy program has
-// undefined behaviour at the language level.
-func CheckRaces(p *Program) (*RaceReport, error) { return core.CheckRaces(p) }
+// undefined behaviour at the language level. Optional Options as in
+// CheckRobustness.
+func CheckRaces(p *Program, opts ...Options) (*RaceReport, error) {
+	return core.CheckRaces(p, opts...)
+}
 
 // LivenessReport classifies a program's blocked executions (see
 // CheckLiveness).
@@ -161,12 +172,13 @@ type PermanentBlock = core.PermanentBlock
 // ever hold. Blocked executions a fair scheduler would resolve (a spin
 // read that merely saw a stale value) are counted but not reported as
 // violations.
-func CheckLiveness(p *Program, model string) (*LivenessReport, error) {
+// Optional Options as in CheckRobustness.
+func CheckLiveness(p *Program, model string, opts ...Options) (*LivenessReport, error) {
 	m, err := memmodel.ByName(model)
 	if err != nil {
 		return nil, err
 	}
-	return core.CheckLiveness(p, m)
+	return core.CheckLiveness(p, m, opts...)
 }
 
 // EstimateResult summarizes a probe-based prediction of exploration cost
@@ -178,12 +190,19 @@ type EstimateResult = core.EstimateResult
 // exhaustive exploration — the cheap first question to ask of a program
 // that might be too big to check. Deterministic for a fixed seed; see
 // core.Estimate for the bias discussion.
-func Estimate(p *Program, model string, samples int, seed int64) (*EstimateResult, error) {
+// Optional Options supply a Context (cancellation stops probing and
+// marks the estimate Interrupted); the Model field is ignored.
+func Estimate(p *Program, model string, samples int, seed int64, opts ...Options) (*EstimateResult, error) {
 	m, err := memmodel.ByName(model)
 	if err != nil {
 		return nil, err
 	}
-	return core.Estimate(p, core.Options{Model: m}, samples, seed)
+	o := Options{}
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	o.Model = m
+	return core.Estimate(p, o, samples, seed)
 }
 
 // Check is the convenience form of Explore: verify p under the named

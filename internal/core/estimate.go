@@ -28,6 +28,10 @@ type EstimateResult struct {
 	CompletedProbes int
 	// MaxDepth is the deepest probe, in exploration steps.
 	MaxDepth int
+	// Interrupted reports that Options.Context was cancelled before all
+	// probes ran: Mean/StdErr are computed over the probes completed so
+	// far (Samples still records the requested count).
+	Interrupted bool
 }
 
 func (r *EstimateResult) String() string {
@@ -55,6 +59,11 @@ func (r *EstimateResult) String() string {
 // (StdErr) comparable to the mean is the signature of a revisit-heavy
 // space where reductions (Symmetry, Workers) should be applied before an
 // exhaustive run.
+//
+// Estimate honours opts.Context — cancellation stops probing and returns
+// the estimate over the probes taken so far with Interrupted set.
+// MaxExecutions does not apply (probes are root→leaf walks, not an
+// enumeration); exploration callbacks are never invoked.
 func Estimate(p *prog.Program, opts Options, samples int, seed int64) (*EstimateResult, error) {
 	if opts.Model == nil {
 		return nil, fmt.Errorf("core: Options.Model is required")
@@ -68,12 +77,22 @@ func Estimate(p *prog.Program, opts Options, samples int, seed int64) (*Estimate
 	rng := rand.New(rand.NewSource(seed))
 	res := &EstimateResult{Samples: samples}
 	var sum, sumSq float64
+	taken := 0
 	for s := 0; s < samples; s++ {
+		if opts.Context != nil && opts.Context.Err() != nil {
+			res.Interrupted = true
+			break
+		}
+		taken++
 		e := &explorer{p: p, opts: opts, sh: &shared{res: &Result{}}}
 		g := eg.NewGraph(len(p.Threads), p.NumLocs)
 		w := 1.0
 		depth := 0
 		for {
+			if opts.Context != nil && opts.Context.Err() != nil {
+				res.Interrupted = true
+				break
+			}
 			kids, status := e.successors(g)
 			if status == leafComplete {
 				sum += w
@@ -92,9 +111,12 @@ func Estimate(p *prog.Program, opts Options, samples int, seed int64) (*Estimate
 			res.MaxDepth = depth
 		}
 	}
-	n := float64(samples)
+	if taken == 0 {
+		return res, nil
+	}
+	n := float64(taken)
 	res.Mean = sum / n
-	if samples > 1 {
+	if taken > 1 {
 		variance := (sumSq - sum*sum/n) / (n - 1)
 		if variance > 0 {
 			res.StdErr = math.Sqrt(variance / n)

@@ -25,6 +25,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -39,6 +40,13 @@ import (
 type Options struct {
 	// Model is the memory model to check against (required).
 	Model memmodel.Model
+	// Context, when non-nil, makes the exploration cancellable: it is
+	// polled at every branch point (forward branches, revisits, and the
+	// parallel worker pool), so cancellation or a deadline stops the run
+	// mid-exploration. An interrupted run is not an error — Explore
+	// returns the partial Result accumulated so far with Interrupted set,
+	// mirroring how MaxExecutions sets Truncated.
+	Context context.Context
 	// MaxSteps bounds each thread replay (≤0: interp.DefaultMaxSteps).
 	MaxSteps int
 	// MaxExecutions aborts exploration after this many complete executions
@@ -128,9 +136,21 @@ type Result struct {
 	Stats
 	Keys      []string // canonical execution keys (when CollectKeys)
 	Truncated bool     // MaxExecutions hit
+	// Interrupted reports that Options.Context was cancelled (or its
+	// deadline expired) before the state space was exhausted: every count
+	// in Stats is a partial lower bound, and the absence of an assertion
+	// failure or weak outcome proves nothing.
+	Interrupted bool
 }
 
+// Exhaustive reports whether the result covers the full state space —
+// neither truncated by MaxExecutions nor interrupted by the context.
+// Only exhaustive results are definitive verdicts (and cacheable).
+func (r *Result) Exhaustive() bool { return !r.Truncated && !r.Interrupted }
+
 // Explore model-checks p under opts and returns the aggregated result.
+// When opts.Context is cancelled mid-run the partial result is returned
+// with Interrupted set (not an error).
 func Explore(p *prog.Program, opts Options) (*Result, error) {
 	if opts.Model == nil {
 		return nil, fmt.Errorf("core: Options.Model is required")
@@ -149,9 +169,30 @@ func Explore(p *prog.Program, opts Options) (*Result, error) {
 	if opts.Symmetry {
 		e.perms = symmetryPerms(len(p.Threads), p.SymmetryGroups())
 	}
+	if ctx := opts.Context; ctx != nil {
+		// A watcher translates ctx cancellation into the stop flag the
+		// branch loops already poll, so the hot path stays a single
+		// atomic load. Checking synchronously first makes a pre-cancelled
+		// context deterministic: zero work, empty interrupted result.
+		if ctx.Err() != nil {
+			sh.res.Interrupted = true
+			return sh.res, nil
+		}
+		done := make(chan struct{})
+		defer close(done)
+		go func() {
+			select {
+			case <-ctx.Done():
+				sh.interrupted.Store(true)
+				sh.stop.Store(true)
+			case <-done:
+			}
+		}()
+	}
 	g := eg.NewGraph(len(p.Threads), p.NumLocs)
 	e.visit(g)
 	sh.wg.Wait()
+	sh.res.Interrupted = sh.interrupted.Load()
 	return sh.res, nil
 }
 
@@ -184,13 +225,14 @@ func (e *explorer) key(g *eg.Graph) string {
 // read the graph they were handed (strict replay never mutates) and clone
 // before extending, so the graph itself needs no synchronization.
 type shared struct {
-	mu   sync.Mutex
-	res  *Result
-	seen map[string]bool // complete-execution keys (DedupSafeguard)
-	memo map[string]bool // semantic exploration-state keys
-	stop atomic.Bool
-	sem  chan struct{} // fork slots (nil: sequential)
-	wg   sync.WaitGroup
+	mu          sync.Mutex
+	res         *Result
+	seen        map[string]bool // complete-execution keys (DedupSafeguard)
+	memo        map[string]bool // semantic exploration-state keys
+	stop        atomic.Bool
+	interrupted atomic.Bool   // stop was caused by Options.Context
+	sem         chan struct{} // fork slots (nil: sequential)
+	wg          sync.WaitGroup
 }
 
 // stopped reports whether exploration has been aborted.

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"hmc/internal/gen"
+	"hmc/internal/memmodel"
+)
+
+// TestCancelledContextEveryEntryPoint pins the interruption contract
+// across all analysis entry points: an already-cancelled context is not
+// an error — each returns immediately with an empty partial result whose
+// Interrupted flag is set.
+func TestCancelledContextEveryEntryPoint(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := gen.SBN(2)
+	sc, _ := memmodel.ByName("sc")
+
+	cases := []struct {
+		name string
+		run  func() (interrupted bool, work int, err error)
+	}{
+		{"Explore", func() (bool, int, error) {
+			res, err := Explore(p, Options{Model: sc, Context: ctx})
+			return res.Interrupted, res.Executions, err
+		}},
+		{"Estimate", func() (bool, int, error) {
+			// Samples records the requested probe count by contract;
+			// CompletedProbes is what measures work actually done.
+			est, err := Estimate(p, Options{Model: sc, Context: ctx}, 50, 1)
+			return est.Interrupted, est.CompletedProbes, err
+		}},
+		{"CheckRobustness", func() (bool, int, error) {
+			rep, err := CheckRobustness(p, sc, Options{Context: ctx})
+			return rep.Interrupted, rep.Executions, err
+		}},
+		{"CheckRaces", func() (bool, int, error) {
+			rep, err := CheckRaces(p, Options{Context: ctx})
+			return rep.Interrupted, rep.Executions, err
+		}},
+		{"CheckLiveness", func() (bool, int, error) {
+			rep, err := CheckLiveness(p, sc, Options{Context: ctx})
+			return rep.Interrupted, rep.BlockedExecutions, err
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			interrupted, work, err := tc.run()
+			if err != nil {
+				t.Fatalf("cancellation must not be an error: %v", err)
+			}
+			if !interrupted {
+				t.Error("Interrupted flag not set")
+			}
+			if work != 0 {
+				t.Errorf("pre-cancelled run did work: %d", work)
+			}
+		})
+	}
+}
+
+// TestDeadlineStopsExploration checks a deadline that fires mid-run:
+// inc(4,3) has far too many executions for 10ms, so the result must come
+// back interrupted and partial, without error, under both sequential and
+// parallel exploration.
+func TestDeadlineStopsExploration(t *testing.T) {
+	sc, _ := memmodel.ByName("sc")
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+		res, err := Explore(gen.IncN(4, 3), Options{Model: sc, Context: ctx, Workers: workers})
+		cancel()
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !res.Interrupted {
+			t.Errorf("workers=%d: deadline did not interrupt", workers)
+		}
+		if res.Exhaustive() {
+			t.Errorf("workers=%d: interrupted result claims exhaustiveness", workers)
+		}
+	}
+}
+
+// TestBoundedAndInterruptedPartialityFlags pins the three-way partiality
+// contract shared by all entry points: MaxExecutions sets Truncated (not
+// Interrupted), cancellation sets Interrupted, and an unbounded completed
+// run is Exhaustive.
+func TestBoundedAndInterruptedPartialityFlags(t *testing.T) {
+	sc, _ := memmodel.ByName("sc")
+	p := gen.SBN(2)
+
+	res, err := Explore(p, Options{Model: sc, MaxExecutions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated || res.Interrupted || res.Exhaustive() {
+		t.Errorf("MaxExecutions=1: Truncated=%v Interrupted=%v Exhaustive=%v, want true/false/false",
+			res.Truncated, res.Interrupted, res.Exhaustive())
+	}
+	if res.Executions != 1 {
+		t.Errorf("MaxExecutions=1 explored %d executions", res.Executions)
+	}
+
+	res, err = Explore(p, Options{Model: sc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exhaustive() || res.Truncated || res.Interrupted {
+		t.Errorf("unbounded run: Truncated=%v Interrupted=%v, want exhaustive", res.Truncated, res.Interrupted)
+	}
+
+	// The analyses inherit MaxExecutions through their Options parameter.
+	rep, err := CheckRobustness(p, sc, Options{MaxExecutions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Truncated {
+		t.Error("CheckRobustness must surface MaxExecutions truncation")
+	}
+	race, err := CheckRaces(p, Options{MaxExecutions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !race.Truncated {
+		t.Error("CheckRaces must surface MaxExecutions truncation")
+	}
+}

@@ -43,6 +43,10 @@ type LivenessReport struct {
 	// BoundBlocks counts executions cut off by the step bound rather than
 	// a failed assume; they carry no liveness information.
 	BoundBlocks int
+	// Truncated/Interrupted report a partial exploration: Live()=true is
+	// then only "no deadlock found so far", not a verdict.
+	Truncated   bool
+	Interrupted bool
 }
 
 // Live reports whether the program has no permanent blocks.
@@ -73,16 +77,20 @@ func (r *LivenessReport) Live() bool { return len(r.PermanentBlocks) == 0 }
 // The criterion is a sound under-approximation: every PermanentBlock is a
 // genuine violation, while some genuine violations hidden behind stale
 // reads elsewhere in the execution may be classified as fairness-only.
-func CheckLiveness(p *prog.Program, model memmodel.Model) (*LivenessReport, error) {
+//
+// An optional Options value supplies exploration bounds (MaxExecutions,
+// Context, Workers, Symmetry, MaxSteps); its Model and callback fields
+// are ignored. A bounded or cancelled run sets Truncated/Interrupted on
+// the report.
+func CheckLiveness(p *prog.Program, model memmodel.Model, opts ...Options) (*LivenessReport, error) {
 	rep := &LivenessReport{}
 	type blockSite struct {
 		thread int
 		index  int // spin-read's po index (-1: memory-independent assume)
 	}
 	reported := map[blockSite]bool{}
-	res, err := Explore(p, Options{
-		Model: model,
-		OnBlocked: func(g *eg.Graph) {
+	res, err := Explore(p, analysisOptions(model, nil,
+		func(g *eg.Graph) {
 			rep.BlockedExecutions++
 			// Pass 1: collect the blocked threads and decide whether any
 			// thread could ever move again. A thread blocked on the step
@@ -130,12 +138,13 @@ func CheckLiveness(p *prog.Program, model memmodel.Model) (*LivenessReport, erro
 					}
 				}
 			}
-		},
-	})
+		}, opts))
 	if err != nil {
 		return nil, err
 	}
 	rep.Executions = res.Executions
+	rep.Truncated = res.Truncated
+	rep.Interrupted = res.Interrupted
 	return rep, nil
 }
 

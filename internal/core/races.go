@@ -27,6 +27,10 @@ type RaceReport struct {
 	Races []Race
 	// Executions counts the rc11-consistent executions examined.
 	Executions int
+	// Truncated/Interrupted report a partial exploration: an empty Races
+	// list is then only "no race found so far", not race-freedom.
+	Truncated   bool
+	Interrupted bool
 }
 
 // CheckRaces explores p under the rc11 model and reports data races: in
@@ -38,23 +42,27 @@ type RaceReport struct {
 //
 // Accesses annotated with any memory order (rlx and up) are atomics and
 // never race with each other.
-func CheckRaces(p *prog.Program) (*RaceReport, error) {
+//
+// An optional Options value supplies exploration bounds (MaxExecutions,
+// Context, Workers, Symmetry, MaxSteps); its Model and callback fields
+// are ignored. A bounded or cancelled run sets Truncated/Interrupted on
+// the report.
+func CheckRaces(p *prog.Program, opts ...Options) (*RaceReport, error) {
 	rc11, err := memmodel.ByName("rc11")
 	if err != nil {
 		return nil, err
 	}
 	rep := &RaceReport{}
 	seen := map[[2]eg.EvID]bool{}
-	res, err := Explore(p, Options{
-		Model: rc11,
-		OnExecution: func(g *eg.Graph, fs prog.FinalState) {
-			findRaces(g, seen, rep)
-		},
-	})
+	res, err := Explore(p, analysisOptions(rc11, func(g *eg.Graph, fs prog.FinalState) {
+		findRaces(g, seen, rep)
+	}, nil, opts))
 	if err != nil {
 		return nil, err
 	}
 	rep.Executions = res.Executions
+	rep.Truncated = res.Truncated
+	rep.Interrupted = res.Interrupted
 	return rep, nil
 }
 

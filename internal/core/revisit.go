@@ -52,6 +52,9 @@ func (e *explorer) revisitsFrom(g *eg.Graph, w eg.EvID, loc eg.Loc) {
 //     revisited state because the revisit erases r's binding and deletes
 //     events; the memo admits exactly one of them.
 func (e *explorer) revisit(g *eg.Graph, w, r eg.EvID) {
+	if e.stopped() {
+		return
+	}
 	e.count(func(s *Stats) { s.RevisitsTried++ })
 
 	// Phase 1: keep everything the revisit does not causally erase and

@@ -1,0 +1,73 @@
+package litmus
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseErrorDiagnostics walks every diagnostic the parser can raise
+// (the short table in litmus_test.go spot-checks a few), pinning both
+// the exact message and — where a source line is at fault — the
+// "line N:" prefix that points users at it.
+func TestParseErrorDiagnostics(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"no threads", "name empty\n", "no threads defined"},
+		{"exists only", "exists x=1\n", "no threads defined"},
+		{"unrecognised line", "thread 0: W x 1\n", `line 1: unrecognised line "thread 0: W x 1"`},
+		{"missing colon", "T0 W x 1\n", "line 1: expected 'T<n>:' prefix"},
+		{"bad thread id", "Tx: W x 1\n", `line 1: bad thread id "Tx"`},
+		{"thread out of order", "T0: W x 1\nT2: W y 1\n", "line 2: thread T2 declared out of order (next is T1)"},
+		{"bad store value", "T0: W x one\n", `bad store value "one"`},
+		{"bad fence kind", "T0: F mfence\n", `bad fence kind "mfence" (want full/lw/ld)`},
+		{"unrecognised instruction", "T0: W x\n", "unrecognised instruction"},
+		{"empty rhs", "T0: r0 =\n", "empty right-hand side"},
+		{"load arity", "T0: r0 = R x 1\n", "want '<reg> = R <loc>'"},
+		{"load two dsts", "T0: r0,r1 = R x\n", "want '<reg> = R <loc>'"},
+		{"await arity", "T0: r0 = AWAIT x\n", "want '<reg> = AWAIT <loc> <val>'"},
+		{"await bad value", "T0: r0 = AWAIT x one\n", `bad integer "one"`},
+		{"cas arity", "T0: r0 = CAS x 0\n", "want '<reg>[,<flag>] = CAS <loc> <old> <new>'"},
+		{"cas three dsts", "T0: a,b,c = CAS x 0 1\n", "want '<reg>[,<flag>] = CAS <loc> <old> <new>'"},
+		{"cas bad old", "T0: r0 = CAS x zero 1\n", `bad integer "zero"`},
+		{"fadd arity", "T0: r0 = FADD x\n", "want '<reg> = FADD <loc> <val>'"},
+		{"xchg arity", "T0: r0 = XCHG x 1 2\n", "want '<reg> = XCHG <loc> <val>'"},
+		{"unrecognised operation", "T0: r0 = FROB x 1\n", `unrecognised operation "FROB"`},
+		{"bad memory order", "T0: W.weird x 1\n", `bad memory order "weird" (want rlx/acq/rel/acqrel/sc)`},
+		{"glued mode suffix", "T0: Wx y 1\n", `unrecognised instruction "Wx"`},
+		{"bad atom", "T0: W x 1\nexists x\n", `line 2: bad atom "x" (want lhs=val)`},
+		{"bad atom value", "T0: W x 1\nexists x=yes\n", `bad atom value in "x=yes"`},
+		{"bad thread in atom", "T0: W x 1\nexists T9:r0=1\n", `bad thread in atom "T9:r0=1"`},
+		{"unknown register in exists", "T0: W x 1\nexists T0:r7=1\n", `unknown register "r7" in T0`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatalf("Parse(%q) succeeded, want error containing %q", tc.src, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Parse(%q) error = %q, want substring %q", tc.src, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestParseErrorRecoveryBoundary pins behaviours adjacent to the error
+// paths: comments and blank lines don't shift reported line numbers, and
+// statements after a semicolon are independently diagnosed.
+func TestParseErrorRecoveryBoundary(t *testing.T) {
+	_, err := Parse("# header comment\n\nT0: W x 1\nT0: F sideways\n")
+	if err == nil || !strings.Contains(err.Error(), "line 4:") {
+		t.Errorf("error must carry the raw source line number, got %v", err)
+	}
+	// The offending statement is named even when it follows healthy ones.
+	_, err = Parse("T0: W x 1 ; W y oops\n")
+	if err == nil || !strings.Contains(err.Error(), `"W y oops"`) {
+		t.Errorf("error must quote the failing statement, got %v", err)
+	}
+	// Trailing semicolons and interior blank statements are tolerated.
+	if _, err := Parse("T0: W x 1 ; ; W y 1 ;\nexists x=1\n"); err != nil {
+		t.Errorf("empty statements must be skipped, got %v", err)
+	}
+}

@@ -1,6 +1,8 @@
 package prog
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 
 	"hmc/internal/eg"
@@ -140,6 +142,27 @@ func (p *Program) Validate() error {
 		}
 	}
 	return nil
+}
+
+// Fingerprint returns a canonical content hash of the program: its
+// instruction streams, location/register counts and Exists description,
+// but not its Name or location names — two tests that differ only in
+// labelling hash alike. The Exists closure itself cannot be hashed, so
+// ExistsDesc stands in for it; programs built from litmus text (where the
+// description is derived from the clause) therefore hash canonically,
+// while hand-built programs must keep ExistsDesc faithful for the hash
+// to be a sound cache key. This is the key of the service verdict cache.
+func (p *Program) Fingerprint() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "locs=%d\n", p.NumLocs)
+	for t, th := range p.Threads {
+		fmt.Fprintf(h, "T%d regs=%d\n", t, p.NumRegs[t])
+		for pc, in := range th {
+			fmt.Fprintf(h, " %d: %v\n", pc, in)
+		}
+	}
+	fmt.Fprintf(h, "exists(%v)=%s\n", p.Exists != nil, p.ExistsDesc)
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // String renders the whole program.

@@ -1,0 +1,82 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"hmc/internal/core"
+)
+
+// verdictCache is a content-addressed LRU cache of exhaustive exploration
+// results. Keys are built by cacheKey from the program fingerprint, the
+// model name and every option that can change the verdict or the counts
+// (bounds, ablations, symmetry) — but not Workers, which only changes how
+// fast the same result is computed. Values are *core.Result pointers;
+// results are immutable once a job completes, so entries are shared, not
+// copied. Only exhaustive results are inserted (an interrupted run's
+// partial counts depend on the deadline that cut it, not on the program).
+type verdictCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	res *core.Result
+}
+
+func newVerdictCache(capacity int) *verdictCache {
+	return &verdictCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached result for key, promoting it to most recent.
+func (c *verdictCache) get(key string) (*core.Result, bool) {
+	if c == nil || c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// put inserts (or refreshes) key, evicting the least recently used entry
+// when the cache is full.
+func (c *verdictCache) put(key string, res *core.Result) {
+	if c == nil || c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).res = res
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the number of cached entries.
+func (c *verdictCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

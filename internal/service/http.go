@@ -1,0 +1,247 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"hmc/internal/litmus"
+	"hmc/internal/memmodel"
+	"hmc/internal/prog"
+)
+
+// maxSubmitBytes bounds a submission body; litmus tests are tiny, and the
+// parser is the service's untrusted-input boundary.
+const maxSubmitBytes = 1 << 20
+
+// submitJSON is the wire form of a job submission: either Source (a
+// litmus test in the plain-text format) or Test (a built-in corpus test
+// name) selects the program.
+type submitJSON struct {
+	Source        string `json:"source,omitempty"`
+	Test          string `json:"test,omitempty"`
+	Model         string `json:"model"`
+	MaxExecutions int    `json:"max_executions,omitempty"`
+	Workers       int    `json:"workers,omitempty"`
+	Symmetry      bool   `json:"symmetry,omitempty"`
+	TimeoutMS     int64  `json:"timeout_ms,omitempty"`
+}
+
+// jobJSON is the wire form of a job snapshot.
+type jobJSON struct {
+	ID          string      `json:"id"`
+	State       JobState    `json:"state"`
+	Program     string      `json:"program"`
+	Fingerprint string      `json:"fingerprint"`
+	Model       string      `json:"model"`
+	CacheHit    bool        `json:"cache_hit"`
+	SubmittedAt time.Time   `json:"submitted_at"`
+	DurationMS  int64       `json:"duration_ms,omitempty"`
+	Error       string      `json:"error,omitempty"`
+	Result      *resultJSON `json:"result,omitempty"`
+}
+
+// resultJSON is the wire form of an exploration outcome. Allowed is the
+// litmus verdict (ExistsCount > 0); Exhaustive distinguishes a definitive
+// verdict from the partial counts of a truncated or interrupted run.
+type resultJSON struct {
+	Executions        int      `json:"executions"`
+	ExistsCount       int      `json:"exists_count"`
+	ExistsDesc        string   `json:"exists_desc,omitempty"`
+	Allowed           bool     `json:"allowed"`
+	Blocked           int      `json:"blocked"`
+	States            int      `json:"states"`
+	MemoHits          int      `json:"memo_hits"`
+	RevisitsTried     int      `json:"revisits_tried"`
+	RevisitsTaken     int      `json:"revisits_taken"`
+	Truncated         bool     `json:"truncated"`
+	Interrupted       bool     `json:"interrupted"`
+	Exhaustive        bool     `json:"exhaustive"`
+	AssertionFailures []string `json:"assertion_failures,omitempty"`
+}
+
+func toJobJSON(v JobView) jobJSON {
+	out := jobJSON{
+		ID:          v.ID,
+		State:       v.State,
+		Program:     v.Program,
+		Fingerprint: v.Fingerprint,
+		Model:       v.Model,
+		CacheHit:    v.CacheHit,
+		SubmittedAt: v.Submitted,
+		Error:       v.Err,
+	}
+	if !v.Finished.IsZero() {
+		start := v.Started
+		if start.IsZero() {
+			start = v.Submitted
+		}
+		out.DurationMS = v.Finished.Sub(start).Milliseconds()
+	}
+	if r := v.Result; r != nil {
+		rj := &resultJSON{
+			Executions:    r.Executions,
+			ExistsCount:   r.ExistsCount,
+			ExistsDesc:    v.ExistsDesc,
+			Allowed:       r.ExistsCount > 0,
+			Blocked:       r.Blocked,
+			States:        r.States,
+			MemoHits:      r.MemoHits,
+			RevisitsTried: r.RevisitsTried,
+			RevisitsTaken: r.RevisitsTaken,
+			Truncated:     r.Truncated,
+			Interrupted:   r.Interrupted,
+			Exhaustive:    r.Exhaustive(),
+		}
+		for _, e := range r.Errors {
+			rj.AssertionFailures = append(rj.AssertionFailures,
+				fmt.Sprintf("thread %d: %s", e.Thread, e.Msg))
+		}
+		out.Result = rj
+	}
+	return out
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/jobs      submit a litmus source or corpus test
+//	GET    /v1/jobs      list retained jobs
+//	GET    /v1/jobs/{id} poll one job
+//	DELETE /v1/jobs/{id} cancel a queued or running job
+//	GET    /v1/models    available memory models
+//	GET    /v1/tests     built-in corpus test names
+//	GET    /healthz      liveness probe
+//	GET    /metrics      Prometheus text-format counters
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/models", s.handleModels)
+	mux.HandleFunc("GET /v1/tests", s.handleTests)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone: nothing to do
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitJSON
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSubmitBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	var p *prog.Program
+	switch {
+	case req.Source != "" && req.Test != "":
+		writeError(w, http.StatusBadRequest, errors.New(`give "source" or "test", not both`))
+		return
+	case req.Source != "":
+		var err error
+		if p, err = litmus.Parse(req.Source); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("parse: %w", err))
+			return
+		}
+	case req.Test != "":
+		tc, ok := litmus.ByName(req.Test)
+		if !ok {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("unknown corpus test %q", req.Test))
+			return
+		}
+		p = tc.P
+	default:
+		writeError(w, http.StatusBadRequest, errors.New(`need a "source" litmus test or a corpus "test" name`))
+		return
+	}
+	if req.Model == "" {
+		req.Model = "imm"
+	}
+	view, err := s.Submit(SubmitRequest{
+		Program:       p,
+		Model:         req.Model,
+		MaxExecutions: req.MaxExecutions,
+		Workers:       req.Workers,
+		Symmetry:      req.Symmetry,
+		Timeout:       time.Duration(req.TimeoutMS) * time.Millisecond,
+	})
+	switch {
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	status := http.StatusAccepted
+	if view.State.Terminal() {
+		status = http.StatusOK // cache hit: born done
+	}
+	writeJSON(w, status, toJobJSON(view))
+}
+
+func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
+	views := s.Jobs()
+	out := make([]jobJSON, len(views))
+	for i, v := range views {
+		out[i] = toJobJSON(v)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+func (s *Service) handleGet(w http.ResponseWriter, r *http.Request) {
+	view, ok := s.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, toJobJSON(view))
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.Get(id); !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such job %q", id))
+		return
+	}
+	canceled := s.Cancel(id)
+	view, _ := s.Get(id)
+	writeJSON(w, http.StatusOK, map[string]any{"canceled": canceled, "job": toJobJSON(view)})
+}
+
+func (s *Service) handleModels(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"models": memmodel.Names()})
+}
+
+func (s *Service) handleTests(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"tests": litmus.Names()})
+}
+
+func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"inflight": s.metrics.InFlight.Load(),
+		"queue":    s.QueueDepth(),
+	})
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.writePrometheus(w, s.QueueDepth(), s.cache.len())
+}

@@ -1,0 +1,92 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"hmc/internal/core"
+)
+
+// Metrics holds the service's monotonic counters, updated with atomics so
+// the /metrics endpoint never contends with running explorations. Job
+// counters track the queue lifecycle; explorer counters accumulate the
+// Stats of every finished (non-cached) job, so the daemon exports the same
+// numbers the paper's tables report, summed over its lifetime.
+type Metrics struct {
+	JobsSubmitted   atomic.Int64 // accepted submissions (including cache hits)
+	JobsRejected    atomic.Int64 // refused: queue full or draining
+	JobsCompleted   atomic.Int64 // explorations that ran to a result
+	JobsFailed      atomic.Int64 // explorations that returned an error
+	JobsCanceled    atomic.Int64 // canceled by the client
+	JobsInterrupted atomic.Int64 // stopped by a deadline, partial result
+	CacheHits       atomic.Int64
+	CacheMisses     atomic.Int64
+	InFlight        atomic.Int64 // currently running explorations (gauge)
+
+	Executions        atomic.Int64
+	ExistsCount       atomic.Int64
+	Blocked           atomic.Int64
+	States            atomic.Int64
+	MemoHits          atomic.Int64
+	RevisitsTried     atomic.Int64
+	RevisitsTaken     atomic.Int64
+	ConsistencyChecks atomic.Int64
+}
+
+// CacheHitRate returns hits / (hits+misses), or 0 before any lookup.
+func (m *Metrics) CacheHitRate() float64 {
+	h, mi := m.CacheHits.Load(), m.CacheMisses.Load()
+	if h+mi == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+mi)
+}
+
+// writePrometheus renders the counters in the Prometheus text exposition
+// format (version 0.0.4), stdlib only. queueDepth and cacheEntries are
+// point-in-time gauges supplied by the service.
+func (m *Metrics) writePrometheus(w io.Writer, queueDepth, cacheEntries int) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gaugeI := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	gaugeF := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+
+	counter("hmcd_jobs_submitted_total", "Jobs accepted for checking.", m.JobsSubmitted.Load())
+	counter("hmcd_jobs_rejected_total", "Jobs refused (queue full or draining).", m.JobsRejected.Load())
+	counter("hmcd_jobs_completed_total", "Explorations that produced a result.", m.JobsCompleted.Load())
+	counter("hmcd_jobs_failed_total", "Explorations that returned an error.", m.JobsFailed.Load())
+	counter("hmcd_jobs_canceled_total", "Jobs canceled by the client.", m.JobsCanceled.Load())
+	counter("hmcd_jobs_interrupted_total", "Jobs stopped by a deadline with partial results.", m.JobsInterrupted.Load())
+	counter("hmcd_cache_hits_total", "Verdict cache hits.", m.CacheHits.Load())
+	counter("hmcd_cache_misses_total", "Verdict cache misses.", m.CacheMisses.Load())
+	gaugeF("hmcd_cache_hit_rate", "Verdict cache hit rate since start.", m.CacheHitRate())
+	gaugeI("hmcd_cache_entries", "Verdict cache entries resident.", int64(cacheEntries))
+	gaugeI("hmcd_queue_depth", "Jobs waiting in the queue.", int64(queueDepth))
+	gaugeI("hmcd_jobs_inflight", "Explorations currently running.", m.InFlight.Load())
+	counter("hmcd_executions_total", "Complete consistent executions explored.", m.Executions.Load())
+	counter("hmcd_exists_total", "Executions satisfying their Exists clause.", m.ExistsCount.Load())
+	counter("hmcd_blocked_total", "Maximal blocked executions.", m.Blocked.Load())
+	counter("hmcd_states_total", "Distinct exploration states visited.", m.States.Load())
+	counter("hmcd_memo_hits_total", "States pruned by the exploration memo.", m.MemoHits.Load())
+	counter("hmcd_revisits_tried_total", "Backward revisit candidates considered.", m.RevisitsTried.Load())
+	counter("hmcd_revisits_taken_total", "Backward revisits taken.", m.RevisitsTaken.Load())
+	counter("hmcd_consistency_checks_total", "Memory-model consistency checks.", m.ConsistencyChecks.Load())
+}
+
+// addStats folds one finished exploration's counters into the totals.
+func (m *Metrics) addStats(s *core.Stats) {
+	m.Executions.Add(int64(s.Executions))
+	m.ExistsCount.Add(int64(s.ExistsCount))
+	m.Blocked.Add(int64(s.Blocked))
+	m.States.Add(int64(s.States))
+	m.MemoHits.Add(int64(s.MemoHits))
+	m.RevisitsTried.Add(int64(s.RevisitsTried))
+	m.RevisitsTaken.Add(int64(s.RevisitsTaken))
+	m.ConsistencyChecks.Add(int64(s.ConsistencyChecks))
+}

@@ -1,0 +1,433 @@
+// Package service turns the one-shot explorer in internal/core into a
+// long-running, multi-tenant model-checking service: a bounded job queue
+// drained by a pool of workers, per-job deadlines and client cancellation
+// (via the explorer's Options.Context support), a content-addressed LRU
+// verdict cache so repeat submissions of an already-verified program are
+// answered without re-exploration, and Prometheus-style metrics. The HTTP
+// surface over it lives in http.go; cmd/hmcd is the thin binary shell.
+//
+// Concurrency model: one goroutine per configured worker ranges over the
+// queue channel; each job gets its own context (deadline and/or client
+// cancel) threaded into core.Explore, so a stuck or oversized exploration
+// cannot wedge a worker past its deadline. Job records live in a map
+// guarded by one mutex — every exploration datum lives in the explorer's
+// own shared state, so the service lock is only touched at job
+// transitions, never per-event. Shutdown closes the queue, lets queued
+// jobs drain, and hard-cancels in-flight work only when the caller's
+// drain context expires.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"hmc/internal/core"
+	"hmc/internal/memmodel"
+	"hmc/internal/prog"
+)
+
+// Config sizes the service. Zero values select the defaults.
+type Config struct {
+	// QueueSize bounds the number of jobs waiting to run (default 64).
+	// A full queue rejects submissions with ErrQueueFull — backpressure,
+	// not unbounded buffering.
+	QueueSize int
+	// Workers is the number of jobs explored concurrently (default 2).
+	Workers int
+	// CacheSize is the verdict cache capacity in entries (default 128;
+	// negative disables caching).
+	CacheSize int
+	// DefaultTimeout applies to jobs submitted without a deadline
+	// (default none: such jobs run to exhaustion).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps any requested deadline (default none).
+	MaxTimeout time.Duration
+	// JobHistory bounds the finished-job records retained for polling
+	// (default 1024); the oldest finished jobs are forgotten first.
+	JobHistory int
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueSize <= 0 {
+		c.QueueSize = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 128
+	}
+	if c.JobHistory <= 0 {
+		c.JobHistory = 1024
+	}
+	return c
+}
+
+// JobState is the lifecycle of a job: queued → running → one of
+// done/failed/canceled. Cache hits are born done.
+type JobState string
+
+const (
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// SubmitRequest describes one checking job.
+type SubmitRequest struct {
+	// Program is the test case to check (required).
+	Program *prog.Program
+	// Model names the memory model (required; see memmodel.Names).
+	Model string
+	// MaxExecutions, Workers, Symmetry mirror core.Options.
+	MaxExecutions int
+	Workers       int
+	Symmetry      bool
+	// Timeout is the job's wall-clock budget (0: Config.DefaultTimeout).
+	// A job that exceeds it completes with a partial, Interrupted result.
+	Timeout time.Duration
+}
+
+// Submission errors.
+var (
+	ErrQueueFull = errors.New("service: job queue is full")
+	ErrDraining  = errors.New("service: shutting down, not accepting jobs")
+)
+
+// Job is the internal job record; the exported snapshot type is JobView.
+type Job struct {
+	id          string
+	state       JobState
+	req         SubmitRequest
+	model       memmodel.Model
+	fingerprint string
+	cacheKey    string
+	cacheHit    bool
+	submitted   time.Time
+	started     time.Time
+	finished    time.Time
+	result      *core.Result
+	errMsg      string
+	cancel      context.CancelFunc // non-nil only while running
+	userCancel  bool               // Cancel() was called
+}
+
+// JobView is an immutable snapshot of a job, safe to hold across the
+// service lock. Result is shared (it is never mutated after completion).
+type JobView struct {
+	ID          string
+	State       JobState
+	Program     string
+	Fingerprint string
+	Model       string
+	ExistsDesc  string
+	CacheHit    bool
+	Submitted   time.Time
+	Started     time.Time
+	Finished    time.Time
+	Err         string
+	Result      *core.Result
+}
+
+func (j *Job) view() JobView {
+	return JobView{
+		ID:          j.id,
+		State:       j.state,
+		Program:     j.req.Program.Name,
+		Fingerprint: j.fingerprint,
+		Model:       j.req.Model,
+		ExistsDesc:  j.req.Program.ExistsDesc,
+		CacheHit:    j.cacheHit,
+		Submitted:   j.submitted,
+		Started:     j.started,
+		Finished:    j.finished,
+		Err:         j.errMsg,
+		Result:      j.result,
+	}
+}
+
+// Service is a running model-checking daemon core.
+type Service struct {
+	cfg     Config
+	cache   *verdictCache
+	metrics Metrics
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	finished []string // finished job ids, oldest first (history eviction)
+	queue    chan *Job
+	draining bool
+	nextID   int
+
+	wg sync.WaitGroup // worker goroutines
+}
+
+// New starts a service with cfg's worker pool already draining the queue.
+// Call Shutdown to stop it.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:   cfg,
+		cache: newVerdictCache(cfg.CacheSize),
+		jobs:  make(map[string]*Job),
+		queue: make(chan *Job, cfg.QueueSize),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for j := range s.queue {
+				s.runJob(j)
+			}
+		}()
+	}
+	return s
+}
+
+// Metrics exposes the counters (for tests and embedding servers).
+func (s *Service) Metrics() *Metrics { return &s.metrics }
+
+// Config returns the effective configuration — cfg as passed to New with
+// defaults applied (what the service actually runs with).
+func (s *Service) Config() Config { return s.cfg }
+
+// QueueDepth reports the jobs currently waiting.
+func (s *Service) QueueDepth() int { return len(s.queue) }
+
+// cacheKey builds the verdict-cache key: everything that determines the
+// result, nothing that only determines how fast it is computed (Workers)
+// or what a client called the program (the fingerprint ignores names).
+func cacheKey(fp string, req SubmitRequest) string {
+	return fmt.Sprintf("%s|%s|max=%d|symm=%v", fp, req.Model, req.MaxExecutions, req.Symmetry)
+}
+
+// Submit validates req, answers it from the verdict cache when possible,
+// and otherwise enqueues it. It returns the job snapshot — immediately
+// terminal on a cache hit — or ErrQueueFull/ErrDraining under pressure.
+func (s *Service) Submit(req SubmitRequest) (JobView, error) {
+	if req.Program == nil {
+		return JobView{}, errors.New("service: request has no program")
+	}
+	model, err := memmodel.ByName(req.Model)
+	if err != nil {
+		return JobView{}, err
+	}
+	if err := req.Program.Validate(); err != nil {
+		return JobView{}, err
+	}
+	if req.Timeout <= 0 {
+		req.Timeout = s.cfg.DefaultTimeout
+	}
+	if s.cfg.MaxTimeout > 0 && (req.Timeout <= 0 || req.Timeout > s.cfg.MaxTimeout) {
+		req.Timeout = s.cfg.MaxTimeout
+	}
+	fp := req.Program.Fingerprint()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.metrics.JobsRejected.Add(1)
+		return JobView{}, ErrDraining
+	}
+	s.nextID++
+	j := &Job{
+		id:          fmt.Sprintf("job-%06d", s.nextID),
+		state:       StateQueued,
+		req:         req,
+		model:       model,
+		fingerprint: fp,
+		cacheKey:    cacheKey(fp, req),
+		submitted:   time.Now(),
+	}
+	s.metrics.JobsSubmitted.Add(1)
+	if res, ok := s.cache.get(j.cacheKey); ok {
+		s.metrics.CacheHits.Add(1)
+		j.state = StateDone
+		j.cacheHit = true
+		j.result = res
+		j.finished = j.submitted
+		s.jobs[j.id] = j
+		s.recordFinishedLocked(j)
+		return j.view(), nil
+	}
+	s.metrics.CacheMisses.Add(1)
+	select {
+	case s.queue <- j:
+		s.jobs[j.id] = j
+		return j.view(), nil
+	default:
+		s.metrics.JobsRejected.Add(1)
+		return JobView{}, ErrQueueFull
+	}
+}
+
+// Get returns a snapshot of the job with the given id.
+func (s *Service) Get(id string) (JobView, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobView{}, false
+	}
+	return j.view(), true
+}
+
+// Jobs snapshots every retained job, newest first.
+func (s *Service) Jobs() []JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	views := make([]JobView, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		views = append(views, j.view())
+	}
+	for i, k := 0, len(views)-1; i < k; i, k = i+1, k-1 {
+		views[i], views[k] = views[k], views[i]
+	}
+	return views
+}
+
+// Cancel asks the job to stop: a queued job is marked canceled and will
+// be skipped when dequeued; a running job's context is cancelled and its
+// partial result retained. Terminal jobs are left alone (reported false).
+func (s *Service) Cancel(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok || j.state.Terminal() {
+		return false
+	}
+	j.userCancel = true
+	if j.state == StateQueued {
+		j.state = StateCanceled
+		j.finished = time.Now()
+		s.metrics.JobsCanceled.Add(1)
+		s.recordFinishedLocked(j)
+		return true
+	}
+	if j.cancel != nil {
+		j.cancel()
+	}
+	return true
+}
+
+// runJob explores one dequeued job with its own deadline context.
+func (s *Service) runJob(j *Job) {
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	if j.req.Timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, j.req.Timeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
+
+	s.mu.Lock()
+	if j.state != StateQueued { // canceled while waiting
+		s.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	s.mu.Unlock()
+
+	s.metrics.InFlight.Add(1)
+	res, err := core.Explore(j.req.Program, core.Options{
+		Model:         j.model,
+		Context:       ctx,
+		MaxExecutions: j.req.MaxExecutions,
+		Workers:       j.req.Workers,
+		Symmetry:      j.req.Symmetry,
+	})
+	s.metrics.InFlight.Add(-1)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.cancel = nil
+	j.finished = time.Now()
+	switch {
+	case err != nil:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+		s.metrics.JobsFailed.Add(1)
+	case j.userCancel:
+		j.state = StateCanceled
+		j.result = res
+		s.metrics.JobsCanceled.Add(1)
+		s.metrics.addStats(&res.Stats)
+	default:
+		j.state = StateDone
+		j.result = res
+		s.metrics.JobsCompleted.Add(1)
+		s.metrics.addStats(&res.Stats)
+		if res.Interrupted {
+			s.metrics.JobsInterrupted.Add(1)
+		} else {
+			// Truncated results are keyed by their MaxExecutions, so any
+			// non-interrupted result is deterministic and cacheable.
+			s.cache.put(j.cacheKey, res)
+		}
+	}
+	s.recordFinishedLocked(j)
+}
+
+// recordFinishedLocked appends j to the finished history and evicts the
+// oldest finished job records beyond the configured retention. Callers
+// hold s.mu.
+func (s *Service) recordFinishedLocked(j *Job) {
+	s.finished = append(s.finished, j.id)
+	for len(s.finished) > s.cfg.JobHistory {
+		delete(s.jobs, s.finished[0])
+		s.finished = s.finished[1:]
+	}
+}
+
+// Shutdown stops accepting jobs, waits for the queue to drain and the
+// workers to finish. If ctx expires first, every queued and running job
+// is cancelled (their partial results remain pollable) and Shutdown
+// returns ctx.Err after the workers exit.
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for _, j := range s.jobs {
+			if j.state == StateQueued {
+				j.state = StateCanceled
+				j.userCancel = true
+				j.finished = time.Now()
+				s.metrics.JobsCanceled.Add(1)
+				s.recordFinishedLocked(j)
+			} else if j.cancel != nil {
+				j.userCancel = true
+				j.cancel()
+			}
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
