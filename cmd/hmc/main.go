@@ -9,12 +9,19 @@
 //
 //	hmc [flags] <file.lit | ->
 //	hmc [flags] -test MP
+//	hmc -repro <crash-artifact.json>
 //
 // Examples:
 //
 //	hmc -model imm examples/litmusfile/mp.lit
 //	hmc -model tso -test SB
 //	hmc -all -test LB
+//	hmc -repro hmcd-crashes/crash-3f2a91c0aa17-job-000042.json
+//
+// -repro replays a crash artifact written by the hmcd service: it rebuilds
+// the program that panicked the engine (from its litmus source or corpus
+// test name), re-runs the exploration with the recorded model and bounds,
+// and reports whether the panic reproduces.
 package main
 
 import (
@@ -29,6 +36,7 @@ import (
 	"hmc/internal/litmus"
 	"hmc/internal/memmodel"
 	"hmc/internal/prog"
+	"hmc/internal/service"
 )
 
 func main() {
@@ -45,6 +53,9 @@ func run(args []string, out io.Writer) error {
 	testName := fs.String("test", "", "run a built-in corpus test instead of a file")
 	verbose := fs.Bool("v", false, "print every consistent execution graph")
 	maxExec := fs.Int("max", 0, "stop after this many executions (0 = all)")
+	maxEvents := fs.Int("max-events", 0, "prune execution graphs larger than this many events (0 = no cap)")
+	memBudget := fs.Int64("mem-budget", 0, "soft heap budget in bytes; exploration truncates instead of exhausting memory (0 = no budget)")
+	reproPath := fs.String("repro", "", "replay a crash artifact written by hmcd and report whether the engine panic reproduces")
 	showProg := fs.Bool("p", false, "print the parsed program")
 	dotPath := fs.String("dot", "", "write a witness execution (weak outcome if observable) as Graphviz DOT to this file")
 	robust := fs.Bool("robust", false, "additionally report whether the program is robust (SC-equivalent) under each model")
@@ -59,6 +70,9 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	if *reproPath != "" {
+		return repro(out, *reproPath)
+	}
 	p, err := loadProgram(fs.Args(), *testName)
 	if err != nil {
 		return err
@@ -101,7 +115,7 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 	for _, name := range models {
-		if err := check(out, p, name, *verbose, *maxExec, *dotPath, *workers, *symm, *stats, newCtx); err != nil {
+		if err := check(out, p, name, *verbose, *maxExec, *maxEvents, *memBudget, *dotPath, *workers, *symm, *stats, newCtx); err != nil {
 			return err
 		}
 		if *robust {
@@ -187,6 +201,46 @@ func reportLiveness(out io.Writer, p *prog.Program, model string, newCtx func() 
 	return nil
 }
 
+// repro replays a crash artifact: rebuild the program the service saw,
+// re-run the exploration with the recorded model and bounds, and report
+// whether the engine panic reproduces. Exit status is success either way —
+// "no longer reproduces" is a useful answer, not a failure.
+func repro(out io.Writer, path string) error {
+	a, err := service.LoadCrashArtifact(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "replaying %s: job %s, program %q (fingerprint %.12s), model %s\n",
+		path, a.JobID, a.Program, a.Fingerprint, a.Model)
+	fmt.Fprintf(out, "recorded panic: %s\n", a.Panic)
+	p, err := a.BuildProgram()
+	if err != nil {
+		return fmt.Errorf("%w\nprogram dump (not replayable):\n%s", err, a.ProgramDump)
+	}
+	m, err := memmodel.ByName(a.Model)
+	if err != nil {
+		return err
+	}
+	res, err := core.Explore(p, core.Options{
+		Model:         m,
+		MaxExecutions: a.MaxExecutions,
+		MaxEvents:     a.MaxEvents,
+		MemoryBudget:  a.MemoryBudget,
+		Workers:       a.Workers,
+		Symmetry:      a.Symmetry,
+	})
+	if ee, ok := core.AsEngineError(err); ok {
+		fmt.Fprintf(out, "REPRODUCED: engine panic during %s: %v\n%s", ee.Op, ee.PanicValue, ee.Stack)
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "NOT REPRODUCED: exploration completed cleanly (%d executions, %d blocked)\n",
+		res.Executions, res.Blocked)
+	return nil
+}
+
 func loadProgram(args []string, testName string) (*prog.Program, error) {
 	if testName != "" {
 		tc, ok := litmus.ByName(testName)
@@ -211,14 +265,14 @@ func loadProgram(args []string, testName string) (*prog.Program, error) {
 	return litmus.Parse(string(src))
 }
 
-func check(out io.Writer, p *prog.Program, model string, verbose bool, maxExec int, dotPath string, workers int, symm, stats bool, newCtx func() (context.Context, context.CancelFunc)) error {
+func check(out io.Writer, p *prog.Program, model string, verbose bool, maxExec, maxEvents int, memBudget int64, dotPath string, workers int, symm, stats bool, newCtx func() (context.Context, context.CancelFunc)) error {
 	m, err := memmodel.ByName(model)
 	if err != nil {
 		return err
 	}
 	ctx, cancel := newCtx()
 	defer cancel()
-	opts := core.Options{Model: m, Context: ctx, MaxExecutions: maxExec, Workers: workers, Symmetry: symm}
+	opts := core.Options{Model: m, Context: ctx, MaxExecutions: maxExec, MaxEvents: maxEvents, MemoryBudget: memBudget, Workers: workers, Symmetry: symm}
 	var witness *eg.Graph
 	witnessWeak := false
 	opts.OnExecution = func(g *eg.Graph, fsv prog.FinalState) {
@@ -267,7 +321,11 @@ func check(out io.Writer, p *prog.Program, model string, verbose bool, maxExec i
 		fmt.Fprintf(out, "%-16s model=%-8s executions=%-6d blocked=%-4d weak outcome [%s]: %s",
 			p.Name, model, res.Executions, res.Blocked, p.ExistsDesc, status)
 		if res.Truncated {
-			fmt.Fprint(out, " (truncated)")
+			if res.TruncatedReason != "" {
+				fmt.Fprintf(out, " (truncated: %s)", res.TruncatedReason)
+			} else {
+				fmt.Fprint(out, " (truncated)")
+			}
 		}
 		fmt.Fprintln(out)
 	}

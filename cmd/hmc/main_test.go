@@ -95,8 +95,61 @@ func TestRunMaxTruncates(t *testing.T) {
 	if err := run([]string{"-model", "relaxed", "-test", "IRIW", "-max", "5"}, &out); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(out.String(), "executions=5") || !strings.Contains(out.String(), "(truncated)") {
+	if !strings.Contains(out.String(), "executions=5") || !strings.Contains(out.String(), "(truncated: max-executions)") {
 		t.Errorf("truncation not reported:\n%s", out.String())
+	}
+}
+
+func TestRunMaxEventsTruncates(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-model", "sc", "-test", "IRIW", "-max-events", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "(truncated: max-events)") {
+		t.Errorf("event-cap truncation not reported:\n%s", out.String())
+	}
+}
+
+func TestRunRepro(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "crash.json")
+	artifact := `{
+  "job_id": "job-1",
+  "program": "MP",
+  "fingerprint": "abc",
+  "model": "imm",
+  "source": "name MP\nT0: W x 1 ; W y 1\nT1: r0 = R y ; r1 = R x\nexists T1:r0=1 & T1:r1=0\n",
+  "program_dump": "...",
+  "attempts": 1,
+  "panic": "synthetic panic for the test",
+  "stack": "goroutine 1 [running]:"
+}`
+	if err := os.WriteFile(path, []byte(artifact), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// MP is a healthy program: the replay completes cleanly and says so.
+	var out strings.Builder
+	if err := run([]string{"-repro", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"synthetic panic for the test", "model imm", "NOT REPRODUCED"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("repro output missing %q:\n%s", want, got)
+		}
+	}
+
+	// An artifact without source or test name cannot be replayed.
+	bare := filepath.Join(dir, "bare.json")
+	if err := os.WriteFile(bare, []byte(`{"job_id":"j","model":"sc","program_dump":"T0: ???","panic":"p"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-repro", bare}, &out); err == nil {
+		t.Error("non-replayable artifact must error")
+	}
+	// A missing file errors too.
+	if err := run([]string{"-repro", filepath.Join(dir, "nope.json")}, &out); err == nil {
+		t.Error("missing artifact must error")
 	}
 }
 

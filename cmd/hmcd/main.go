@@ -9,6 +9,14 @@
 //
 //	hmcd [-addr :8433] [-queue 64] [-workers 2] [-cache 128]
 //	     [-timeout 30s] [-max-timeout 5m]
+//	     [-crash-dir hmcd-crashes] [-crash-max 32] [-retries 2]
+//	     [-retry-backoff 50ms] [-breaker-threshold 3] [-breaker-cooldown 10m]
+//
+// Fault containment: an engine panic fails only its own job — the panic
+// is recovered into a structured engine_error on the job payload and a
+// replayable crash artifact under -crash-dir (replay with `hmc -repro`);
+// a program that repeatedly crashes the engine trips a per-fingerprint
+// circuit breaker, and memory-budget truncations are retried with backoff.
 //
 // Endpoints (see internal/service for the full API):
 //
@@ -58,16 +66,28 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(addr stri
 	defTimeout := fs.Duration("timeout", 30*time.Second, "default per-job deadline (0 = none)")
 	maxTimeout := fs.Duration("max-timeout", 5*time.Minute, "cap on requested per-job deadlines (0 = none)")
 	drainGrace := fs.Duration("drain", 10*time.Second, "shutdown grace before in-flight jobs are cancelled")
+	crashDir := fs.String("crash-dir", "hmcd-crashes", "directory for engine-crash repro artifacts")
+	crashMax := fs.Int("crash-max", 32, "max crash artifacts kept, oldest evicted (negative disables capture)")
+	retries := fs.Int("retries", 2, "max exploration attempts after transient memory-budget truncation")
+	retryBackoff := fs.Duration("retry-backoff", 50*time.Millisecond, "pause before retrying a memory-truncated job")
+	breakerThreshold := fs.Int("breaker-threshold", 3, "engine crashes on one program before its submissions are rejected (negative disables)")
+	breakerCooldown := fs.Duration("breaker-cooldown", 10*time.Minute, "how long a crash-looping program stays rejected")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	svc := service.New(service.Config{
-		QueueSize:      *queue,
-		Workers:        *workers,
-		CacheSize:      *cache,
-		DefaultTimeout: *defTimeout,
-		MaxTimeout:     *maxTimeout,
+		QueueSize:         *queue,
+		Workers:           *workers,
+		CacheSize:         *cache,
+		DefaultTimeout:    *defTimeout,
+		MaxTimeout:        *maxTimeout,
+		CrashDir:          *crashDir,
+		MaxCrashArtifacts: *crashMax,
+		MaxAttempts:       *retries,
+		RetryBackoff:      *retryBackoff,
+		BreakerThreshold:  *breakerThreshold,
+		BreakerCooldown:   *breakerCooldown,
 	})
 	srv := &http.Server{Handler: svc.Handler()}
 

@@ -122,6 +122,24 @@ func ModelByName(name string) (Model, error) { return memmodel.ByName(name) }
 // exactly once.
 func Explore(p *Program, opts Options) (*Result, error) { return core.Explore(p, opts) }
 
+// EngineError is a contained engine failure: a panic anywhere in the
+// exploration engine, recovered at the Explore/Estimate/Check* entry
+// points and returned as a structured error (panic value, stack, program
+// name and Fingerprint, model, stats at failure) instead of crashing the
+// process. Check for it with AsEngineError or errors.As.
+type EngineError = core.EngineError
+
+// AsEngineError unwraps err to an *EngineError if one is in its chain.
+var AsEngineError = core.AsEngineError
+
+// Truncation reasons reported in Result.TruncatedReason when a resource
+// budget (Options.MaxExecutions, MaxEvents, MemoryBudget) cut a run short.
+const (
+	TruncMaxExecutions = core.TruncMaxExecutions
+	TruncMaxEvents     = core.TruncMaxEvents
+	TruncMemoryBudget  = core.TruncMemoryBudget
+)
+
 // RobustnessReport describes whether a program exhibits any non-SC
 // behaviour under a weak model (see CheckRobustness).
 type RobustnessReport = core.RobustnessReport

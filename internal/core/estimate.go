@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime/debug"
 
 	"hmc/internal/eg"
 	"hmc/internal/interp"
@@ -64,18 +65,34 @@ func (r *EstimateResult) String() string {
 // the estimate over the probes taken so far with Interrupted set.
 // MaxExecutions does not apply (probes are root→leaf walks, not an
 // enumeration); exploration callbacks are never invoked.
-func Estimate(p *prog.Program, opts Options, samples int, seed int64) (*EstimateResult, error) {
+func Estimate(p *prog.Program, opts Options, samples int, seed int64) (res *EstimateResult, err error) {
 	if opts.Model == nil {
 		return nil, fmt.Errorf("core: Options.Model is required")
 	}
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	// Probing replays the same engine code paths as exploration, so it
+	// gets the same panic→error boundary: a poisoned program fails this
+	// call with a structured EngineError, not the process.
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = &EngineError{
+				Op:          "estimate",
+				Program:     p.Name,
+				Fingerprint: p.Fingerprint(),
+				Model:       opts.Model.Name(),
+				PanicValue:  r,
+				Stack:       string(debug.Stack()),
+			}
+		}
+	}()
 	if samples <= 0 {
 		samples = 32
 	}
 	rng := rand.New(rand.NewSource(seed))
-	res := &EstimateResult{Samples: samples}
+	res = &EstimateResult{Samples: samples}
 	var sum, sumSq float64
 	taken := 0
 	for s := 0; s < samples; s++ {

@@ -27,6 +27,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -35,6 +36,11 @@ import (
 	"hmc/internal/memmodel"
 	"hmc/internal/prog"
 )
+
+// memCheckInterval paces the MemoryBudget ReadMemStats probe: once per
+// this many visited states (ReadMemStats stops the world, so the hot path
+// must not pay for it per branch).
+const memCheckInterval = 256
 
 // Options configures an exploration.
 type Options struct {
@@ -52,6 +58,22 @@ type Options struct {
 	// MaxExecutions aborts exploration after this many complete executions
 	// (0 = unlimited).
 	MaxExecutions int
+	// MaxEvents caps the size of any single execution graph, counted as
+	// Graph.NumEvents (0 = unlimited). A branch whose graph exceeds the
+	// cap is pruned and the Result marked Truncated with reason
+	// TruncMaxEvents; exploration of smaller graphs continues, so the
+	// partial counts cover every execution within the budget. This is the
+	// defense against state explosion in a single oversized submission.
+	MaxEvents int
+	// MemoryBudget is a soft process-heap ceiling in bytes (0 =
+	// unlimited), checked periodically at branch points against
+	// runtime.ReadMemStats (HeapAlloc). Exceeding it stops the whole
+	// exploration and returns the partial Result with Truncated set and
+	// reason TruncMemoryBudget — graceful degradation instead of an OOM
+	// kill. The check is shared-process-wide, so under concurrent
+	// explorations (a service) a truncation may be caused by a neighbor's
+	// allocation burst: callers should treat it as transient.
+	MemoryBudget int64
 	// StopOnError aborts exploration at the first assertion failure.
 	StopOnError bool
 	// DedupSafeguard tracks complete-execution keys and suppresses
@@ -135,7 +157,11 @@ type Stats struct {
 type Result struct {
 	Stats
 	Keys      []string // canonical execution keys (when CollectKeys)
-	Truncated bool     // MaxExecutions hit
+	Truncated bool     // a resource bound was hit (see TruncatedReason)
+	// TruncatedReason states which bound truncated the run: one of
+	// TruncMaxExecutions, TruncMaxEvents, TruncMemoryBudget (the first
+	// bound hit wins). Empty when Truncated is false.
+	TruncatedReason string
 	// Interrupted reports that Options.Context was cancelled (or its
 	// deadline expired) before the state space was exhausted: every count
 	// in Stats is a partial lower bound, and the absence of an assertion
@@ -150,7 +176,10 @@ func (r *Result) Exhaustive() bool { return !r.Truncated && !r.Interrupted }
 
 // Explore model-checks p under opts and returns the aggregated result.
 // When opts.Context is cancelled mid-run the partial result is returned
-// with Interrupted set (not an error).
+// with Interrupted set (not an error). A panic anywhere in the engine —
+// including in worker goroutines and user callbacks — is recovered and
+// returned as an *EngineError carrying the panic value, stack, program
+// identity and the stats at the point of failure; the process survives.
 func Explore(p *prog.Program, opts Options) (*Result, error) {
 	if opts.Model == nil {
 		return nil, fmt.Errorf("core: Options.Model is required")
@@ -190,8 +219,11 @@ func Explore(p *prog.Program, opts Options) (*Result, error) {
 		}()
 	}
 	g := eg.NewGraph(len(p.Threads), p.NumLocs)
-	e.visit(g)
+	e.guard(func() { e.visit(g) })
 	sh.wg.Wait()
+	if sh.engineErr != nil {
+		return nil, sh.engineErr
+	}
 	sh.res.Interrupted = sh.interrupted.Load()
 	return sh.res, nil
 }
@@ -229,8 +261,10 @@ type shared struct {
 	res         *Result
 	seen        map[string]bool // complete-execution keys (DedupSafeguard)
 	memo        map[string]bool // semantic exploration-state keys
+	engineErr   *EngineError    // first recovered panic (guarded by mu)
 	stop        atomic.Bool
 	interrupted atomic.Bool   // stop was caused by Options.Context
+	visits      atomic.Int64  // visit counter paces the MemoryBudget check
 	sem         chan struct{} // fork slots (nil: sequential)
 	wg          sync.WaitGroup
 }
@@ -254,7 +288,10 @@ func (e *explorer) fork(task func()) {
 					<-e.sh.sem
 					e.sh.wg.Done()
 				}()
-				task()
+				// The guard keeps a panic in this subtree from killing
+				// the process: it is recorded as the run's EngineError
+				// and the other workers wind down via the stop flag.
+				e.guard(task)
 			}()
 			return
 		default:
@@ -277,6 +314,26 @@ func (e *explorer) visit(g *eg.Graph) {
 	}
 	if e.stopped() {
 		return
+	}
+	if e.opts.MaxEvents > 0 && g.NumEvents() > e.opts.MaxEvents {
+		// Prune this oversized branch only: smaller graphs elsewhere in
+		// the space are still explored, so the partial result covers
+		// every execution within the event budget.
+		e.truncate(TruncMaxEvents, false)
+		return
+	}
+	if e.opts.MemoryBudget > 0 {
+		// ReadMemStats stops the world, so pace it: the first visit (a
+		// pre-exceeded budget fails fast and deterministically) and then
+		// every memCheckInterval states.
+		if n := e.sh.visits.Add(1); n == 1 || n%memCheckInterval == 0 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > uint64(e.opts.MemoryBudget) {
+				e.truncate(TruncMemoryBudget, true)
+				return
+			}
+		}
 	}
 	key := e.key(g)
 	e.sh.mu.Lock()
@@ -301,8 +358,9 @@ func (e *explorer) visit(g *eg.Graph) {
 			blocked = true
 			continue
 		case interp.ActError:
+			witness := g.Clone() // outside the lock: cloning can panic
 			e.sh.mu.Lock()
-			e.sh.res.Errors = append(e.sh.res.Errors, ErrorReport{Thread: t, Msg: a.Msg, Graph: g.Clone()})
+			e.sh.res.Errors = append(e.sh.res.Errors, ErrorReport{Thread: t, Msg: a.Msg, Graph: witness})
 			e.sh.mu.Unlock()
 			if e.opts.StopOnError {
 				e.sh.stop.Store(true)
@@ -314,12 +372,17 @@ func (e *explorer) visit(g *eg.Graph) {
 		}
 	}
 	if blocked {
-		e.sh.mu.Lock()
-		e.sh.res.Blocked++
-		if e.opts.OnBlocked != nil {
-			e.opts.OnBlocked(g)
-		}
-		e.sh.mu.Unlock()
+		// The deferred unlock matters for fault containment: a panicking
+		// OnBlocked callback must release the lock on its way to the
+		// guard, or the recovery path would deadlock on sh.mu.
+		func() {
+			e.sh.mu.Lock()
+			defer e.sh.mu.Unlock()
+			e.sh.res.Blocked++
+			if e.opts.OnBlocked != nil {
+				e.opts.OnBlocked(g)
+			}
+		}()
 		return
 	}
 	e.complete(g)
@@ -337,7 +400,7 @@ func (e *explorer) complete(g *eg.Graph) {
 	}
 	e.sh.mu.Lock()
 	defer e.sh.mu.Unlock()
-	if e.sh.res.Truncated {
+	if e.opts.MaxExecutions > 0 && e.sh.res.Executions >= e.opts.MaxExecutions {
 		return // a parallel worker completed while the cap was being hit
 	}
 	if e.sh.seen != nil {
@@ -362,6 +425,9 @@ func (e *explorer) complete(g *eg.Graph) {
 	}
 	if e.opts.MaxExecutions > 0 && e.sh.res.Executions >= e.opts.MaxExecutions {
 		e.sh.res.Truncated = true
+		if e.sh.res.TruncatedReason == "" {
+			e.sh.res.TruncatedReason = TruncMaxExecutions
+		}
 		e.sh.stop.Store(true)
 	}
 }

@@ -140,7 +140,7 @@ func CheckLiveness(p *prog.Program, model memmodel.Model, opts ...Options) (*Liv
 			}
 		}, opts))
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("liveness check: %w", err)
 	}
 	rep.Executions = res.Executions
 	rep.Truncated = res.Truncated

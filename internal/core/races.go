@@ -58,7 +58,7 @@ func CheckRaces(p *prog.Program, opts ...Options) (*RaceReport, error) {
 		findRaces(g, seen, rep)
 	}, nil, opts))
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("race check: %w", err)
 	}
 	rep.Executions = res.Executions
 	rep.Truncated = res.Truncated

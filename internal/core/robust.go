@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"hmc/internal/eg"
 	"hmc/internal/memmodel"
 	"hmc/internal/prog"
@@ -69,7 +71,7 @@ func CheckRobustness(p *prog.Program, weak memmodel.Model, opts ...Options) (*Ro
 		}
 	}, nil, opts))
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("robustness check: %w", err)
 	}
 	rep.Executions = res.Executions
 	rep.Truncated = res.Truncated

@@ -26,53 +26,60 @@ func Experiments() []string {
 	return []string{"T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9", "T10", "T11", "T12"}
 }
 
-// Run executes one experiment by id.
+// Run executes one experiment by id. Any failure — an unknown model, an
+// engine error on a particular program — is returned, naming the
+// experiment, program and model that died, never panicked through the
+// caller (cmd/hmc-bench and cmd/hmc-litmus print it and exit nonzero).
 func Run(id string, opts Options) (*Table, error) {
 	switch id {
 	case "T1":
-		return T1LitmusMatrix(opts), nil
+		return T1LitmusMatrix(opts)
 	case "T2":
-		return T2AxenumComparison(opts), nil
+		return T2AxenumComparison(opts)
 	case "T3":
-		return T3OperationalComparison(opts), nil
+		return T3OperationalComparison(opts)
 	case "T4":
-		return T4Scaling(opts), nil
+		return T4Scaling(opts)
 	case "T5":
-		return T5Ablation(opts), nil
+		return T5Ablation(opts)
 	case "T6":
-		return T6FenceMatrix(opts), nil
+		return T6FenceMatrix(opts)
 	case "T7":
-		return T7OptimalityStats(opts), nil
+		return T7OptimalityStats(opts)
 	case "T8":
-		return T8Compilation(opts), nil
+		return T8Compilation(opts)
 	case "T9":
-		return T9Robustness(opts), nil
+		return T9Robustness(opts)
 	case "T10":
-		return T10Parallel(opts), nil
+		return T10Parallel(opts)
 	case "T11":
-		return T11Symmetry(opts), nil
+		return T11Symmetry(opts)
 	case "T12":
-		return T12Estimate(opts), nil
+		return T12Estimate(opts)
 	}
 	return nil, fmt.Errorf("harness: unknown experiment %q (have %v)", id, Experiments())
 }
 
-func mustModel(name string) memmodel.Model {
-	m, err := memmodel.ByName(name)
-	if err != nil {
-		panic(err)
-	}
-	return m
+// explore runs the HMC explorer and times it; id names the calling
+// experiment so a failure reports exactly which table, program and model
+// died.
+func explore(id string, p *prog.Program, model string) (*core.Result, time.Duration, error) {
+	return exploreOpts(id, p, model, core.Options{})
 }
 
-// explore runs the HMC explorer and times it.
-func explore(p *prog.Program, model string) (*core.Result, time.Duration) {
-	start := time.Now()
-	res, err := core.Explore(p, core.Options{Model: mustModel(model)})
+// exploreOpts is explore with extra exploration options.
+func exploreOpts(id string, p *prog.Program, model string, opts core.Options) (*core.Result, time.Duration, error) {
+	m, err := memmodel.ByName(model)
 	if err != nil {
-		panic(fmt.Sprintf("harness: %s under %s: %v", p.Name, model, err))
+		return nil, 0, fmt.Errorf("harness %s: %w", id, err)
 	}
-	return res, time.Since(start)
+	opts.Model = m
+	start := time.Now()
+	res, err := core.Explore(p, opts)
+	if err != nil {
+		return nil, 0, fmt.Errorf("harness %s: exploring %q under %s: %w", id, p.Name, model, err)
+	}
+	return res, time.Since(start), nil
 }
 
 func ms(d time.Duration) string { return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000) }
@@ -95,7 +102,7 @@ func mark(observed, expected bool) string {
 // T1LitmusMatrix checks every corpus litmus test under every model and
 // compares the verdict with the expected one — the reproduction of the
 // paper's model-validation table.
-func T1LitmusMatrix(opts Options) *Table {
+func T1LitmusMatrix(opts Options) (*Table, error) {
 	models := memmodel.Names()
 	t := &Table{
 		ID:      "T1",
@@ -106,7 +113,10 @@ func T1LitmusMatrix(opts Options) *Table {
 	for _, tc := range litmus.Corpus() {
 		row := []any{tc.Name}
 		for _, model := range models {
-			res, _ := explore(tc.P, model)
+			res, _, err := explore("T1", tc.P, model)
+			if err != nil {
+				return nil, err
+			}
 			observed := res.ExistsCount > 0
 			expected, known := tc.Allowed[model]
 			cell := verdict(observed)
@@ -121,13 +131,13 @@ func T1LitmusMatrix(opts Options) *Table {
 		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes, fmt.Sprintf("%d verdict mismatches against the expected matrix", mismatches))
-	return t
+	return t, nil
 }
 
 // T2AxenumComparison compares HMC exploration against the herd-style
 // enumeration baseline on the corpus under the hardware model: executions
 // explored vs candidate graphs enumerated, and wall-clock time.
-func T2AxenumComparison(opts Options) *Table {
+func T2AxenumComparison(opts Options) (*Table, error) {
 	t := &Table{
 		ID:      "T2",
 		Title:   "HMC vs herd-style enumeration (model: imm)",
@@ -154,12 +164,19 @@ func T2AxenumComparison(opts Options) *Table {
 			tests = append(tests, entry{p.Name, p})
 		}
 	}
+	imm, err := memmodel.ByName("imm")
+	if err != nil {
+		return nil, fmt.Errorf("harness T2: %w", err)
+	}
 	for _, tc := range tests {
-		res, d := explore(tc.p, "imm")
-		start := time.Now()
-		ref, err := axenum.Explore(tc.p, axenum.Options{Model: mustModel("imm")})
+		res, d, err := explore("T2", tc.p, "imm")
 		if err != nil {
-			panic(err)
+			return nil, err
+		}
+		start := time.Now()
+		ref, err := axenum.Explore(tc.p, axenum.Options{Model: imm})
+		if err != nil {
+			return nil, fmt.Errorf("harness T2: enumerating %q under imm: %w", tc.name, err)
 		}
 		refD := time.Since(start)
 		ratio := "-"
@@ -170,13 +187,13 @@ func T2AxenumComparison(opts Options) *Table {
 	}
 	t.Notes = append(t.Notes,
 		"enumeration guesses read values and filters rf×co candidates: its candidate set grows exponentially faster than the consistent set HMC visits directly")
-	return t
+	return t, nil
 }
 
 // T3OperationalComparison compares HMC against the operational store-buffer
 // explorer (the Nidhugg-style baseline) under TSO: consistent execution
 // graphs vs machine traces.
-func T3OperationalComparison(opts Options) *Table {
+func T3OperationalComparison(opts Options) (*Table, error) {
 	t := &Table{
 		ID:      "T3",
 		Title:   "HMC graphs vs operational traces (model: tso)",
@@ -204,11 +221,14 @@ func T3OperationalComparison(opts Options) *Table {
 		}
 	}
 	for _, p := range programs {
-		res, d := explore(p, "tso")
+		res, d, err := explore("T3", p, "tso")
+		if err != nil {
+			return nil, err
+		}
 		start := time.Now()
 		op, err := operational.Explore(p, operational.Options{Level: operational.TSO})
 		if err != nil {
-			panic(err)
+			return nil, fmt.Errorf("harness T3: operational exploration of %q: %w", p.Name, err)
 		}
 		opD := time.Since(start)
 		t.AddRow(p.Name, res.Executions, ms(d), op.Traces, ms(opD),
@@ -216,7 +236,7 @@ func T3OperationalComparison(opts Options) *Table {
 	}
 	t.Notes = append(t.Notes,
 		"the operational explorer enumerates interleavings and buffer-commit schedules; graphs abstract both, so the gap widens with thread count")
-	return t
+	return t, nil
 }
 
 func max1(n int) int {
@@ -228,7 +248,7 @@ func max1(n int) int {
 
 // T4Scaling produces the scaling figure's series: time and work vs n for
 // the three checkers on SB(n) and LB(n).
-func T4Scaling(opts Options) *Table {
+func T4Scaling(opts Options) (*Table, error) {
 	t := &Table{
 		ID:      "T4",
 		Title:   "scaling with parameter n (series rows; model per family noted)",
@@ -239,38 +259,61 @@ func T4Scaling(opts Options) *Table {
 	if opts.Quick {
 		max, machineMax = 3, 3
 	}
+	tso, err := memmodel.ByName("tso")
+	if err != nil {
+		return nil, fmt.Errorf("harness T4: %w", err)
+	}
+	imm, err := memmodel.ByName("imm")
+	if err != nil {
+		return nil, fmt.Errorf("harness T4: %w", err)
+	}
 	for n := 2; n <= max; n++ {
 		p := gen.SBN(n)
-		res, d := explore(p, "tso")
+		res, d, err := explore("T4", p, "tso")
+		if err != nil {
+			return nil, err
+		}
 		traces, opTime := "-", "-"
 		if n <= machineMax {
 			opStart := time.Now()
-			op, _ := operational.Explore(p, operational.Options{Level: operational.TSO})
+			op, err := operational.Explore(p, operational.Options{Level: operational.TSO})
+			if err != nil {
+				return nil, fmt.Errorf("harness T4: operational exploration of %q: %w", p.Name, err)
+			}
 			traces, opTime = fmt.Sprint(op.Traces), ms(time.Since(opStart))
 		}
 		enumStart := time.Now()
-		en, _ := axenum.Explore(p, axenum.Options{Model: mustModel("tso")})
+		en, err := axenum.Explore(p, axenum.Options{Model: tso})
+		if err != nil {
+			return nil, fmt.Errorf("harness T4: enumerating %q under tso: %w", p.Name, err)
+		}
 		enD := time.Since(enumStart)
 		t.AddRow("SB/tso", n, res.Executions, ms(d), traces, opTime, en.Candidates, ms(enD))
 	}
 	for n := 2; n <= max; n++ {
 		p := gen.LBN(n)
-		res, d := explore(p, "imm")
+		res, d, err := explore("T4", p, "imm")
+		if err != nil {
+			return nil, err
+		}
 		enumStart := time.Now()
-		en, _ := axenum.Explore(p, axenum.Options{Model: mustModel("imm")})
+		en, err := axenum.Explore(p, axenum.Options{Model: imm})
+		if err != nil {
+			return nil, fmt.Errorf("harness T4: enumerating %q under imm: %w", p.Name, err)
+		}
 		enD := time.Since(enumStart)
 		t.AddRow("LB/imm", n, res.Executions, ms(d), "-", "-", en.Candidates, ms(enD))
 	}
 	t.Notes = append(t.Notes,
 		"LB(n) has no operational baseline: no store-buffer machine exhibits load buffering — the gap HMC exists to fill")
-	return t
+	return t, nil
 }
 
 // T5Ablation compares full dependency-aware revisits against the
 // porf-prefix-only ablation (GenMC-style) on the load-buffering family
 // under the hardware model: the ablation misses every po∪rf-cyclic
 // execution.
-func T5Ablation(opts Options) *Table {
+func T5Ablation(opts Options) (*Table, error) {
 	t := &Table{
 		ID:      "T5",
 		Title:   "dependency-aware revisits vs porf-only ablation (model: imm)",
@@ -291,19 +334,25 @@ func T5Ablation(opts Options) *Table {
 		}
 	}
 	for _, p := range programs {
-		full, _ := core.Explore(p, core.Options{Model: mustModel("imm")})
-		abl, _ := core.Explore(p, core.Options{Model: mustModel("imm"), PorfOnlyRevisits: true})
+		full, _, err := explore("T5", p, "imm")
+		if err != nil {
+			return nil, err
+		}
+		abl, _, err := exploreOpts("T5", p, "imm", core.Options{PorfOnlyRevisits: true})
+		if err != nil {
+			return nil, err
+		}
 		t.AddRow(p.Name, full.Executions, full.ExistsCount > 0,
 			abl.Executions, abl.ExistsCount > 0, full.Executions-abl.Executions)
 	}
 	t.Notes = append(t.Notes,
 		"porf-only revisits delete every po-successor of the revisited read, so rf edges into the po-past — allowed by hardware models — are unreachable")
-	return t
+	return t, nil
 }
 
 // T6FenceMatrix shows how fences and dependencies repair the classic weak
 // behaviours across models — the programming-guidance table.
-func T6FenceMatrix(opts Options) *Table {
+func T6FenceMatrix(opts Options) (*Table, error) {
 	models := memmodel.Names()
 	t := &Table{
 		ID:      "T6",
@@ -324,18 +373,21 @@ func T6FenceMatrix(opts Options) *Table {
 		}
 		row := []any{name}
 		for _, model := range models {
-			res, _ := explore(tc.P, model)
+			res, _, err := explore("T6", tc.P, model)
+			if err != nil {
+				return nil, err
+			}
 			row = append(row, map[bool]string{true: "yes", false: "no"}[res.ExistsCount > 0])
 		}
 		t.AddRow(row...)
 	}
-	return t
+	return t, nil
 }
 
 // T7OptimalityStats reports the exploration statistics across the corpus
 // and generator families: executions, states, memo hits, revisits, blocked
 // runs — and, crucially, zero duplicates.
-func T7OptimalityStats(opts Options) *Table {
+func T7OptimalityStats(opts Options) (*Table, error) {
 	t := &Table{
 		ID:      "T7",
 		Title:   "exploration statistics (model: imm)",
@@ -355,16 +407,16 @@ func T7OptimalityStats(opts Options) *Table {
 	programs = append(programs, gen.SpinlockN(2, eg.FenceNone), gen.IndexerN(3))
 	totalDup := 0
 	for _, p := range programs {
-		res, err := core.Explore(p, core.Options{Model: mustModel("imm"), DedupSafeguard: true})
+		res, _, err := exploreOpts("T7", p, "imm", core.Options{DedupSafeguard: true})
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		totalDup += res.Duplicates
 		t.AddRow(p.Name, res.Executions, res.Blocked, res.States, res.MemoHits,
 			res.RevisitsTaken, res.RevisitsRepairFail, res.Duplicates)
 	}
 	t.Notes = append(t.Notes, fmt.Sprintf("total duplicate executions across all programs: %d (optimality)", totalDup))
-	return t
+	return t, nil
 }
 
 // T8Compilation contrasts language-level rel/acq annotations (respected
@@ -372,7 +424,7 @@ func T7OptimalityStats(opts Options) *Table {
 // the formal version of "atomics must be compiled to barriers". Each
 // annotated test is paired with the fence-based variant that implements
 // it on hardware.
-func T8Compilation(opts Options) *Table {
+func T8Compilation(opts Options) (*Table, error) {
 	models := []string{"rc11", "tso", "pso", "arm", "imm"}
 	t := &Table{
 		ID:      "T8",
@@ -401,21 +453,24 @@ func T8Compilation(opts Options) *Table {
 		}
 		cells := []any{row.label}
 		for _, model := range models {
-			res, _ := explore(tc.P, model)
+			res, _, err := explore("T8", tc.P, model)
+			if err != nil {
+				return nil, err
+			}
 			cells = append(cells, map[bool]string{true: "yes", false: "no"}[res.ExistsCount > 0])
 		}
 		t.AddRow(cells...)
 	}
 	t.Notes = append(t.Notes,
 		"rc11 enforces the annotations; hardware models ignore them — the 'yes' cells in the annotation rows are exactly the reorderings a compiler must prevent with the fence rows' barriers")
-	return t
+	return t, nil
 }
 
 // T9Robustness reports, for realistic concurrent idioms, whether every
 // execution under each weak model is sequentially consistent — the
 // verdict practitioners actually want ("can I reason about this code as
 // if it ran under SC?"), with non-SC execution counts where not.
-func T9Robustness(opts Options) *Table {
+func T9Robustness(opts Options) (*Table, error) {
 	models := []string{"tso", "pso", "arm", "imm"}
 	t := &Table{
 		ID:      "T9",
@@ -437,9 +492,13 @@ func T9Robustness(opts Options) *Table {
 	for _, p := range programs {
 		row := []any{p.Name}
 		for _, model := range models {
-			rep, err := core.CheckRobustness(p, mustModel(model))
+			m, err := memmodel.ByName(model)
 			if err != nil {
-				panic(err)
+				return nil, fmt.Errorf("harness T9: %w", err)
+			}
+			rep, err := core.CheckRobustness(p, m)
+			if err != nil {
+				return nil, fmt.Errorf("harness T9: robustness of %q under %s: %w", p.Name, model, err)
 			}
 			if rep.Robust {
 				row = append(row, "robust")
@@ -451,14 +510,14 @@ func T9Robustness(opts Options) *Table {
 	}
 	t.Notes = append(t.Notes,
 		"atomic RMW programs are naturally robust; fence-repaired protocols become robust exactly when the weak outcomes vanish")
-	return t
+	return t, nil
 }
 
 // T10Parallel measures parallel exploration: the same state space explored
 // with 1, 2, 4 and 8 workers. Subtrees fork onto free workers, the state
 // memo is shared, and the run asserts the execution count is identical at
 // every width — speedup without losing optimality.
-func T10Parallel(opts Options) *Table {
+func T10Parallel(opts Options) (*Table, error) {
 	widths := []int{1, 2, 4, 8}
 	t := &Table{
 		ID:      "T10",
@@ -485,19 +544,17 @@ func T10Parallel(opts Options) *Table {
 		var execs int
 		var base, last time.Duration
 		for i, w := range widths {
-			start := time.Now()
-			res, err := core.Explore(j.p, core.Options{Model: mustModel(j.model), Workers: w})
+			res, d, err := exploreOpts("T10", j.p, j.model, core.Options{Workers: w})
 			if err != nil {
-				panic(err)
+				return nil, err
 			}
-			d := time.Since(start)
 			if i == 0 {
 				execs = res.Executions
 				base = d
 				row = append(row, execs)
 			} else if res.Executions != execs {
-				panic(fmt.Sprintf("T10: %s/%s: %d workers found %d executions, 1 worker found %d",
-					j.p.Name, j.model, w, res.Executions, execs))
+				return nil, fmt.Errorf("harness T10: %s/%s: %d workers found %d executions, 1 worker found %d",
+					j.p.Name, j.model, w, res.Executions, execs)
 			}
 			last = d
 			row = append(row, ms(d))
@@ -509,13 +566,13 @@ func T10Parallel(opts Options) *Table {
 		"each width re-explores from scratch; execution counts are asserted equal across widths",
 		"speedup saturates where consistency checks are cheap relative to lock traffic on the shared state memo",
 		fmt.Sprintf("host: GOMAXPROCS=%d — speedup requires multicore; on a single-CPU host the table measures synchronization overhead instead (expect ≈1x)", runtime.GOMAXPROCS(0)))
-	return t
+	return t, nil
 }
 
 // T11Symmetry measures symmetry reduction on programs with identical
 // threads: executions collapse to orbits (up to n! for n interchangeable
 // threads) at the cost of extra key computations per state.
-func T11Symmetry(opts Options) *Table {
+func T11Symmetry(opts Options) (*Table, error) {
 	t := &Table{
 		ID:      "T11",
 		Title:   "symmetry reduction: executions vs orbits for identical-thread programs",
@@ -536,10 +593,16 @@ func T11Symmetry(opts Options) *Table {
 		jobs = append(jobs, job{gen.IncN(5, 1), "sc"}, job{gen.IncN(4, 2), "tso"})
 	}
 	for _, j := range jobs {
-		full, d := exploreOpts(j.p, j.model, core.Options{})
-		sym, ds := exploreOpts(j.p, j.model, core.Options{Symmetry: true})
+		full, d, err := exploreOpts("T11", j.p, j.model, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		sym, ds, err := exploreOpts("T11", j.p, j.model, core.Options{Symmetry: true})
+		if err != nil {
+			return nil, err
+		}
 		if sym.ExistsCount > 0 != (full.ExistsCount > 0) {
-			panic(fmt.Sprintf("T11: %s/%s: reduction changed the verdict", j.p.Name, j.model))
+			return nil, fmt.Errorf("harness T11: %s/%s: reduction changed the verdict", j.p.Name, j.model)
 		}
 		t.AddRow(j.p.Name, j.model, full.Executions, ms(d), sym.Executions, ms(ds),
 			fmt.Sprintf("%.1fx", float64(full.Executions)/float64(sym.Executions)))
@@ -547,7 +610,7 @@ func T11Symmetry(opts Options) *Table {
 	t.Notes = append(t.Notes,
 		"inc(n,1) collapses n! RMW chain orders into a single orbit",
 		"verdicts (Exists observable?) are asserted identical with and without reduction")
-	return t
+	return t, nil
 }
 
 // T12Estimate calibrates the probe estimator against exhaustive counts in
@@ -556,7 +619,7 @@ func T11Symmetry(opts Options) *Table {
 // few percent, and revisit-heavy spaces (RMW chains), where the
 // unmemoized probe tree over-counts by path multiplicity and the large
 // spread is the reliability signal.
-func T12Estimate(opts Options) *Table {
+func T12Estimate(opts Options) (*Table, error) {
 	t := &Table{
 		ID:      "T12",
 		Title:   "probe estimator calibration: exact vs estimated execution counts",
@@ -579,17 +642,24 @@ func T12Estimate(opts Options) *Table {
 		{gen.IncN(3, 2), "tso"},
 	}
 	for _, j := range jobs {
-		exact, _ := exploreOpts(j.p, j.model, core.Options{})
-		est, err := core.Estimate(j.p, core.Options{Model: mustModel(j.model)}, samples, 1)
+		exact, _, err := exploreOpts("T12", j.p, j.model, core.Options{})
 		if err != nil {
-			panic(err)
+			return nil, err
+		}
+		m, err := memmodel.ByName(j.model)
+		if err != nil {
+			return nil, fmt.Errorf("harness T12: %w", err)
+		}
+		est, err := core.Estimate(j.p, core.Options{Model: m}, samples, 1)
+		if err != nil {
+			return nil, fmt.Errorf("harness T12: estimating %q under %s: %w", j.p.Name, j.model, err)
 		}
 		regime := "tree-shaped: unbiased"
 		if exact.MemoHits > 0 {
 			regime = "revisit-heavy: upper bound"
 		} else if diff := est.Mean - float64(exact.Executions); diff > float64(exact.Executions)/10 || -diff > float64(exact.Executions)/10 {
-			panic(fmt.Sprintf("T12: %s/%s: tree-shaped estimate %.1f deviates >10%% from exact %d",
-				j.p.Name, j.model, est.Mean, exact.Executions))
+			return nil, fmt.Errorf("harness T12: %s/%s: tree-shaped estimate %.1f deviates >10%% from exact %d",
+				j.p.Name, j.model, est.Mean, exact.Executions)
 		}
 		t.AddRow(j.p.Name, j.model, exact.Executions, exact.MemoHits,
 			fmt.Sprintf("%.1f", est.Mean), fmt.Sprintf("%.1f", est.StdErr), regime)
@@ -597,16 +667,5 @@ func T12Estimate(opts Options) *Table {
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("%d probes per program, fixed seed; tree-shaped rows are asserted within 10%% of exact", samples),
 		"revisit-heavy rows over-count by the unmemoized path multiplicity — safe as a 'too big to check?' upper bound, and the stderr ≈ mean spread is the tell")
-	return t
-}
-
-// exploreOpts explores with extra options, timing the run.
-func exploreOpts(p *prog.Program, model string, opts core.Options) (*core.Result, time.Duration) {
-	opts.Model = mustModel(model)
-	start := time.Now()
-	res, err := core.Explore(p, opts)
-	if err != nil {
-		panic(err)
-	}
-	return res, time.Since(start)
+	return t, nil
 }

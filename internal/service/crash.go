@@ -1,0 +1,238 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"hmc/internal/core"
+	"hmc/internal/litmus"
+	"hmc/internal/prog"
+)
+
+// CrashArtifact is a self-contained repro of an engine failure: everything
+// needed to replay the exploration that panicked — the program (litmus
+// source or corpus test name when the job arrived that way, plus a textual
+// dump either way), the model, and the exact bounds — together with the
+// recovered panic value, stack, and the exploration stats at failure.
+// Artifacts are written as JSON into the service's crash directory and
+// replayed with `hmc -repro <file>`.
+type CrashArtifact struct {
+	JobID       string    `json:"job_id"`
+	Time        time.Time `json:"time"`
+	Program     string    `json:"program"`
+	Fingerprint string    `json:"fingerprint"`
+	Model       string    `json:"model"`
+
+	// Exactly one of Source/Test is set when the submission carried one;
+	// ProgramDump is always set (human-readable, not machine-replayable).
+	Source      string `json:"source,omitempty"`
+	Test        string `json:"test,omitempty"`
+	ProgramDump string `json:"program_dump"`
+
+	// The exploration bounds in force when the engine died.
+	MaxExecutions int   `json:"max_executions,omitempty"`
+	MaxEvents     int   `json:"max_events,omitempty"`
+	MemoryBudget  int64 `json:"memory_budget,omitempty"`
+	Workers       int   `json:"workers,omitempty"`
+	Symmetry      bool  `json:"symmetry,omitempty"`
+	TimeoutMS     int64 `json:"timeout_ms,omitempty"`
+	Attempts      int   `json:"attempts"`
+
+	Panic string     `json:"panic"`
+	Stack string     `json:"stack"`
+	Stats core.Stats `json:"stats"`
+}
+
+// BuildProgram reconstructs the crashing program for replay: from the
+// litmus source when the artifact has one, else from the named corpus
+// test. Artifacts of programs submitted through the library API carry only
+// a textual dump and cannot be rebuilt.
+func (a *CrashArtifact) BuildProgram() (*prog.Program, error) {
+	switch {
+	case a.Source != "":
+		return litmus.Parse(a.Source)
+	case a.Test != "":
+		tc, ok := litmus.ByName(a.Test)
+		if !ok {
+			return nil, fmt.Errorf("crash artifact: unknown corpus test %q", a.Test)
+		}
+		return tc.P, nil
+	}
+	return nil, errors.New("crash artifact: no litmus source or test name; program dump is not replayable")
+}
+
+// LoadCrashArtifact reads one artifact file written by the service.
+func LoadCrashArtifact(path string) (*CrashArtifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	a := &CrashArtifact{}
+	if err := json.Unmarshal(data, a); err != nil {
+		return nil, fmt.Errorf("crash artifact %s: %w", path, err)
+	}
+	return a, nil
+}
+
+// crashStore keeps at most max artifact files in dir, evicting oldest
+// first. It does no locking of its own: the service serializes writes.
+type crashStore struct {
+	dir string
+	max int
+}
+
+// write serializes a into the store and evicts beyond the bound. It
+// returns the path of the file written.
+func (cs *crashStore) write(a *CrashArtifact) (string, error) {
+	if err := os.MkdirAll(cs.dir, 0o755); err != nil {
+		return "", err
+	}
+	fp := a.Fingerprint
+	if len(fp) > 12 {
+		fp = fp[:12]
+	}
+	path := filepath.Join(cs.dir, fmt.Sprintf("crash-%s-%s.json", fp, a.JobID))
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", err
+	}
+	if err := cs.evict(); err != nil {
+		return path, err
+	}
+	return path, nil
+}
+
+// count reports the resident artifact files.
+func (cs *crashStore) count() int {
+	names, err := cs.list()
+	if err != nil {
+		return 0
+	}
+	return len(names)
+}
+
+// list returns the store's artifact paths, oldest first (mod time, then
+// name — job ids are monotonic, so the tie-break is deterministic under
+// coarse clocks).
+func (cs *crashStore) list() ([]string, error) {
+	entries, err := os.ReadDir(cs.dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	type aged struct {
+		path string
+		mod  time.Time
+	}
+	var files []aged
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".json" {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, aged{filepath.Join(cs.dir, e.Name()), info.ModTime()})
+	}
+	sort.Slice(files, func(i, k int) bool {
+		if !files[i].mod.Equal(files[k].mod) {
+			return files[i].mod.Before(files[k].mod)
+		}
+		return files[i].path < files[k].path
+	})
+	paths := make([]string, len(files))
+	for i, f := range files {
+		paths[i] = f.path
+	}
+	return paths, nil
+}
+
+// evict removes the oldest artifacts beyond the bound.
+func (cs *crashStore) evict() error {
+	if cs.max <= 0 {
+		return nil
+	}
+	paths, err := cs.list()
+	if err != nil {
+		return err
+	}
+	for len(paths) > cs.max {
+		if err := os.Remove(paths[0]); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+		paths = paths[1:]
+	}
+	return nil
+}
+
+// breaker is a per-fingerprint circuit breaker: after threshold engine
+// crashes on the same program content, further submissions of that
+// fingerprint are rejected until the cooldown has passed since the last
+// crash — one poisoned test cannot grind the worker pool in a crash loop.
+// The trip map is bounded; when full, the stalest entry is dropped (a
+// fingerprint that has not crashed recently is the safest to forget).
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	trips     map[string]*breakerEntry
+}
+
+type breakerEntry struct {
+	count int
+	last  time.Time
+}
+
+const breakerMaxEntries = 1024
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, trips: map[string]*breakerEntry{}}
+}
+
+// allow reports whether a submission of fp should be accepted. An entry
+// past its cooldown is reset, so a fixed engine gets a fresh start.
+func (b *breaker) allow(fp string, now time.Time) bool {
+	if b.threshold <= 0 {
+		return true
+	}
+	e, ok := b.trips[fp]
+	if !ok {
+		return true
+	}
+	if now.Sub(e.last) >= b.cooldown {
+		delete(b.trips, fp)
+		return true
+	}
+	return e.count < b.threshold
+}
+
+// record notes one engine crash on fp.
+func (b *breaker) record(fp string, now time.Time) {
+	e, ok := b.trips[fp]
+	if !ok {
+		if len(b.trips) >= breakerMaxEntries {
+			var stalest string
+			var stalestAt time.Time
+			for k, v := range b.trips {
+				if stalest == "" || v.last.Before(stalestAt) {
+					stalest, stalestAt = k, v.last
+				}
+			}
+			delete(b.trips, stalest)
+		}
+		e = &breakerEntry{}
+		b.trips[fp] = e
+	}
+	e.count++
+	e.last = now
+}

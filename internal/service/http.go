@@ -24,6 +24,8 @@ type submitJSON struct {
 	Test          string `json:"test,omitempty"`
 	Model         string `json:"model"`
 	MaxExecutions int    `json:"max_executions,omitempty"`
+	MaxEvents     int    `json:"max_events,omitempty"`
+	MemoryBudget  int64  `json:"memory_budget,omitempty"`
 	Workers       int    `json:"workers,omitempty"`
 	Symmetry      bool   `json:"symmetry,omitempty"`
 	TimeoutMS     int64  `json:"timeout_ms,omitempty"`
@@ -31,17 +33,34 @@ type submitJSON struct {
 
 // jobJSON is the wire form of a job snapshot.
 type jobJSON struct {
-	ID          string      `json:"id"`
-	State       JobState    `json:"state"`
-	Program     string      `json:"program"`
-	Fingerprint string      `json:"fingerprint"`
-	Model       string      `json:"model"`
-	CacheHit    bool        `json:"cache_hit"`
-	SubmittedAt time.Time   `json:"submitted_at"`
-	DurationMS  int64       `json:"duration_ms,omitempty"`
-	Error       string      `json:"error,omitempty"`
-	Result      *resultJSON `json:"result,omitempty"`
+	ID            string           `json:"id"`
+	State         JobState         `json:"state"`
+	Program       string           `json:"program"`
+	Fingerprint   string           `json:"fingerprint"`
+	Model         string           `json:"model"`
+	CacheHit      bool             `json:"cache_hit"`
+	SubmittedAt   time.Time        `json:"submitted_at"`
+	DurationMS    int64            `json:"duration_ms,omitempty"`
+	Attempts      int              `json:"attempts,omitempty"`
+	Error         string           `json:"error,omitempty"`
+	EngineError   *engineErrorJSON `json:"engine_error,omitempty"`
+	CrashArtifact string           `json:"crash_artifact,omitempty"`
+	Result        *resultJSON      `json:"result,omitempty"`
 }
+
+// engineErrorJSON carries a contained engine panic's diagnostics to the
+// client. The stack is truncated to keep job payloads bounded; the full
+// stack lives in the crash artifact.
+type engineErrorJSON struct {
+	Op          string `json:"op"`
+	Panic       string `json:"panic"`
+	Program     string `json:"program"`
+	Fingerprint string `json:"fingerprint"`
+	Model       string `json:"model"`
+	Stack       string `json:"stack,omitempty"`
+}
+
+const maxStackBytes = 4096
 
 // resultJSON is the wire form of an exploration outcome. Allowed is the
 // litmus verdict (ExistsCount > 0); Exhaustive distinguishes a definitive
@@ -57,6 +76,7 @@ type resultJSON struct {
 	RevisitsTried     int      `json:"revisits_tried"`
 	RevisitsTaken     int      `json:"revisits_taken"`
 	Truncated         bool     `json:"truncated"`
+	TruncatedReason   string   `json:"truncated_reason,omitempty"`
 	Interrupted       bool     `json:"interrupted"`
 	Exhaustive        bool     `json:"exhaustive"`
 	AssertionFailures []string `json:"assertion_failures,omitempty"`
@@ -64,14 +84,30 @@ type resultJSON struct {
 
 func toJobJSON(v JobView) jobJSON {
 	out := jobJSON{
-		ID:          v.ID,
-		State:       v.State,
-		Program:     v.Program,
-		Fingerprint: v.Fingerprint,
-		Model:       v.Model,
-		CacheHit:    v.CacheHit,
-		SubmittedAt: v.Submitted,
-		Error:       v.Err,
+		ID:            v.ID,
+		State:         v.State,
+		Program:       v.Program,
+		Fingerprint:   v.Fingerprint,
+		Model:         v.Model,
+		CacheHit:      v.CacheHit,
+		SubmittedAt:   v.Submitted,
+		Attempts:      v.Attempts,
+		Error:         v.Err,
+		CrashArtifact: v.CrashArtifact,
+	}
+	if ee := v.EngineError; ee != nil {
+		stack := ee.Stack
+		if len(stack) > maxStackBytes {
+			stack = stack[:maxStackBytes] + "\n[stack truncated; see crash artifact]"
+		}
+		out.EngineError = &engineErrorJSON{
+			Op:          ee.Op,
+			Panic:       fmt.Sprint(ee.PanicValue),
+			Program:     ee.Program,
+			Fingerprint: ee.Fingerprint,
+			Model:       ee.Model,
+			Stack:       stack,
+		}
 	}
 	if !v.Finished.IsZero() {
 		start := v.Started
@@ -82,18 +118,19 @@ func toJobJSON(v JobView) jobJSON {
 	}
 	if r := v.Result; r != nil {
 		rj := &resultJSON{
-			Executions:    r.Executions,
-			ExistsCount:   r.ExistsCount,
-			ExistsDesc:    v.ExistsDesc,
-			Allowed:       r.ExistsCount > 0,
-			Blocked:       r.Blocked,
-			States:        r.States,
-			MemoHits:      r.MemoHits,
-			RevisitsTried: r.RevisitsTried,
-			RevisitsTaken: r.RevisitsTaken,
-			Truncated:     r.Truncated,
-			Interrupted:   r.Interrupted,
-			Exhaustive:    r.Exhaustive(),
+			Executions:      r.Executions,
+			ExistsCount:     r.ExistsCount,
+			ExistsDesc:      v.ExistsDesc,
+			Allowed:         r.ExistsCount > 0,
+			Blocked:         r.Blocked,
+			States:          r.States,
+			MemoHits:        r.MemoHits,
+			RevisitsTried:   r.RevisitsTried,
+			RevisitsTaken:   r.RevisitsTaken,
+			Truncated:       r.Truncated,
+			TruncatedReason: r.TruncatedReason,
+			Interrupted:     r.Interrupted,
+			Exhaustive:      r.Exhaustive(),
 		}
 		for _, e := range r.Errors {
 			rj.AssertionFailures = append(rj.AssertionFailures,
@@ -176,11 +213,19 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		Program:       p,
 		Model:         req.Model,
 		MaxExecutions: req.MaxExecutions,
+		MaxEvents:     req.MaxEvents,
+		MemoryBudget:  req.MemoryBudget,
 		Workers:       req.Workers,
 		Symmetry:      req.Symmetry,
 		Timeout:       time.Duration(req.TimeoutMS) * time.Millisecond,
+		Source:        req.Source,
+		Test:          req.Test,
 	})
 	switch {
+	case errors.Is(err, ErrCircuitOpen):
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(s.cfg.BreakerCooldown.Seconds())))
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, err)
@@ -243,5 +288,5 @@ func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.writePrometheus(w, s.QueueDepth(), s.cache.len())
+	s.metrics.writePrometheus(w, s.QueueDepth(), s.cache.len(), s.CrashArtifacts())
 }

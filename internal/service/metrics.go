@@ -24,6 +24,11 @@ type Metrics struct {
 	CacheMisses     atomic.Int64
 	InFlight        atomic.Int64 // currently running explorations (gauge)
 
+	EngineErrors    atomic.Int64 // engine panics contained as EngineError
+	CrashArtifacts  atomic.Int64 // crash repro files written
+	JobsRetried     atomic.Int64 // re-runs after a memory-budget truncation
+	BreakerRejected atomic.Int64 // submissions refused by the circuit breaker
+
 	Executions        atomic.Int64
 	ExistsCount       atomic.Int64
 	Blocked           atomic.Int64
@@ -46,7 +51,7 @@ func (m *Metrics) CacheHitRate() float64 {
 // writePrometheus renders the counters in the Prometheus text exposition
 // format (version 0.0.4), stdlib only. queueDepth and cacheEntries are
 // point-in-time gauges supplied by the service.
-func (m *Metrics) writePrometheus(w io.Writer, queueDepth, cacheEntries int) {
+func (m *Metrics) writePrometheus(w io.Writer, queueDepth, cacheEntries, crashResident int) {
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -63,6 +68,11 @@ func (m *Metrics) writePrometheus(w io.Writer, queueDepth, cacheEntries int) {
 	counter("hmcd_jobs_failed_total", "Explorations that returned an error.", m.JobsFailed.Load())
 	counter("hmcd_jobs_canceled_total", "Jobs canceled by the client.", m.JobsCanceled.Load())
 	counter("hmcd_jobs_interrupted_total", "Jobs stopped by a deadline with partial results.", m.JobsInterrupted.Load())
+	counter("hmcd_engine_errors_total", "Engine panics contained as structured errors.", m.EngineErrors.Load())
+	counter("hmcd_crash_artifacts_total", "Crash repro artifacts written.", m.CrashArtifacts.Load())
+	counter("hmcd_jobs_retried_total", "Job re-runs after a transient memory-budget truncation.", m.JobsRetried.Load())
+	counter("hmcd_breaker_rejected_total", "Submissions refused by the per-program circuit breaker.", m.BreakerRejected.Load())
+	gaugeI("hmcd_crash_artifacts_resident", "Crash artifacts currently on disk.", int64(crashResident))
 	counter("hmcd_cache_hits_total", "Verdict cache hits.", m.CacheHits.Load())
 	counter("hmcd_cache_misses_total", "Verdict cache misses.", m.CacheMisses.Load())
 	gaugeF("hmcd_cache_hit_rate", "Verdict cache hit rate since start.", m.CacheHitRate())

@@ -48,6 +48,28 @@ type Config struct {
 	// JobHistory bounds the finished-job records retained for polling
 	// (default 1024); the oldest finished jobs are forgotten first.
 	JobHistory int
+	// CrashDir is where engine-crash artifacts are written (default
+	// "hmcd-crashes" under the working directory). Empty string is the
+	// default; set MaxCrashArtifacts negative to disable capture.
+	CrashDir string
+	// MaxCrashArtifacts bounds the crash directory (default 32, oldest
+	// evicted first; negative disables artifact capture entirely).
+	MaxCrashArtifacts int
+	// MaxAttempts is how many times a job whose exploration was cut short
+	// by the memory budget — a transient, machine-state-dependent
+	// condition, unlike the deterministic execution/event caps — is run
+	// before its partial result is accepted (default 2).
+	MaxAttempts int
+	// RetryBackoff is the pause before each retry attempt (default 50ms).
+	RetryBackoff time.Duration
+	// BreakerThreshold trips the per-fingerprint circuit breaker: after
+	// this many engine crashes on one program content, submissions of that
+	// fingerprint are rejected with ErrCircuitOpen until BreakerCooldown
+	// has passed (default 3; negative disables the breaker).
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped fingerprint stays rejected
+	// after its last crash (default 10m).
+	BreakerCooldown time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -62,6 +84,24 @@ func (c Config) withDefaults() Config {
 	}
 	if c.JobHistory <= 0 {
 		c.JobHistory = 1024
+	}
+	if c.CrashDir == "" {
+		c.CrashDir = "hmcd-crashes"
+	}
+	if c.MaxCrashArtifacts == 0 {
+		c.MaxCrashArtifacts = 32
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 2
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 50 * time.Millisecond
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 10 * time.Minute
 	}
 	return c
 }
@@ -89,19 +129,29 @@ type SubmitRequest struct {
 	Program *prog.Program
 	// Model names the memory model (required; see memmodel.Names).
 	Model string
-	// MaxExecutions, Workers, Symmetry mirror core.Options.
+	// MaxExecutions, MaxEvents, MemoryBudget, Workers, Symmetry mirror
+	// core.Options.
 	MaxExecutions int
+	MaxEvents     int
+	MemoryBudget  int64
 	Workers       int
 	Symmetry      bool
 	// Timeout is the job's wall-clock budget (0: Config.DefaultTimeout).
 	// A job that exceeds it completes with a partial, Interrupted result.
 	Timeout time.Duration
+	// Source/Test record how the program was submitted (litmus text or a
+	// corpus test name); either makes a crash artifact replayable with
+	// `hmc -repro`. Optional — library callers passing a built Program may
+	// leave both empty, at the cost of dump-only artifacts.
+	Source string
+	Test   string
 }
 
 // Submission errors.
 var (
-	ErrQueueFull = errors.New("service: job queue is full")
-	ErrDraining  = errors.New("service: shutting down, not accepting jobs")
+	ErrQueueFull   = errors.New("service: job queue is full")
+	ErrDraining    = errors.New("service: shutting down, not accepting jobs")
+	ErrCircuitOpen = errors.New("service: circuit open: this program recently crashed the engine, retry after cooldown")
 )
 
 // Job is the internal job record; the exported snapshot type is JobView.
@@ -118,6 +168,9 @@ type Job struct {
 	finished    time.Time
 	result      *core.Result
 	errMsg      string
+	attempts    int
+	engineErr   *core.EngineError
+	artifact    string             // crash artifact path, when one was written
 	cancel      context.CancelFunc // non-nil only while running
 	userCancel  bool               // Cancel() was called
 }
@@ -137,22 +190,31 @@ type JobView struct {
 	Finished    time.Time
 	Err         string
 	Result      *core.Result
+	// Attempts counts exploration attempts (>1 after memory-budget
+	// retries). EngineError carries the structured diagnostics of a
+	// contained engine panic; CrashArtifact is the repro file's path.
+	Attempts      int
+	EngineError   *core.EngineError
+	CrashArtifact string
 }
 
 func (j *Job) view() JobView {
 	return JobView{
-		ID:          j.id,
-		State:       j.state,
-		Program:     j.req.Program.Name,
-		Fingerprint: j.fingerprint,
-		Model:       j.req.Model,
-		ExistsDesc:  j.req.Program.ExistsDesc,
-		CacheHit:    j.cacheHit,
-		Submitted:   j.submitted,
-		Started:     j.started,
-		Finished:    j.finished,
-		Err:         j.errMsg,
-		Result:      j.result,
+		ID:            j.id,
+		State:         j.state,
+		Program:       j.req.Program.Name,
+		Fingerprint:   j.fingerprint,
+		Model:         j.req.Model,
+		ExistsDesc:    j.req.Program.ExistsDesc,
+		CacheHit:      j.cacheHit,
+		Submitted:     j.submitted,
+		Started:       j.started,
+		Finished:      j.finished,
+		Err:           j.errMsg,
+		Result:        j.result,
+		Attempts:      j.attempts,
+		EngineError:   j.engineErr,
+		CrashArtifact: j.artifact,
 	}
 }
 
@@ -161,6 +223,7 @@ type Service struct {
 	cfg     Config
 	cache   *verdictCache
 	metrics Metrics
+	crashes *crashStore // nil when artifact capture is disabled
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -168,6 +231,9 @@ type Service struct {
 	queue    chan *Job
 	draining bool
 	nextID   int
+	breaker  *breaker
+
+	crashMu sync.Mutex // serializes artifact writes (held without s.mu)
 
 	wg sync.WaitGroup // worker goroutines
 }
@@ -177,21 +243,51 @@ type Service struct {
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	s := &Service{
-		cfg:   cfg,
-		cache: newVerdictCache(cfg.CacheSize),
-		jobs:  make(map[string]*Job),
-		queue: make(chan *Job, cfg.QueueSize),
+		cfg:     cfg,
+		cache:   newVerdictCache(cfg.CacheSize),
+		jobs:    make(map[string]*Job),
+		queue:   make(chan *Job, cfg.QueueSize),
+		breaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+	}
+	if cfg.MaxCrashArtifacts > 0 {
+		s.crashes = &crashStore{dir: cfg.CrashDir, max: cfg.MaxCrashArtifacts}
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
 			for j := range s.queue {
-				s.runJob(j)
+				s.safeRunJob(j)
 			}
 		}()
 	}
 	return s
+}
+
+// safeRunJob is the worker loop's last line of defense: core.Explore
+// already converts engine panics to errors, but a panic in the service's
+// own bookkeeping (or an exotic escape from the engine boundary) must
+// still fail only the one job, never the worker goroutine — a dead worker
+// would silently shrink the pool for the life of the process.
+func (s *Service) safeRunJob(j *Job) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if j.state.Terminal() {
+			return
+		}
+		j.state = StateFailed
+		j.errMsg = fmt.Sprintf("service: worker panic: %v", r)
+		j.finished = time.Now()
+		j.cancel = nil
+		s.metrics.JobsFailed.Add(1)
+		s.recordFinishedLocked(j)
+	}()
+	s.runJob(j)
 }
 
 // Metrics exposes the counters (for tests and embedding servers).
@@ -207,8 +303,11 @@ func (s *Service) QueueDepth() int { return len(s.queue) }
 // cacheKey builds the verdict-cache key: everything that determines the
 // result, nothing that only determines how fast it is computed (Workers)
 // or what a client called the program (the fingerprint ignores names).
+// MemoryBudget is deliberately excluded: a memory-truncated result is
+// transient and never cached (see runJob), and an untruncated run under a
+// budget equals the unbudgeted run.
 func cacheKey(fp string, req SubmitRequest) string {
-	return fmt.Sprintf("%s|%s|max=%d|symm=%v", fp, req.Model, req.MaxExecutions, req.Symmetry)
+	return fmt.Sprintf("%s|%s|max=%d|maxev=%d|symm=%v", fp, req.Model, req.MaxExecutions, req.MaxEvents, req.Symmetry)
 }
 
 // Submit validates req, answers it from the verdict cache when possible,
@@ -238,6 +337,10 @@ func (s *Service) Submit(req SubmitRequest) (JobView, error) {
 	if s.draining {
 		s.metrics.JobsRejected.Add(1)
 		return JobView{}, ErrDraining
+	}
+	if !s.breaker.allow(fp, time.Now()) {
+		s.metrics.BreakerRejected.Add(1)
+		return JobView{}, ErrCircuitOpen
 	}
 	s.nextID++
 	j := &Job{
@@ -320,17 +423,15 @@ func (s *Service) Cancel(id string) bool {
 	return true
 }
 
-// runJob explores one dequeued job with its own deadline context.
+// runJob explores one dequeued job with its own deadline context. A run
+// cut short by the memory budget — transient pressure, not a property of
+// the program — is retried with backoff up to Config.MaxAttempts; an
+// engine panic (surfaced as *core.EngineError by the explorer's recovery
+// boundary) fails the job, writes a crash artifact, and feeds the circuit
+// breaker. The worker loop itself is additionally guarded in New as the
+// second line of defense: even a panic escaping runJob's own bookkeeping
+// must not kill a worker goroutine.
 func (s *Service) runJob(j *Job) {
-	ctx := context.Background()
-	var cancel context.CancelFunc
-	if j.req.Timeout > 0 {
-		ctx, cancel = context.WithTimeout(ctx, j.req.Timeout)
-	} else {
-		ctx, cancel = context.WithCancel(ctx)
-	}
-	defer cancel()
-
 	s.mu.Lock()
 	if j.state != StateQueued { // canceled while waiting
 		s.mu.Unlock()
@@ -338,28 +439,82 @@ func (s *Service) runJob(j *Job) {
 	}
 	j.state = StateRunning
 	j.started = time.Now()
-	j.cancel = cancel
 	s.mu.Unlock()
 
-	s.metrics.InFlight.Add(1)
-	res, err := core.Explore(j.req.Program, core.Options{
-		Model:         j.model,
-		Context:       ctx,
-		MaxExecutions: j.req.MaxExecutions,
-		Workers:       j.req.Workers,
-		Symmetry:      j.req.Symmetry,
-	})
-	s.metrics.InFlight.Add(-1)
+	var res *core.Result
+	var err error
+	for attempt := 1; ; attempt++ {
+		ctx := context.Background()
+		var cancel context.CancelFunc
+		if j.req.Timeout > 0 {
+			ctx, cancel = context.WithTimeout(ctx, j.req.Timeout)
+		} else {
+			ctx, cancel = context.WithCancel(ctx)
+		}
+		s.mu.Lock()
+		j.cancel = cancel
+		j.attempts = attempt
+		userCancel := j.userCancel
+		s.mu.Unlock()
+		if userCancel {
+			cancel()
+		}
+
+		s.metrics.InFlight.Add(1)
+		res, err = core.Explore(j.req.Program, core.Options{
+			Model:         j.model,
+			Context:       ctx,
+			MaxExecutions: j.req.MaxExecutions,
+			MaxEvents:     j.req.MaxEvents,
+			MemoryBudget:  j.req.MemoryBudget,
+			Workers:       j.req.Workers,
+			Symmetry:      j.req.Symmetry,
+		})
+		s.metrics.InFlight.Add(-1)
+		cancel()
+
+		s.mu.Lock()
+		j.cancel = nil
+		userCancel = j.userCancel
+		s.mu.Unlock()
+		if err != nil || userCancel || attempt >= s.cfg.MaxAttempts ||
+			res.TruncatedReason != core.TruncMemoryBudget {
+			break
+		}
+		s.metrics.JobsRetried.Add(1)
+		time.Sleep(s.cfg.RetryBackoff)
+	}
+
+	// On an engine panic, write the repro artifact before taking the
+	// service lock: artifact IO must not stall job polling.
+	ee, _ := core.AsEngineError(err)
+	artifact := ""
+	if ee != nil {
+		s.metrics.EngineErrors.Add(1)
+		if s.crashes != nil {
+			s.crashMu.Lock()
+			path, werr := s.crashes.write(s.buildArtifact(j, ee))
+			s.crashMu.Unlock()
+			if werr == nil {
+				artifact = path
+				s.metrics.CrashArtifacts.Add(1)
+			}
+		}
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	j.cancel = nil
 	j.finished = time.Now()
+	j.engineErr = ee
+	j.artifact = artifact
 	switch {
 	case err != nil:
 		j.state = StateFailed
 		j.errMsg = err.Error()
 		s.metrics.JobsFailed.Add(1)
+		if ee != nil {
+			s.breaker.record(j.fingerprint, time.Now())
+		}
 	case j.userCancel:
 		j.state = StateCanceled
 		j.result = res
@@ -372,13 +527,50 @@ func (s *Service) runJob(j *Job) {
 		s.metrics.addStats(&res.Stats)
 		if res.Interrupted {
 			s.metrics.JobsInterrupted.Add(1)
-		} else {
-			// Truncated results are keyed by their MaxExecutions, so any
-			// non-interrupted result is deterministic and cacheable.
+		} else if res.TruncatedReason != core.TruncMemoryBudget {
+			// Execution/event-capped results are keyed by their bounds and
+			// deterministic, so they cache; a memory-budget truncation
+			// depends on transient machine state and must never be served
+			// to a later submitter.
 			s.cache.put(j.cacheKey, res)
 		}
 	}
 	s.recordFinishedLocked(j)
+}
+
+// buildArtifact assembles the crash repro for a failed job.
+func (s *Service) buildArtifact(j *Job, ee *core.EngineError) *CrashArtifact {
+	return &CrashArtifact{
+		JobID:         j.id,
+		Time:          time.Now().UTC(),
+		Program:       j.req.Program.Name,
+		Fingerprint:   j.fingerprint,
+		Model:         j.req.Model,
+		Source:        j.req.Source,
+		Test:          j.req.Test,
+		ProgramDump:   j.req.Program.String(),
+		MaxExecutions: j.req.MaxExecutions,
+		MaxEvents:     j.req.MaxEvents,
+		MemoryBudget:  j.req.MemoryBudget,
+		Workers:       j.req.Workers,
+		Symmetry:      j.req.Symmetry,
+		TimeoutMS:     j.req.Timeout.Milliseconds(),
+		Attempts:      j.attempts,
+		Panic:         fmt.Sprint(ee.PanicValue),
+		Stack:         ee.Stack,
+		Stats:         ee.Stats,
+	}
+}
+
+// CrashArtifacts reports the artifact files resident in the crash
+// directory (a point-in-time gauge for /metrics).
+func (s *Service) CrashArtifacts() int {
+	if s.crashes == nil {
+		return 0
+	}
+	s.crashMu.Lock()
+	defer s.crashMu.Unlock()
+	return s.crashes.count()
 }
 
 // recordFinishedLocked appends j to the finished history and evicts the
