@@ -1,10 +1,10 @@
 // Command hmc-bench regenerates the evaluation tables and figure series
-// (experiments T1–T12 in DESIGN.md / EXPERIMENTS.md): the litmus verdict
+// (experiments T1–T13 in DESIGN.md / EXPERIMENTS.md): the litmus verdict
 // matrix, the comparisons against the herd-style enumerator and the
 // operational store-buffer explorer, the scaling series, the
 // dependency-revisit ablation, the fence repair matrix, the exploration
-// statistics, the compilation and robustness matrices, and the parallel
-// and symmetry-reduction studies.
+// statistics, the compilation and robustness matrices, the parallel
+// and symmetry-reduction studies, and the static-pruning study.
 //
 // Usage:
 //
@@ -33,7 +33,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("hmc-bench", flag.ContinueOnError)
-	runList := fs.String("run", "all", "comma-separated experiment ids (T1..T12) or 'all'")
+	runList := fs.String("run", "all", "comma-separated experiment ids (T1..T13) or 'all'")
 	quick := fs.Bool("quick", false, "shrink parameter sweeps")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
 	if err := fs.Parse(args); err != nil {

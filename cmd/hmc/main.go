@@ -9,6 +9,7 @@
 //
 //	hmc [flags] <file.lit | ->
 //	hmc [flags] -test MP
+//	hmc vet [flags] <file.lit | ->
 //	hmc -repro <crash-artifact.json>
 //
 // Examples:
@@ -16,7 +17,19 @@
 //	hmc -model imm examples/litmusfile/mp.lit
 //	hmc -model tso -test SB
 //	hmc -all -test LB
+//	hmc -static -checkdeps -stats -test LB
+//	hmc vet -model tso -foot examples/litmusfile/mp.lit
 //	hmc -repro hmcd-crashes/crash-3f2a91c0aa17-job-000042.json
+//
+// `hmc vet` lints a program without exploring it: the static analysis in
+// internal/analyze reports dead stores, statically-false assertions and
+// assumptions, fences that cannot order anything (positionally, or under
+// the selected model), registers read before any write, out-of-range
+// addresses, unreachable code, and near-symmetric threads the exact
+// symmetry reduction cannot exploit. Findings print one per line as
+// program:tN:pc: [code] message (severity); the exit status is non-zero
+// only for error-severity findings (and for programs that fail to parse
+// or validate).
 //
 // -repro replays a crash artifact written by the hmcd service: it rebuilds
 // the program that panicked the engine (from its litmus source or corpus
@@ -47,6 +60,9 @@ func main() {
 }
 
 func run(args []string, out io.Writer) error {
+	if len(args) > 0 && args[0] == "vet" {
+		return vet(args[1:], out)
+	}
 	fs := flag.NewFlagSet("hmc", flag.ContinueOnError)
 	model := fs.String("model", "imm", "memory model: "+fmt.Sprint(memmodel.Names()))
 	all := fs.Bool("all", false, "check under every model")
@@ -63,6 +79,8 @@ func run(args []string, out io.Writer) error {
 	workers := fs.Int("workers", 1, "parallel exploration workers (1 = sequential)")
 	live := fs.Bool("live", false, "check liveness: report awaits that block forever (deadlocks)")
 	symm := fs.Bool("symm", false, "symmetry reduction: explore one representative per orbit of identical threads")
+	static := fs.Bool("static", false, "static-analysis pruning: skip rf/co/revisit work on provably thread-local, single-writer and never-read locations (count-preserving)")
+	checkDeps := fs.Bool("checkdeps", false, "sanitizer: assert every dynamic dependency is covered by the static dependency sets")
 	estimate := fs.Int("estimate", 0, "skip exploration; predict the execution count with this many random probes")
 	stats := fs.Bool("stats", false, "print exploration statistics (states, memo hits, revisits)")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget for each check (0 = none); an interrupted check prints INTERRUPTED with its partial counts")
@@ -115,7 +133,7 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 	for _, name := range models {
-		if err := check(out, p, name, *verbose, *maxExec, *maxEvents, *memBudget, *dotPath, *workers, *symm, *stats, newCtx); err != nil {
+		if err := check(out, p, name, *verbose, *maxExec, *maxEvents, *memBudget, *dotPath, *workers, *symm, *static, *checkDeps, *stats, newCtx); err != nil {
 			return err
 		}
 		if *robust {
@@ -265,14 +283,14 @@ func loadProgram(args []string, testName string) (*prog.Program, error) {
 	return litmus.Parse(string(src))
 }
 
-func check(out io.Writer, p *prog.Program, model string, verbose bool, maxExec, maxEvents int, memBudget int64, dotPath string, workers int, symm, stats bool, newCtx func() (context.Context, context.CancelFunc)) error {
+func check(out io.Writer, p *prog.Program, model string, verbose bool, maxExec, maxEvents int, memBudget int64, dotPath string, workers int, symm, static, checkDeps, stats bool, newCtx func() (context.Context, context.CancelFunc)) error {
 	m, err := memmodel.ByName(model)
 	if err != nil {
 		return err
 	}
 	ctx, cancel := newCtx()
 	defer cancel()
-	opts := core.Options{Model: m, Context: ctx, MaxExecutions: maxExec, MaxEvents: maxEvents, MemoryBudget: memBudget, Workers: workers, Symmetry: symm}
+	opts := core.Options{Model: m, Context: ctx, MaxExecutions: maxExec, MaxEvents: maxEvents, MemoryBudget: memBudget, Workers: workers, Symmetry: symm, StaticAnalysis: static, CheckDeps: checkDeps}
 	var witness *eg.Graph
 	witnessWeak := false
 	opts.OnExecution = func(g *eg.Graph, fsv prog.FinalState) {
@@ -333,6 +351,20 @@ func check(out io.Writer, p *prog.Program, model string, verbose bool, maxExec, 
 		fmt.Fprintf(out, "  states=%d memo-hits=%d consistency-checks=%d revisits=%d/%d (taken/tried) repair-fails=%d max-graph=%d\n",
 			res.States, res.MemoHits, res.ConsistencyChecks,
 			res.RevisitsTaken, res.RevisitsTried, res.RevisitsRepairFail, res.MaxGraphEvents)
+		if static {
+			fmt.Fprintf(out, "  static-pruned: rf=%d co=%d revisit-scans=%d\n",
+				res.StaticPrunedRf, res.StaticPrunedCo, res.StaticPrunedScans)
+		}
+	}
+	if checkDeps {
+		if res.DepViolations == 0 {
+			fmt.Fprintf(out, "  checkdeps: ok (all dynamic dependencies within static sets)\n")
+		} else {
+			fmt.Fprintf(out, "  CHECKDEPS: %d dynamic dependencies outside the static sets\n", res.DepViolations)
+			for _, d := range res.DepViolationDetails {
+				fmt.Fprintf(out, "    %s\n", d)
+			}
+		}
 	}
 	for _, e := range res.Errors {
 		fmt.Fprintf(out, "assertion failure in thread %d: %s\nwitness:\n%s", e.Thread, e.Msg, e.Graph.StringNamed(p.LocName))

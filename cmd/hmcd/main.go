@@ -3,7 +3,11 @@
 // or built-in corpus names), poll for verdicts, and scrape metrics;
 // repeat submissions of an already-verified program are answered from a
 // content-addressed verdict cache, and every job runs under its own
-// deadline so one oversized exploration cannot wedge the service.
+// deadline so one oversized exploration cannot wedge the service. Each
+// accepted submission is also statically vetted (internal/analyze): the
+// job payload carries a "diagnostics" list of advisory lint findings —
+// useless fences under the chosen model, dead stores, vacuous
+// assertions, and the like — without ever blocking the job.
 //
 // Usage:
 //

@@ -1,0 +1,463 @@
+package analyze
+
+import (
+	"strings"
+	"testing"
+
+	"hmc/internal/eg"
+	"hmc/internal/prog"
+)
+
+// containsPC is a test-side alias of the production helper.
+func containsPC(xs []int, x int) bool { return containsInt(xs, x) }
+
+// findings filters a finding list by code.
+func findings(fs []Finding, code string) []Finding {
+	var out []Finding
+	for _, f := range fs {
+		if f.Code == code {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func TestDataAndAddrDeps(t *testing.T) {
+	// t0: r0 = load x      (pc 0)
+	//     store y, r0+1    (pc 1)  — data dep on pc 0
+	//     r1 = load [r0]   (pc 2)  — addr dep on pc 0
+	b := prog.NewBuilder("deps")
+	x, y := b.Loc("x"), b.Loc("y")
+	_ = y
+	th := b.Thread()
+	r0 := th.Load(x)
+	th.Store(y, prog.Add(prog.R(r0), prog.Const(1)))
+	th.LoadAt(prog.R(r0))
+	r := Analyze(b.MustBuild())
+
+	d := r.Threads[0].Deps
+	if !containsPC(d[1].Data, 0) {
+		t.Errorf("store data deps = %v, want to contain 0", d[1].Data)
+	}
+	if len(d[1].Addr) != 0 {
+		t.Errorf("store with constant address has addr deps %v", d[1].Addr)
+	}
+	if !containsPC(d[2].Addr, 0) {
+		t.Errorf("load addr deps = %v, want to contain 0", d[2].Addr)
+	}
+}
+
+func TestCtrlDeps(t *testing.T) {
+	// t0: r0 = load x          (pc 0)
+	//     branch r0==0 → end   (pc 1)
+	//     store y, 1           (pc 2)  — ctrl dep on pc 0
+	b := prog.NewBuilder("ctrl")
+	x, y := b.Loc("x"), b.Loc("y")
+	th := b.Thread()
+	r0 := th.Load(x)
+	j := th.BranchFwd(prog.Eq(prog.R(r0), prog.Const(0)))
+	th.Store(y, prog.Const(1))
+	th.Patch(j)
+	th.Load(y)
+	r := Analyze(b.MustBuild())
+
+	d := r.Threads[0].Deps
+	if !containsPC(d[2].Ctrl, 0) {
+		t.Errorf("store ctrl deps = %v, want to contain 0", d[2].Ctrl)
+	}
+	// Control taint never shrinks: the post-join load carries it too.
+	if !containsPC(d[3].Ctrl, 0) {
+		t.Errorf("post-merge load ctrl deps = %v, want to contain 0 (ctrl never shrinks)", d[3].Ctrl)
+	}
+	if len(d[0].Ctrl) != 0 {
+		t.Errorf("first load has ctrl deps %v before any branch", d[0].Ctrl)
+	}
+}
+
+func TestLoadResetsTaint(t *testing.T) {
+	// A second load into a register replaces its taint; but a Mov mixing
+	// old and new keeps both (path-insensitive union on reconvergence is
+	// separate — this is straight-line).
+	b := prog.NewBuilder("reset")
+	x, y, z := b.Loc("x"), b.Loc("y"), b.Loc("z")
+	th := b.Thread()
+	r0 := th.Load(x)                              // pc 0
+	r1 := th.Mov(prog.R(r0))                      // pc 1: r1 tainted by {0}
+	r2 := th.Load(y)                              // pc 2
+	th.Store(z, prog.Add(prog.R(r1), prog.R(r2))) // pc 3
+	r := Analyze(b.MustBuild())
+
+	d := r.Threads[0].Deps[3].Data
+	if !containsPC(d, 0) || !containsPC(d, 2) {
+		t.Errorf("store data deps = %v, want {0, 2}", d)
+	}
+	if containsPC(d, 1) {
+		t.Errorf("store data deps %v contain the Mov pc — only loads generate taint", d)
+	}
+}
+
+func TestJoinAtMerge(t *testing.T) {
+	// Two paths move different load results into the same register; after
+	// the merge the abstract taint is the union.
+	b := prog.NewBuilder("join")
+	x, y, z := b.Loc("x"), b.Loc("y"), b.Loc("z")
+	th := b.Thread()
+	ra := th.Load(x)                                      // pc 0
+	rb := th.Load(y)                                      // pc 1
+	dst := th.Mov(prog.Const(0))                          // pc 2
+	j := th.BranchFwd(prog.Eq(prog.R(ra), prog.Const(0))) // pc 3
+	th.Store(z, prog.R(rb))                               // pc 4 (skipped branch arm)
+	th.Patch(j)
+	th.Store(z, prog.Add(prog.R(ra), prog.R(rb))) // pc 5 (merge point)
+	_ = dst
+	r := Analyze(b.MustBuild())
+
+	d := r.Threads[0].Deps[5].Data
+	if !containsPC(d, 0) || !containsPC(d, 1) {
+		t.Errorf("merge store data deps = %v, want union {0, 1}", d)
+	}
+}
+
+func TestLoopFixpoint(t *testing.T) {
+	// A backward branch: the loop-carried register accumulates taint from
+	// the load inside the body without divergence.
+	b := prog.NewBuilder("loop")
+	x := b.Loc("x")
+	th := b.Thread()
+	top := th.Here()
+	r0 := th.Load(x)                                   // pc 0
+	th.Store(x, prog.Add(prog.R(r0), prog.Const(1)))   // pc 1
+	th.Branch(prog.Eq(prog.R(r0), prog.Const(0)), top) // pc 2
+	r := Analyze(b.MustBuild())
+
+	d := r.Threads[0].Deps
+	if !containsPC(d[1].Data, 0) {
+		t.Errorf("loop store data deps = %v", d[1].Data)
+	}
+	// Second iteration's events carry the branch's control dependency.
+	if !containsPC(d[0].Ctrl, 0) {
+		t.Errorf("loop-top load ctrl deps after fixpoint = %v, want {0}", d[0].Ctrl)
+	}
+}
+
+func TestFootprintClassification(t *testing.T) {
+	// x: written by t0, read by t1 (shared, single-writer)
+	// s: read+written only by t0 (thread-local)
+	// ro: read by both, never written (read-only)
+	// sink: written by t0, never read (never-read, single-writer)
+	b := prog.NewBuilder("foot")
+	x, s, ro, sink := b.Loc("x"), b.Loc("s"), b.Loc("ro"), b.Loc("sink")
+	t0 := b.Thread()
+	t0.Store(s, prog.Const(1))
+	r := t0.Load(s)
+	t0.Store(x, prog.R(r))
+	t0.Load(ro)
+	t0.Store(sink, prog.Const(7))
+	t1 := b.Thread()
+	t1.Load(x)
+	t1.Load(ro)
+	res := Analyze(b.MustBuild())
+	f := res.Foot
+
+	if !f.ThreadLocal(s) || f.ThreadLocal(x) || f.ThreadLocal(ro) {
+		t.Errorf("thread-local: s=%v x=%v ro=%v", f.ThreadLocal(s), f.ThreadLocal(x), f.ThreadLocal(ro))
+	}
+	if !f.ReadOnly(ro) || f.ReadOnly(x) {
+		t.Errorf("read-only: ro=%v x=%v", f.ReadOnly(ro), f.ReadOnly(x))
+	}
+	if !f.NeverRead(sink) || f.NeverRead(x) {
+		t.Errorf("never-read: sink=%v x=%v", f.NeverRead(sink), f.NeverRead(x))
+	}
+	if w, ok := f.SingleWriter(x); !ok || w != 0 {
+		t.Errorf("single-writer(x) = %d,%v want 0,true", w, ok)
+	}
+	if _, ok := f.SingleWriter(ro); !ok {
+		t.Error("read-only location must be single-writer (zero writers)")
+	}
+	sum := f.Summary(res.P)
+	for _, want := range []string{"thread-local", "read-only", "never-read"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("footprint summary lacks %q:\n%s", want, sum)
+		}
+	}
+}
+
+func TestFootprintUnknownAddress(t *testing.T) {
+	// A register-dependent address makes the accessing thread count as a
+	// reader and writer of every location: nothing may be classified.
+	b := prog.NewBuilder("unknown")
+	x, y := b.Loc("x"), b.Loc("y")
+	t0 := b.Thread()
+	r := t0.Load(x)
+	t0.LoadAt(prog.R(r))
+	t0.StoreAt(prog.R(r), prog.Const(1))
+	t1 := b.Thread()
+	t1.Store(y, prog.Const(1))
+	res := Analyze(b.MustBuild())
+	f := res.Foot
+
+	if f.ThreadLocal(y) {
+		t.Error("y misclassified thread-local despite t0's unknown store address")
+	}
+	if _, ok := f.SingleWriter(y); ok {
+		t.Error("y misclassified single-writer despite t0's unknown store address")
+	}
+	if f.NeverRead(y) {
+		t.Error("y misclassified never-read despite t0's unknown load address")
+	}
+}
+
+func TestDiagnosticsCatalogue(t *testing.T) {
+	// One program per diagnostic code, asserted by code + position.
+	type tc struct {
+		name  string
+		build func() *prog.Program
+		code  string
+		sev   Severity
+	}
+	cases := []tc{
+		{"unreachable", func() *prog.Program {
+			b := prog.NewBuilder("p")
+			x := b.Loc("x")
+			th := b.Thread()
+			j := th.JmpFwd()
+			th.Store(x, prog.Const(1))
+			th.Patch(j)
+			th.Load(x)
+			return b.MustBuild()
+		}, "unreachable", Info},
+		{"const-branch", func() *prog.Program {
+			b := prog.NewBuilder("p")
+			x := b.Loc("x")
+			th := b.Thread()
+			j := th.BranchFwd(prog.Const(1))
+			th.Store(x, prog.Const(1))
+			th.Patch(j)
+			th.Load(x)
+			return b.MustBuild()
+		}, "const-branch", Info},
+		{"blocked-assume", func() *prog.Program {
+			b := prog.NewBuilder("p")
+			x := b.Loc("x")
+			th := b.Thread()
+			th.Load(x)
+			th.Assume(prog.Const(0))
+			return b.MustBuild()
+		}, "blocked-assume", Warn},
+		{"vacuous-assume", func() *prog.Program {
+			b := prog.NewBuilder("p")
+			x := b.Loc("x")
+			th := b.Thread()
+			th.Load(x)
+			th.Assume(prog.Const(1))
+			return b.MustBuild()
+		}, "vacuous-assume", Info},
+		{"failing-assert", func() *prog.Program {
+			b := prog.NewBuilder("p")
+			x := b.Loc("x")
+			th := b.Thread()
+			th.Load(x)
+			th.Assert(prog.Const(0), "boom")
+			return b.MustBuild()
+		}, "failing-assert", Error},
+		{"vacuous-assert", func() *prog.Program {
+			b := prog.NewBuilder("p")
+			x := b.Loc("x")
+			th := b.Thread()
+			th.Load(x)
+			th.Assert(prog.Const(1), "fine")
+			return b.MustBuild()
+		}, "vacuous-assert", Warn},
+		{"addr-range", func() *prog.Program {
+			b := prog.NewBuilder("p")
+			x := b.Loc("x")
+			th := b.Thread()
+			th.Load(x)
+			th.StoreAt(prog.Const(99), prog.Const(1))
+			return b.MustBuild()
+		}, "addr-range", Warn},
+		{"dead-store", func() *prog.Program {
+			b := prog.NewBuilder("p")
+			x, sink := b.Loc("x"), b.Loc("sink")
+			th := b.Thread()
+			th.Load(x)
+			th.Store(sink, prog.Const(1))
+			return b.MustBuild()
+		}, "dead-store", Warn},
+		{"unwritten-register", func() *prog.Program {
+			b := prog.NewBuilder("p")
+			x := b.Loc("x")
+			th := b.Thread()
+			r := th.NewReg()
+			th.Store(x, prog.R(r))
+			return b.MustBuild()
+		}, "unwritten-register", Warn},
+		{"useless-fence-position", func() *prog.Program {
+			b := prog.NewBuilder("p")
+			x := b.Loc("x")
+			th := b.Thread()
+			th.Fence(eg.FenceFull) // nothing before it
+			th.Load(x)
+			return b.MustBuild()
+		}, "useless-fence", Warn},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			res := Analyze(c.build())
+			got := findings(res.Findings, c.code)
+			if len(got) == 0 {
+				t.Fatalf("no %s finding; all findings: %v", c.code, res.Findings)
+			}
+			if got[0].Sev != c.sev {
+				t.Errorf("%s severity = %v, want %v", c.code, got[0].Sev, c.sev)
+			}
+		})
+	}
+}
+
+func TestDeadStoreWithExistsIsInfo(t *testing.T) {
+	b := prog.NewBuilder("p")
+	x, sink := b.Loc("x"), b.Loc("sink")
+	th := b.Thread()
+	r := th.Load(x)
+	th.Store(sink, prog.Const(1))
+	b.Exists("r==0", func(fs prog.FinalState) bool { return fs.Reg(0, r) == 0 })
+	res := Analyze(b.MustBuild())
+	got := findings(res.Findings, "dead-store")
+	if len(got) != 1 || got[0].Sev != Info {
+		t.Fatalf("dead-store with Exists = %v, want one Info finding", got)
+	}
+}
+
+func TestModelAwareFenceLint(t *testing.T) {
+	// An LW fence between a store and a load: positionally fine, but a
+	// no-op under tso (which only consults full fences) and meaningful
+	// under pso.
+	b := prog.NewBuilder("p")
+	x, y := b.Loc("x"), b.Loc("y")
+	th := b.Thread()
+	th.Store(x, prog.Const(1))
+	th.Fence(eg.FenceLW)
+	th.Store(y, prog.Const(1))
+	t2 := b.Thread()
+	t2.Load(x)
+	t2.Load(y)
+	res := Analyze(b.MustBuild())
+
+	if got := findings(res.Lint("tso"), "useless-fence"); len(got) != 1 {
+		t.Errorf("tso: useless-fence findings = %v, want exactly one", got)
+	}
+	if got := findings(res.Lint("pso"), "useless-fence"); len(got) != 0 {
+		t.Errorf("pso: unexpected useless-fence findings = %v", got)
+	}
+	if got := findings(res.Lint(""), "useless-fence"); len(got) != 0 {
+		t.Errorf("no model: unexpected model-aware findings = %v", got)
+	}
+}
+
+func TestSymmetryCandidate(t *testing.T) {
+	// SB's two threads are mirror images over swapped locations: exact
+	// symmetry can't group them, the candidate lint must.
+	b := prog.NewBuilder("sb")
+	x, y := b.Loc("x"), b.Loc("y")
+	t0 := b.Thread()
+	t0.Store(x, prog.Const(1))
+	t0.Load(y)
+	t1 := b.Thread()
+	t1.Store(y, prog.Const(1))
+	t1.Load(x)
+	res := Analyze(b.MustBuild())
+	if got := findings(res.Findings, "symmetry-candidate"); len(got) != 1 {
+		t.Fatalf("symmetry-candidate findings = %v, want exactly one", got)
+	}
+
+	// Exactly equal threads are already covered by prog.SymmetryGroups:
+	// no candidate finding.
+	b2 := prog.NewBuilder("eq")
+	z := b2.Loc("z")
+	for i := 0; i < 2; i++ {
+		th := b2.Thread()
+		th.Store(z, prog.Const(1))
+	}
+	res2 := Analyze(b2.MustBuild())
+	if got := findings(res2.Findings, "symmetry-candidate"); len(got) != 0 {
+		t.Errorf("exact-symmetric program reported candidates: %v", got)
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{Sev: Warn, Code: "dead-store", Thread: 1, PC: 3, Msg: "store to s is never read"}
+	if got, want := f.String(), "t1:3: [dead-store] store to s is never read (warn)"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	g := Finding{Sev: Info, Code: "symmetry-candidate", Thread: 0, PC: -1, Msg: "m"}
+	if !strings.HasPrefix(g.String(), "t0: ") {
+		t.Errorf("thread-level finding renders as %q", g.String())
+	}
+}
+
+func TestCheckDepsUnit(t *testing.T) {
+	b := prog.NewBuilder("cd")
+	x, y := b.Loc("x"), b.Loc("y")
+	th := b.Thread()
+	r0 := th.Load(x)                                 // pc 0
+	th.Store(y, prog.Add(prog.R(r0), prog.Const(1))) // pc 1
+	res := Analyze(b.MustBuild())
+
+	dep := eg.EvID{T: 0, I: 1}
+	pcOf := func(eg.EvID) int { return 0 }
+
+	if err := res.CheckDeps(0, 1, nil, []eg.EvID{dep}, nil, pcOf); err != nil {
+		t.Errorf("covered data dep rejected: %v", err)
+	}
+	if err := res.CheckDeps(0, 1, []eg.EvID{dep}, nil, nil, pcOf); err == nil {
+		t.Error("addr dep outside the (empty) static set accepted")
+	}
+	if err := res.CheckDeps(0, 1, nil, []eg.EvID{{T: 1, I: 1}}, nil, pcOf); err == nil {
+		t.Error("cross-thread dependency accepted")
+	}
+	if err := res.CheckDeps(0, 1, nil, []eg.EvID{dep}, nil, func(eg.EvID) int { return 7 }); err == nil {
+		t.Error("dependency with out-of-set pc accepted")
+	}
+	if err := res.CheckDeps(2, 0, nil, nil, nil, pcOf); err == nil {
+		t.Error("out-of-range thread accepted")
+	}
+	if err := res.CheckDeps(0, 9, nil, nil, nil, pcOf); err == nil {
+		t.Error("out-of-range pc accepted")
+	}
+}
+
+func TestConstExpr(t *testing.T) {
+	if v, ok := ConstExpr(prog.Add(prog.Const(2), prog.Const(3))); !ok || v != 5 {
+		t.Errorf("ConstExpr(2+3) = %d,%v", v, ok)
+	}
+	if _, ok := ConstExpr(prog.R(prog.Reg(0))); ok {
+		t.Error("register expression folded to a constant")
+	}
+	if _, ok := ConstExpr(nil); ok {
+		t.Error("nil expression folded to a constant")
+	}
+}
+
+func TestBits(t *testing.T) {
+	b := newBits(130)
+	b.set(0)
+	b.set(64)
+	b.set(129)
+	if got := b.list(); len(got) != 3 || got[0] != 0 || got[1] != 64 || got[2] != 129 {
+		t.Errorf("list = %v", got)
+	}
+	c := newBits(130)
+	c.set(64)
+	c.set(1)
+	if !b.and(c) {
+		t.Error("and reported no change")
+	}
+	if got := b.list(); len(got) != 1 || got[0] != 64 {
+		t.Errorf("after and: %v", got)
+	}
+	d := newBits(130)
+	if d.or(b); len(d.list()) != 1 {
+		t.Errorf("after or: %v", d.list())
+	}
+}

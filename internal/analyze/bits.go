@@ -1,0 +1,68 @@
+package analyze
+
+import mathbits "math/bits"
+
+// bits is a fixed-capacity bitset over instruction pcs (or registers).
+// The zero-length set is a valid empty set of capacity zero.
+type bits []uint64
+
+func newBits(n int) bits {
+	return make(bits, (n+63)/64)
+}
+
+// set marks bit i (which must be within capacity).
+func (b bits) set(i int) {
+	b[i/64] |= 1 << (uint(i) % 64)
+}
+
+func (b bits) get(i int) bool {
+	w := i / 64
+	return w < len(b) && b[w]&(1<<(uint(i)%64)) != 0
+}
+
+// or unions o into b, reporting whether b changed. o must not exceed b's
+// capacity (all sets in one thread analysis share it).
+func (b bits) or(o bits) bool {
+	changed := false
+	for i, w := range o {
+		if b[i]|w != b[i] {
+			b[i] |= w
+			changed = true
+		}
+	}
+	return changed
+}
+
+// and intersects o into b, reporting whether b changed. Words beyond o's
+// length are cleared (absent sets are empty).
+func (b bits) and(o bits) bool {
+	changed := false
+	for i := range b {
+		var w uint64
+		if i < len(o) {
+			w = o[i]
+		}
+		if b[i]&w != b[i] {
+			b[i] &= w
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (b bits) clone() bits {
+	return append(bits(nil), b...)
+}
+
+// list returns the set bits in increasing order, nil when empty.
+func (b bits) list() []int {
+	var out []int
+	for i, w := range b {
+		for w != 0 {
+			bit := i*64 + mathbits.TrailingZeros64(w)
+			out = append(out, bit)
+			w &= w - 1
+		}
+	}
+	return out
+}

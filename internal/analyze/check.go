@@ -1,0 +1,59 @@
+package analyze
+
+import (
+	"fmt"
+
+	"hmc/internal/eg"
+)
+
+// CheckDeps verifies that one action's dynamic dependency sets — the
+// taints the interpreter computed for the instruction at (t, pc) — are
+// covered by the static sets. pcOf maps a dependency event back to the
+// instruction that generated it (eg.Event.PC). A non-nil error describes
+// the first uncovered dependency; since the static analysis is a sound
+// over-approximation of the interpreter's taint rules, any error means
+// one of the two has a bug — which is the point of the sanitizer
+// (core.Options.CheckDeps).
+func (r *Result) CheckDeps(t, pc int, addr, data, ctrl []eg.EvID, pcOf func(eg.EvID) int) error {
+	if t < 0 || t >= len(r.Threads) {
+		return fmt.Errorf("analyze: CheckDeps thread %d out of range", t)
+	}
+	tr := &r.Threads[t]
+	if pc < 0 || pc >= len(tr.Deps) {
+		return fmt.Errorf("analyze: CheckDeps t%d pc %d out of range [0,%d)", t, pc, len(tr.Deps))
+	}
+	if !tr.Reachable[pc] {
+		return fmt.Errorf("analyze: t%d:%d executed dynamically but statically unreachable", t, pc)
+	}
+	sets := []struct {
+		kind   string
+		dyn    []eg.EvID
+		static []int
+	}{
+		{"addr", addr, tr.Deps[pc].Addr},
+		{"data", data, tr.Deps[pc].Data},
+		{"ctrl", ctrl, tr.Deps[pc].Ctrl},
+	}
+	for _, s := range sets {
+		for _, dep := range s.dyn {
+			if dep.T != t {
+				return fmt.Errorf("analyze: t%d:%d %s dependency %v is not a same-thread load", t, pc, s.kind, dep)
+			}
+			depPC := pcOf(dep)
+			if !containsInt(s.static, depPC) {
+				return fmt.Errorf("analyze: t%d:%d dynamic %s dependency on %v (pc %d) not in static set %v",
+					t, pc, s.kind, dep, depPC, s.static)
+			}
+		}
+	}
+	return nil
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,195 @@
+package analyze
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hmc/internal/eg"
+	"hmc/internal/prog"
+)
+
+// Footprint is the static location access map: which threads may read or
+// write each shared location, considering only reachable instructions.
+// Accesses through a non-constant address expression cannot be resolved
+// statically; the owning thread is then recorded as an unknown reader or
+// writer and conservatively counts as accessing *every* location.
+type Footprint struct {
+	NumLocs int
+	// Reads[l][t] / Writes[l][t]: thread t has a reachable instruction
+	// reading/writing location l through a constant address. RMWs count
+	// as both.
+	Reads  [][]bool
+	Writes [][]bool
+	// UnknownRead[t] / UnknownWrite[t]: thread t has a reachable access
+	// with a register-dependent address.
+	UnknownRead  []bool
+	UnknownWrite []bool
+}
+
+// footprint derives the access map from the per-thread reachability.
+func footprint(p *prog.Program, r *Result) *Footprint {
+	f := &Footprint{
+		NumLocs:      p.NumLocs,
+		Reads:        make([][]bool, p.NumLocs),
+		Writes:       make([][]bool, p.NumLocs),
+		UnknownRead:  make([]bool, len(p.Threads)),
+		UnknownWrite: make([]bool, len(p.Threads)),
+	}
+	for l := range f.Reads {
+		f.Reads[l] = make([]bool, len(p.Threads))
+		f.Writes[l] = make([]bool, len(p.Threads))
+	}
+	mark := func(t int, addr *prog.Expr, read, write bool) {
+		v, isConst := ConstExpr(addr)
+		if !isConst {
+			if read {
+				f.UnknownRead[t] = true
+			}
+			if write {
+				f.UnknownWrite[t] = true
+			}
+			return
+		}
+		if v < 0 || v >= int64(p.NumLocs) {
+			return // out-of-range constant: its own diagnostic; executes as an error
+		}
+		if read {
+			f.Reads[v][t] = true
+		}
+		if write {
+			f.Writes[v][t] = true
+		}
+	}
+	for t, code := range p.Threads {
+		for pc, inst := range code {
+			if !r.Threads[t].Reachable[pc] {
+				continue
+			}
+			switch inst.Op {
+			case prog.ILoad:
+				mark(t, inst.Addr, true, false)
+			case prog.IStore:
+				mark(t, inst.Addr, false, true)
+			case prog.ICAS, prog.IFAdd, prog.IXchg:
+				mark(t, inst.Addr, true, true)
+			}
+		}
+	}
+	return f
+}
+
+// readers returns the set of threads that may read l.
+func (f *Footprint) readers(l eg.Loc) []int {
+	var out []int
+	for t := range f.UnknownRead {
+		if f.Reads[l][t] || f.UnknownRead[t] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// writers returns the set of threads that may write l.
+func (f *Footprint) writers(l eg.Loc) []int {
+	var out []int
+	for t := range f.UnknownWrite {
+		if f.Writes[l][t] || f.UnknownWrite[t] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// accessors returns the set of threads that may touch l at all.
+func (f *Footprint) accessors(l eg.Loc) []int {
+	seen := map[int]bool{}
+	for _, t := range f.readers(l) {
+		seen[t] = true
+	}
+	for _, t := range f.writers(l) {
+		seen[t] = true
+	}
+	return sortedInts(seen)
+}
+
+// ThreadLocal reports that at most one thread may access l. Every event
+// on a thread-local location in any execution graph belongs to that one
+// thread, so cross-thread communication through l is impossible.
+func (f *Footprint) ThreadLocal(l eg.Loc) bool {
+	return len(f.accessors(l)) <= 1
+}
+
+// ReadOnly reports that no reachable instruction may write l: its value
+// is the initial 0 in every execution.
+func (f *Footprint) ReadOnly(l eg.Loc) bool {
+	return len(f.writers(l)) == 0
+}
+
+// NeverRead reports that no reachable instruction may read l. Stores to
+// such a location are dead as far as *instructions* are concerned; the
+// program's Exists predicate may still observe the final value, which is
+// why dead-store elision in the explorer only skips branching work, never
+// the event itself.
+func (f *Footprint) NeverRead(l eg.Loc) bool {
+	return len(f.readers(l)) == 0
+}
+
+// SingleWriter reports that all writes to l (if any) come from a single
+// thread, returning that thread. With one writer, coherence already fixes
+// the co order of l's writes to their program order, so a new write's
+// only consistent placement is coherence-maximal.
+func (f *Footprint) SingleWriter(l eg.Loc) (int, bool) {
+	ws := f.writers(l)
+	switch len(ws) {
+	case 0:
+		return -1, true
+	case 1:
+		return ws[0], true
+	}
+	return -1, false
+}
+
+// Summary renders the footprint with source-level location names, one
+// line per location — the `hmc vet` report body.
+func (f *Footprint) Summary(p *prog.Program) string {
+	var sb strings.Builder
+	for l := 0; l < f.NumLocs; l++ {
+		loc := eg.Loc(l)
+		var tags []string
+		switch {
+		case f.ThreadLocal(loc) && len(f.accessors(loc)) == 0:
+			tags = append(tags, "unused")
+		case f.ThreadLocal(loc):
+			tags = append(tags, fmt.Sprintf("thread-local(t%d)", f.accessors(loc)[0]))
+		}
+		if f.ReadOnly(loc) && len(f.readers(loc)) > 0 {
+			tags = append(tags, "read-only")
+		}
+		if f.NeverRead(loc) && len(f.writers(loc)) > 0 {
+			tags = append(tags, "never-read")
+		}
+		if w, ok := f.SingleWriter(loc); ok && w >= 0 && !f.ThreadLocal(loc) {
+			tags = append(tags, fmt.Sprintf("single-writer(t%d)", w))
+		}
+		tag := ""
+		if len(tags) > 0 {
+			tag = "  [" + strings.Join(tags, ", ") + "]"
+		}
+		fmt.Fprintf(&sb, "  %-8s R:%s W:%s%s\n",
+			p.LocName(loc), threadSet(f.readers(loc)), threadSet(f.writers(loc)), tag)
+	}
+	return sb.String()
+}
+
+func threadSet(ts []int) string {
+	if len(ts) == 0 {
+		return "{}"
+	}
+	sort.Ints(ts)
+	parts := make([]string, len(ts))
+	for i, t := range ts {
+		parts[i] = fmt.Sprintf("t%d", t)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}

@@ -92,6 +92,7 @@ func Estimate(p *prog.Program, opts Options, samples int, seed int64) (res *Esti
 		samples = 32
 	}
 	rng := rand.New(rand.NewSource(seed))
+	static := analyzeIfNeeded(p, opts)
 	res = &EstimateResult{Samples: samples}
 	var sum, sumSq float64
 	taken := 0
@@ -101,7 +102,7 @@ func Estimate(p *prog.Program, opts Options, samples int, seed int64) (res *Esti
 			break
 		}
 		taken++
-		e := &explorer{p: p, opts: opts, sh: &shared{res: &Result{}}}
+		e := &explorer{p: p, opts: opts, sh: &shared{res: &Result{}}, static: static}
 		g := eg.NewGraph(len(p.Threads), p.NumLocs)
 		w := 1.0
 		depth := 0

@@ -31,6 +31,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"hmc/internal/analyze"
 	"hmc/internal/eg"
 	"hmc/internal/interp"
 	"hmc/internal/memmodel"
@@ -110,6 +111,25 @@ type Options struct {
 	// callback sequence follow completion order, not DFS order (the
 	// callbacks themselves are serialized).
 	Workers int
+	// StaticAnalysis enables static pruning: before exploration the
+	// program is run through internal/analyze, and its location footprint
+	// is used to skip branching work that coherence would reject anyway —
+	// non-co-maximal rf candidates and backward revisits on thread-local
+	// locations, non-co-maximal coherence placements on single-writer
+	// locations, and revisit scans after statically-dead stores. The
+	// pruning is count-preserving: Executions, ExistsCount, Blocked and
+	// Errors are identical to an unpruned run (cross-validated against
+	// the axiomatic oracle in the test suite); only the Stats.StaticPruned*
+	// counters and the work they measure change.
+	StaticAnalysis bool
+	// CheckDeps turns the static analysis into a sanitizer on the
+	// interpreter: at every event-producing action the dynamic taint sets
+	// (addr/data/ctrl) are checked to be a subset of the static
+	// over-approximation. Violations — which indicate a bug in either the
+	// interpreter's taint tracking or the analyzer — are counted in
+	// Stats.DepViolations and sampled in Result.DepViolationDetails;
+	// exploration continues.
+	CheckDeps bool
 	// Symmetry enables symmetry reduction: states (and executions) equal
 	// up to a permutation of identical-code threads collapse to one
 	// canonical representative, so Executions counts orbits rather than
@@ -150,14 +170,25 @@ type Stats struct {
 	ConsistencyChecks  int
 	StuckReads         int // reads with no consistent rf option (must stay 0)
 	MaxGraphEvents     int
-	Errors             []ErrorReport
+	// Static-pruning counters (Options.StaticAnalysis): work skipped
+	// because the location footprint proved it fruitless.
+	StaticPrunedRf    int // non-co-maximal rf candidates skipped (thread-local locations)
+	StaticPrunedCo    int // non-co-maximal coherence placements skipped (single-writer locations)
+	StaticPrunedScans int // backward-revisit scans skipped (thread-local / never-read locations)
+	// DepViolations counts dynamic dependency sets not covered by the
+	// static ones (Options.CheckDeps; must stay 0).
+	DepViolations int
+	Errors        []ErrorReport
 }
 
 // Result is the outcome of Explore.
 type Result struct {
 	Stats
-	Keys      []string // canonical execution keys (when CollectKeys)
-	Truncated bool     // a resource bound was hit (see TruncatedReason)
+	Keys []string // canonical execution keys (when CollectKeys)
+	// DepViolationDetails samples the first few CheckDeps failures in
+	// human-readable form (the full count is Stats.DepViolations).
+	DepViolationDetails []string
+	Truncated           bool // a resource bound was hit (see TruncatedReason)
 	// TruncatedReason states which bound truncated the run: one of
 	// TruncMaxExecutions, TruncMaxEvents, TruncMemoryBudget (the first
 	// bound hit wins). Empty when Truncated is false.
@@ -194,7 +225,7 @@ func Explore(p *prog.Program, opts Options) (*Result, error) {
 	if opts.Workers > 1 {
 		sh.sem = make(chan struct{}, opts.Workers-1)
 	}
-	e := &explorer{p: p, opts: opts, sh: sh}
+	e := &explorer{p: p, opts: opts, sh: sh, static: analyzeIfNeeded(p, opts)}
 	if opts.Symmetry {
 		e.perms = symmetryPerms(len(p.Threads), p.SymmetryGroups())
 	}
@@ -233,6 +264,9 @@ type explorer struct {
 	opts  Options
 	sh    *shared
 	perms [][]int // non-identity symmetry permutations (Symmetry)
+	// static is the program's static-analysis result, computed once per
+	// run when Options.StaticAnalysis or Options.CheckDeps is set.
+	static *analyze.Result
 	// sink, when non-nil, captures the graphs visit would explore instead
 	// of recursing — the estimator's one-step successor enumeration. Only
 	// set by successors(), never during real exploration.
@@ -367,6 +401,9 @@ func (e *explorer) visit(g *eg.Graph) {
 			}
 			return
 		default:
+			if e.opts.CheckDeps && e.static != nil {
+				e.verifyDeps(g, t, a)
+			}
 			e.step(g, t, a)
 			return
 		}
@@ -481,6 +518,13 @@ func (e *explorer) step(g *eg.Graph, t int, a interp.Action) {
 // an update revisitor (that pair is exactly a steal).
 func (e *explorer) stepRead(g *eg.Graph, id eg.EvID, a interp.Action) {
 	ws := g.WritesTo(a.Loc) // coherence order, init first
+	if len(ws) > 1 && e.pruneRF(a.Loc) {
+		// Thread-local location: every write in ws shares this read's
+		// thread and is po-before it, so coherence admits exactly the
+		// co-maximal rf source (the last element); see staticprune.go.
+		e.count(func(s *Stats) { s.StaticPrunedRf += len(ws) - 1 })
+		ws = ws[len(ws)-1:]
+	}
 	var anyConsistent atomic.Bool
 	var wg sync.WaitGroup
 	for _, w := range ws {
@@ -519,7 +563,7 @@ func (e *explorer) stepRead(g *eg.Graph, id eg.EvID, a interp.Action) {
 				// The update's write part may backward-revisit plain
 				// reads; computed per rf-branch so the kept prefix
 				// includes this branch's rf source.
-				e.revisitsFrom(g2, id, a.Loc)
+				e.maybeRevisitsFrom(g2, id, a.Loc)
 			}
 		})
 	}
@@ -552,7 +596,15 @@ func updateReading(g *eg.Graph, loc eg.Loc, w eg.EvID) (eg.EvID, bool) {
 // prefix reflects this branch's coherence binding).
 func (e *explorer) stepWrite(g *eg.Graph, id eg.EvID, a interp.Action) {
 	n := len(g.CoLoc(a.Loc))
-	for pos := 0; pos <= n; pos++ {
+	start := 0
+	if n > 0 && e.pruneCo(a.Loc) {
+		// Single-writer location: every existing write shares this
+		// write's thread and is po-before it, so the only coherent
+		// placement is co-maximal; see staticprune.go.
+		e.count(func(s *Stats) { s.StaticPrunedCo += n })
+		start = n
+	}
+	for pos := start; pos <= n; pos++ {
 		if e.stopped() {
 			return
 		}
@@ -565,7 +617,7 @@ func (e *explorer) stepWrite(g *eg.Graph, id eg.EvID, a interp.Action) {
 				return
 			}
 			e.visit(g2)
-			e.revisitsFrom(g2, id, a.Loc)
+			e.maybeRevisitsFrom(g2, id, a.Loc)
 		})
 	}
 }

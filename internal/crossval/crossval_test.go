@@ -9,13 +9,13 @@ package crossval
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 	"strings"
 	"testing"
 
 	"hmc/internal/core"
 	"hmc/internal/eg"
+	"hmc/internal/gen"
 	"hmc/internal/litmus"
 	"hmc/internal/memmodel"
 	"hmc/internal/operational"
@@ -104,73 +104,10 @@ func TestCorpusAgainstMachines(t *testing.T) {
 	}
 }
 
-// randomProgram builds a small random concurrent program exercising
-// stores, loads, RMWs, fences, dependencies and branches.
-func randomProgram(seed int64) *prog.Program {
-	rng := rand.New(rand.NewSource(seed))
-	b := prog.NewBuilder(fmt.Sprintf("rand-%d", seed))
-	nLocs := 1 + rng.Intn(2)
-	locs := b.Locs("x", nLocs)
-	loc := func() eg.Loc { return locs[rng.Intn(len(locs))] }
-
-	modes := []eg.Mode{eg.ModePlain, eg.ModeRlx, eg.ModeAcq, eg.ModeRel, eg.ModeSC}
-	wmode := func() eg.Mode {
-		m := modes[rng.Intn(len(modes))]
-		if m == eg.ModeAcq {
-			m = eg.ModeRel
-		}
-		return m
-	}
-	rmode := func() eg.Mode {
-		m := modes[rng.Intn(len(modes))]
-		if m == eg.ModeRel {
-			m = eg.ModeAcq
-		}
-		return m
-	}
-	nThreads := 2 + rng.Intn(2)
-	for ti := 0; ti < nThreads; ti++ {
-		th := b.Thread()
-		var loaded []prog.Reg
-		n := 1 + rng.Intn(3)
-		for i := 0; i < n; i++ {
-			switch rng.Intn(10) {
-			case 0, 1:
-				th.StoreM(loc(), prog.Const(int64(1+rng.Intn(2))), wmode())
-			case 2, 3:
-				loaded = append(loaded, th.LoadM(loc(), rmode()))
-			case 4:
-				if len(loaded) > 0 {
-					r := loaded[rng.Intn(len(loaded))]
-					th.Store(loc(), prog.Add(prog.R(r), prog.Const(1)))
-				} else {
-					th.Store(loc(), prog.Const(3))
-				}
-			case 5:
-				loaded = append(loaded, th.FAdd(loc(), prog.Const(1)))
-			case 6:
-				v, _ := th.CAS(loc(), prog.Const(0), prog.Const(int64(1+rng.Intn(2))))
-				loaded = append(loaded, v)
-			case 7:
-				kinds := []eg.FenceKind{eg.FenceFull, eg.FenceLW}
-				th.Fence(kinds[rng.Intn(2)])
-			case 8:
-				if len(loaded) > 0 {
-					// Conditionally skip a store: real control flow.
-					r := loaded[rng.Intn(len(loaded))]
-					j := th.BranchFwd(prog.Eq(prog.R(r), prog.Const(0)))
-					th.Store(loc(), prog.Const(int64(5+rng.Intn(2))))
-					th.Patch(j)
-				} else {
-					loaded = append(loaded, th.Load(loc()))
-				}
-			default:
-				loaded = append(loaded, th.Xchg(loc(), prog.Const(int64(1+rng.Intn(2)))))
-			}
-		}
-	}
-	return b.MustBuild()
-}
+// randomProgram delegates to the shared generator in internal/gen so the
+// cross-validation suite and the static-analysis property tests exercise
+// the exact same program distribution.
+func randomProgram(seed int64) *prog.Program { return gen.Random(seed) }
 
 func TestRandomProgramsAgainstMachines(t *testing.T) {
 	n := 300

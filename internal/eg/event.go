@@ -163,6 +163,14 @@ type Event struct {
 	Addr []EvID
 	Data []EvID
 	Ctrl []EvID
+
+	// PC is the index of the generating instruction in its thread's code
+	// (zero for init events). It is provenance, not identity: excluded
+	// from Key and SameStaticEvent, so graphs built without it (the
+	// axiomatic enumerator, hand-built tests) compare as before. The
+	// static analyzer's CheckDeps sanitizer uses it to map dynamic
+	// dependency events back to instructions.
+	PC int
 }
 
 // SameStaticEvent reports whether two events are the same program action

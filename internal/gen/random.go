@@ -1,0 +1,115 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hmc/internal/eg"
+	"hmc/internal/prog"
+)
+
+// Random builds a small random concurrent program exercising stores,
+// loads, RMWs, fences, dependencies and branches. Deterministic in seed;
+// the same generator backs the cross-validation suite (internal/crossval)
+// and the static-analysis property tests, so its distribution is part of
+// the repo's test contract — change it only with care.
+func Random(seed int64) *prog.Program {
+	rng := rand.New(rand.NewSource(seed))
+	b := prog.NewBuilder(fmt.Sprintf("rand-%d", seed))
+	nLocs := 1 + rng.Intn(2)
+	locs := b.Locs("x", nLocs)
+	loc := func() eg.Loc { return locs[rng.Intn(len(locs))] }
+
+	modes := []eg.Mode{eg.ModePlain, eg.ModeRlx, eg.ModeAcq, eg.ModeRel, eg.ModeSC}
+	wmode := func() eg.Mode {
+		m := modes[rng.Intn(len(modes))]
+		if m == eg.ModeAcq {
+			m = eg.ModeRel
+		}
+		return m
+	}
+	rmode := func() eg.Mode {
+		m := modes[rng.Intn(len(modes))]
+		if m == eg.ModeRel {
+			m = eg.ModeAcq
+		}
+		return m
+	}
+	nThreads := 2 + rng.Intn(2)
+	for ti := 0; ti < nThreads; ti++ {
+		th := b.Thread()
+		var loaded []prog.Reg
+		n := 1 + rng.Intn(3)
+		for i := 0; i < n; i++ {
+			switch rng.Intn(10) {
+			case 0, 1:
+				th.StoreM(loc(), prog.Const(int64(1+rng.Intn(2))), wmode())
+			case 2, 3:
+				loaded = append(loaded, th.LoadM(loc(), rmode()))
+			case 4:
+				if len(loaded) > 0 {
+					r := loaded[rng.Intn(len(loaded))]
+					th.Store(loc(), prog.Add(prog.R(r), prog.Const(1)))
+				} else {
+					th.Store(loc(), prog.Const(3))
+				}
+			case 5:
+				loaded = append(loaded, th.FAdd(loc(), prog.Const(1)))
+			case 6:
+				v, _ := th.CAS(loc(), prog.Const(0), prog.Const(int64(1+rng.Intn(2))))
+				loaded = append(loaded, v)
+			case 7:
+				kinds := []eg.FenceKind{eg.FenceFull, eg.FenceLW}
+				th.Fence(kinds[rng.Intn(2)])
+			case 8:
+				if len(loaded) > 0 {
+					// Conditionally skip a store: real control flow.
+					r := loaded[rng.Intn(len(loaded))]
+					j := th.BranchFwd(prog.Eq(prog.R(r), prog.Const(0)))
+					th.Store(loc(), prog.Const(int64(5+rng.Intn(2))))
+					th.Patch(j)
+				} else {
+					loaded = append(loaded, th.Load(loc()))
+				}
+			default:
+				loaded = append(loaded, th.Xchg(loc(), prog.Const(int64(1+rng.Intn(2)))))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// LocalRW builds the thread-local-traffic family used by experiment T13:
+// n threads share one location x, but most of each thread's events hit a
+// private scratch location. Thread i reads x, performs k store/load
+// rounds on scratch_i keyed off that value, then publishes to x. The
+// scratch locations are provably thread-local (and x single-writer-free),
+// so static-analysis pruning removes every rf branch and revisit scan on
+// them while the consistent-execution count is untouched — the shape
+// where footprint pruning pays off most.
+func LocalRW(n, k int) *prog.Program {
+	b := prog.NewBuilder(fmt.Sprintf("LocalRW(%d,%d)", n, k))
+	x := b.Loc("x")
+	scratch := b.Locs("s", n)
+	regs := make([]prog.Reg, n)
+	for i := 0; i < n; i++ {
+		t := b.Thread()
+		r := t.Load(x)
+		cur := r
+		for j := 0; j < k; j++ {
+			t.Store(scratch[i], prog.Add(prog.R(cur), prog.Const(int64(j+1))))
+			cur = t.Load(scratch[i])
+		}
+		t.Store(x, prog.Add(prog.R(cur), prog.Const(1)))
+		regs[i] = r
+	}
+	b.Exists("all reads of x return 0", func(fs prog.FinalState) bool {
+		for i, r := range regs {
+			if fs.Reg(i, r) != 0 {
+				return false
+			}
+		}
+		return true
+	})
+	return b.MustBuild()
+}

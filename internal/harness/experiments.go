@@ -23,7 +23,7 @@ type Options struct {
 
 // Experiments lists the experiment ids in order.
 func Experiments() []string {
-	return []string{"T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9", "T10", "T11", "T12"}
+	return []string{"T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9", "T10", "T11", "T12", "T13"}
 }
 
 // Run executes one experiment by id. Any failure — an unknown model, an
@@ -56,6 +56,8 @@ func Run(id string, opts Options) (*Table, error) {
 		return T11Symmetry(opts)
 	case "T12":
 		return T12Estimate(opts)
+	case "T13":
+		return T13StaticPruning(opts)
 	}
 	return nil, fmt.Errorf("harness: unknown experiment %q (have %v)", id, Experiments())
 }
@@ -667,5 +669,72 @@ func T12Estimate(opts Options) (*Table, error) {
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("%d probes per program, fixed seed; tree-shaped rows are asserted within 10%% of exact", samples),
 		"revisit-heavy rows over-count by the unmemoized path multiplicity — safe as a 'too big to check?' upper bound, and the stderr ≈ mean spread is the tell")
+	return t, nil
+}
+
+// T13StaticPruning measures the static-analysis pruning hook
+// (Options.StaticAnalysis): exploration work with and without the
+// footprint-driven skips on provably thread-local, single-writer and
+// never-read locations. Pruning is count-preserving — execution and
+// Exists counts are asserted identical on every row, and CheckDeps runs
+// on the pruned side so every dynamic dependency is verified against the
+// static sets. LocalRW(n,k) is the parametric family where pruning pays:
+// k rounds of thread-local scratch traffic per thread that the unpruned
+// explorer branches over and the pruned one walks straight through.
+// sb(n) is the control: fully shared, nothing prunable, zero skips.
+func T13StaticPruning(opts Options) (*Table, error) {
+	t := &Table{
+		ID:      "T13",
+		Title:   "static-analysis pruning: exploration work with and without footprint-driven skips (counts asserted equal)",
+		Columns: []string{"program", "model", "execs", "checks", "checks(SA)", "revisits", "revisits(SA)", "skips rf/co/scan", "time", "time(SA)"},
+	}
+	type job struct {
+		p     *prog.Program
+		model string
+	}
+	jobs := []job{
+		{gen.LocalRW(2, 2), "sc"},
+		{gen.LocalRW(2, 3), "tso"},
+		{gen.LocalRW(3, 2), "imm"},
+		{gen.CoRRN(2), "tso"},
+		{gen.CoRRN(3), "imm"},
+		{gen.SBN(3), "tso"},
+	}
+	if !opts.Quick {
+		jobs = append(jobs, job{gen.LocalRW(3, 3), "tso"}, job{gen.LocalRW(2, 5), "sc"})
+	}
+	for _, j := range jobs {
+		base, d, err := exploreOpts("T13", j.p, j.model, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		pruned, ds, err := exploreOpts("T13", j.p, j.model,
+			core.Options{StaticAnalysis: true, CheckDeps: true})
+		if err != nil {
+			return nil, err
+		}
+		if pruned.Executions != base.Executions || pruned.ExistsCount != base.ExistsCount {
+			return nil, fmt.Errorf("harness T13: %s/%s: pruning changed the counts: %d/%d executions, %d/%d exists",
+				j.p.Name, j.model, pruned.Executions, base.Executions, pruned.ExistsCount, base.ExistsCount)
+		}
+		if pruned.DepViolations != 0 {
+			return nil, fmt.Errorf("harness T13: %s/%s: %d dynamic dependencies outside the static sets",
+				j.p.Name, j.model, pruned.DepViolations)
+		}
+		if pruned.ConsistencyChecks > base.ConsistencyChecks {
+			return nil, fmt.Errorf("harness T13: %s/%s: pruning increased consistency checks (%d > %d)",
+				j.p.Name, j.model, pruned.ConsistencyChecks, base.ConsistencyChecks)
+		}
+		t.AddRow(j.p.Name, j.model, base.Executions,
+			base.ConsistencyChecks, pruned.ConsistencyChecks,
+			base.RevisitsTried, pruned.RevisitsTried,
+			fmt.Sprintf("%d/%d/%d", pruned.StaticPrunedRf, pruned.StaticPrunedCo, pruned.StaticPrunedScans),
+			ms(d), ms(ds))
+	}
+	t.Notes = append(t.Notes,
+		"execution and Exists counts are asserted identical with and without pruning on every row; CheckDeps verified zero dynamic-dependency escapes",
+		"LocalRW(n,k): per-thread scratch is provably thread-local — rf candidates, coherence placements and revisit scans on it are skipped",
+		"CoRR(n): one writer thread per location — single-writer coherence placements collapse to co-max",
+		"SB(n) control: every location shared and multi-written — all skip counters are zero and the columns match")
 	return t, nil
 }

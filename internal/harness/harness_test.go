@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -109,6 +110,29 @@ func TestAllExperimentsQuick(t *testing.T) {
 			for _, row := range tb.Rows {
 				if strings.HasSuffix(row[0], ",1)") && row[4] != "1" {
 					t.Errorf("T11: %s must collapse to a single orbit: %v", row[0], row)
+				}
+			}
+		case "T13":
+			// The local-rw family is where pruning must pay: strictly
+			// fewer consistency checks and revisit candidates. The sb
+			// control row must show zero skips and identical work.
+			for _, row := range tb.Rows {
+				checks, _ := strconv.Atoi(row[3])
+				checksSA, _ := strconv.Atoi(row[4])
+				revisits, _ := strconv.Atoi(row[5])
+				revisitsSA, _ := strconv.Atoi(row[6])
+				switch {
+				case strings.HasPrefix(row[0], "LocalRW"):
+					if checksSA >= checks || revisitsSA >= revisits {
+						t.Errorf("T13: pruning did not reduce work on %s: %v", row[0], row)
+					}
+					if row[7] == "0/0/0" {
+						t.Errorf("T13: no skips recorded on %s: %v", row[0], row)
+					}
+				case strings.HasPrefix(row[0], "SB"):
+					if row[7] != "0/0/0" || checksSA != checks || revisitsSA != revisits {
+						t.Errorf("T13: control row must be untouched by pruning: %v", row)
+					}
 				}
 			}
 		case "T5":

@@ -93,6 +93,12 @@ type Action struct {
 	Data []eg.EvID
 	Ctrl []eg.EvID
 
+	// PC is the index of the instruction producing this action in its
+	// thread's code (meaningful for event actions; the static analyzer's
+	// CheckDeps sanitizer matches dynamic taints against the static
+	// dependency sets computed for this instruction).
+	PC int
+
 	// Regs is the thread's register file at this point (final values when
 	// Kind == ActDone).
 	Regs []int64
@@ -103,7 +109,7 @@ type Action struct {
 // event is an update when readVal equals the expected value and a plain
 // read otherwise.
 func (a Action) MakeEvent(id eg.EvID, readVal int64) eg.Event {
-	ev := eg.Event{ID: id, Loc: a.Loc, Addr: a.Addr, Data: a.Data, Ctrl: a.Ctrl, Mode: a.Mode}
+	ev := eg.Event{ID: id, Loc: a.Loc, Addr: a.Addr, Data: a.Data, Ctrl: a.Ctrl, Mode: a.Mode, PC: a.PC}
 	ev.Excl = a.Kind.IsRMW()
 	switch a.Kind {
 	case ActLoad:
@@ -216,6 +222,7 @@ func replay(p *prog.Program, g *eg.Graph, t int, maxSteps int, repair bool) (act
 			}
 			return Action{Kind: ActDone, Regs: regs}, changed, true
 		}
+		cur := pc // instruction index, for Action.PC
 		in := code[pc]
 		pc++
 		switch in.Op {
@@ -249,7 +256,7 @@ func replay(p *prog.Program, g *eg.Graph, t int, maxSteps int, repair bool) (act
 				consumed++
 				continue
 			}
-			return Action{Kind: ActLoad, Loc: loc, Mode: in.Mode, Addr: at, Ctrl: cloneIDs(ctrl), Regs: regs}, changed, true
+			return Action{Kind: ActLoad, Loc: loc, Mode: in.Mode, Addr: at, Ctrl: cloneIDs(ctrl), Regs: regs, PC: cur}, changed, true
 
 		case prog.IStore:
 			av, at := evalT(in.Addr)
@@ -278,7 +285,7 @@ func replay(p *prog.Program, g *eg.Graph, t int, maxSteps int, repair bool) (act
 				consumed++
 				continue
 			}
-			return Action{Kind: ActStore, Loc: loc, Val: vv, Mode: in.Mode, Addr: at, Data: vt, Ctrl: cloneIDs(ctrl), Regs: regs}, changed, true
+			return Action{Kind: ActStore, Loc: loc, Val: vv, Mode: in.Mode, Addr: at, Data: vt, Ctrl: cloneIDs(ctrl), Regs: regs, PC: cur}, changed, true
 
 		case prog.ICAS, prog.IFAdd, prog.IXchg:
 			av, at := evalT(in.Addr)
@@ -360,6 +367,7 @@ func replay(p *prog.Program, g *eg.Graph, t int, maxSteps int, repair bool) (act
 			a.Addr = at
 			a.Ctrl = cloneIDs(ctrl)
 			a.Regs = regs
+			a.PC = cur
 			return a, changed, true
 
 		case prog.IFence:
@@ -370,7 +378,7 @@ func replay(p *prog.Program, g *eg.Graph, t int, maxSteps int, repair bool) (act
 				consumed++
 				continue
 			}
-			return Action{Kind: ActFence, Fence: in.Fence, Ctrl: cloneIDs(ctrl), Regs: regs}, changed, true
+			return Action{Kind: ActFence, Fence: in.Fence, Ctrl: cloneIDs(ctrl), Regs: regs, PC: cur}, changed, true
 
 		case prog.IBranch:
 			v, taint := evalT(in.Cond)

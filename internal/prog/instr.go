@@ -3,6 +3,7 @@ package prog
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 
 	"hmc/internal/eg"
@@ -118,15 +119,16 @@ func (p *Program) LocName(l eg.Loc) string {
 // Validate checks static sanity: branch targets in range, register and
 // location references within bounds.
 func (p *Program) Validate() error {
+	var errs []error
 	if p.NumLocs <= 0 {
-		return fmt.Errorf("prog %q: no locations", p.Name)
+		errs = append(errs, fmt.Errorf("prog %q: no locations", p.Name))
 	}
 	for t, th := range p.Threads {
 		for pc, in := range th {
 			switch in.Op {
 			case IBranch, IJmp:
 				if in.Target < 0 || in.Target > len(th) {
-					return fmt.Errorf("prog %q: t%d pc%d target %d out of range", p.Name, t, pc, in.Target)
+					errs = append(errs, fmt.Errorf("prog %q: t%d pc%d target %d out of range", p.Name, t, pc, in.Target))
 				}
 			}
 			for _, e := range []*Expr{in.Addr, in.Val, in.Old, in.New, in.Cond} {
@@ -135,13 +137,13 @@ func (p *Program) Validate() error {
 				}
 				for _, r := range e.Regs(nil) {
 					if int(r) < 0 || int(r) >= p.NumRegs[t] {
-						return fmt.Errorf("prog %q: t%d pc%d register r%d out of range", p.Name, t, pc, r)
+						errs = append(errs, fmt.Errorf("prog %q: t%d pc%d register r%d out of range", p.Name, t, pc, r))
 					}
 				}
 			}
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // Fingerprint returns a canonical content hash of the program: its

@@ -206,3 +206,27 @@ func TestInstrString(t *testing.T) {
 		}
 	}
 }
+
+func TestValidateReportsAllViolations(t *testing.T) {
+	// Validate is a linter front-end (hmc vet): it must report every
+	// violation in one pass, not stop at the first.
+	p := &Program{
+		Name:    "multibad",
+		NumLocs: 1,
+		Threads: [][]Instr{
+			{{Op: IJmp, Target: 99}, {Op: IStore, Addr: Const(0), Val: R(5)}},
+			{{Op: IBranch, Cond: R(3), Target: -2}},
+		},
+		NumRegs: []int{1, 1},
+	}
+	err := p.Validate()
+	if err == nil {
+		t.Fatal("expected validation errors")
+	}
+	msg := err.Error()
+	for _, want := range []string{"t0 pc0 target 99", "t0 pc1 register r5", "t1 pc0 target -2", "t1 pc0 register r3"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("validation error lacks %q:\n%s", want, msg)
+		}
+	}
+}

@@ -43,6 +43,7 @@ type jobJSON struct {
 	DurationMS    int64            `json:"duration_ms,omitempty"`
 	Attempts      int              `json:"attempts,omitempty"`
 	Error         string           `json:"error,omitempty"`
+	Diagnostics   []string         `json:"diagnostics,omitempty"`
 	EngineError   *engineErrorJSON `json:"engine_error,omitempty"`
 	CrashArtifact string           `json:"crash_artifact,omitempty"`
 	Result        *resultJSON      `json:"result,omitempty"`
@@ -93,6 +94,7 @@ func toJobJSON(v JobView) jobJSON {
 		SubmittedAt:   v.Submitted,
 		Attempts:      v.Attempts,
 		Error:         v.Err,
+		Diagnostics:   v.Diagnostics,
 		CrashArtifact: v.CrashArtifact,
 	}
 	if ee := v.EngineError; ee != nil {

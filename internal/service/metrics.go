@@ -24,6 +24,7 @@ type Metrics struct {
 	CacheMisses     atomic.Int64
 	InFlight        atomic.Int64 // currently running explorations (gauge)
 
+	VetFindings     atomic.Int64 // static-analysis findings attached to submissions
 	EngineErrors    atomic.Int64 // engine panics contained as EngineError
 	CrashArtifacts  atomic.Int64 // crash repro files written
 	JobsRetried     atomic.Int64 // re-runs after a memory-budget truncation
@@ -68,6 +69,7 @@ func (m *Metrics) writePrometheus(w io.Writer, queueDepth, cacheEntries, crashRe
 	counter("hmcd_jobs_failed_total", "Explorations that returned an error.", m.JobsFailed.Load())
 	counter("hmcd_jobs_canceled_total", "Jobs canceled by the client.", m.JobsCanceled.Load())
 	counter("hmcd_jobs_interrupted_total", "Jobs stopped by a deadline with partial results.", m.JobsInterrupted.Load())
+	counter("hmcd_vet_findings_total", "Static-analysis findings attached to accepted submissions.", m.VetFindings.Load())
 	counter("hmcd_engine_errors_total", "Engine panics contained as structured errors.", m.EngineErrors.Load())
 	counter("hmcd_crash_artifacts_total", "Crash repro artifacts written.", m.CrashArtifacts.Load())
 	counter("hmcd_jobs_retried_total", "Job re-runs after a transient memory-budget truncation.", m.JobsRetried.Load())

@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"hmc/internal/analyze"
 	"hmc/internal/core"
 	"hmc/internal/memmodel"
 	"hmc/internal/prog"
@@ -168,6 +169,7 @@ type Job struct {
 	finished    time.Time
 	result      *core.Result
 	errMsg      string
+	diagnostics []string
 	attempts    int
 	engineErr   *core.EngineError
 	artifact    string             // crash artifact path, when one was written
@@ -190,6 +192,10 @@ type JobView struct {
 	Finished    time.Time
 	Err         string
 	Result      *core.Result
+	// Diagnostics are the static-analysis findings (internal/analyze)
+	// computed for the program at submission, rendered in the vet report
+	// format. Purely advisory: findings never block a job.
+	Diagnostics []string
 	// Attempts counts exploration attempts (>1 after memory-budget
 	// retries). EngineError carries the structured diagnostics of a
 	// contained engine panic; CrashArtifact is the repro file's path.
@@ -212,6 +218,7 @@ func (j *Job) view() JobView {
 		Finished:      j.finished,
 		Err:           j.errMsg,
 		Result:        j.result,
+		Diagnostics:   j.diagnostics,
 		Attempts:      j.attempts,
 		EngineError:   j.engineErr,
 		CrashArtifact: j.artifact,
@@ -332,6 +339,15 @@ func (s *Service) Submit(req SubmitRequest) (JobView, error) {
 	}
 	fp := req.Program.Fingerprint()
 
+	// Static analysis is cheap (one pass over a litmus-sized program) and
+	// pure, so it runs outside the service lock on every submission; the
+	// findings ride along on the job for clients that want them.
+	var diags []string
+	for _, f := range analyze.Analyze(req.Program).Lint(req.Model) {
+		diags = append(diags, f.String())
+	}
+	s.metrics.VetFindings.Add(int64(len(diags)))
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
@@ -350,6 +366,7 @@ func (s *Service) Submit(req SubmitRequest) (JobView, error) {
 		model:       model,
 		fingerprint: fp,
 		cacheKey:    cacheKey(fp, req),
+		diagnostics: diags,
 		submitted:   time.Now(),
 	}
 	s.metrics.JobsSubmitted.Add(1)

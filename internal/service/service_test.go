@@ -3,13 +3,16 @@ package service
 import (
 	"context"
 	"errors"
+	"strings"
 	"testing"
 	"time"
 
 	"hmc/internal/core"
+	"hmc/internal/eg"
 	"hmc/internal/gen"
 	"hmc/internal/litmus"
 	"hmc/internal/memmodel"
+	"hmc/internal/prog"
 )
 
 // waitState polls until job id reaches a terminal state.
@@ -299,4 +302,44 @@ func mustModel(t *testing.T, name string) memmodel.Model {
 		t.Fatal(err)
 	}
 	return m
+}
+
+func TestSubmitAttachesDiagnostics(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Shutdown(context.Background())
+
+	// A store-buffering shape with an LW fence: under tso the fence is a
+	// documented no-op, so the submission must carry a useless-fence
+	// diagnostic and bump the vet-findings counter.
+	b := prog.NewBuilder("diag")
+	x, y := b.Loc("x"), b.Loc("y")
+	t0 := b.Thread()
+	t0.Store(x, prog.Const(1))
+	t0.Fence(eg.FenceLW)
+	t0.Load(y)
+	t1 := b.Thread()
+	t1.Store(y, prog.Const(1))
+	t1.Load(x)
+	p := b.MustBuild()
+
+	v, err := s.Submit(SubmitRequest{Program: p, Model: "tso"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range v.Diagnostics {
+		if strings.Contains(d, "useless-fence") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("submission diagnostics lack useless-fence: %v", v.Diagnostics)
+	}
+	if got := s.Metrics().VetFindings.Load(); got < 1 {
+		t.Errorf("VetFindings = %d, want >= 1", got)
+	}
+	done := waitState(t, s, v.ID)
+	if len(done.Diagnostics) != len(v.Diagnostics) {
+		t.Errorf("diagnostics changed across the job lifecycle: %v vs %v", done.Diagnostics, v.Diagnostics)
+	}
 }

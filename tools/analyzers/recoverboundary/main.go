@@ -1,0 +1,256 @@
+// Command recoverboundary is a vet-style analyzer enforcing the engine's
+// fault-containment invariant (internal/core/recover.go): every exported
+// entry point of internal/core that accepts a program — the functions that
+// run engine code and can therefore panic on a poisoned input — must route
+// through the panic→error boundary. Concretely, an exported package-level
+// function whose first parameter is *prog.Program must syntactically
+// contain at least one of:
+//
+//   - a deferred function literal that calls recover() (Estimate's own
+//     boundary),
+//   - a call to Explore (which installs the boundary itself), or
+//   - a call to the explorer's guard method.
+//
+// Without this, a new analysis added to internal/core could silently turn
+// an engine panic back into a process crash, undoing PR 2's containment
+// work. The check is syntactic on purpose: it needs no type information,
+// so it runs from source alone and stays dependency-free.
+//
+// Usage:
+//
+//	recoverboundary [files or directories...]     # direct mode
+//	go vet -vettool=$(which recoverboundary) pkg  # vet-tool mode
+//
+// Direct mode parses the named .go files (or all non-test .go files under
+// named directories), prints findings as file:line: message, and exits
+// non-zero if any are found. With no arguments it checks ./internal/core.
+//
+// Vet-tool mode implements the subset of cmd/go's unitchecker protocol the
+// go tool actually drives: `-V=full` prints a version fingerprint used as
+// the cache key, `-flags` prints the (empty) analyzer flag set as JSON,
+// and an invocation with a single *.cfg argument analyzes that package's
+// GoFiles and writes the (empty) facts file the go tool expects at
+// VetxOutput. The rule is scoped to the internal/core import path: the
+// packages underneath it (eg, interp, relation, axenum, …) run inside
+// core's guard and are exempt by design, so other packages pass trivially.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	// Vet-tool protocol, step 1: version fingerprint for the build cache.
+	if len(args) == 1 && (args[0] == "-V=full" || args[0] == "-V") {
+		return printVersion()
+	}
+	// Vet-tool protocol, step 2: advertise analyzer flags (we have none).
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]")
+		return nil
+	}
+	// Vet-tool protocol, step 3: a single *.cfg argument.
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return runUnit(args[0])
+	}
+	// Direct mode.
+	if len(args) == 0 {
+		args = []string{filepath.Join("internal", "core")}
+	}
+	files, err := expand(args)
+	if err != nil {
+		return err
+	}
+	return check(files, os.Stderr)
+}
+
+// printVersion writes the `name version ...` line cmd/go parses from
+// `-V=full` output. Hashing the executable makes the go tool's vet cache
+// invalidate when the analyzer itself changes.
+func printVersion() error {
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			id = fmt.Sprintf("%x", sha256.Sum256(data))[:16]
+		}
+	}
+	fmt.Printf("recoverboundary version devel buildID=%s\n", id)
+	return nil
+}
+
+// vetConfig is the subset of cmd/go's vet .cfg JSON this tool reads.
+type vetConfig struct {
+	ImportPath string
+	GoFiles    []string
+	VetxOnly   bool
+	VetxOutput string
+}
+
+func runUnit(cfgPath string) error {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return fmt.Errorf("%s: parsing vet config: %w", cfgPath, err)
+	}
+	// The go tool requires the facts file to exist even for analyzers
+	// that export none, and for VetxOnly (dependency) invocations that
+	// is the whole job.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("recoverboundary\n"), 0o666); err != nil {
+			return err
+		}
+	}
+	// The invariant lives at the engine's public surface. Packages below
+	// core (interp, eg, relation, axenum, operational) panic freely and
+	// rely on core's guard to contain it — checking them would demand a
+	// boundary in the wrong layer.
+	if cfg.VetxOnly || !strings.HasSuffix(cfg.ImportPath, "internal/core") {
+		return nil
+	}
+	return check(cfg.GoFiles, os.Stderr)
+}
+
+// expand resolves a mix of files and directories into the non-test .go
+// files to analyze.
+func expand(args []string) ([]string, error) {
+	var files []string
+	for _, a := range args {
+		info, err := os.Stat(a)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			files = append(files, a)
+			continue
+		}
+		ents, err := os.ReadDir(a)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range ents {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			files = append(files, filepath.Join(a, name))
+		}
+	}
+	return files, nil
+}
+
+// check parses the files and reports every entry-point violation as a
+// file:line: message line. It returns an error iff there were findings.
+func check(files []string, out *os.File) error {
+	fset := token.NewFileSet()
+	findings := 0
+	for _, path := range files {
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return err
+		}
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || !isEntryPoint(fn) {
+				continue
+			}
+			if !routesThroughBoundary(fn) {
+				pos := fset.Position(fn.Pos())
+				fmt.Fprintf(out, "%s:%d: exported engine entry point %s does not route through the recover boundary (needs a deferred recover, an Explore call, or a guard call)\n",
+					pos.Filename, pos.Line, fn.Name.Name)
+				findings++
+			}
+		}
+	}
+	if findings > 0 {
+		return fmt.Errorf("recoverboundary: %d finding(s)", findings)
+	}
+	return nil
+}
+
+// isEntryPoint reports whether fn is an exported package-level function
+// whose first parameter is *prog.Program — the signature shared by every
+// engine entry point (Explore, Estimate, CheckRobustness, CheckRaces,
+// CheckLiveness). Methods and helpers with other signatures are exempt:
+// they cannot be called without going through an entry point first.
+func isEntryPoint(fn *ast.FuncDecl) bool {
+	if fn.Recv != nil || !fn.Name.IsExported() || fn.Body == nil {
+		return false
+	}
+	params := fn.Type.Params
+	if params == nil || len(params.List) == 0 {
+		return false
+	}
+	star, ok := params.List[0].Type.(*ast.StarExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := star.X.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Program" {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	return ok && pkg.Name == "prog"
+}
+
+// routesThroughBoundary reports whether fn's body contains a deferred
+// recover, a call to Explore, or a call to a guard method.
+func routesThroughBoundary(fn *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok && callsRecover(lit) {
+				found = true
+			}
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.Ident:
+				if fun.Name == "Explore" {
+					found = true
+				}
+			case *ast.SelectorExpr:
+				if fun.Sel.Name == "guard" || fun.Sel.Name == "Explore" {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// callsRecover reports whether the function literal's body calls the
+// recover builtin (directly or in a nested node).
+func callsRecover(lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "recover" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,182 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// repoRoot walks up from the working directory to the directory containing
+// go.mod, so the test finds internal/core regardless of where go test runs.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above working directory")
+		}
+		dir = parent
+	}
+}
+
+// TestCoreIsClean pins the invariant on the real package: every engine
+// entry point in internal/core routes through the recover boundary.
+func TestCoreIsClean(t *testing.T) {
+	core := filepath.Join(repoRoot(t), "internal", "core")
+	files, err := expand([]string{core})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no files found in internal/core")
+	}
+	if err := check(files, os.Stderr); err != nil {
+		t.Errorf("internal/core violates the recover boundary: %v", err)
+	}
+}
+
+func writeFile(t *testing.T, name, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestUnguardedEntryPointFlagged(t *testing.T) {
+	path := writeFile(t, "bad.go", `
+package core
+
+import "hmc/internal/prog"
+
+// CheckNew runs engine code without any boundary: must be flagged.
+func CheckNew(p *prog.Program, n int) error {
+	e := &explorer{p: p}
+	e.visit(nil)
+	return nil
+}
+`)
+	err := check([]string{path}, os.Stderr)
+	if err == nil {
+		t.Fatal("unguarded entry point not flagged")
+	}
+	if !strings.Contains(err.Error(), "1 finding") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestGuardedVariantsPass(t *testing.T) {
+	src := `
+package core
+
+import "hmc/internal/prog"
+
+// Routed through Explore: ok.
+func CheckA(p *prog.Program) error {
+	_, err := Explore(p, Options{})
+	return err
+}
+
+// Own deferred recover: ok.
+func CheckB(p *prog.Program) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = wrap(r)
+		}
+	}()
+	return engine(p)
+}
+
+// Through the explorer's guard: ok.
+func CheckC(p *prog.Program) {
+	e := &explorer{p: p}
+	e.guard(func() { e.visit(nil) })
+}
+
+// Not an entry point (unexported): exempt.
+func helper(p *prog.Program) {}
+
+// Not an entry point (first parameter is not *prog.Program): exempt.
+func AsSomething(err error) bool { return false }
+`
+	if err := check([]string{writeFile(t, "good.go", src)}, os.Stderr); err != nil {
+		t.Errorf("guarded variants flagged: %v", err)
+	}
+}
+
+func TestDeferWithoutRecoverStillFlagged(t *testing.T) {
+	src := `
+package core
+
+import "hmc/internal/prog"
+
+func CheckD(p *prog.Program) {
+	defer func() { cleanup() }()
+	engine(p)
+}
+`
+	if err := check([]string{writeFile(t, "defer.go", src)}, os.Stderr); err == nil {
+		t.Error("defer without recover() accepted as a boundary")
+	}
+}
+
+func TestUnitCheckerProtocol(t *testing.T) {
+	dir := t.TempDir()
+	bad := writeFile(t, "bad.go", `
+package core
+
+import "hmc/internal/prog"
+
+func CheckNew(p *prog.Program) { engine(p) }
+`)
+	vetx := filepath.Join(dir, "out.vetx")
+	cfg := filepath.Join(dir, "unit.cfg")
+	cfgJSON := `{"ImportPath":"hmc/internal/core","GoFiles":[` + jsonStr(bad) + `],"VetxOnly":false,"VetxOutput":` + jsonStr(vetx) + `}`
+	if err := os.WriteFile(cfg, []byte(cfgJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{cfg})
+	if err == nil {
+		t.Error("unit invocation over a bad file succeeded")
+	}
+	if _, statErr := os.Stat(vetx); statErr != nil {
+		t.Errorf("facts file not written: %v", statErr)
+	}
+
+	// VetxOnly invocations (dependency packages) must succeed and write
+	// facts without analyzing anything.
+	vetx2 := filepath.Join(dir, "dep.vetx")
+	cfg2 := filepath.Join(dir, "dep.cfg")
+	cfgJSON2 := `{"ImportPath":"hmc/internal/eg","GoFiles":[` + jsonStr(bad) + `],"VetxOnly":true,"VetxOutput":` + jsonStr(vetx2) + `}`
+	if err := os.WriteFile(cfg2, []byte(cfgJSON2), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{cfg2}); err != nil {
+		t.Errorf("VetxOnly invocation failed: %v", err)
+	}
+	if _, statErr := os.Stat(vetx2); statErr != nil {
+		t.Errorf("VetxOnly facts file not written: %v", statErr)
+	}
+}
+
+func jsonStr(s string) string {
+	b := strings.Builder{}
+	b.WriteByte('"')
+	for _, r := range s {
+		if r == '"' || r == '\\' {
+			b.WriteByte('\\')
+		}
+		b.WriteRune(r)
+	}
+	b.WriteByte('"')
+	return b.String()
+}
