@@ -18,8 +18,15 @@
 //	hmc -model tso -test SB
 //	hmc -all -test LB
 //	hmc -static -checkdeps -stats -test LB
+//	hmc -timeout 10s -checkpoint run.ckpt -test IRIW
+//	hmc -resume run.ckpt -checkpoint run.ckpt -test IRIW
 //	hmc vet -model tso -foot examples/litmusfile/mp.lit
 //	hmc -repro hmcd-crashes/crash-3f2a91c0aa17-job-000042.json
+//
+// A -timeout'd or -max'd run that stops early writes its final frontier
+// to the -checkpoint file; re-running with -resume picks the exploration
+// up exactly where it stopped (same program, model and bounds required)
+// and, on completion, reports the same counts as an uninterrupted run.
 //
 // `hmc vet` lints a program without exploring it: the static analysis in
 // internal/analyze reports dead stores, statically-false assertions and
@@ -84,8 +91,15 @@ func run(args []string, out io.Writer) error {
 	estimate := fs.Int("estimate", 0, "skip exploration; predict the execution count with this many random probes")
 	stats := fs.Bool("stats", false, "print exploration statistics (states, memo hits, revisits)")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget for each check (0 = none); an interrupted check prints INTERRUPTED with its partial counts")
+	ckptPath := fs.String("checkpoint", "", "write exploration checkpoints to this file (periodically and when interrupted/truncated); resume with -resume")
+	ckptEvery := fs.Int("checkpoint-every", 2000, "executions between periodic checkpoints (with -checkpoint)")
+	resumePath := fs.String("resume", "", "resume exploration from a checkpoint file written by -checkpoint")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	ck := ckptConfig{path: *ckptPath, every: *ckptEvery, resume: *resumePath}
+	if (ck.path != "" || ck.resume != "") && *all {
+		return fmt.Errorf("-checkpoint/-resume work on a single model; drop -all")
 	}
 
 	if *reproPath != "" {
@@ -133,7 +147,7 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 	for _, name := range models {
-		if err := check(out, p, name, *verbose, *maxExec, *maxEvents, *memBudget, *dotPath, *workers, *symm, *static, *checkDeps, *stats, newCtx); err != nil {
+		if err := check(out, p, name, *verbose, *maxExec, *maxEvents, *memBudget, *dotPath, *workers, *symm, *static, *checkDeps, *stats, ck, newCtx); err != nil {
 			return err
 		}
 		if *robust {
@@ -283,7 +297,28 @@ func loadProgram(args []string, testName string) (*prog.Program, error) {
 	return litmus.Parse(string(src))
 }
 
-func check(out io.Writer, p *prog.Program, model string, verbose bool, maxExec, maxEvents int, memBudget int64, dotPath string, workers int, symm, static, checkDeps, stats bool, newCtx func() (context.Context, context.CancelFunc)) error {
+// ckptConfig carries the -checkpoint/-resume flags into check.
+type ckptConfig struct {
+	path   string // write checkpoints here ("" disables)
+	every  int    // executions between periodic checkpoints
+	resume string // resume from this checkpoint file ("" disables)
+}
+
+// writeCheckpointFile writes cp atomically (temp file + rename): a crash
+// mid-write leaves the previous checkpoint intact, never a torn one.
+func writeCheckpointFile(path string, cp *core.Checkpoint) error {
+	data, err := cp.Encode()
+	if err != nil {
+		return err
+	}
+	tmp := fmt.Sprintf("%s.tmp.%d", path, os.Getpid())
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func check(out io.Writer, p *prog.Program, model string, verbose bool, maxExec, maxEvents int, memBudget int64, dotPath string, workers int, symm, static, checkDeps, stats bool, ck ckptConfig, newCtx func() (context.Context, context.CancelFunc)) error {
 	m, err := memmodel.ByName(model)
 	if err != nil {
 		return err
@@ -291,6 +326,26 @@ func check(out io.Writer, p *prog.Program, model string, verbose bool, maxExec, 
 	ctx, cancel := newCtx()
 	defer cancel()
 	opts := core.Options{Model: m, Context: ctx, MaxExecutions: maxExec, MaxEvents: maxEvents, MemoryBudget: memBudget, Workers: workers, Symmetry: symm, StaticAnalysis: static, CheckDeps: checkDeps}
+	if ck.resume != "" {
+		data, err := os.ReadFile(ck.resume)
+		if err != nil {
+			return err
+		}
+		cp, err := core.DecodeCheckpoint(data)
+		if err != nil {
+			return fmt.Errorf("resume %s: %w", ck.resume, err)
+		}
+		opts.ResumeFrom = cp
+		fmt.Fprintf(out, "resuming from %s (%d executions already explored)\n", ck.resume, cp.Stats.Executions)
+	}
+	if ck.path != "" {
+		opts.Checkpoint = &core.CheckpointOptions{
+			EveryExecs: ck.every,
+			Sink: func(cp *core.Checkpoint) {
+				writeCheckpointFile(ck.path, cp) //nolint:errcheck // periodic snapshot: next one retries
+			},
+		}
+	}
 	var witness *eg.Graph
 	witnessWeak := false
 	opts.OnExecution = func(g *eg.Graph, fsv prog.FinalState) {
@@ -306,6 +361,20 @@ func check(out io.Writer, p *prog.Program, model string, verbose bool, maxExec, 
 	res, err := core.Explore(p, opts)
 	if err != nil {
 		return err
+	}
+	if ck.path != "" {
+		if res.Checkpoint != nil {
+			// Interrupted or truncated: persist the final frontier so the
+			// run can be picked up exactly where it stopped.
+			if err := writeCheckpointFile(ck.path, res.Checkpoint); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "checkpoint written to %s (continue with -resume %s)\n", ck.path, ck.path)
+		} else if err := os.Remove(ck.path); err == nil {
+			// Completed: a periodic snapshot would only resume into work
+			// already done, so retire it.
+			fmt.Fprintf(out, "exploration complete; checkpoint %s removed\n", ck.path)
+		}
 	}
 	if dotPath != "" && witness != nil {
 		f, err := os.Create(dotPath)

@@ -114,6 +114,7 @@ func TestRunRepro(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "crash.json")
 	artifact := `{
+  "schema": 1,
   "job_id": "job-1",
   "program": "MP",
   "fingerprint": "abc",
@@ -141,7 +142,7 @@ func TestRunRepro(t *testing.T) {
 
 	// An artifact without source or test name cannot be replayed.
 	bare := filepath.Join(dir, "bare.json")
-	if err := os.WriteFile(bare, []byte(`{"job_id":"j","model":"sc","program_dump":"T0: ???","panic":"p"}`), 0o644); err != nil {
+	if err := os.WriteFile(bare, []byte(`{"schema":1,"job_id":"j","model":"sc","program_dump":"T0: ???","panic":"p"}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if err := run([]string{"-repro", bare}, &out); err == nil {
@@ -150,6 +151,15 @@ func TestRunRepro(t *testing.T) {
 	// A missing file errors too.
 	if err := run([]string{"-repro", filepath.Join(dir, "nope.json")}, &out); err == nil {
 		t.Error("missing artifact must error")
+	}
+	// An artifact from another engine schema is refused: replaying it
+	// would exercise different exploration semantics than the crash.
+	old := filepath.Join(dir, "old.json")
+	if err := os.WriteFile(old, []byte(`{"schema":999,"job_id":"j","model":"imm","test":"MP","panic":"p"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-repro", old}, &out); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("old-schema artifact: err = %v, want schema rejection", err)
 	}
 }
 
@@ -258,5 +268,102 @@ func TestRunStats(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "states=") || !strings.Contains(out.String(), "revisits=") {
 		t.Errorf("stats not printed:\n%s", out.String())
+	}
+}
+
+// checkpointLeg runs the CLI once and returns its output.
+func checkpointLeg(t *testing.T, args ...string) string {
+	t.Helper()
+	var out strings.Builder
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run %v: %v", args, err)
+	}
+	return out.String()
+}
+
+// verdictLine extracts the verdict line (the one starting with the test
+// name) so resumed and straight outputs can be compared exactly.
+func verdictLine(t *testing.T, output, name string) string {
+	t.Helper()
+	for _, line := range strings.Split(output, "\n") {
+		if strings.HasPrefix(line, name) {
+			return line
+		}
+	}
+	t.Fatalf("no verdict line for %s in:\n%s", name, output)
+	return ""
+}
+
+// TestRunCheckpointResume: an interrupted run writes its frontier to the
+// -checkpoint file; -resume completes it and prints exactly the verdict
+// line of an uninterrupted run, then retires the spent checkpoint.
+func TestRunCheckpointResume(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+
+	// Leg 1: a 1ns timeout interrupts IRIW (relaxed has far too many
+	// executions to finish inside a nanosecond) and checkpoints.
+	first := checkpointLeg(t, "-model", "relaxed", "-test", "IRIW", "-timeout", "1ns", "-checkpoint", ckpt)
+	if !strings.Contains(first, "INTERRUPTED") || !strings.Contains(first, "checkpoint written to "+ckpt) {
+		t.Fatalf("interrupted leg:\n%s", first)
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("checkpoint file: %v", err)
+	}
+
+	// Leg 2: resume to completion (no timeout).
+	resumed := checkpointLeg(t, "-model", "relaxed", "-test", "IRIW", "-resume", ckpt, "-checkpoint", ckpt)
+	if !strings.Contains(resumed, "resuming from "+ckpt) {
+		t.Fatalf("resume not announced:\n%s", resumed)
+	}
+	if !strings.Contains(resumed, "checkpoint "+ckpt+" removed") {
+		t.Fatalf("spent checkpoint not retired:\n%s", resumed)
+	}
+	if _, err := os.Stat(ckpt); !os.IsNotExist(err) {
+		t.Fatalf("checkpoint file still present after completion: %v", err)
+	}
+
+	// The resumed verdict line is byte-identical to a straight run's.
+	straight := checkpointLeg(t, "-model", "relaxed", "-test", "IRIW")
+	if got, want := verdictLine(t, resumed, "IRIW"), verdictLine(t, straight, "IRIW"); got != want {
+		t.Fatalf("resumed verdict diverges:\nresumed:  %s\nstraight: %s", got, want)
+	}
+}
+
+// TestRunCheckpointAtCap: a -max-truncated run checkpoints; resuming with
+// the same bounds reports the identical (still truncated) verdict.
+func TestRunCheckpointAtCap(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "cap.ckpt")
+	first := checkpointLeg(t, "-model", "relaxed", "-test", "IRIW", "-max", "5", "-checkpoint", ckpt)
+	if !strings.Contains(first, "(truncated: max-executions)") || !strings.Contains(first, "checkpoint written") {
+		t.Fatalf("capped leg:\n%s", first)
+	}
+	resumed := checkpointLeg(t, "-model", "relaxed", "-test", "IRIW", "-max", "5", "-resume", ckpt)
+	if got, want := verdictLine(t, resumed, "IRIW"), verdictLine(t, first, "IRIW"); got != want {
+		t.Fatalf("resumed capped verdict diverges:\nresumed:  %s\nfirst:    %s", got, want)
+	}
+}
+
+// TestRunResumeMismatch: a checkpoint resumed against a different test or
+// model is refused, not silently merged.
+func TestRunResumeMismatch(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "sb.ckpt")
+	checkpointLeg(t, "-model", "relaxed", "-test", "IRIW", "-max", "5", "-checkpoint", ckpt)
+	var out strings.Builder
+	err := run([]string{"-model", "relaxed", "-test", "LB", "-resume", ckpt}, &out)
+	if err == nil || !strings.Contains(err.Error(), "checkpoint") {
+		t.Fatalf("wrong-program resume: err=%v", err)
+	}
+	err = run([]string{"-model", "sc", "-test", "IRIW", "-max", "5", "-resume", ckpt}, &out)
+	if err == nil || !strings.Contains(err.Error(), "checkpoint") {
+		t.Fatalf("wrong-model resume: err=%v", err)
+	}
+}
+
+// TestRunCheckpointRejectsAll: -checkpoint/-resume are single-model.
+func TestRunCheckpointRejectsAll(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-all", "-test", "SB", "-checkpoint", filepath.Join(t.TempDir(), "x.ckpt")}, &out)
+	if err == nil || !strings.Contains(err.Error(), "-all") {
+		t.Fatalf("err = %v, want single-model rejection", err)
 	}
 }

@@ -76,23 +76,32 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(addr stri
 	retryBackoff := fs.Duration("retry-backoff", 50*time.Millisecond, "pause before retrying a memory-truncated job")
 	breakerThreshold := fs.Int("breaker-threshold", 3, "engine crashes on one program before its submissions are rejected (negative disables)")
 	breakerCooldown := fs.Duration("breaker-cooldown", 10*time.Minute, "how long a crash-looping program stays rejected")
+	journalDir := fs.String("journal", "", "write-ahead journal directory; makes the daemon durable across restarts (empty disables)")
+	journalMax := fs.Int64("journal-max-bytes", 4<<20, "journal file size before rotation/compaction")
+	checkpointEvery := fs.Int("checkpoint-every", 2000, "executions between journaled exploration checkpoints")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	svc := service.New(service.Config{
-		QueueSize:         *queue,
-		Workers:           *workers,
-		CacheSize:         *cache,
-		DefaultTimeout:    *defTimeout,
-		MaxTimeout:        *maxTimeout,
-		CrashDir:          *crashDir,
-		MaxCrashArtifacts: *crashMax,
-		MaxAttempts:       *retries,
-		RetryBackoff:      *retryBackoff,
-		BreakerThreshold:  *breakerThreshold,
-		BreakerCooldown:   *breakerCooldown,
+	svc, err := service.New(service.Config{
+		QueueSize:            *queue,
+		Workers:              *workers,
+		CacheSize:            *cache,
+		DefaultTimeout:       *defTimeout,
+		MaxTimeout:           *maxTimeout,
+		CrashDir:             *crashDir,
+		MaxCrashArtifacts:    *crashMax,
+		MaxAttempts:          *retries,
+		RetryBackoff:         *retryBackoff,
+		BreakerThreshold:     *breakerThreshold,
+		BreakerCooldown:      *breakerCooldown,
+		JournalDir:           *journalDir,
+		JournalMaxBytes:      *journalMax,
+		CheckpointEveryExecs: *checkpointEvery,
 	})
+	if err != nil {
+		return err
+	}
 	srv := &http.Server{Handler: svc.Handler()}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -104,6 +113,13 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(addr stri
 	eff := svc.Config()
 	fmt.Fprintf(out, "hmcd: listening on %s (workers=%d queue=%d cache=%d timeout=%v)\n",
 		ln.Addr(), eff.Workers, eff.QueueSize, eff.CacheSize, eff.DefaultTimeout)
+	if *journalDir != "" {
+		// Replay runs in the background (watch /readyz); the verdict and
+		// skipped-record counts are known synchronously at open.
+		m := svc.Metrics()
+		fmt.Fprintf(out, "hmcd: journal %s (verdicts=%d skipped=%d), replaying backlog\n",
+			*journalDir, m.VerdictsReloaded.Load(), m.JournalSkippedRecords.Load())
+	}
 	if ready != nil {
 		ready(ln.Addr().String())
 	}

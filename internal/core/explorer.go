@@ -141,6 +141,32 @@ type Options struct {
 	// per state, so the win is the orbit collapse (up to n! for n
 	// identical threads) minus that constant.
 	Symmetry bool
+	// Checkpoint, when non-nil, makes the run checkpointable: periodic
+	// snapshots go to Checkpoint.Sink every Checkpoint.EveryExecs
+	// completed executions, and any interruption or whole-run truncation
+	// drains the in-flight work into a final snapshot on
+	// Result.Checkpoint instead of discarding it (see checkpoint.go).
+	// Checkpointing changes how the run *stops* — a cancelled context
+	// drains instead of hard-stopping, so interruption latency grows by
+	// one wave of branch construction — but never what it explores.
+	// StopOnError and engine panics still stop hard and yield no
+	// checkpoint.
+	Checkpoint *CheckpointOptions
+	// ResumeFrom continues a prior run from its checkpoint. The
+	// checkpoint must match this program's fingerprint, the model, and
+	// every semantic option (see optsSignature); a mismatch returns
+	// ErrCheckpointMismatch. The resumed Result's counters include the
+	// checkpointed work, so a straight run and any
+	// interrupt/resume chain report identical totals.
+	ResumeFrom *Checkpoint
+	// FailAfter, when positive, injects a deterministic fault: the run
+	// behaves as if the process had been killed at its FailAfter-th
+	// branch point — exploration drains into a final checkpoint on
+	// Result.Checkpoint with Interrupted set. This is the
+	// resume-equivalence test hook ("kill at every k-th branch point"
+	// without wall-clock races); production kills exercise the same
+	// drain path via Context cancellation.
+	FailAfter int
 }
 
 // ErrorReport describes one assertion failure, with the witness graph.
@@ -198,6 +224,12 @@ type Result struct {
 	// in Stats is a partial lower bound, and the absence of an assertion
 	// failure or weak outcome proves nothing.
 	Interrupted bool
+	// Checkpoint is the final resumable snapshot of an interrupted or
+	// whole-run-truncated checkpointable run (Options.Checkpoint,
+	// ResumeFrom or FailAfter): feed it to Options.ResumeFrom to continue
+	// exactly where this run stopped. Nil for complete runs, for
+	// non-checkpointable runs, and after a hard stop (StopOnError).
+	Checkpoint *Checkpoint
 }
 
 // Exhaustive reports whether the result covers the full state space —
@@ -226,16 +258,41 @@ func Explore(p *prog.Program, opts Options) (*Result, error) {
 		sh.sem = make(chan struct{}, opts.Workers-1)
 	}
 	e := &explorer{p: p, opts: opts, sh: sh, static: analyzeIfNeeded(p, opts)}
+	e.ckpt = opts.Checkpoint != nil || opts.ResumeFrom != nil || opts.FailAfter > 0
 	if opts.Symmetry {
 		e.perms = symmetryPerms(len(p.Threads), p.SymmetryGroups())
 	}
+	frontier := []*eg.Graph{eg.NewGraph(len(p.Threads), p.NumLocs)}
+	if opts.ResumeFrom != nil {
+		var err error
+		if frontier, err = e.restore(opts.ResumeFrom); err != nil {
+			return nil, err
+		}
+		// A checkpoint taken exactly at the MaxExecutions bound: the run
+		// it describes already stopped there, so resuming under the same
+		// bound returns the restored result as-is — continuing would
+		// explore (and memoize) states the straight run never reached.
+		if opts.MaxExecutions > 0 && sh.res.Executions >= opts.MaxExecutions {
+			sh.res.Truncated = true
+			if sh.res.TruncatedReason == "" {
+				sh.res.TruncatedReason = TruncMaxExecutions
+			}
+			sh.res.Checkpoint = e.capture(frontier)
+			return sh.res, nil
+		}
+	}
 	if ctx := opts.Context; ctx != nil {
-		// A watcher translates ctx cancellation into the stop flag the
-		// branch loops already poll, so the hot path stays a single
-		// atomic load. Checking synchronously first makes a pre-cancelled
-		// context deterministic: zero work, empty interrupted result.
+		// A watcher translates ctx cancellation into the flags the branch
+		// loops already poll, so the hot path stays a single atomic load.
+		// Under checkpointing the cancellation drains (in-flight work is
+		// captured, not discarded); otherwise it hard-stops as before.
+		// Checking synchronously first makes a pre-cancelled context
+		// deterministic: zero work, the (restored) interrupted result.
 		if ctx.Err() != nil {
 			sh.res.Interrupted = true
+			if e.ckpt {
+				sh.res.Checkpoint = e.capture(frontier)
+			}
 			return sh.res, nil
 		}
 		done := make(chan struct{})
@@ -244,16 +301,54 @@ func Explore(p *prog.Program, opts Options) (*Result, error) {
 			select {
 			case <-ctx.Done():
 				sh.interrupted.Store(true)
-				sh.stop.Store(true)
+				if e.ckpt {
+					sh.drain.Store(true)
+				} else {
+					sh.stop.Store(true)
+				}
 			case <-done:
 			}
 		}()
 	}
-	g := eg.NewGraph(len(p.Threads), p.NumLocs)
-	e.guard(func() { e.visit(g) })
-	sh.wg.Wait()
-	if sh.engineErr != nil {
-		return nil, sh.engineErr
+	// The wave loop: visit the frontier, wait for quiescence, and — when a
+	// drain was requested — capture or continue with the drained pending
+	// graphs as the next frontier. Non-checkpointable runs never set the
+	// drain flag and take exactly one trip (the pre-checkpoint behaviour).
+	for {
+		for _, g := range frontier {
+			g := g
+			e.guard(func() { e.visit(g) })
+		}
+		sh.wg.Wait()
+		if sh.engineErr != nil {
+			return nil, sh.engineErr
+		}
+		if !sh.drain.Load() {
+			break // exhausted, or hard-stopped (no checkpoint either way)
+		}
+		pending := sh.takePending()
+		if sh.stop.Load() {
+			// A hard stop (StopOnError, panic wind-down) raced the drain:
+			// the pending set is incomplete, so no checkpoint is safe.
+			break
+		}
+		if sh.interrupted.Load() || sh.stopAfterDrain.Load() {
+			sh.res.Checkpoint = e.capture(pending)
+			break
+		}
+		// Periodic snapshot (Checkpoint.EveryExecs): emit and continue.
+		if opts.Checkpoint != nil && opts.Checkpoint.Sink != nil {
+			cp := e.capture(pending)
+			e.guard(func() { opts.Checkpoint.Sink(cp) })
+			if sh.engineErr != nil {
+				return nil, sh.engineErr
+			}
+		}
+		sh.drain.Store(false)
+		frontier = pending
+		if len(frontier) == 0 {
+			break
+		}
 	}
 	sh.res.Interrupted = sh.interrupted.Load()
 	return sh.res, nil
@@ -271,6 +366,10 @@ type explorer struct {
 	// of recursing — the estimator's one-step successor enumeration. Only
 	// set by successors(), never during real exploration.
 	sink *[]*eg.Graph
+	// ckpt marks a checkpointable run (Options.Checkpoint, ResumeFrom or
+	// FailAfter): interruptions and whole-run truncations drain instead
+	// of hard-stopping, so the in-flight frontier can be captured.
+	ckpt bool
 }
 
 // key returns g's canonical state key: its semantic key, minimized over
@@ -297,14 +396,43 @@ type shared struct {
 	memo        map[string]bool // semantic exploration-state keys
 	engineErr   *EngineError    // first recovered panic (guarded by mu)
 	stop        atomic.Bool
-	interrupted atomic.Bool   // stop was caused by Options.Context
+	interrupted atomic.Bool   // stop/drain was caused by Options.Context (or FailAfter)
 	visits      atomic.Int64  // visit counter paces the MemoryBudget check
 	sem         chan struct{} // fork slots (nil: sequential)
 	wg          sync.WaitGroup
+
+	// Drain machinery (checkpointable runs only; see checkpoint.go).
+	// While drain is set, visit records incoming graphs in pending
+	// instead of recursing — the branch loops above keep constructing and
+	// checking children, so every unit of work lands exactly once on one
+	// side of the checkpoint cut. stopAfterDrain marks a drain that ends
+	// the run (whole-run truncation) rather than pausing it (periodic
+	// snapshot); faults counts branch points for Options.FailAfter.
+	drain          atomic.Bool
+	stopAfterDrain atomic.Bool
+	faults         atomic.Int64
+	pending        []*eg.Graph // guarded by mu
 }
 
 // stopped reports whether exploration has been aborted.
 func (e *explorer) stopped() bool { return e.sh.stop.Load() }
+
+// recordPending saves a graph whose visit was deferred by a drain.
+func (e *explorer) recordPending(g *eg.Graph) {
+	e.sh.mu.Lock()
+	e.sh.pending = append(e.sh.pending, g)
+	e.sh.mu.Unlock()
+}
+
+// takePending removes and returns the drained frontier. Called between
+// waves (workers quiescent).
+func (sh *shared) takePending() []*eg.Graph {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	p := sh.pending
+	sh.pending = nil
+	return p
+}
 
 // fork runs task on a free worker when one exists, inline otherwise.
 // Tasks never block waiting for a slot, so at most Workers goroutines run,
@@ -349,6 +477,23 @@ func (e *explorer) visit(g *eg.Graph) {
 	if e.stopped() {
 		return
 	}
+	if e.sh.drain.Load() {
+		// A checkpoint is being taken: defer this subtree to the pending
+		// frontier instead of recursing. The construction and consistency
+		// check that produced g already ran (and were counted) in the
+		// caller, and visiting g on resume re-runs none of them — each
+		// unit of work happens exactly once across the cut.
+		e.recordPending(g)
+		return
+	}
+	if n := e.opts.FailAfter; n > 0 && e.sh.faults.Add(1) == int64(n) {
+		// Deterministic fault injection: "the process dies here". The
+		// graph in hand is not lost — it heads the pending frontier.
+		e.sh.interrupted.Store(true)
+		e.sh.drain.Store(true)
+		e.recordPending(g)
+		return
+	}
 	if e.opts.MaxEvents > 0 && g.NumEvents() > e.opts.MaxEvents {
 		// Prune this oversized branch only: smaller graphs elsewhere in
 		// the space are still explored, so the partial result covers
@@ -364,7 +509,16 @@ func (e *explorer) visit(g *eg.Graph) {
 			var ms runtime.MemStats
 			runtime.ReadMemStats(&ms)
 			if ms.HeapAlloc > uint64(e.opts.MemoryBudget) {
-				e.truncate(TruncMemoryBudget, true)
+				if e.ckpt {
+					// Under checkpointing the truncation drains: this
+					// graph and the rest of the in-flight frontier are
+					// captured, so a later run under a roomier budget
+					// picks up exactly here.
+					e.truncateDrain(TruncMemoryBudget)
+					e.recordPending(g)
+				} else {
+					e.truncate(TruncMemoryBudget, true)
+				}
 				return
 			}
 		}
@@ -465,7 +619,24 @@ func (e *explorer) complete(g *eg.Graph) {
 		if e.sh.res.TruncatedReason == "" {
 			e.sh.res.TruncatedReason = TruncMaxExecutions
 		}
-		e.sh.stop.Store(true)
+		if e.ckpt {
+			// Drain instead of hard-stopping so the already-constructed
+			// frontier lands in the final checkpoint: a run resumed under
+			// a higher bound continues instead of starting over.
+			e.sh.stopAfterDrain.Store(true)
+			e.sh.drain.Store(true)
+		} else {
+			e.sh.stop.Store(true)
+		}
+		return
+	}
+	if co := e.opts.Checkpoint; co != nil && co.Sink != nil && co.EveryExecs > 0 &&
+		e.sh.res.Executions%co.EveryExecs == 0 {
+		// Periodic snapshot: drain to a quiescent point; the wave loop in
+		// Explore emits the checkpoint and resumes from the drained
+		// frontier. The pause costs one wave of deferred recursion — the
+		// T14 experiment measures the overhead against EveryExecs.
+		e.sh.drain.Store(true)
 	}
 }
 

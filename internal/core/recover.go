@@ -112,3 +112,17 @@ func (e *explorer) truncate(reason string, stopAll bool) {
 		e.sh.stop.Store(true)
 	}
 }
+
+// truncateDrain is the checkpointable variant of a whole-run truncation:
+// instead of the hard stop flag it raises the drain, so the in-flight
+// frontier is captured into the final checkpoint (see checkpoint.go).
+func (e *explorer) truncateDrain(reason string) {
+	e.sh.mu.Lock()
+	e.sh.res.Truncated = true
+	if e.sh.res.TruncatedReason == "" {
+		e.sh.res.TruncatedReason = reason
+	}
+	e.sh.mu.Unlock()
+	e.sh.stopAfterDrain.Store(true)
+	e.sh.drain.Store(true)
+}

@@ -135,6 +135,29 @@ func TestAllExperimentsQuick(t *testing.T) {
 					}
 				}
 			}
+		case "T14":
+			// Every default-cadence row on a multi-execution program must
+			// carry the kill/resume accounting, and it must add up to the
+			// straight run's total.
+			resumes := 0
+			for _, row := range tb.Rows {
+				if row[4] != "2000" {
+					continue
+				}
+				execs, _ := strconv.Atoi(row[2])
+				if execs < 2 {
+					continue
+				}
+				saved, err1 := strconv.Atoi(row[8])
+				does, err2 := strconv.Atoi(row[9])
+				if err1 != nil || err2 != nil || saved+does != execs {
+					t.Errorf("T14: kill/resume accounting broken: %v", row)
+				}
+				resumes++
+			}
+			if resumes == 0 {
+				t.Error("T14: no row exercised the kill/resume leg")
+			}
 		case "T5":
 			// The ablation must miss at least one execution on LB(2).
 			missedAny := false

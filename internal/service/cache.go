@@ -80,3 +80,18 @@ func (c *verdictCache) len() int {
 	defer c.mu.Unlock()
 	return c.ll.Len()
 }
+
+// snapshot returns the entries least-recently-used first, so reinserting
+// them in order reproduces the LRU ordering (persistence round trip).
+func (c *verdictCache) snapshot() []cacheEntry {
+	if c == nil || c.cap <= 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]cacheEntry, 0, c.ll.Len())
+	for el := c.ll.Back(); el != nil; el = el.Prev() {
+		out = append(out, *el.Value.(*cacheEntry))
+	}
+	return out
+}

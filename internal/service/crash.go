@@ -22,6 +22,12 @@ import (
 // Artifacts are written as JSON into the service's crash directory and
 // replayed with `hmc -repro <file>`.
 type CrashArtifact struct {
+	// Schema is the engine schema version (core.SchemaVersion) the
+	// crashing binary ran. Replay refuses artifacts from another schema:
+	// the repro would exercise different exploration semantics than the
+	// ones that crashed.
+	Schema int `json:"schema"`
+
 	JobID       string    `json:"job_id"`
 	Time        time.Time `json:"time"`
 	Program     string    `json:"program"`
@@ -75,6 +81,10 @@ func LoadCrashArtifact(path string) (*CrashArtifact, error) {
 	a := &CrashArtifact{}
 	if err := json.Unmarshal(data, a); err != nil {
 		return nil, fmt.Errorf("crash artifact %s: %w", path, err)
+	}
+	if a.Schema != core.SchemaVersion {
+		return nil, fmt.Errorf("crash artifact %s: engine schema %d, this binary is %d — not replayable",
+			path, a.Schema, core.SchemaVersion)
 	}
 	return a, nil
 }

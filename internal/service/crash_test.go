@@ -46,7 +46,7 @@ func corruptProgram(t *testing.T, nonce int64) *prog.Program {
 // job on the same service completes normally.
 func TestEngineCrashIsolated(t *testing.T) {
 	dir := t.TempDir()
-	s := New(Config{Workers: 2, CrashDir: dir})
+	s := mustNew(t, Config{Workers: 2, CrashDir: dir})
 	defer s.Shutdown(context.Background())
 
 	bad := corruptProgram(t, 1)
@@ -111,7 +111,7 @@ func TestEngineCrashIsolated(t *testing.T) {
 }
 
 func TestEngineErrorNeverCached(t *testing.T) {
-	s := New(Config{Workers: 1, CrashDir: t.TempDir(), BreakerThreshold: -1})
+	s := mustNew(t, Config{Workers: 1, CrashDir: t.TempDir(), BreakerThreshold: -1})
 	defer s.Shutdown(context.Background())
 
 	bad := corruptProgram(t, 2)
@@ -134,7 +134,7 @@ func TestEngineErrorNeverCached(t *testing.T) {
 
 func TestCrashDirBounded(t *testing.T) {
 	dir := t.TempDir()
-	s := New(Config{Workers: 1, CrashDir: dir, MaxCrashArtifacts: 3, BreakerThreshold: -1})
+	s := mustNew(t, Config{Workers: 1, CrashDir: dir, MaxCrashArtifacts: 3, BreakerThreshold: -1})
 	defer s.Shutdown(context.Background())
 
 	for i := int64(0); i < 6; i++ {
@@ -160,7 +160,7 @@ func TestCrashDirBounded(t *testing.T) {
 }
 
 func TestCrashCaptureDisabled(t *testing.T) {
-	s := New(Config{Workers: 1, CrashDir: t.TempDir(), MaxCrashArtifacts: -1})
+	s := mustNew(t, Config{Workers: 1, CrashDir: t.TempDir(), MaxCrashArtifacts: -1})
 	defer s.Shutdown(context.Background())
 
 	v, err := s.Submit(SubmitRequest{Program: corruptProgram(t, 3), Model: "sc"})
@@ -177,7 +177,7 @@ func TestCrashCaptureDisabled(t *testing.T) {
 }
 
 func TestCircuitBreaker(t *testing.T) {
-	s := New(Config{Workers: 1, CrashDir: t.TempDir(), BreakerThreshold: 2})
+	s := mustNew(t, Config{Workers: 1, CrashDir: t.TempDir(), BreakerThreshold: 2})
 	defer s.Shutdown(context.Background())
 
 	bad := corruptProgram(t, 4)
@@ -221,7 +221,7 @@ func TestBreakerCooldownResets(t *testing.T) {
 }
 
 func TestMemoryBudgetRetries(t *testing.T) {
-	s := New(Config{Workers: 1, CrashDir: t.TempDir(), MaxAttempts: 3, RetryBackoff: time.Millisecond})
+	s := mustNew(t, Config{Workers: 1, CrashDir: t.TempDir(), MaxAttempts: 3, RetryBackoff: time.Millisecond})
 	defer s.Shutdown(context.Background())
 
 	p := gen.SBN(4)
@@ -255,7 +255,7 @@ func TestMemoryBudgetRetries(t *testing.T) {
 }
 
 func TestDeterministicTruncationNotRetried(t *testing.T) {
-	s := New(Config{Workers: 1, CrashDir: t.TempDir(), MaxAttempts: 3, RetryBackoff: time.Millisecond})
+	s := mustNew(t, Config{Workers: 1, CrashDir: t.TempDir(), MaxAttempts: 3, RetryBackoff: time.Millisecond})
 	defer s.Shutdown(context.Background())
 
 	v, err := s.Submit(SubmitRequest{Program: gen.SBN(4), Model: "sc", MaxExecutions: 2})
@@ -282,7 +282,7 @@ func TestDeterministicTruncationNotRetried(t *testing.T) {
 // the crash-artifact path.
 func TestFailureHTTPPayload(t *testing.T) {
 	dir := t.TempDir()
-	s := New(Config{Workers: 1, CrashDir: dir})
+	s := mustNew(t, Config{Workers: 1, CrashDir: dir})
 	defer s.Shutdown(context.Background())
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -355,7 +355,7 @@ func TestFailureHTTPPayload(t *testing.T) {
 // own boundary is installed. The worker must survive and finalize the job
 // as failed rather than crash the process.
 func TestWorkerPanicSecondLine(t *testing.T) {
-	s := New(Config{Workers: 1, CrashDir: t.TempDir()})
+	s := mustNew(t, Config{Workers: 1, CrashDir: t.TempDir()})
 	defer s.Shutdown(context.Background())
 
 	j := &Job{

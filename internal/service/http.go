@@ -39,6 +39,7 @@ type jobJSON struct {
 	Fingerprint   string           `json:"fingerprint"`
 	Model         string           `json:"model"`
 	CacheHit      bool             `json:"cache_hit"`
+	Resumed       bool             `json:"resumed,omitempty"`
 	SubmittedAt   time.Time        `json:"submitted_at"`
 	DurationMS    int64            `json:"duration_ms,omitempty"`
 	Attempts      int              `json:"attempts,omitempty"`
@@ -91,6 +92,7 @@ func toJobJSON(v JobView) jobJSON {
 		Fingerprint:   v.Fingerprint,
 		Model:         v.Model,
 		CacheHit:      v.CacheHit,
+		Resumed:       v.Resumed,
 		SubmittedAt:   v.Submitted,
 		Attempts:      v.Attempts,
 		Error:         v.Err,
@@ -151,7 +153,8 @@ func toJobJSON(v JobView) jobJSON {
 //	DELETE /v1/jobs/{id} cancel a queued or running job
 //	GET    /v1/models    available memory models
 //	GET    /v1/tests     built-in corpus test names
-//	GET    /healthz      liveness probe
+//	GET    /healthz      liveness probe (200 while the process serves)
+//	GET    /readyz       readiness probe (503 during journal replay or drain)
 //	GET    /metrics      Prometheus text-format counters
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -162,6 +165,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/models", s.handleModels)
 	mux.HandleFunc("GET /v1/tests", s.handleTests)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
@@ -288,7 +292,20 @@ func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleReady is the readiness probe: liveness (/healthz) answers 200 as
+// long as the process serves, while readiness refuses traffic until the
+// journal backlog has been re-enqueued, and again once draining starts —
+// so a rolling restart routes new submissions elsewhere both while a
+// replacement warms up and while the old daemon winds down.
+func (s *Service) handleReady(w http.ResponseWriter, r *http.Request) {
+	if !s.Ready() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "not ready"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+}
+
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.writePrometheus(w, s.QueueDepth(), s.cache.len(), s.CrashArtifacts())
+	s.metrics.writePrometheus(w, s.QueueDepth(), s.cache.len(), s.CrashArtifacts(), s.Ready())
 }

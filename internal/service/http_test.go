@@ -38,7 +38,10 @@ type wireJob struct {
 
 func startServer(t *testing.T, cfg service.Config) (*service.Service, *httptest.Server) {
 	t.Helper()
-	svc := service.New(cfg)
+	svc, err := service.New(cfg)
+	if err != nil {
+		t.Fatalf("service.New: %v", err)
+	}
 	ts := httptest.NewServer(svc.Handler())
 	t.Cleanup(func() {
 		ts.Close()

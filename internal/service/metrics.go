@@ -30,6 +30,12 @@ type Metrics struct {
 	JobsRetried     atomic.Int64 // re-runs after a memory-budget truncation
 	BreakerRejected atomic.Int64 // submissions refused by the circuit breaker
 
+	JournalReplayedJobs   atomic.Int64 // incomplete jobs re-enqueued from the journal on startup
+	JournalCheckpoints    atomic.Int64 // periodic exploration checkpoints journaled
+	JournalSkippedRecords atomic.Int64 // torn or wrong-schema journal records dropped on replay
+	ResumeSavedExecs      atomic.Int64 // executions restored from checkpoints instead of re-explored
+	VerdictsReloaded      atomic.Int64 // cache entries restored from verdicts.json on startup
+
 	Executions        atomic.Int64
 	ExistsCount       atomic.Int64
 	Blocked           atomic.Int64
@@ -52,7 +58,7 @@ func (m *Metrics) CacheHitRate() float64 {
 // writePrometheus renders the counters in the Prometheus text exposition
 // format (version 0.0.4), stdlib only. queueDepth and cacheEntries are
 // point-in-time gauges supplied by the service.
-func (m *Metrics) writePrometheus(w io.Writer, queueDepth, cacheEntries, crashResident int) {
+func (m *Metrics) writePrometheus(w io.Writer, queueDepth, cacheEntries, crashResident int, ready bool) {
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -74,6 +80,16 @@ func (m *Metrics) writePrometheus(w io.Writer, queueDepth, cacheEntries, crashRe
 	counter("hmcd_crash_artifacts_total", "Crash repro artifacts written.", m.CrashArtifacts.Load())
 	counter("hmcd_jobs_retried_total", "Job re-runs after a transient memory-budget truncation.", m.JobsRetried.Load())
 	counter("hmcd_breaker_rejected_total", "Submissions refused by the per-program circuit breaker.", m.BreakerRejected.Load())
+	counter("hmcd_journal_replayed_jobs_total", "Incomplete jobs re-enqueued from the journal on startup.", m.JournalReplayedJobs.Load())
+	counter("hmcd_journal_checkpoints_total", "Periodic exploration checkpoints journaled.", m.JournalCheckpoints.Load())
+	counter("hmcd_journal_skipped_records_total", "Torn or wrong-schema journal records dropped on replay.", m.JournalSkippedRecords.Load())
+	counter("hmcd_resume_saved_execs_total", "Executions restored from checkpoints instead of re-explored.", m.ResumeSavedExecs.Load())
+	counter("hmcd_verdicts_reloaded_total", "Verdict cache entries restored from disk on startup.", m.VerdictsReloaded.Load())
+	readyV := int64(0)
+	if ready {
+		readyV = 1
+	}
+	gaugeI("hmcd_ready", "1 once journal replay has finished and the service accepts work.", readyV)
 	gaugeI("hmcd_crash_artifacts_resident", "Crash artifacts currently on disk.", int64(crashResident))
 	counter("hmcd_cache_hits_total", "Verdict cache hits.", m.CacheHits.Load())
 	counter("hmcd_cache_misses_total", "Verdict cache misses.", m.CacheMisses.Load())

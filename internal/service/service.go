@@ -22,10 +22,12 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hmc/internal/analyze"
 	"hmc/internal/core"
+	"hmc/internal/litmus"
 	"hmc/internal/memmodel"
 	"hmc/internal/prog"
 )
@@ -71,6 +73,23 @@ type Config struct {
 	// BreakerCooldown is how long a tripped fingerprint stays rejected
 	// after its last crash (default 10m).
 	BreakerCooldown time.Duration
+	// JournalDir, when set, makes the service durable: accepted jobs,
+	// periodic exploration checkpoints and terminal transitions are
+	// written to a fsynced write-ahead journal there, and the verdict
+	// cache is persisted to verdicts.json alongside it. On startup the
+	// journal is replayed — jobs that were queued or running when the
+	// process died are re-enqueued, resuming from their last checkpoint.
+	// Empty disables durability (the previous, in-memory-only behavior).
+	JournalDir string
+	// JournalMaxBytes rotates the journal file past this size; each fresh
+	// file starts with a compaction snapshot of the incomplete jobs
+	// (default 4 MiB).
+	JournalMaxBytes int64
+	// CheckpointEveryExecs is how often a running exploration drains into
+	// a journal checkpoint, in executions (default 2000; only meaningful
+	// with JournalDir). Smaller loses less work to a crash; larger
+	// checkpoints less often. See experiment T14 for the overhead curve.
+	CheckpointEveryExecs int
 }
 
 func (c Config) withDefaults() Config {
@@ -103,6 +122,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BreakerCooldown <= 0 {
 		c.BreakerCooldown = 10 * time.Minute
+	}
+	if c.JournalMaxBytes <= 0 {
+		c.JournalMaxBytes = defaultJournalMaxBytes
+	}
+	if c.CheckpointEveryExecs <= 0 {
+		c.CheckpointEveryExecs = 2000
 	}
 	return c
 }
@@ -175,6 +200,8 @@ type Job struct {
 	artifact    string             // crash artifact path, when one was written
 	cancel      context.CancelFunc // non-nil only while running
 	userCancel  bool               // Cancel() was called
+	resumeFrom  *core.Checkpoint   // journal-replayed checkpoint to resume from
+	resumed     bool               // this job continued a pre-restart exploration
 }
 
 // JobView is an immutable snapshot of a job, safe to hold across the
@@ -202,6 +229,10 @@ type JobView struct {
 	Attempts      int
 	EngineError   *core.EngineError
 	CrashArtifact string
+	// Resumed marks a job that survived a daemon restart: it was replayed
+	// from the journal and its exploration continued from the last
+	// checkpoint instead of starting over.
+	Resumed bool
 }
 
 func (j *Job) view() JobView {
@@ -222,6 +253,7 @@ func (j *Job) view() JobView {
 		Attempts:      j.attempts,
 		EngineError:   j.engineErr,
 		CrashArtifact: j.artifact,
+		Resumed:       j.resumed,
 	}
 }
 
@@ -231,6 +263,7 @@ type Service struct {
 	cache   *verdictCache
 	metrics Metrics
 	crashes *crashStore // nil when artifact capture is disabled
+	journal *journal    // nil when Config.JournalDir is empty
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -240,14 +273,28 @@ type Service struct {
 	nextID   int
 	breaker  *breaker
 
-	crashMu sync.Mutex // serializes artifact writes (held without s.mu)
+	crashMu   sync.Mutex // serializes artifact writes (held without s.mu)
+	persistMu sync.Mutex // serializes verdict-file writes (held without s.mu)
+
+	// ready flips once journal replay has re-enqueued every incomplete
+	// job; /readyz gates on it so a load balancer does not route fresh
+	// submissions to a daemon still rebuilding its backlog. killed is the
+	// restart-test hook: all durable writes stop, as if SIGKILLed.
+	ready   atomic.Bool
+	killed  atomic.Bool
+	drainCh chan struct{}  // closed when draining starts (unblocks replay)
+	replay  sync.WaitGroup // the replay goroutine
 
 	wg sync.WaitGroup // worker goroutines
 }
 
 // New starts a service with cfg's worker pool already draining the queue.
-// Call Shutdown to stop it.
-func New(cfg Config) *Service {
+// With Config.JournalDir set it first replays the journal — re-enqueueing
+// jobs that were incomplete when the previous process died, resuming each
+// from its last checkpoint — and reloads the persisted verdict cache; the
+// error return is for a journal directory that cannot be opened. Call
+// Shutdown to stop the service.
+func New(cfg Config) (*Service, error) {
 	cfg = cfg.withDefaults()
 	s := &Service{
 		cfg:     cfg,
@@ -255,9 +302,24 @@ func New(cfg Config) *Service {
 		jobs:    make(map[string]*Job),
 		queue:   make(chan *Job, cfg.QueueSize),
 		breaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		drainCh: make(chan struct{}),
 	}
 	if cfg.MaxCrashArtifacts > 0 {
 		s.crashes = &crashStore{dir: cfg.CrashDir, max: cfg.MaxCrashArtifacts}
+	}
+	var replay []*journalJob
+	if cfg.JournalDir != "" {
+		jl, stats, err := openJournal(cfg.JournalDir, cfg.JournalMaxBytes)
+		if err != nil {
+			return nil, fmt.Errorf("service: journal: %w", err)
+		}
+		s.journal = jl
+		s.metrics.JournalSkippedRecords.Add(int64(stats.skipped + stats.wrongSchema))
+		s.nextID = jl.maxLiveID()
+		if cfg.CacheSize > 0 {
+			s.metrics.VerdictsReloaded.Add(int64(loadVerdicts(cfg.JournalDir, s.cache)))
+		}
+		replay = jl.takeLive()
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -268,7 +330,111 @@ func New(cfg Config) *Service {
 			}
 		}()
 	}
-	return s
+	// Re-enqueue the journal backlog off the startup path: replay may
+	// block on a full queue, and the workers started above are already
+	// draining it. ready flips only after the whole backlog is queued.
+	s.replay.Add(1)
+	go func() {
+		defer s.replay.Done()
+		defer s.ready.Store(true)
+		for _, jj := range replay {
+			s.replayJob(jj)
+		}
+	}()
+	return s, nil
+}
+
+// replayJob rebuilds one journaled job and re-enqueues it. A job whose
+// program can no longer be rebuilt (corpus test renamed, source no longer
+// parsing under this binary) is recorded as failed — and journaled done,
+// so it is not replayed forever. A checkpoint that no longer decodes or
+// matches is dropped: the job runs fresh rather than not at all.
+func (s *Service) replayJob(jj *journalJob) {
+	rec := jj.submit
+	req := SubmitRequest{
+		Model:         rec.Model,
+		MaxExecutions: rec.MaxExecutions,
+		MaxEvents:     rec.MaxEvents,
+		MemoryBudget:  rec.MemoryBudget,
+		Workers:       rec.Workers,
+		Symmetry:      rec.Symmetry,
+		Timeout:       time.Duration(rec.TimeoutMS) * time.Millisecond,
+		Source:        rec.Source,
+		Test:          rec.Test,
+	}
+	var buildErr error
+	switch {
+	case rec.Source != "":
+		req.Program, buildErr = litmus.Parse(rec.Source)
+	case rec.Test != "":
+		tc, ok := litmus.ByName(rec.Test)
+		if !ok {
+			buildErr = fmt.Errorf("service: journal replay: unknown corpus test %q", rec.Test)
+		} else {
+			req.Program = tc.P
+		}
+	}
+	var model memmodel.Model
+	if buildErr == nil {
+		model, buildErr = memmodel.ByName(rec.Model)
+	}
+	j := &Job{
+		id:        rec.ID,
+		state:     StateQueued,
+		req:       req,
+		model:     model,
+		submitted: time.Now(),
+	}
+	if buildErr != nil {
+		s.mu.Lock()
+		j.state = StateFailed
+		j.errMsg = buildErr.Error()
+		j.finished = time.Now()
+		s.jobs[j.id] = j
+		s.metrics.JobsFailed.Add(1)
+		s.recordFinishedLocked(j)
+		s.mu.Unlock()
+		s.journal.done(j.id, StateFailed)
+		return
+	}
+	j.fingerprint = req.Program.Fingerprint()
+	j.cacheKey = cacheKey(j.fingerprint, req)
+	if cp, err := core.DecodeCheckpoint(jj.checkpoint); err == nil && len(jj.checkpoint) > 0 {
+		j.resumeFrom = cp
+		j.resumed = true
+		s.metrics.ResumeSavedExecs.Add(int64(cp.Stats.Executions))
+	}
+	s.metrics.JournalReplayedJobs.Add(1)
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return // still live in the journal; the next startup replays it
+	}
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+	select {
+	case s.queue <- j:
+	case <-s.drainCh:
+		// Shutdown won the race for queue space. Leave the job live in
+		// the journal (no done record): it replays on the next start.
+		s.mu.Lock()
+		if j.state == StateQueued {
+			j.state = StateCanceled
+			j.finished = time.Now()
+			s.metrics.JobsCanceled.Add(1)
+			s.recordFinishedLocked(j)
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Ready reports whether the service has finished replaying its journal
+// backlog and is not draining — the /readyz signal.
+func (s *Service) Ready() bool {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	return s.ready.Load() && !draining
 }
 
 // safeRunJob is the worker loop's last line of defense: core.Explore
@@ -283,8 +449,8 @@ func (s *Service) safeRunJob(j *Job) {
 			return
 		}
 		s.mu.Lock()
-		defer s.mu.Unlock()
 		if j.state.Terminal() {
+			s.mu.Unlock()
 			return
 		}
 		j.state = StateFailed
@@ -293,6 +459,10 @@ func (s *Service) safeRunJob(j *Job) {
 		j.cancel = nil
 		s.metrics.JobsFailed.Add(1)
 		s.recordFinishedLocked(j)
+		s.mu.Unlock()
+		if s.journal != nil {
+			s.journal.done(j.id, StateFailed)
+		}
 	}()
 	s.runJob(j)
 }
@@ -349,12 +519,13 @@ func (s *Service) Submit(req SubmitRequest) (JobView, error) {
 	s.metrics.VetFindings.Add(int64(len(diags)))
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.draining {
+		s.mu.Unlock()
 		s.metrics.JobsRejected.Add(1)
 		return JobView{}, ErrDraining
 	}
 	if !s.breaker.allow(fp, time.Now()) {
+		s.mu.Unlock()
 		s.metrics.BreakerRejected.Add(1)
 		return JobView{}, ErrCircuitOpen
 	}
@@ -378,17 +549,27 @@ func (s *Service) Submit(req SubmitRequest) (JobView, error) {
 		j.finished = j.submitted
 		s.jobs[j.id] = j
 		s.recordFinishedLocked(j)
-		return j.view(), nil
+		view := j.view()
+		s.mu.Unlock()
+		return view, nil
 	}
 	s.metrics.CacheMisses.Add(1)
 	select {
 	case s.queue <- j:
 		s.jobs[j.id] = j
-		return j.view(), nil
 	default:
+		s.mu.Unlock()
 		s.metrics.JobsRejected.Add(1)
 		return JobView{}, ErrQueueFull
 	}
+	view := j.view()
+	s.mu.Unlock()
+	// Journal the accepted job before answering (the fsync is the
+	// durability point), outside s.mu so disk latency never blocks polls.
+	if s.journal != nil {
+		s.journal.submit(j.id, req)
+	}
+	return view, nil
 }
 
 // Get returns a snapshot of the job with the given id.
@@ -421,9 +602,9 @@ func (s *Service) Jobs() []JobView {
 // partial result retained. Terminal jobs are left alone (reported false).
 func (s *Service) Cancel(id string) bool {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	j, ok := s.jobs[id]
 	if !ok || j.state.Terminal() {
+		s.mu.Unlock()
 		return false
 	}
 	j.userCancel = true
@@ -432,11 +613,17 @@ func (s *Service) Cancel(id string) bool {
 		j.finished = time.Now()
 		s.metrics.JobsCanceled.Add(1)
 		s.recordFinishedLocked(j)
+		s.mu.Unlock()
+		// Retire the job from the journal outside s.mu (fsync latency).
+		if s.journal != nil {
+			s.journal.done(id, StateCanceled)
+		}
 		return true
 	}
 	if j.cancel != nil {
 		j.cancel()
 	}
+	s.mu.Unlock()
 	return true
 }
 
@@ -457,6 +644,21 @@ func (s *Service) runJob(j *Job) {
 	j.state = StateRunning
 	j.started = time.Now()
 	s.mu.Unlock()
+
+	// Periodic checkpoints flow straight into the journal; the sink runs
+	// on the explorer's drain barrier, so journal fsync latency paces
+	// checkpointing, never individual executions.
+	var ckptOpts *core.CheckpointOptions
+	if s.journal != nil {
+		ckptOpts = &core.CheckpointOptions{
+			EveryExecs: s.cfg.CheckpointEveryExecs,
+			Sink: func(cp *core.Checkpoint) {
+				if s.journal.checkpoint(j.id, cp) {
+					s.metrics.JournalCheckpoints.Add(1)
+				}
+			},
+		}
+	}
 
 	var res *core.Result
 	var err error
@@ -486,6 +688,8 @@ func (s *Service) runJob(j *Job) {
 			MemoryBudget:  j.req.MemoryBudget,
 			Workers:       j.req.Workers,
 			Symmetry:      j.req.Symmetry,
+			Checkpoint:    ckptOpts,
+			ResumeFrom:    j.resumeFrom,
 		})
 		s.metrics.InFlight.Add(-1)
 		cancel()
@@ -494,9 +698,26 @@ func (s *Service) runJob(j *Job) {
 		j.cancel = nil
 		userCancel = j.userCancel
 		s.mu.Unlock()
+		if errors.Is(err, core.ErrCheckpointMismatch) && j.resumeFrom != nil {
+			// The journaled checkpoint no longer matches this program,
+			// model or engine (e.g. the binary changed under the journal).
+			// Run fresh rather than fail; the retry does not consume an
+			// attempt — nothing was explored yet.
+			s.mu.Lock()
+			j.resumeFrom = nil
+			j.resumed = false
+			s.mu.Unlock()
+			attempt--
+			continue
+		}
 		if err != nil || userCancel || attempt >= s.cfg.MaxAttempts ||
 			res.TruncatedReason != core.TruncMemoryBudget {
 			break
+		}
+		// A memory-budget retry resumes from the final checkpoint the
+		// truncated run handed back instead of starting over.
+		if res.Checkpoint != nil {
+			j.resumeFrom = res.Checkpoint
 		}
 		s.metrics.JobsRetried.Add(1)
 		time.Sleep(s.cfg.RetryBackoff)
@@ -519,8 +740,8 @@ func (s *Service) runJob(j *Job) {
 		}
 	}
 
+	cached := false
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	j.finished = time.Now()
 	j.engineErr = ee
 	j.artifact = artifact
@@ -550,14 +771,53 @@ func (s *Service) runJob(j *Job) {
 			// depends on transient machine state and must never be served
 			// to a later submitter.
 			s.cache.put(j.cacheKey, res)
+			cached = true
 		}
 	}
+	state := j.state
 	s.recordFinishedLocked(j)
+	s.mu.Unlock()
+
+	// Durability tail, outside s.mu: retire the job from the journal and
+	// persist the verdict cache when it gained an entry.
+	if s.journal != nil {
+		s.journal.done(j.id, state)
+		if cached {
+			s.persistVerdicts()
+		}
+	}
+}
+
+// persistVerdicts writes the verdict cache to disk (atomic replace). A
+// no-op once killForTest has fired: the simulated-dead process must not
+// keep writing durable state.
+func (s *Service) persistVerdicts() {
+	if s.cfg.CacheSize <= 0 || s.killed.Load() {
+		return
+	}
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	if s.killed.Load() {
+		return
+	}
+	saveVerdicts(s.cfg.JournalDir, s.cache) //nolint:errcheck // cache persistence is best effort
+}
+
+// killForTest simulates the process dying for restart tests: the journal
+// freezes on disk and verdict persistence stops, exactly as if the
+// process had been SIGKILLed at this instant. In-memory state keeps
+// running (the test still has to Shutdown), but nothing durable changes.
+func (s *Service) killForTest() {
+	s.killed.Store(true)
+	if s.journal != nil {
+		s.journal.kill()
+	}
 }
 
 // buildArtifact assembles the crash repro for a failed job.
 func (s *Service) buildArtifact(j *Job, ee *core.EngineError) *CrashArtifact {
 	return &CrashArtifact{
+		Schema:        core.SchemaVersion,
 		JobID:         j.id,
 		Time:          time.Now().UTC(),
 		Program:       j.req.Program.Name,
@@ -602,41 +862,60 @@ func (s *Service) recordFinishedLocked(j *Job) {
 }
 
 // Shutdown stops accepting jobs, waits for the queue to drain and the
-// workers to finish. If ctx expires first, every queued and running job
-// is cancelled (their partial results remain pollable) and Shutdown
-// returns ctx.Err after the workers exit.
+// workers to finish, then flushes the verdict cache and closes the
+// journal. If ctx expires first, every queued and running job is
+// cancelled (their partial results remain pollable; a cancelled running
+// job's last journaled checkpoint stays live, so the next start resumes
+// it) and Shutdown returns ctx.Err after the workers exit.
 func (s *Service) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
-	if !s.draining {
+	first := !s.draining
+	if first {
 		s.draining = true
-		close(s.queue)
+		close(s.drainCh)
 	}
 	s.mu.Unlock()
+	if first {
+		// The replay goroutine may still be feeding the queue; closing
+		// drainCh unblocks it, and the queue closes only after it exits —
+		// never close a channel with a live sender.
+		s.replay.Wait()
+		close(s.queue)
+	}
 
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
 		close(done)
 	}()
-	select {
-	case <-done:
-		return nil
-	case <-ctx.Done():
-		s.mu.Lock()
-		for _, j := range s.jobs {
-			if j.state == StateQueued {
-				j.state = StateCanceled
-				j.userCancel = true
-				j.finished = time.Now()
-				s.metrics.JobsCanceled.Add(1)
-				s.recordFinishedLocked(j)
-			} else if j.cancel != nil {
-				j.userCancel = true
-				j.cancel()
+	err := func() error {
+		select {
+		case <-done:
+			return nil
+		case <-ctx.Done():
+			s.mu.Lock()
+			for _, j := range s.jobs {
+				if j.state == StateQueued {
+					j.state = StateCanceled
+					j.userCancel = true
+					j.finished = time.Now()
+					s.metrics.JobsCanceled.Add(1)
+					s.recordFinishedLocked(j)
+				} else if j.cancel != nil {
+					j.userCancel = true
+					j.cancel()
+				}
 			}
+			s.mu.Unlock()
+			<-done
+			return ctx.Err()
 		}
-		s.mu.Unlock()
-		<-done
-		return ctx.Err()
+	}()
+	if first && s.journal != nil {
+		if !s.killed.Load() {
+			s.persistVerdicts()
+		}
+		s.journal.close()
 	}
+	return err
 }

@@ -15,6 +15,17 @@ import (
 	"hmc/internal/prog"
 )
 
+// mustNew starts a service or fails the test (New only errors on an
+// unusable journal directory, which these configs never hit).
+func mustNew(t testing.TB, cfg Config) *Service {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
 // waitState polls until job id reaches a terminal state.
 func waitState(t *testing.T, s *Service, id string) JobView {
 	t.Helper()
@@ -34,7 +45,7 @@ func waitState(t *testing.T, s *Service, id string) JobView {
 }
 
 func TestSubmitRunsToVerdict(t *testing.T) {
-	s := New(Config{Workers: 1})
+	s := mustNew(t, Config{Workers: 1})
 	defer s.Shutdown(context.Background())
 
 	mp, _ := litmus.ByName("MP")
@@ -60,7 +71,7 @@ func TestSubmitRunsToVerdict(t *testing.T) {
 }
 
 func TestSubmitValidation(t *testing.T) {
-	s := New(Config{Workers: 1})
+	s := mustNew(t, Config{Workers: 1})
 	defer s.Shutdown(context.Background())
 
 	mp, _ := litmus.ByName("MP")
@@ -73,7 +84,7 @@ func TestSubmitValidation(t *testing.T) {
 }
 
 func TestVerdictCacheHit(t *testing.T) {
-	s := New(Config{Workers: 1})
+	s := mustNew(t, Config{Workers: 1})
 	defer s.Shutdown(context.Background())
 
 	sb, _ := litmus.ByName("SB")
@@ -124,7 +135,7 @@ func TestCacheKeyIgnoresName(t *testing.T) {
 }
 
 func TestDeadlineInterruptsJob(t *testing.T) {
-	s := New(Config{Workers: 1})
+	s := mustNew(t, Config{Workers: 1})
 	defer s.Shutdown(context.Background())
 
 	// inc(4,3) is far too big to finish in 20ms; the deadline must stop
@@ -158,7 +169,7 @@ func TestDeadlineInterruptsJob(t *testing.T) {
 }
 
 func TestCancelRunningJob(t *testing.T) {
-	s := New(Config{Workers: 1})
+	s := mustNew(t, Config{Workers: 1})
 	defer s.Shutdown(context.Background())
 
 	v, err := s.Submit(SubmitRequest{Program: gen.IncN(4, 3), Model: "sc"})
@@ -189,7 +200,7 @@ func TestCancelRunningJob(t *testing.T) {
 }
 
 func TestQueueFullBackpressure(t *testing.T) {
-	s := New(Config{Workers: 1, QueueSize: 1})
+	s := mustNew(t, Config{Workers: 1, QueueSize: 1})
 	defer func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
 		defer cancel()
@@ -221,7 +232,7 @@ func TestQueueFullBackpressure(t *testing.T) {
 }
 
 func TestShutdownDrainsQueuedJobs(t *testing.T) {
-	s := New(Config{Workers: 2})
+	s := mustNew(t, Config{Workers: 2})
 	sb, _ := litmus.ByName("SB")
 	ids := make([]string, 0, 8)
 	for i := 0; i < 8; i++ {
@@ -246,7 +257,7 @@ func TestShutdownDrainsQueuedJobs(t *testing.T) {
 }
 
 func TestJobHistoryEviction(t *testing.T) {
-	s := New(Config{Workers: 1, JobHistory: 3, CacheSize: -1})
+	s := mustNew(t, Config{Workers: 1, JobHistory: 3, CacheSize: -1})
 	defer s.Shutdown(context.Background())
 
 	sb, _ := litmus.ByName("SB")
@@ -305,7 +316,7 @@ func mustModel(t *testing.T, name string) memmodel.Model {
 }
 
 func TestSubmitAttachesDiagnostics(t *testing.T) {
-	s := New(Config{Workers: 1})
+	s := mustNew(t, Config{Workers: 1})
 	defer s.Shutdown(context.Background())
 
 	// A store-buffering shape with an LW fence: under tso the fence is a
