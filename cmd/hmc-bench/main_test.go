@@ -1,6 +1,10 @@
 package main
 
 import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -29,5 +33,58 @@ func TestBenchCSV(t *testing.T) {
 func TestBenchUnknownExperiment(t *testing.T) {
 	if err := run([]string{"-run", "T99"}, &strings.Builder{}); err == nil {
 		t.Error("unknown experiment must error")
+	}
+}
+
+// TestBenchJSONAndBaseline drives the CI gate end to end: -json writes a
+// parseable tracked-counter file, -baseline against that same file
+// passes, and a baseline demanding fewer executions fails.
+func TestBenchJSONAndBaseline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var out strings.Builder
+	if err := run([]string{"-quick", "-json", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "bench counters written to "+path) {
+		t.Errorf("missing write report:\n%s", out.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Suite string `json:"suite"`
+		Rows  []struct {
+			Name       string `json:"name"`
+			Executions int    `json:"executions"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("BENCH JSON unparseable: %v\n%s", err, raw)
+	}
+	if report.Suite != "explore" || len(report.Rows) == 0 {
+		t.Fatalf("bad report: %+v", report)
+	}
+
+	out.Reset()
+	if err := run([]string{"-quick", "-baseline", path}, &out); err != nil {
+		t.Fatalf("self-comparison must pass: %v", err)
+	}
+	if !strings.Contains(out.String(), "within 25% of baseline") {
+		t.Errorf("missing baseline verdict:\n%s", out.String())
+	}
+
+	tampered := filepath.Join(t.TempDir(), "tampered.json")
+	smaller := strings.Replace(string(raw),
+		fmt.Sprintf(`"executions": %d`, report.Rows[0].Executions), `"executions": 1`, 1)
+	if smaller == string(raw) {
+		t.Fatal("tampering failed to change the baseline")
+	}
+	if err := os.WriteFile(tampered, []byte(smaller), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{"-quick", "-baseline", tampered}, &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Errorf("regression must fail the gate: %v", err)
 	}
 }

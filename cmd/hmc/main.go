@@ -20,8 +20,15 @@
 //	hmc -static -checkdeps -stats -test LB
 //	hmc -timeout 10s -checkpoint run.ckpt -test IRIW
 //	hmc -resume run.ckpt -checkpoint run.ckpt -test IRIW
+//	hmc -progress -progress-every 500ms -model sc -test IRIW
+//	hmc -trace run.jsonl -model tso -test SB
 //	hmc vet -model tso -foot examples/litmusfile/mp.lit
 //	hmc -repro hmcd-crashes/crash-3f2a91c0aa17-job-000042.json
+//
+// -progress prints a live ticker to stderr (wave, executions, rate, an
+// ETA derived from a quick pre-run estimate) without touching stdout;
+// -trace writes a JSONL exploration trace — one event per wave, revisit,
+// static prune and progress snapshot — for offline analysis.
 //
 // A -timeout'd or -max'd run that stops early writes its final frontier
 // to the -checkpoint file; re-running with -resume picks the exploration
@@ -50,14 +57,21 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"hmc/internal/core"
 	"hmc/internal/eg"
 	"hmc/internal/litmus"
 	"hmc/internal/memmodel"
+	"hmc/internal/obs"
 	"hmc/internal/prog"
 	"hmc/internal/service"
 )
+
+// progressOut receives the -progress ticker. Progress is operator
+// feedback, not output: it goes to stderr so piped verdicts stay clean
+// (tests swap it).
+var progressOut io.Writer = os.Stderr
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -94,10 +108,14 @@ func run(args []string, out io.Writer) error {
 	ckptPath := fs.String("checkpoint", "", "write exploration checkpoints to this file (periodically and when interrupted/truncated); resume with -resume")
 	ckptEvery := fs.Int("checkpoint-every", 2000, "executions between periodic checkpoints (with -checkpoint)")
 	resumePath := fs.String("resume", "", "resume exploration from a checkpoint file written by -checkpoint")
+	progress := fs.Bool("progress", false, "print a live progress ticker to stderr (executions, rate, ETA)")
+	progressEvery := fs.Duration("progress-every", time.Second, "progress ticker cadence (with -progress)")
+	tracePath := fs.String("trace", "", "write a JSONL exploration trace (waves, revisits, prunes, snapshots) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	ck := ckptConfig{path: *ckptPath, every: *ckptEvery, resume: *resumePath}
+	ob := obsConfig{progress: *progress, every: *progressEvery, trace: *tracePath}
 	if (ck.path != "" || ck.resume != "") && *all {
 		return fmt.Errorf("-checkpoint/-resume work on a single model; drop -all")
 	}
@@ -147,7 +165,7 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 	for _, name := range models {
-		if err := check(out, p, name, *verbose, *maxExec, *maxEvents, *memBudget, *dotPath, *workers, *symm, *static, *checkDeps, *stats, ck, newCtx); err != nil {
+		if err := check(out, p, name, *verbose, *maxExec, *maxEvents, *memBudget, *dotPath, *workers, *symm, *static, *checkDeps, *stats, ck, ob, newCtx); err != nil {
 			return err
 		}
 		if *robust {
@@ -304,6 +322,29 @@ type ckptConfig struct {
 	resume string // resume from this checkpoint file ("" disables)
 }
 
+// obsConfig carries the -progress/-trace flags into check.
+type obsConfig struct {
+	progress bool          // live stderr ticker
+	every    time.Duration // ticker cadence
+	trace    string        // JSONL trace path ("" disables)
+}
+
+// progressTicker renders one snapshot as a stderr line. The ETA comes
+// from a quick silent Estimate run before exploration; it is an upper
+// bound (see core.Estimate), so it shrinks rather than grows.
+func progressTicker(snap obs.ProgressSnapshot) {
+	if snap.Final {
+		return // the verdict line follows immediately; no ticker needed
+	}
+	line := fmt.Sprintf("progress: wave=%d execs=%d (%.0f/s) blocked=%d states=%d memo-hits=%d revisits=%d/%d",
+		snap.Wave, snap.Executions, snap.ExecsPerSec, snap.Blocked,
+		snap.States, snap.MemoHits, snap.RevisitsTaken, snap.RevisitsTried)
+	if snap.ETA > 0 {
+		line += fmt.Sprintf(" eta~%s", snap.ETA.Round(100*time.Millisecond))
+	}
+	fmt.Fprintln(progressOut, line)
+}
+
 // writeCheckpointFile writes cp atomically (temp file + rename): a crash
 // mid-write leaves the previous checkpoint intact, never a torn one.
 func writeCheckpointFile(path string, cp *core.Checkpoint) error {
@@ -318,7 +359,7 @@ func writeCheckpointFile(path string, cp *core.Checkpoint) error {
 	return os.Rename(tmp, path)
 }
 
-func check(out io.Writer, p *prog.Program, model string, verbose bool, maxExec, maxEvents int, memBudget int64, dotPath string, workers int, symm, static, checkDeps, stats bool, ck ckptConfig, newCtx func() (context.Context, context.CancelFunc)) error {
+func check(out io.Writer, p *prog.Program, model string, verbose bool, maxExec, maxEvents int, memBudget int64, dotPath string, workers int, symm, static, checkDeps, stats bool, ck ckptConfig, ob obsConfig, newCtx func() (context.Context, context.CancelFunc)) error {
 	m, err := memmodel.ByName(model)
 	if err != nil {
 		return err
@@ -326,6 +367,30 @@ func check(out io.Writer, p *prog.Program, model string, verbose bool, maxExec, 
 	ctx, cancel := newCtx()
 	defer cancel()
 	opts := core.Options{Model: m, Context: ctx, MaxExecutions: maxExec, MaxEvents: maxEvents, MemoryBudget: memBudget, Workers: workers, Symmetry: symm, StaticAnalysis: static, CheckDeps: checkDeps}
+	var tracer *obs.Tracer
+	var traceFile *os.File
+	if ob.trace != "" {
+		traceFile, err = os.Create(ob.trace)
+		if err != nil {
+			return err
+		}
+		tracer = obs.NewTracer(traceFile)
+		opts.Trace = tracer
+	}
+	if ob.progress {
+		// A quick silent probe run seeds the ETA; its failure modes (panic
+		// boundary, over-count on revisit-heavy spaces) cost nothing here —
+		// a zero estimate just means the ticker shows no ETA.
+		est := 0.0
+		if er, eerr := core.Estimate(p, core.Options{Model: m}, 64, 1); eerr == nil {
+			est = er.Mean
+		}
+		opts.Progress = &core.ProgressOptions{
+			Every:        ob.every,
+			EstimateMean: est,
+			Sink:         progressTicker,
+		}
+	}
 	if ck.resume != "" {
 		data, err := os.ReadFile(ck.resume)
 		if err != nil {
@@ -359,6 +424,17 @@ func check(out io.Writer, p *prog.Program, model string, verbose bool, maxExec, 
 		}
 	}
 	res, err := core.Explore(p, opts)
+	if traceFile != nil {
+		cerr := traceFile.Close()
+		switch {
+		case tracer.Err() != nil:
+			fmt.Fprintf(out, "warning: trace %s truncated: %v\n", ob.trace, tracer.Err())
+		case cerr != nil:
+			fmt.Fprintf(out, "warning: trace %s: %v\n", ob.trace, cerr)
+		default:
+			fmt.Fprintf(out, "trace written to %s (%d events)\n", ob.trace, tracer.Events())
+		}
+	}
 	if err != nil {
 		return err
 	}

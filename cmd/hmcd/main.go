@@ -15,6 +15,7 @@
 //	     [-timeout 30s] [-max-timeout 5m]
 //	     [-crash-dir hmcd-crashes] [-crash-max 32] [-retries 2]
 //	     [-retry-backoff 50ms] [-breaker-threshold 3] [-breaker-cooldown 10m]
+//	     [-progress-every 1s] [-pprof 127.0.0.1:6060]
 //
 // Fault containment: an engine panic fails only its own job — the panic
 // is recovered into a structured engine_error on the job payload and a
@@ -24,10 +25,16 @@
 //
 // Endpoints (see internal/service for the full API):
 //
-//	POST   /v1/jobs      {"source": "...", "model": "imm", "timeout_ms": 5000}
-//	GET    /v1/jobs/{id} poll status and result
-//	DELETE /v1/jobs/{id} cancel
+//	POST   /v1/jobs               {"source": "...", "model": "imm", "timeout_ms": 5000}
+//	GET    /v1/jobs/{id}          poll status, result and live progress
+//	GET    /v1/jobs/{id}/progress long-poll progress snapshots (?seq=N&wait=5s)
+//	DELETE /v1/jobs/{id}          cancel
 //	GET    /v1/models    GET /v1/tests    GET /healthz    GET /metrics
+//
+// Observability: running jobs publish progress snapshots every
+// -progress-every (counters, rates, sampled phase breakdown), served in
+// job polls, the /progress long-poll and the /metrics histograms; -pprof
+// serves net/http/pprof on a separate, private listener.
 //
 // SIGINT/SIGTERM drains gracefully: the listener stops, queued and
 // running jobs get the drain grace period to finish, then are cancelled.
@@ -41,6 +48,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -79,6 +87,8 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(addr stri
 	journalDir := fs.String("journal", "", "write-ahead journal directory; makes the daemon durable across restarts (empty disables)")
 	journalMax := fs.Int64("journal-max-bytes", 4<<20, "journal file size before rotation/compaction")
 	checkpointEvery := fs.Int("checkpoint-every", 2000, "executions between journaled exploration checkpoints")
+	progressEvery := fs.Duration("progress-every", time.Second, "cadence of live job progress snapshots (negative disables)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this separate address (empty disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -98,11 +108,33 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(addr stri
 		JournalDir:           *journalDir,
 		JournalMaxBytes:      *journalMax,
 		CheckpointEveryExecs: *checkpointEvery,
+		ProgressEvery:        *progressEvery,
 	})
 	if err != nil {
 		return err
 	}
 	srv := &http.Server{Handler: svc.Handler()}
+
+	// pprof gets its own listener and mux so the profiling surface is never
+	// reachable through the public API address — bind it to localhost (or a
+	// firewalled port) independently of -addr. The explicit mux avoids the
+	// net/http/pprof side effect of registering on http.DefaultServeMux.
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listen: %w", err)
+		}
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		psrv := &http.Server{Handler: pmux}
+		defer psrv.Close()
+		fmt.Fprintf(out, "hmcd: pprof on %s\n", pln.Addr())
+		go psrv.Serve(pln) //nolint:errcheck // best-effort diagnostics listener
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -1,0 +1,196 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestLiveProgressIntegration is the tentpole acceptance test at the
+// daemon level: it builds the real hmcd binary, starts it with a fast
+// snapshot cadence and a pprof listener, submits a multi-second
+// exploration, and watches it live through GET /v1/jobs/{id}/progress —
+// at least two distinct non-terminal snapshots must arrive before the
+// verdict, counters monotone, and the final snapshot must agree with the
+// result. The pprof surface must answer on its own private address.
+func TestLiveProgressIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs a real daemon; skipped in -short")
+	}
+
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "hmcd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-pprof", "127.0.0.1:0",
+		"-progress-every", "50ms",
+		"-crash-dir", filepath.Join(dir, "crashes"),
+		"-timeout", "0")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Signal(syscall.SIGKILL) //nolint:errcheck
+		cmd.Wait()                          //nolint:errcheck
+	}()
+
+	// The daemon reports both listeners on stdout before serving:
+	//   hmcd: pprof on 127.0.0.1:PORT
+	//   hmcd: listening on 127.0.0.1:PORT (...)
+	addrc := make(chan string, 1)
+	pprofc := make(chan string, 1)
+	listenRE := regexp.MustCompile(`listening on (\S+)`)
+	pprofRE := regexp.MustCompile(`pprof on (\S+)`)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if m := pprofRE.FindStringSubmatch(sc.Text()); m != nil {
+				pprofc <- m[1]
+			}
+			if m := listenRE.FindStringSubmatch(sc.Text()); m != nil {
+				addrc <- m[1]
+			}
+			// Keep draining so the daemon never blocks on a full pipe.
+		}
+	}()
+	var addr, pprofAddr string
+	for addr == "" || pprofAddr == "" {
+		select {
+		case addr = <-addrc:
+		case pprofAddr = <-pprofc:
+		case <-time.After(30 * time.Second):
+			t.Fatalf("daemon never reported its addresses (api=%q pprof=%q)", addr, pprofAddr)
+		}
+	}
+
+	// The pprof index answers on the private listener, not the API one.
+	resp, err := http.Get("http://" + pprofAddr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index: status %d", resp.StatusCode)
+	}
+	resp, err = http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("pprof reachable through the public API address")
+	}
+
+	// A store-only program with 11550 sc executions: seconds of
+	// exploration, dozens of 50ms snapshot cadences.
+	submit := `{"model": "sc", "source": "name many-writes\nT0: W x 1 ; W x 2 ; W x 3 ; W x 4\nT1: W x 11 ; W x 12 ; W x 13 ; W x 14\nT2: W x 21 ; W x 22 ; W x 23\nexists x=4\n"}`
+	resp, err = http.Post("http://"+addr+"/v1/jobs", "application/json", strings.NewReader(submit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var job struct {
+		ID string `json:"id"`
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d body %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &job); err != nil || job.ID == "" {
+		t.Fatalf("submit response %s: %v", body, err)
+	}
+
+	type snapshot struct {
+		Seq        int   `json:"seq"`
+		Executions int   `json:"executions"`
+		Final      bool  `json:"final"`
+		ElapsedNS  int64 `json:"elapsed_ns"`
+	}
+	var progress struct {
+		State    string    `json:"state"`
+		Progress *snapshot `json:"progress"`
+		Job      *struct {
+			Result *struct {
+				Executions int `json:"executions"`
+			} `json:"result"`
+		} `json:"job"`
+	}
+	seq, nonFinal, lastExecs := 0, 0, 0
+	var last *snapshot
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("job never finished (last snapshot %+v)", last)
+		}
+		resp, err := http.Get(fmt.Sprintf("http://%s/v1/jobs/%s/progress?seq=%d&wait=10s", addr, job.ID, seq))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/progress: status %d body %s", resp.StatusCode, body)
+		}
+		if err := json.Unmarshal(body, &progress); err != nil {
+			t.Fatalf("bad progress JSON: %v\n%s", err, body)
+		}
+		if s := progress.Progress; s != nil && s.Seq > seq {
+			if s.Executions < lastExecs {
+				t.Errorf("executions went backwards: %d after %d", s.Executions, lastExecs)
+			}
+			lastExecs = s.Executions
+			seq = s.Seq
+			cp := *s
+			last = &cp
+			if !s.Final {
+				nonFinal++
+			}
+		}
+		if progress.State == "done" || progress.State == "failed" || progress.State == "canceled" {
+			break
+		}
+	}
+	if progress.State != "done" {
+		t.Fatalf("job ended %s", progress.State)
+	}
+	if nonFinal < 2 {
+		t.Errorf("observed %d non-terminal snapshots before completion, want >= 2", nonFinal)
+	}
+	if last == nil || !last.Final {
+		t.Fatalf("terminal response must carry the final snapshot, got %+v", last)
+	}
+	if progress.Job == nil || progress.Job.Result == nil || progress.Job.Result.Executions != 11550 {
+		t.Fatalf("result %+v, want 11550 executions", progress.Job)
+	}
+	if last.Executions != 11550 {
+		t.Errorf("final snapshot executions %d != 11550", last.Executions)
+	}
+
+	// The snapshot stream fed the exploration histograms.
+	if v := readMetric(t, addr, "hmcd_job_exec_rate_count"); v != 1 {
+		t.Errorf("hmcd_job_exec_rate_count = %d, want 1", v)
+	}
+	if v := readMetric(t, addr, "hmcd_wave_size_count"); v < 2 {
+		t.Errorf("hmcd_wave_size_count = %d, want >= 2", v)
+	}
+}

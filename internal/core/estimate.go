@@ -31,7 +31,9 @@ type EstimateResult struct {
 	MaxDepth int
 	// Interrupted reports that Options.Context was cancelled before all
 	// probes ran: Mean/StdErr are computed over the probes completed so
-	// far (Samples still records the requested count).
+	// far (Samples still records the requested count). When cancellation
+	// lands before the first probe, the result is zero-valued with only
+	// Interrupted set — never NaN from a zero-probe division.
 	Interrupted bool
 }
 
@@ -130,17 +132,34 @@ func Estimate(p *prog.Program, opts Options, samples int, seed int64) (res *Esti
 		}
 	}
 	if taken == 0 {
-		return res, nil
+		// Interrupted before any probe ran: a zero-valued result with only
+		// Interrupted set. Samples must not claim probes that never
+		// happened, and nothing downstream (ETAs, JSON encoders) can meet
+		// a NaN or Inf.
+		return &EstimateResult{Interrupted: true}, nil
 	}
 	n := float64(taken)
-	res.Mean = sum / n
+	res.Mean = finiteEstimate(sum / n)
 	if taken > 1 {
 		variance := (sumSq - sum*sum/n) / (n - 1)
 		if variance > 0 {
-			res.StdErr = math.Sqrt(variance / n)
+			res.StdErr = finiteEstimate(math.Sqrt(variance / n))
 		}
 	}
 	return res, nil
+}
+
+// finiteEstimate guards the estimator's float arithmetic: probe weights
+// are products of branching factors and can overflow float64 on deep
+// lopsided trees, after which Inf propagates to NaN through the variance
+// (Inf − Inf). Non-finite values clamp to MaxFloat64 — "beyond
+// measurement", still an honest upper bound — so every result field stays
+// finite for the JSON encoders downstream.
+func finiteEstimate(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return math.MaxFloat64
+	}
+	return x
 }
 
 // leafStatus classifies a state during probing.

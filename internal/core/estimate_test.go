@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
 	"math"
+	"reflect"
 	"testing"
+	"time"
 
 	"hmc/internal/gen"
 	"hmc/internal/litmus"
@@ -124,5 +127,66 @@ func TestEstimateInflatesOnRMWChains(t *testing.T) {
 	if est.StdErr < est.Mean/100 {
 		t.Errorf("expected a large spread flagging unreliability: mean=%.1f stderr=%.1f",
 			est.Mean, est.StdErr)
+	}
+}
+
+// TestEstimateCancelledBeforeFirstProbe is the regression test for the
+// zero-probe interruption path: a context cancelled before any probe runs
+// must yield a zero-valued result with only Interrupted set — in
+// particular no NaN or Inf in any float field (a 0/0 there used to be one
+// encoder panic away from a truncated HTTP body).
+func TestEstimateCancelledBeforeFirstProbe(t *testing.T) {
+	m, _ := memmodel.ByName("sc")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Estimate(gen.SBN(4), Options{Model: m, Context: ctx}, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Interrupted {
+		t.Fatal("pre-cancelled estimate must be marked Interrupted")
+	}
+	want := EstimateResult{Interrupted: true}
+	if *res != want {
+		t.Errorf("result not zero-valued: %+v", res)
+	}
+	rv := reflect.ValueOf(*res)
+	for i := 0; i < rv.NumField(); i++ {
+		f := rv.Field(i)
+		if f.Kind() != reflect.Float64 {
+			continue
+		}
+		v := f.Float()
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("field %s is non-finite: %v", rv.Type().Field(i).Name, v)
+		}
+	}
+}
+
+// TestEstimateFieldsAlwaysFinite sweeps a few programs (including one
+// cancelled mid-flight) and asserts every float field of every result is
+// finite: the estimator's contract for JSON encoders downstream.
+func TestEstimateFieldsAlwaysFinite(t *testing.T) {
+	m, _ := memmodel.ByName("tso")
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	results := []*EstimateResult{}
+	for _, opts := range []Options{
+		{Model: m},
+		{Model: m, Context: ctx},
+	} {
+		res, err := Estimate(gen.IncN(3, 2), opts, 200, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, res)
+	}
+	for i, res := range results {
+		if math.IsNaN(res.Mean) || math.IsInf(res.Mean, 0) {
+			t.Errorf("result %d: Mean non-finite: %v", i, res.Mean)
+		}
+		if math.IsNaN(res.StdErr) || math.IsInf(res.StdErr, 0) {
+			t.Errorf("result %d: StdErr non-finite: %v", i, res.StdErr)
+		}
 	}
 }

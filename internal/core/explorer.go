@@ -35,6 +35,7 @@ import (
 	"hmc/internal/eg"
 	"hmc/internal/interp"
 	"hmc/internal/memmodel"
+	"hmc/internal/obs"
 	"hmc/internal/prog"
 )
 
@@ -167,6 +168,22 @@ type Options struct {
 	// without wall-clock races); production kills exercise the same
 	// drain path via Context cancellation.
 	FailAfter int
+	// Progress, when non-nil (with a Sink), delivers periodic
+	// ProgressSnapshots of the running exploration: counters, rates,
+	// frontier size and a sampled phase-timing breakdown (see
+	// progress.go). Snapshots are taken at the same quiescent points the
+	// checkpointer uses — between drain waves, workers paused — so they
+	// are race-free and never change what is explored. Like Workers, this
+	// is a transient knob: it is excluded from checkpoint signatures, and
+	// interruption semantics are unchanged (a progress-only run still
+	// hard-stops on cancellation).
+	Progress *ProgressOptions
+	// Trace, when non-nil, streams structured exploration events —
+	// waves, revisits, static prunes, snapshots — as JSON lines to the
+	// tracer (see internal/obs). Tracing enables the same sampled phase
+	// timers as Progress; a tracer write error is latched and reported by
+	// Tracer.Err, never aborting the run.
+	Trace *obs.Tracer
 }
 
 // ErrorReport describes one assertion failure, with the witness graph.
@@ -259,6 +276,7 @@ func Explore(p *prog.Program, opts Options) (*Result, error) {
 	}
 	e := &explorer{p: p, opts: opts, sh: sh, static: analyzeIfNeeded(p, opts)}
 	e.ckpt = opts.Checkpoint != nil || opts.ResumeFrom != nil || opts.FailAfter > 0
+	e.initObs()
 	if opts.Symmetry {
 		e.perms = symmetryPerms(len(p.Threads), p.SymmetryGroups())
 	}
@@ -278,6 +296,10 @@ func Explore(p *prog.Program, opts Options) (*Result, error) {
 				sh.res.TruncatedReason = TruncMaxExecutions
 			}
 			sh.res.Checkpoint = e.capture(frontier)
+			e.emitProgress(len(frontier), true)
+			if sh.engineErr != nil {
+				return nil, sh.engineErr
+			}
 			return sh.res, nil
 		}
 	}
@@ -292,6 +314,10 @@ func Explore(p *prog.Program, opts Options) (*Result, error) {
 			sh.res.Interrupted = true
 			if e.ckpt {
 				sh.res.Checkpoint = e.capture(frontier)
+			}
+			e.emitProgress(len(frontier), true)
+			if sh.engineErr != nil {
+				return nil, sh.engineErr
 			}
 			return sh.res, nil
 		}
@@ -312,8 +338,10 @@ func Explore(p *prog.Program, opts Options) (*Result, error) {
 	}
 	// The wave loop: visit the frontier, wait for quiescence, and — when a
 	// drain was requested — capture or continue with the drained pending
-	// graphs as the next frontier. Non-checkpointable runs never set the
-	// drain flag and take exactly one trip (the pre-checkpoint behaviour).
+	// graphs as the next frontier. Runs with neither checkpointing nor
+	// progress enabled never set the drain flag and take exactly one trip
+	// (the pre-checkpoint behaviour).
+	remaining := 0
 	for {
 		for _, g := range frontier {
 			g := g
@@ -327,6 +355,8 @@ func Explore(p *prog.Program, opts Options) (*Result, error) {
 			break // exhausted, or hard-stopped (no checkpoint either way)
 		}
 		pending := sh.takePending()
+		e.wave++
+		e.traceWave(len(pending))
 		if sh.stop.Load() {
 			// A hard stop (StopOnError, panic wind-down) raced the drain:
 			// the pending set is incomplete, so no checkpoint is safe.
@@ -334,12 +364,21 @@ func Explore(p *prog.Program, opts Options) (*Result, error) {
 		}
 		if sh.interrupted.Load() || sh.stopAfterDrain.Load() {
 			sh.res.Checkpoint = e.capture(pending)
+			remaining = len(pending)
 			break
 		}
 		// Periodic snapshot (Checkpoint.EveryExecs): emit and continue.
 		if opts.Checkpoint != nil && opts.Checkpoint.Sink != nil {
 			cp := e.capture(pending)
 			e.guard(func() { opts.Checkpoint.Sink(cp) })
+			if sh.engineErr != nil {
+				return nil, sh.engineErr
+			}
+		}
+		// Periodic progress snapshot: the drain brought every worker to
+		// this quiescent point, so the counters read race-free.
+		if sh.progressReq.CompareAndSwap(true, false) {
+			e.emitProgress(len(pending), false)
 			if sh.engineErr != nil {
 				return nil, sh.engineErr
 			}
@@ -351,6 +390,13 @@ func Explore(p *prog.Program, opts Options) (*Result, error) {
 		}
 	}
 	sh.res.Interrupted = sh.interrupted.Load()
+	// The final snapshot: counters now equal the Result's. Delivered for
+	// every run outcome short of an engine error, so a sink always
+	// observes the end of the run.
+	e.emitProgress(remaining, true)
+	if sh.engineErr != nil {
+		return nil, sh.engineErr
+	}
 	return sh.res, nil
 }
 
@@ -370,6 +416,13 @@ type explorer struct {
 	// FailAfter): interruptions and whole-run truncations drain instead
 	// of hard-stopping, so the in-flight frontier can be captured.
 	ckpt bool
+	// Observability (progress.go): prog and tracer are nil when disabled;
+	// the phase timers are non-nil exactly when either is on. wave counts
+	// completed drain waves and is touched only on the Explore goroutine.
+	prog                        *progressState
+	tracer                      *obs.Tracer
+	tInterp, tConsist, tRevisit *obs.PhaseTimer
+	wave                        int
 }
 
 // key returns g's canonical state key: its semantic key, minimized over
@@ -412,6 +465,9 @@ type shared struct {
 	stopAfterDrain atomic.Bool
 	faults         atomic.Int64
 	pending        []*eg.Graph // guarded by mu
+	// progressReq marks a drain requested (also) for a progress snapshot:
+	// the wave loop emits one at the next quiescent point and clears it.
+	progressReq atomic.Bool
 }
 
 // stopped reports whether exploration has been aborted.
@@ -538,7 +594,9 @@ func (e *explorer) visit(g *eg.Graph) {
 	e.sh.mu.Unlock()
 	blocked := false
 	for t := range e.p.Threads {
+		ts := e.tInterp.Start()
 		a := interp.Next(e.p, g, t, e.opts.MaxSteps)
+		e.tInterp.Stop(ts)
 		switch a.Kind {
 		case interp.ActDone:
 			continue
@@ -638,14 +696,25 @@ func (e *explorer) complete(g *eg.Graph) {
 		// T14 experiment measures the overhead against EveryExecs.
 		e.sh.drain.Store(true)
 	}
+	if e.progressDueLocked() {
+		// Progress snapshot due: same drain, same quiescent point; the
+		// wave loop emits the snapshot and resumes (T15 bounds the
+		// overhead at the default cadence).
+		e.sh.progressReq.Store(true)
+		e.sh.drain.Store(true)
+	}
 }
 
-// consistent checks g under the model, counting the check.
+// consistent checks g under the model, counting (and phase-timing) the
+// check.
 func (e *explorer) consistent(g *eg.Graph) bool {
 	e.sh.mu.Lock()
 	e.sh.res.ConsistencyChecks++
 	e.sh.mu.Unlock()
-	return e.opts.Model.Consistent(eg.NewView(g))
+	ts := e.tConsist.Start()
+	ok := e.opts.Model.Consistent(eg.NewView(g))
+	e.tConsist.Stop(ts)
+	return ok
 }
 
 // count applies a Stats mutation under the shared lock.
@@ -694,6 +763,7 @@ func (e *explorer) stepRead(g *eg.Graph, id eg.EvID, a interp.Action) {
 		// thread and is po-before it, so coherence admits exactly the
 		// co-maximal rf source (the last element); see staticprune.go.
 		e.count(func(s *Stats) { s.StaticPrunedRf += len(ws) - 1 })
+		e.tracePrune("rf", len(ws)-1)
 		ws = ws[len(ws)-1:]
 	}
 	var anyConsistent atomic.Bool
@@ -773,6 +843,7 @@ func (e *explorer) stepWrite(g *eg.Graph, id eg.EvID, a interp.Action) {
 		// write's thread and is po-before it, so the only coherent
 		// placement is co-maximal; see staticprune.go.
 		e.count(func(s *Stats) { s.StaticPrunedCo += n })
+		e.tracePrune("co", n)
 		start = n
 	}
 	for pos := start; pos <= n; pos++ {

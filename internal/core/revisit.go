@@ -56,11 +56,14 @@ func (e *explorer) revisit(g *eg.Graph, w, r eg.EvID) {
 		return
 	}
 	e.count(func(s *Stats) { s.RevisitsTried++ })
+	e.traceRevisit("revisit-tried", w, r)
 
 	// Phase 1: keep everything the revisit does not causally erase and
 	// rely on replay repair to patch values (value-preserving dependency
 	// idioms survive this way).
+	ts := e.tRevisit.Start()
 	keep := keepSet(g, w, r)
+	e.tRevisit.Stop(ts)
 	ok := e.rebindAndVisit(g, keep, w, r)
 	// Phase 2: when replay diverged structurally — or the repaired graph
 	// was inconsistent, which extra deletion may cure — events whose
@@ -70,8 +73,11 @@ func (e *explorer) revisit(g *eg.Graph, w, r eg.EvID) {
 	if ok {
 		return
 	}
+	ts2 := e.tRevisit.Start()
 	keep2 := keepSet(g, w, r)
-	if !pruneTainted(g, keep2, w, r) {
+	pruned := pruneTainted(g, keep2, w, r)
+	e.tRevisit.Stop(ts2)
+	if !pruned {
 		e.count(func(s *Stats) { s.RevisitsRepairFail++ })
 		return
 	}
@@ -102,6 +108,10 @@ func (e *explorer) rebindAndVisit(g *eg.Graph, keep map[eg.EvID]bool, w, r eg.Ev
 		}
 	}
 
+	// The revisit timer covers restriction, rebinding and repair — the
+	// revisit machinery itself. The consistency check and any nested
+	// exploration are attributed to their own phases.
+	ts := e.tRevisit.Start()
 	g2 := g.Restrict(func(ev eg.EvID) bool { return keep[ev] })
 	loc := g2.Event(r).Loc
 	g2.SetRF(r, w)
@@ -113,13 +123,16 @@ func (e *explorer) rebindAndVisit(g *eg.Graph, keep map[eg.EvID]bool, w, r eg.Ev
 		g2.CoInsert(loc, g2.CoIndex(loc, w)+1, r)
 	}
 
-	if !interp.RepairAll(e.p, g2, e.opts.MaxSteps) {
+	repaired := interp.RepairAll(e.p, g2, e.opts.MaxSteps)
+	e.tRevisit.Stop(ts)
+	if !repaired {
 		return false
 	}
 	if !e.consistent(g2) {
 		return false
 	}
 	e.count(func(s *Stats) { s.RevisitsTaken++ })
+	e.traceRevisit("revisit-taken", w, r)
 	e.fork(func() { e.visit(g2) })
 	return true
 }

@@ -78,6 +78,7 @@ func (e *explorer) pruneRevisitScan(loc eg.Loc) bool {
 func (e *explorer) maybeRevisitsFrom(g *eg.Graph, w eg.EvID, loc eg.Loc) {
 	if e.pruneRevisitScan(loc) {
 		e.count(func(s *Stats) { s.StaticPrunedScans++ })
+		e.tracePrune("scan", 1)
 		return
 	}
 	e.revisitsFrom(g, w, loc)

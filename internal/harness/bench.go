@@ -1,0 +1,154 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"hmc/internal/gen"
+	"hmc/internal/prog"
+)
+
+// This file backs `hmc-bench -json` / `-baseline`: a small tracked suite
+// of explorations whose *work counters* (executions, states, consistency
+// checks, revisit candidates) are deterministic for a given engine, so CI
+// can diff them against a committed BENCH_explore.json and fail on a
+// real algorithmic regression. Wall-clock is recorded for trend plots but
+// never gated — CI machines are too noisy for a time bar.
+
+// BenchRow is one tracked benchmark's measurement.
+type BenchRow struct {
+	Name              string `json:"name"`
+	Model             string `json:"model"`
+	Executions        int    `json:"executions"`
+	Blocked           int    `json:"blocked"`
+	States            int    `json:"states"`
+	ConsistencyChecks int    `json:"consistency_checks"`
+	RevisitsTried     int    `json:"revisits_tried"`
+	NS                int64  `json:"ns"` // wall-clock, informational only
+}
+
+// BenchReport is the BENCH_explore.json payload.
+type BenchReport struct {
+	Suite string     `json:"suite"`
+	Rows  []BenchRow `json:"rows"`
+}
+
+// benchJobs is the tracked suite. Parametric families rather than corpus
+// litmus tests: big enough that a pruning or revisit regression moves the
+// counters by orders of magnitude, small enough for every CI run.
+func benchJobs(opts Options) []struct {
+	p     *prog.Program
+	model string
+} {
+	type job = struct {
+		p     *prog.Program
+		model string
+	}
+	jobs := []job{
+		{gen.SBN(8), "sc"},
+		{gen.SBN(8), "tso"},
+		{gen.IndexerN(3), "sc"},
+		{gen.IncN(3, 2), "sc"},
+	}
+	if !opts.Quick {
+		jobs = append(jobs, job{gen.SBN(10), "tso"}, job{gen.IncN(3, 3), "sc"})
+	}
+	return jobs
+}
+
+// BenchExplore runs the tracked suite and returns the report.
+func BenchExplore(opts Options) (*BenchReport, error) {
+	r := &BenchReport{Suite: "explore"}
+	for _, j := range benchJobs(opts) {
+		res, d, err := explore("bench", j.p, j.model)
+		if err != nil {
+			return nil, err
+		}
+		r.Rows = append(r.Rows, BenchRow{
+			Name:              j.p.Name,
+			Model:             j.model,
+			Executions:        res.Stats.Executions,
+			Blocked:           res.Stats.Blocked,
+			States:            res.Stats.States,
+			ConsistencyChecks: res.Stats.ConsistencyChecks,
+			RevisitsTried:     res.Stats.RevisitsTried,
+			NS:                d.Nanoseconds(),
+		})
+	}
+	return r, nil
+}
+
+// WriteJSON writes the report, indented, with a trailing newline.
+func (r *BenchReport) WriteJSON(w io.Writer) error {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadBenchReport parses a BENCH JSON payload.
+func ReadBenchReport(rd io.Reader) (*BenchReport, error) {
+	var r BenchReport
+	dec := json.NewDecoder(rd)
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("bench baseline: %w", err)
+	}
+	return &r, nil
+}
+
+// Table renders the report as a harness table (for the human-readable
+// hmc-bench output alongside the JSON file).
+func (r *BenchReport) Table() *Table {
+	t := &Table{
+		ID:      "BENCH",
+		Title:   "tracked exploration counters (suite " + r.Suite + ")",
+		Columns: []string{"program", "model", "execs", "blocked", "states", "checks", "revisits", "time"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Name, row.Model, row.Executions, row.Blocked, row.States,
+			row.ConsistencyChecks, row.RevisitsTried, ms(time.Duration(row.NS)))
+	}
+	return t
+}
+
+// CompareBaseline checks the current report against a committed baseline:
+// any tracked work counter growing past baseline·(1+tolerance) — or a
+// baseline row the current suite no longer runs — is a regression and
+// returns an error naming every offender. Counters shrinking is an
+// improvement, never an error; wall-clock is ignored.
+func CompareBaseline(current, baseline *BenchReport, tolerance float64) error {
+	cur := map[string]BenchRow{}
+	for _, row := range current.Rows {
+		cur[row.Name+"/"+row.Model] = row
+	}
+	var bad []string
+	for _, base := range baseline.Rows {
+		key := base.Name + "/" + base.Model
+		now, ok := cur[key]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s: tracked benchmark missing from the current suite", key))
+			continue
+		}
+		check := func(counter string, got, want int) {
+			if float64(got) > float64(want)*(1+tolerance) {
+				bad = append(bad, fmt.Sprintf("%s: %s regressed %d -> %d (+%.0f%%, tolerance %.0f%%)",
+					key, counter, want, got, 100*(float64(got)/float64(want)-1), 100*tolerance))
+			}
+		}
+		check("executions", now.Executions, base.Executions)
+		check("blocked", now.Blocked, base.Blocked)
+		check("states", now.States, base.States)
+		check("consistency_checks", now.ConsistencyChecks, base.ConsistencyChecks)
+		check("revisits_tried", now.RevisitsTried, base.RevisitsTried)
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("bench baseline: %d regression(s):\n  %s", len(bad), strings.Join(bad, "\n  "))
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestBenchExploreRoundTrip: the quick suite runs, serializes, parses
+// back identically, and compares clean against itself.
+func TestBenchExploreRoundTrip(t *testing.T) {
+	r, err := BenchExplore(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) == 0 {
+		t.Fatal("empty bench suite")
+	}
+	for _, row := range r.Rows {
+		if row.Executions < 1 || row.ConsistencyChecks < 1 {
+			t.Errorf("degenerate row %+v", row)
+		}
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBenchReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Rows) != len(r.Rows) || back.Suite != r.Suite {
+		t.Fatalf("round trip lost rows: %d != %d", len(back.Rows), len(r.Rows))
+	}
+	if err := CompareBaseline(r, back, 0.25); err != nil {
+		t.Errorf("suite must compare clean against itself: %v", err)
+	}
+}
+
+// TestCompareBaseline pins the gate semantics on synthetic reports:
+// growth within tolerance and shrinkage pass; growth beyond tolerance
+// and a vanished tracked row fail, naming the offender.
+func TestCompareBaseline(t *testing.T) {
+	base := &BenchReport{Rows: []BenchRow{
+		{Name: "A", Model: "sc", Executions: 100, States: 200, ConsistencyChecks: 300, RevisitsTried: 40},
+		{Name: "B", Model: "tso", Executions: 10, States: 20, ConsistencyChecks: 30},
+	}}
+	ok := &BenchReport{Rows: []BenchRow{
+		{Name: "A", Model: "sc", Executions: 120, States: 150, ConsistencyChecks: 300, RevisitsTried: 50},
+		{Name: "B", Model: "tso", Executions: 5, States: 20, ConsistencyChecks: 30},
+	}}
+	if err := CompareBaseline(ok, base, 0.25); err != nil {
+		t.Errorf("within-tolerance growth and shrinkage must pass: %v", err)
+	}
+	regressed := &BenchReport{Rows: []BenchRow{
+		{Name: "A", Model: "sc", Executions: 100, States: 200, ConsistencyChecks: 500, RevisitsTried: 40},
+		{Name: "B", Model: "tso", Executions: 10, States: 20, ConsistencyChecks: 30},
+	}}
+	err := CompareBaseline(regressed, base, 0.25)
+	if err == nil || !strings.Contains(err.Error(), "A/sc: consistency_checks regressed") {
+		t.Errorf("counter regression must fail naming the row: %v", err)
+	}
+	missing := &BenchReport{Rows: []BenchRow{
+		{Name: "A", Model: "sc", Executions: 100, States: 200, ConsistencyChecks: 300, RevisitsTried: 40},
+	}}
+	err = CompareBaseline(missing, base, 0.25)
+	if err == nil || !strings.Contains(err.Error(), "B/tso") {
+		t.Errorf("vanished tracked row must fail: %v", err)
+	}
+	// Wall-clock never gates.
+	slow := &BenchReport{Rows: []BenchRow{
+		{Name: "A", Model: "sc", Executions: 100, States: 200, ConsistencyChecks: 300, RevisitsTried: 40, NS: 1 << 40},
+		{Name: "B", Model: "tso", Executions: 10, States: 20, ConsistencyChecks: 30, NS: 1 << 40},
+	}}
+	if err := CompareBaseline(slow, base, 0.25); err != nil {
+		t.Errorf("wall-clock must not gate: %v", err)
+	}
+}

@@ -158,6 +158,23 @@ func TestAllExperimentsQuick(t *testing.T) {
 			if resumes == 0 {
 				t.Error("T14: no row exercised the kill/resume leg")
 			}
+		case "T15":
+			// Fast-cadence rows on long-running programs must deliver
+			// periodic snapshots, not just the guaranteed final one; every
+			// row delivers at least the final snapshot.
+			periodic := false
+			for _, row := range tb.Rows {
+				snaps, err := strconv.Atoi(row[5])
+				if err != nil || snaps < 1 {
+					t.Errorf("T15: row delivered no snapshots: %v", row)
+				}
+				if row[4] == "1ms" && snaps > 1 {
+					periodic = true
+				}
+			}
+			if !periodic {
+				t.Error("T15: no row delivered a periodic (non-final) snapshot at the 1ms cadence")
+			}
 		case "T5":
 			// The ablation must miss at least one execution on LB(2).
 			missedAny := false

@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRateAndETAFinite(t *testing.T) {
+	if r := Rate(0, time.Second); r != 0 {
+		t.Errorf("Rate(0, 1s) = %v, want 0", r)
+	}
+	if r := Rate(100, 0); r != 0 {
+		t.Errorf("Rate(100, 0) = %v, want 0 (no division by zero)", r)
+	}
+	if r := Rate(100, time.Second); r != 100 {
+		t.Errorf("Rate(100, 1s) = %v, want 100", r)
+	}
+	if eta := ETA(0, 10, 5); eta != 0 {
+		t.Errorf("ETA without estimate = %v, want 0", eta)
+	}
+	if eta := ETA(100, 200, 5); eta != 0 {
+		t.Errorf("ETA past the estimate = %v, want 0", eta)
+	}
+	if eta := ETA(100, 50, 0); eta != 0 {
+		t.Errorf("ETA at zero rate = %v, want 0", eta)
+	}
+	if eta := ETA(100, 50, 10); eta != 5*time.Second {
+		t.Errorf("ETA(100, 50, 10/s) = %v, want 5s", eta)
+	}
+	if eta := ETA(math.MaxFloat64, 0, 1e-300); eta < 0 {
+		t.Errorf("huge ETA must not overflow negative: %v", eta)
+	}
+	for _, x := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if f := Finite(x); f != 0 {
+			t.Errorf("Finite(%v) = %v, want 0", x, f)
+		}
+	}
+	if f := Finite(3.5); f != 3.5 {
+		t.Errorf("Finite(3.5) = %v", f)
+	}
+}
+
+func TestPhaseTimerNilSafeAndEstimate(t *testing.T) {
+	var nilT *PhaseTimer
+	nilT.Stop(nilT.Start()) // must not panic
+	if d, c := nilT.Estimate(); d != 0 || c != 0 {
+		t.Errorf("nil timer Estimate = %v, %d", d, c)
+	}
+
+	pt := &PhaseTimer{}
+	const calls = 200
+	for i := 0; i < calls; i++ {
+		ts := pt.Start()
+		if !ts.IsZero() {
+			time.Sleep(100 * time.Microsecond)
+		}
+		pt.Stop(ts)
+	}
+	d, c := pt.Estimate()
+	if c != calls {
+		t.Errorf("calls = %d, want %d", c, calls)
+	}
+	if d <= 0 {
+		t.Errorf("estimate = %v, want > 0", d)
+	}
+	// The extrapolation is mean-sampled × calls: with every sampled call
+	// sleeping ~100µs the estimate must be at least calls × 100µs and not
+	// absurdly larger (sleep jitter allows a generous upper bound).
+	if d < calls*100*time.Microsecond {
+		t.Errorf("estimate %v under the floor %v", d, calls*100*time.Microsecond)
+	}
+}
+
+func TestPhaseTimerConcurrent(t *testing.T) {
+	pt := &PhaseTimer{}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				pt.Stop(pt.Start())
+			}
+		}()
+	}
+	wg.Wait()
+	if _, c := pt.Estimate(); c != 8000 {
+		t.Errorf("concurrent calls = %d, want 8000", c)
+	}
+}
+
+func TestTracerJSONLAndNilSafety(t *testing.T) {
+	var nilTr *Tracer
+	nilTr.Emit(TraceEvent{Kind: "wave"}) // must not panic
+	if nilTr.Events() != 0 || nilTr.Err() != nil {
+		t.Error("nil tracer must report zero events and no error")
+	}
+
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.Emit(TraceEvent{Kind: "wave", Wave: 1, Frontier: 42})
+	tr.Emit(TraceEvent{Kind: "revisit-taken", Write: "T1.2", Read: "T0.1"})
+	tr.Emit(TraceEvent{Kind: "snapshot", Snapshot: &ProgressSnapshot{Seq: 1, Executions: 7}})
+	if tr.Events() != 3 {
+		t.Fatalf("events = %d, want 3", tr.Events())
+	}
+	if err := tr.Err(); err != nil {
+		t.Fatalf("tracer error: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3:\n%s", len(lines), buf.String())
+	}
+	var ev TraceEvent
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatalf("line 0 not JSON: %v", err)
+	}
+	if ev.Kind != "wave" || ev.Wave != 1 || ev.Frontier != 42 {
+		t.Errorf("round-trip mismatch: %+v", ev)
+	}
+	var snapEv TraceEvent
+	if err := json.Unmarshal([]byte(lines[2]), &snapEv); err != nil {
+		t.Fatal(err)
+	}
+	if snapEv.Snapshot == nil || snapEv.Snapshot.Executions != 7 {
+		t.Errorf("snapshot event round-trip mismatch: %+v", snapEv)
+	}
+}
+
+// failWriter fails after n successful writes.
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errFail
+	}
+	f.n--
+	return len(p), nil
+}
+
+var errFail = &json.UnsupportedValueError{Str: "sink failed"}
+
+func TestTracerLatchesWriteError(t *testing.T) {
+	tr := NewTracer(&failWriter{n: 1})
+	tr.Emit(TraceEvent{Kind: "wave"})
+	tr.Emit(TraceEvent{Kind: "wave"}) // fails
+	tr.Emit(TraceEvent{Kind: "wave"}) // dropped
+	if tr.Events() != 1 {
+		t.Errorf("events = %d, want 1", tr.Events())
+	}
+	if tr.Err() == nil {
+		t.Error("write error must latch")
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	s := ProgressSnapshot{
+		Seq: 3, Wave: 2, Executions: 100, States: 400, MemoSize: 250,
+		Frontier: 12, ExecsPerSec: 123.5, Elapsed: time.Second,
+		Phases: PhaseTimes{Interp: 10 * time.Millisecond, InterpCalls: 400},
+		Final:  true,
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ProgressSnapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != s {
+		t.Errorf("round trip: got %+v, want %+v", back, s)
+	}
+}

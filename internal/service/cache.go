@@ -3,6 +3,7 @@ package service
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 
 	"hmc/internal/core"
 )
@@ -20,6 +21,10 @@ type verdictCache struct {
 	cap   int
 	ll    *list.List // front = most recently used
 	items map[string]*list.Element
+	// evictions, when wired (New points it at Metrics.CacheEvictions),
+	// counts entries dropped by LRU pressure — the signal that CacheSize is
+	// too small for the working set. Nil-safe for standalone caches.
+	evictions *atomic.Int64
 }
 
 type cacheEntry struct {
@@ -68,7 +73,18 @@ func (c *verdictCache) put(key string, res *core.Result) {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.items, oldest.Value.(*cacheEntry).key)
+		if c.evictions != nil {
+			c.evictions.Add(1)
+		}
 	}
+}
+
+// capacity reports the configured entry bound (0 when caching is off).
+func (c *verdictCache) capacity() int {
+	if c == nil || c.cap < 0 {
+		return 0
+	}
+	return c.cap
 }
 
 // len reports the number of cached entries.

@@ -1,14 +1,17 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"hmc/internal/litmus"
 	"hmc/internal/memmodel"
+	"hmc/internal/obs"
 	"hmc/internal/prog"
 )
 
@@ -48,6 +51,10 @@ type jobJSON struct {
 	EngineError   *engineErrorJSON `json:"engine_error,omitempty"`
 	CrashArtifact string           `json:"crash_artifact,omitempty"`
 	Result        *resultJSON      `json:"result,omitempty"`
+	// Progress is the latest exploration snapshot: live counters, rates and
+	// the sampled phase breakdown while the job runs, the final snapshot
+	// once it stops. Absent before the first snapshot and for cache hits.
+	Progress *obs.ProgressSnapshot `json:"progress,omitempty"`
 }
 
 // engineErrorJSON carries a contained engine panic's diagnostics to the
@@ -98,6 +105,7 @@ func toJobJSON(v JobView) jobJSON {
 		Error:         v.Err,
 		Diagnostics:   v.Diagnostics,
 		CrashArtifact: v.CrashArtifact,
+		Progress:      v.Progress,
 	}
 	if ee := v.EngineError; ee != nil {
 		stack := ee.Stack
@@ -147,20 +155,22 @@ func toJobJSON(v JobView) jobJSON {
 
 // Handler returns the service's HTTP API:
 //
-//	POST   /v1/jobs      submit a litmus source or corpus test
-//	GET    /v1/jobs      list retained jobs
-//	GET    /v1/jobs/{id} poll one job
-//	DELETE /v1/jobs/{id} cancel a queued or running job
-//	GET    /v1/models    available memory models
-//	GET    /v1/tests     built-in corpus test names
-//	GET    /healthz      liveness probe (200 while the process serves)
-//	GET    /readyz       readiness probe (503 during journal replay or drain)
-//	GET    /metrics      Prometheus text-format counters
+//	POST   /v1/jobs               submit a litmus source or corpus test
+//	GET    /v1/jobs               list retained jobs
+//	GET    /v1/jobs/{id}          poll one job
+//	GET    /v1/jobs/{id}/progress long-poll live progress (?seq=N&wait=5s)
+//	DELETE /v1/jobs/{id}          cancel a queued or running job
+//	GET    /v1/models             available memory models
+//	GET    /v1/tests              built-in corpus test names
+//	GET    /healthz               liveness probe (200 while the process serves)
+//	GET    /readyz                readiness probe (503 during replay or drain)
+//	GET    /metrics               Prometheus text-format counters
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/progress", s.handleProgress)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/models", s.handleModels)
 	mux.HandleFunc("GET /v1/tests", s.handleTests)
@@ -170,16 +180,30 @@ func (s *Service) Handler() http.Handler {
 	return mux
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// writeJSON marshals v to a buffer *before* touching the response. The
+// previous implementation streamed json.NewEncoder(w).Encode(v) after
+// WriteHeader: an encode failure halfway through (one NaN anywhere in the
+// payload) left the client a truncated 200 body that fails to parse, with
+// the error swallowed and nothing counted. Buffering first means an encode
+// failure costs a clean 500 with a valid JSON body instead, and
+// hmcd_http_encode_errors_total records it.
+func (s *Service) writeJSON(w http.ResponseWriter, status int, v any) {
+	buf, err := json.MarshalIndent(v, "", "  ")
 	w.Header().Set("Content-Type", "application/json")
+	if err != nil {
+		s.metrics.HTTPEncodeErrors.Add(1)
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintf(w, "{\n  \"error\": %q\n}\n", "internal: response encoding failed: "+err.Error())
+		return
+	}
+	w.Header().Set("Content-Length", strconv.Itoa(len(buf)+1))
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v) //nolint:errcheck // client gone: nothing to do
+	buf = append(buf, '\n')
+	w.Write(buf) //nolint:errcheck // client gone: nothing to do
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+func (s *Service) writeError(w http.ResponseWriter, status int, err error) {
+	s.writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -187,29 +211,29 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSubmitBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
 	var p *prog.Program
 	switch {
 	case req.Source != "" && req.Test != "":
-		writeError(w, http.StatusBadRequest, errors.New(`give "source" or "test", not both`))
+		s.writeError(w, http.StatusBadRequest, errors.New(`give "source" or "test", not both`))
 		return
 	case req.Source != "":
 		var err error
 		if p, err = litmus.Parse(req.Source); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("parse: %w", err))
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("parse: %w", err))
 			return
 		}
 	case req.Test != "":
 		tc, ok := litmus.ByName(req.Test)
 		if !ok {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("unknown corpus test %q", req.Test))
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("unknown corpus test %q", req.Test))
 			return
 		}
 		p = tc.P
 	default:
-		writeError(w, http.StatusBadRequest, errors.New(`need a "source" litmus test or a corpus "test" name`))
+		s.writeError(w, http.StatusBadRequest, errors.New(`need a "source" litmus test or a corpus "test" name`))
 		return
 	}
 	if req.Model == "" {
@@ -230,21 +254,21 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case errors.Is(err, ErrCircuitOpen):
 		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(s.cfg.BreakerCooldown.Seconds())))
-		writeError(w, http.StatusServiceUnavailable, err)
+		s.writeError(w, http.StatusServiceUnavailable, err)
 		return
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, err)
+		s.writeError(w, http.StatusServiceUnavailable, err)
 		return
 	case err != nil:
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	status := http.StatusAccepted
 	if view.State.Terminal() {
 		status = http.StatusOK // cache hit: born done
 	}
-	writeJSON(w, status, toJobJSON(view))
+	s.writeJSON(w, status, toJobJSON(view))
 }
 
 func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
@@ -253,42 +277,98 @@ func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
 	for i, v := range views {
 		out[i] = toJobJSON(v)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+	s.writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
 }
 
 func (s *Service) handleGet(w http.ResponseWriter, r *http.Request) {
 	view, ok := s.Get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no such job %q", r.PathValue("id")))
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("no such job %q", r.PathValue("id")))
 		return
 	}
-	writeJSON(w, http.StatusOK, toJobJSON(view))
+	s.writeJSON(w, http.StatusOK, toJobJSON(view))
+}
+
+// progressWaitDefault and progressWaitMax bound the /progress long-poll:
+// the handler parks until a new snapshot, the terminal transition, or the
+// wait expires — whichever first — and always answers 200 with the current
+// state, so clients chain requests without busy-polling.
+const (
+	progressWaitDefault = 25 * time.Second
+	progressWaitMax     = time.Minute
+)
+
+// handleProgress serves GET /v1/jobs/{id}/progress?seq=N&wait=5s: it
+// long-polls for a progress snapshot with seq greater than N (0 means
+// "any"). The response carries the job state, the latest snapshot (null
+// before the first one lands) and, once terminal, the full job record.
+func (s *Service) handleProgress(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	afterSeq := 0
+	if v := r.URL.Query().Get("seq"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad seq %q", v))
+			return
+		}
+		afterSeq = n
+	}
+	wait := progressWaitDefault
+	if v := r.URL.Query().Get("wait"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d < 0 {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad wait %q (want a duration like 5s)", v))
+			return
+		}
+		wait = min(d, progressWaitMax)
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), wait)
+	defer cancel()
+	view, ok := s.WaitProgress(ctx, id, afterSeq)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("no such job %q", id))
+		return
+	}
+	out := map[string]any{
+		"id":       view.ID,
+		"state":    view.State,
+		"progress": view.Progress,
+	}
+	if view.State.Terminal() {
+		out["job"] = toJobJSON(view)
+	}
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if _, ok := s.Get(id); !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no such job %q", id))
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("no such job %q", id))
 		return
 	}
 	canceled := s.Cancel(id)
 	view, _ := s.Get(id)
-	writeJSON(w, http.StatusOK, map[string]any{"canceled": canceled, "job": toJobJSON(view)})
+	s.writeJSON(w, http.StatusOK, map[string]any{"canceled": canceled, "job": toJobJSON(view)})
 }
 
 func (s *Service) handleModels(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"models": memmodel.Names()})
+	s.writeJSON(w, http.StatusOK, map[string]any{"models": memmodel.Names()})
 }
 
 func (s *Service) handleTests(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"tests": litmus.Names()})
+	s.writeJSON(w, http.StatusOK, map[string]any{"tests": litmus.Names()})
 }
 
 func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	s.writeJSON(w, http.StatusOK, map[string]any{
 		"status":   "ok",
 		"inflight": s.metrics.InFlight.Load(),
 		"queue":    s.QueueDepth(),
+		"cache": map[string]any{
+			"entries":   s.cache.len(),
+			"capacity":  s.cache.capacity(),
+			"evictions": s.metrics.CacheEvictions.Load(),
+		},
 	})
 }
 
@@ -299,13 +379,13 @@ func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
 // replacement warms up and while the old daemon winds down.
 func (s *Service) handleReady(w http.ResponseWriter, r *http.Request) {
 	if !s.Ready() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "not ready"})
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "not ready"})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+	s.writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
 }
 
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.writePrometheus(w, s.QueueDepth(), s.cache.len(), s.CrashArtifacts(), s.Ready())
+	s.metrics.writePrometheus(w, s.QueueDepth(), s.cache.len(), s.cache.capacity(), s.CrashArtifacts(), s.Ready())
 }

@@ -3,9 +3,12 @@ package service
 import (
 	"fmt"
 	"io"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"hmc/internal/core"
+	"hmc/internal/obs"
 )
 
 // Metrics holds the service's monotonic counters, updated with atomics so
@@ -44,6 +47,117 @@ type Metrics struct {
 	RevisitsTried     atomic.Int64
 	RevisitsTaken     atomic.Int64
 	ConsistencyChecks atomic.Int64
+
+	HTTPEncodeErrors atomic.Int64 // JSON responses whose marshal failed (500 fallback served)
+	CacheEvictions   atomic.Int64 // verdict-cache entries dropped by LRU pressure
+
+	// Sampled phase-time totals (nanoseconds) accumulated from each
+	// finished job's final progress snapshot — where exploration wall-clock
+	// goes, fleet-wide.
+	PhaseInterpNS      atomic.Int64
+	PhaseConsistencyNS atomic.Int64
+	PhaseRevisitNS     atomic.Int64
+
+	// Distributions, fed by the per-job progress sink: overall
+	// executions/sec per finished job, frontier width per snapshot, and the
+	// mean consistency-check latency per finished job.
+	JobExecRate             histogram
+	WaveSize                histogram
+	ConsistencyCheckSeconds histogram
+
+	histOnce sync.Once
+}
+
+// Histogram bucket bounds. Exec rates span toy litmus tests (tens/sec
+// under a deliberate deadline) to saturated exploration (hundreds of
+// thousands/sec); wave sizes are frontier widths between drains;
+// consistency checks are microsecond-scale graph traversals.
+var (
+	execRateBounds = []float64{10, 100, 1e3, 1e4, 5e4, 1e5, 5e5, 1e6}
+	waveSizeBounds = []float64{1, 4, 16, 64, 256, 1024, 4096, 16384}
+	checkSecBounds = []float64{1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1}
+)
+
+// ensureHistograms sets the bucket bounds exactly once; callers invoke it
+// before any observe or export so the zero-valued Metrics struct keeps
+// working without a constructor.
+func (m *Metrics) ensureHistograms() {
+	m.histOnce.Do(func() {
+		m.JobExecRate.init(execRateBounds)
+		m.WaveSize.init(waveSizeBounds)
+		m.ConsistencyCheckSeconds.init(checkSecBounds)
+	})
+}
+
+// ObserveProgress folds one progress snapshot into the service-wide
+// distributions: every snapshot contributes its frontier width, and the
+// final snapshot of a run contributes the job's overall execution rate,
+// phase-time totals and mean consistency-check latency.
+func (m *Metrics) ObserveProgress(snap obs.ProgressSnapshot) {
+	m.ensureHistograms()
+	m.WaveSize.observe(float64(snap.Frontier))
+	if !snap.Final {
+		return
+	}
+	m.JobExecRate.observe(snap.ExecsPerSec)
+	ph := snap.Phases
+	m.PhaseInterpNS.Add(int64(ph.Interp))
+	m.PhaseConsistencyNS.Add(int64(ph.Consistency))
+	m.PhaseRevisitNS.Add(int64(ph.Revisit))
+	if ph.ConsistencyCalls > 0 && ph.Consistency > 0 {
+		mean := time.Duration(int64(ph.Consistency) / ph.ConsistencyCalls)
+		m.ConsistencyCheckSeconds.observe(mean.Seconds())
+	}
+}
+
+// histogram is a minimal fixed-bucket Prometheus histogram, stdlib only.
+// Observations land at wave cadence (not per event), so one mutex is
+// plenty; the zero value is unusable until init sets the bounds.
+type histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // bucket upper bounds, ascending; +Inf is implicit
+	counts []int64   // len(bounds)+1; the last slot is the +Inf bucket
+	sum    float64
+}
+
+func (h *histogram) init(bounds []float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.bounds = bounds
+	h.counts = make([]int64, len(bounds)+1)
+}
+
+func (h *histogram) observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.counts == nil {
+		return // bounds never set: drop rather than panic
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += v
+}
+
+// write renders the histogram in the Prometheus text format (cumulative
+// le buckets, sum, count).
+func (h *histogram) write(w io.Writer, name, help string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, b, cum)
+	}
+	if h.counts != nil {
+		cum += h.counts[len(h.bounds)]
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, h.sum)
+	fmt.Fprintf(w, "%s_count %d\n", name, cum)
 }
 
 // CacheHitRate returns hits / (hits+misses), or 0 before any lookup.
@@ -56,11 +170,15 @@ func (m *Metrics) CacheHitRate() float64 {
 }
 
 // writePrometheus renders the counters in the Prometheus text exposition
-// format (version 0.0.4), stdlib only. queueDepth and cacheEntries are
-// point-in-time gauges supplied by the service.
-func (m *Metrics) writePrometheus(w io.Writer, queueDepth, cacheEntries, crashResident int, ready bool) {
+// format (version 0.0.4), stdlib only. queueDepth, cacheEntries, cacheCap
+// and crashResident are point-in-time gauges supplied by the service.
+func (m *Metrics) writePrometheus(w io.Writer, queueDepth, cacheEntries, cacheCap, crashResident int, ready bool) {
+	m.ensureHistograms()
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counterF := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
 	}
 	gaugeI := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
@@ -95,6 +213,9 @@ func (m *Metrics) writePrometheus(w io.Writer, queueDepth, cacheEntries, crashRe
 	counter("hmcd_cache_misses_total", "Verdict cache misses.", m.CacheMisses.Load())
 	gaugeF("hmcd_cache_hit_rate", "Verdict cache hit rate since start.", m.CacheHitRate())
 	gaugeI("hmcd_cache_entries", "Verdict cache entries resident.", int64(cacheEntries))
+	gaugeI("hmcd_cache_capacity", "Verdict cache entry bound.", int64(cacheCap))
+	counter("hmcd_cache_evictions_total", "Verdict cache entries dropped by LRU pressure.", m.CacheEvictions.Load())
+	counter("hmcd_http_encode_errors_total", "JSON responses whose encoding failed (500 fallback served).", m.HTTPEncodeErrors.Load())
 	gaugeI("hmcd_queue_depth", "Jobs waiting in the queue.", int64(queueDepth))
 	gaugeI("hmcd_jobs_inflight", "Explorations currently running.", m.InFlight.Load())
 	counter("hmcd_executions_total", "Complete consistent executions explored.", m.Executions.Load())
@@ -105,6 +226,15 @@ func (m *Metrics) writePrometheus(w io.Writer, queueDepth, cacheEntries, crashRe
 	counter("hmcd_revisits_tried_total", "Backward revisit candidates considered.", m.RevisitsTried.Load())
 	counter("hmcd_revisits_taken_total", "Backward revisits taken.", m.RevisitsTaken.Load())
 	counter("hmcd_consistency_checks_total", "Memory-model consistency checks.", m.ConsistencyChecks.Load())
+	counterF("hmcd_phase_interp_seconds_total", "Sampled interpretation time across finished jobs.",
+		time.Duration(m.PhaseInterpNS.Load()).Seconds())
+	counterF("hmcd_phase_consistency_seconds_total", "Sampled consistency-check time across finished jobs.",
+		time.Duration(m.PhaseConsistencyNS.Load()).Seconds())
+	counterF("hmcd_phase_revisit_seconds_total", "Sampled revisit-machinery time across finished jobs.",
+		time.Duration(m.PhaseRevisitNS.Load()).Seconds())
+	m.JobExecRate.write(w, "hmcd_job_exec_rate", "Overall executions/sec of each finished job.")
+	m.WaveSize.write(w, "hmcd_wave_size", "Frontier width at each progress snapshot.")
+	m.ConsistencyCheckSeconds.write(w, "hmcd_consistency_check_seconds", "Mean consistency-check latency of each finished job.")
 }
 
 // addStats folds one finished exploration's counters into the totals.

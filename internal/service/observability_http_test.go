@@ -1,0 +1,170 @@
+package service_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"hmc/internal/service"
+)
+
+// manyWritesSource is a same-location store storm: 11 writes across three
+// threads, 11!/(4!·4!·3!) = 11550 interleavings under sc — big enough that
+// exploration spans many progress cadences, small enough to finish.
+func manyWritesSource() string {
+	return "name many-writes\n" +
+		"T0: W x 1 ; W x 2 ; W x 3 ; W x 4\n" +
+		"T1: W x 11 ; W x 12 ; W x 13 ; W x 14\n" +
+		"T2: W x 21 ; W x 22 ; W x 23\n" +
+		"exists x=4\n"
+}
+
+// wireProgress mirrors the /v1/jobs/{id}/progress payload.
+type wireProgress struct {
+	ID       string        `json:"id"`
+	State    string        `json:"state"`
+	Progress *wireSnapshot `json:"progress"`
+	Job      *wireJob      `json:"job"`
+}
+
+type wireSnapshot struct {
+	Seq               int     `json:"seq"`
+	Wave              int     `json:"wave"`
+	Executions        int     `json:"executions"`
+	States            int     `json:"states"`
+	ConsistencyChecks int     `json:"consistency_checks"`
+	ElapsedNS         int64   `json:"elapsed_ns"`
+	ExecsPerSec       float64 `json:"execs_per_sec"`
+	Final             bool    `json:"final"`
+}
+
+// TestHTTPProgressLongPoll is the tentpole acceptance test at the service
+// level: a client chaining GET /v1/jobs/{id}/progress?seq=N long-polls
+// observes at least two distinct non-terminal snapshots of a live
+// exploration, counters monotone, and a final snapshot whose counters
+// equal the job's result.
+func TestHTTPProgressLongPoll(t *testing.T) {
+	_, ts := startServer(t, service.Config{Workers: 1, ProgressEvery: 3 * time.Millisecond})
+
+	body, _ := json.Marshal(map[string]any{"source": manyWritesSource(), "model": "sc"})
+	status, job := postJob(t, ts, string(body))
+	if status != http.StatusAccepted {
+		t.Fatalf("submit status %d", status)
+	}
+
+	seq, nonFinal, lastExecs := 0, 0, 0
+	var last *wireSnapshot
+	deadline := time.Now().Add(90 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("job never finished (last snapshot %+v)", last)
+		}
+		code, text := getBody(t, ts, fmt.Sprintf("/v1/jobs/%s/progress?seq=%d&wait=10s", job.ID, seq))
+		if code != http.StatusOK {
+			t.Fatalf("/progress status %d: %s", code, text)
+		}
+		var pr wireProgress
+		if err := json.Unmarshal([]byte(text), &pr); err != nil {
+			t.Fatalf("bad progress JSON: %v\n%s", err, text)
+		}
+		if pr.Progress != nil && pr.Progress.Seq > seq {
+			if pr.Progress.Executions < lastExecs {
+				t.Errorf("executions went backwards: %d after %d", pr.Progress.Executions, lastExecs)
+			}
+			lastExecs = pr.Progress.Executions
+			seq = pr.Progress.Seq
+			last = pr.Progress
+			if !pr.Progress.Final {
+				nonFinal++
+			}
+		}
+		if pr.State == "done" || pr.State == "failed" || pr.State == "canceled" {
+			if pr.State != "done" {
+				t.Fatalf("job ended %s: %+v", pr.State, pr.Job)
+			}
+			if pr.Job == nil || pr.Job.Result == nil {
+				t.Fatal("terminal progress response must embed the job record")
+			}
+			if last == nil || !last.Final {
+				t.Fatalf("terminal response must carry the final snapshot, got %+v", last)
+			}
+			if last.Executions != pr.Job.Result.Executions {
+				t.Errorf("final snapshot executions %d != result %d", last.Executions, pr.Job.Result.Executions)
+			}
+			break
+		}
+	}
+	if nonFinal < 2 {
+		t.Errorf("observed %d non-terminal snapshots, want >= 2 (cadence 3ms over 11550 executions)", nonFinal)
+	}
+
+	// The plain job poll also serves the (final) snapshot.
+	code, text := getBody(t, ts, "/v1/jobs/"+job.ID)
+	if code != http.StatusOK {
+		t.Fatalf("job poll status %d", code)
+	}
+	var full struct {
+		Progress *wireSnapshot `json:"progress"`
+	}
+	if err := json.Unmarshal([]byte(text), &full); err != nil {
+		t.Fatal(err)
+	}
+	if full.Progress == nil || !full.Progress.Final {
+		t.Errorf("GET /v1/jobs/{id} must serve the final snapshot, got %+v", full.Progress)
+	}
+
+	// The progress sink fed the histograms and phase counters.
+	code, metrics := getBody(t, ts, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if got := metricValue(t, metrics, "hmcd_job_exec_rate_count"); got != "1" {
+		t.Errorf("hmcd_job_exec_rate_count = %s, want 1", got)
+	}
+	if got := metricValue(t, metrics, "hmcd_wave_size_count"); got == "0" {
+		t.Error("hmcd_wave_size_count = 0, want > 0")
+	}
+	if !strings.Contains(metrics, "hmcd_phase_interp_seconds_total") ||
+		!strings.Contains(metrics, "hmcd_consistency_check_seconds_bucket") {
+		t.Error("phase counters or consistency-check histogram missing from /metrics")
+	}
+}
+
+// TestHTTPProgressParamValidation: bad seq/wait are 400s, unknown jobs
+// 404, and a terminal job answers immediately (no long-poll hang).
+func TestHTTPProgressParamValidation(t *testing.T) {
+	_, ts := startServer(t, service.Config{Workers: 1, ProgressEvery: time.Millisecond})
+
+	if code, _ := getBody(t, ts, "/v1/jobs/nope/progress"); code != http.StatusNotFound {
+		t.Errorf("unknown job: %d, want 404", code)
+	}
+	status, job := postJob(t, ts, `{"test": "MP", "model": "sc"}`)
+	if status != http.StatusAccepted && status != http.StatusOK {
+		t.Fatalf("submit status %d", status)
+	}
+	if code, _ := getBody(t, ts, "/v1/jobs/"+job.ID+"/progress?seq=abc"); code != http.StatusBadRequest {
+		t.Errorf("bad seq: %d, want 400", code)
+	}
+	if code, _ := getBody(t, ts, "/v1/jobs/"+job.ID+"/progress?wait=never"); code != http.StatusBadRequest {
+		t.Errorf("bad wait: %d, want 400", code)
+	}
+	pollJob(t, ts, job.ID)
+	start := time.Now()
+	code, text := getBody(t, ts, "/v1/jobs/"+job.ID+"/progress?seq=999999&wait=30s")
+	if code != http.StatusOK {
+		t.Fatalf("terminal progress poll status %d", code)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("terminal job long-polled for %v, must answer immediately", elapsed)
+	}
+	var pr wireProgress
+	if err := json.Unmarshal([]byte(text), &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.State != "done" || pr.Job == nil {
+		t.Errorf("terminal poll: state %s, job %v", pr.State, pr.Job)
+	}
+}

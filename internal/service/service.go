@@ -29,6 +29,7 @@ import (
 	"hmc/internal/core"
 	"hmc/internal/litmus"
 	"hmc/internal/memmodel"
+	"hmc/internal/obs"
 	"hmc/internal/prog"
 )
 
@@ -90,6 +91,12 @@ type Config struct {
 	// with JournalDir). Smaller loses less work to a crash; larger
 	// checkpoints less often. See experiment T14 for the overhead curve.
 	CheckpointEveryExecs int
+	// ProgressEvery is how often a running job publishes a progress
+	// snapshot — served live in job polls, the /progress long-poll and the
+	// histograms (default 1s; negative disables progress entirely).
+	// Snapshots ride the explorer's drain barrier, so the overhead is one
+	// wave pause per cadence (EXPERIMENTS.md T15 bounds it at <5%).
+	ProgressEvery time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -128,6 +135,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CheckpointEveryExecs <= 0 {
 		c.CheckpointEveryExecs = 2000
+	}
+	if c.ProgressEvery == 0 {
+		c.ProgressEvery = core.DefaultProgressEvery
 	}
 	return c
 }
@@ -202,6 +212,26 @@ type Job struct {
 	userCancel  bool               // Cancel() was called
 	resumeFrom  *core.Checkpoint   // journal-replayed checkpoint to resume from
 	resumed     bool               // this job continued a pre-restart exploration
+
+	// progress is the job's latest exploration snapshot (nil until the
+	// first one lands); progressCh, when non-nil, is closed to wake
+	// long-poll waiters on each new snapshot and on the terminal
+	// transition. progressSeq renumbers snapshots monotonically across
+	// retry attempts (each attempt's explorer restarts its own Seq at 1,
+	// which would strand long-poll clients holding a higher one). All are
+	// guarded by the service mutex.
+	progress    *obs.ProgressSnapshot
+	progressSeq int
+	progressCh  chan struct{}
+}
+
+// notifyProgressLocked wakes every waiter blocked on the job's progress.
+// Callers hold s.mu.
+func (j *Job) notifyProgressLocked() {
+	if j.progressCh != nil {
+		close(j.progressCh)
+		j.progressCh = nil
+	}
 }
 
 // JobView is an immutable snapshot of a job, safe to hold across the
@@ -233,6 +263,11 @@ type JobView struct {
 	// from the journal and its exploration continued from the last
 	// checkpoint instead of starting over.
 	Resumed bool
+	// Progress is the job's latest exploration snapshot: live counters and
+	// rates while running, the final (counters == Result) snapshot once
+	// done. Nil before the first snapshot and for cache hits. The pointee
+	// is never mutated after publication.
+	Progress *obs.ProgressSnapshot
 }
 
 func (j *Job) view() JobView {
@@ -254,6 +289,7 @@ func (j *Job) view() JobView {
 		EngineError:   j.engineErr,
 		CrashArtifact: j.artifact,
 		Resumed:       j.resumed,
+		Progress:      j.progress,
 	}
 }
 
@@ -304,6 +340,7 @@ func New(cfg Config) (*Service, error) {
 		breaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
 		drainCh: make(chan struct{}),
 	}
+	s.cache.evictions = &s.metrics.CacheEvictions
 	if cfg.MaxCrashArtifacts > 0 {
 		s.crashes = &crashStore{dir: cfg.CrashDir, max: cfg.MaxCrashArtifacts}
 	}
@@ -660,6 +697,19 @@ func (s *Service) runJob(j *Job) {
 		}
 	}
 
+	// Live progress: each snapshot is published for polling, wakes the
+	// /progress long-pollers and feeds the histograms. The sink runs on the
+	// exploration goroutine between waves; s.mu is only ever held for
+	// job-transition bookkeeping (never while exploring), so taking it
+	// here cannot deadlock or stall other jobs.
+	var progOpts *core.ProgressOptions
+	if s.cfg.ProgressEvery > 0 {
+		progOpts = &core.ProgressOptions{
+			Every: s.cfg.ProgressEvery,
+			Sink:  func(snap obs.ProgressSnapshot) { s.observeProgress(j, snap) },
+		}
+	}
+
 	var res *core.Result
 	var err error
 	for attempt := 1; ; attempt++ {
@@ -690,6 +740,7 @@ func (s *Service) runJob(j *Job) {
 			Symmetry:      j.req.Symmetry,
 			Checkpoint:    ckptOpts,
 			ResumeFrom:    j.resumeFrom,
+			Progress:      progOpts,
 		})
 		s.metrics.InFlight.Add(-1)
 		cancel()
@@ -788,6 +839,55 @@ func (s *Service) runJob(j *Job) {
 	}
 }
 
+// observeProgress publishes one exploration snapshot for job j: the job
+// record gets it (job polls and the /progress endpoint serve it), waiters
+// are woken, and the service-wide distributions absorb it.
+func (s *Service) observeProgress(j *Job, snap obs.ProgressSnapshot) {
+	s.metrics.ObserveProgress(snap)
+	s.mu.Lock()
+	cp := snap
+	j.progressSeq++
+	cp.Seq = j.progressSeq
+	j.progress = &cp
+	j.notifyProgressLocked()
+	s.mu.Unlock()
+}
+
+// WaitProgress blocks until job id has a progress snapshot newer than
+// afterSeq, reaches a terminal state, or ctx expires — whichever first —
+// and returns the job's current view (ok=false: no such job). This is the
+// long-poll primitive behind GET /v1/jobs/{id}/progress: a client chains
+// calls, passing the last snapshot's Seq, and observes every cadence tick
+// without busy-polling.
+func (s *Service) WaitProgress(ctx context.Context, id string, afterSeq int) (JobView, bool) {
+	for {
+		s.mu.Lock()
+		j, ok := s.jobs[id]
+		if !ok {
+			s.mu.Unlock()
+			return JobView{}, false
+		}
+		if j.state.Terminal() || (j.progress != nil && j.progress.Seq > afterSeq) {
+			view := j.view()
+			s.mu.Unlock()
+			return view, true
+		}
+		if j.progressCh == nil {
+			j.progressCh = make(chan struct{})
+		}
+		ch := j.progressCh
+		s.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			s.mu.Lock()
+			view := j.view()
+			s.mu.Unlock()
+			return view, true
+		}
+	}
+}
+
 // persistVerdicts writes the verdict cache to disk (atomic replace). A
 // no-op once killForTest has fired: the simulated-dead process must not
 // keep writing durable state.
@@ -851,9 +951,12 @@ func (s *Service) CrashArtifacts() int {
 }
 
 // recordFinishedLocked appends j to the finished history and evicts the
-// oldest finished job records beyond the configured retention. Callers
-// hold s.mu.
+// oldest finished job records beyond the configured retention. It is
+// called at every terminal transition, which makes it the single point
+// where progress long-pollers are woken for the last time. Callers hold
+// s.mu.
 func (s *Service) recordFinishedLocked(j *Job) {
+	j.notifyProgressLocked()
 	s.finished = append(s.finished, j.id)
 	for len(s.finished) > s.cfg.JobHistory {
 		delete(s.jobs, s.finished[0])
