@@ -22,6 +22,7 @@
 //	hmc -resume run.ckpt -checkpoint run.ckpt -test IRIW
 //	hmc -progress -progress-every 500ms -model sc -test IRIW
 //	hmc -trace run.jsonl -model tso -test SB
+//	hmc -shards 4 -stats -model tso -test SB
 //	hmc vet -model tso -foot examples/litmusfile/mp.lit
 //	hmc -repro hmcd-crashes/crash-3f2a91c0aa17-job-000042.json
 //
@@ -34,6 +35,13 @@
 // to the -checkpoint file; re-running with -resume picks the exploration
 // up exactly where it stopped (same program, model and bounds required)
 // and, on completion, reports the same counts as an uninterrupted run.
+//
+// -shards N splits the frontier across N in-process explorers
+// (internal/shard): each owns a slice of the canonical-state space,
+// forwards graphs it does not own, and idle explorers steal buckets from
+// busy ones. Verdict and counts are identical to -shards 1 — only the
+// wall clock changes. Composes with -checkpoint/-resume (checkpoints are
+// merged, whole-run ones) and -progress; -trace does not compose.
 //
 // `hmc vet` lints a program without exploring it: the static analysis in
 // internal/analyze reports dead stores, statically-false assertions and
@@ -66,6 +74,7 @@ import (
 	"hmc/internal/obs"
 	"hmc/internal/prog"
 	"hmc/internal/service"
+	"hmc/internal/shard"
 )
 
 // progressOut receives the -progress ticker. Progress is operator
@@ -111,6 +120,7 @@ func run(args []string, out io.Writer) error {
 	progress := fs.Bool("progress", false, "print a live progress ticker to stderr (executions, rate, ETA)")
 	progressEvery := fs.Duration("progress-every", time.Second, "progress ticker cadence (with -progress)")
 	tracePath := fs.String("trace", "", "write a JSONL exploration trace (waves, revisits, prunes, snapshots) to this file")
+	shards := fs.Int("shards", 1, "split the frontier across this many parallel explorers (1 = the classic single-explorer path); totals are identical, wall-clock shrinks with cores")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -118,6 +128,12 @@ func run(args []string, out io.Writer) error {
 	ob := obsConfig{progress: *progress, every: *progressEvery, trace: *tracePath}
 	if (ck.path != "" || ck.resume != "") && *all {
 		return fmt.Errorf("-checkpoint/-resume work on a single model; drop -all")
+	}
+	if *shards < 1 {
+		return fmt.Errorf("-shards wants a positive count, got %d", *shards)
+	}
+	if *shards > 1 && *tracePath != "" {
+		return fmt.Errorf("-trace records one explorer's event stream; it does not compose with -shards (drop one)")
 	}
 
 	if *reproPath != "" {
@@ -165,7 +181,7 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 	for _, name := range models {
-		if err := check(out, p, name, *verbose, *maxExec, *maxEvents, *memBudget, *dotPath, *workers, *symm, *static, *checkDeps, *stats, ck, ob, newCtx); err != nil {
+		if err := check(out, p, name, *verbose, *maxExec, *maxEvents, *memBudget, *dotPath, *workers, *shards, *symm, *static, *checkDeps, *stats, ck, ob, newCtx); err != nil {
 			return err
 		}
 		if *robust {
@@ -359,7 +375,7 @@ func writeCheckpointFile(path string, cp *core.Checkpoint) error {
 	return os.Rename(tmp, path)
 }
 
-func check(out io.Writer, p *prog.Program, model string, verbose bool, maxExec, maxEvents int, memBudget int64, dotPath string, workers int, symm, static, checkDeps, stats bool, ck ckptConfig, ob obsConfig, newCtx func() (context.Context, context.CancelFunc)) error {
+func check(out io.Writer, p *prog.Program, model string, verbose bool, maxExec, maxEvents int, memBudget int64, dotPath string, workers, shards int, symm, static, checkDeps, stats bool, ck ckptConfig, ob obsConfig, newCtx func() (context.Context, context.CancelFunc)) error {
 	m, err := memmodel.ByName(model)
 	if err != nil {
 		return err
@@ -423,7 +439,32 @@ func check(out io.Writer, p *prog.Program, model string, verbose bool, maxExec, 
 			witnessWeak = weak
 		}
 	}
-	res, err := core.Explore(p, opts)
+	var res *core.Result
+	var steals, retries int
+	if shards > 1 {
+		so := shard.Options{
+			Shards:  shards,
+			Core:    opts,
+			OnSteal: func() { steals++ },
+			OnRetry: func() { retries++ },
+		}
+		// The coordinator owns checkpointing and progress for the whole
+		// fleet: reroute the flags to its merged-snapshot hooks so the
+		// files and ticker lines look exactly like the single-shard ones.
+		if opts.Checkpoint != nil {
+			so.CheckpointSink = opts.Checkpoint.Sink
+			so.CheckpointEveryExecs = opts.Checkpoint.EveryExecs
+			so.Core.Checkpoint = nil
+		}
+		if opts.Progress != nil {
+			so.OnProgress = opts.Progress.Sink
+			so.ProgressEvery = opts.Progress.Every
+			so.Core.Progress = nil
+		}
+		res, err = shard.Explore(p, so)
+	} else {
+		res, err = core.Explore(p, opts)
+	}
 	if traceFile != nil {
 		cerr := traceFile.Close()
 		switch {
@@ -499,6 +540,9 @@ func check(out io.Writer, p *prog.Program, model string, verbose bool, maxExec, 
 		if static {
 			fmt.Fprintf(out, "  static-pruned: rf=%d co=%d revisit-scans=%d\n",
 				res.StaticPrunedRf, res.StaticPrunedCo, res.StaticPrunedScans)
+		}
+		if shards > 1 {
+			fmt.Fprintf(out, "  shards=%d steals=%d leg-retries=%d\n", shards, steals, retries)
 		}
 	}
 	if checkDeps {

@@ -16,6 +16,7 @@
 //	     [-crash-dir hmcd-crashes] [-crash-max 32] [-retries 2]
 //	     [-retry-backoff 50ms] [-breaker-threshold 3] [-breaker-cooldown 10m]
 //	     [-progress-every 1s] [-pprof 127.0.0.1:6060]
+//	     [-peers http://host1:8433,http://host2:8433]
 //
 // Fault containment: an engine panic fails only its own job — the panic
 // is recovered into a structured engine_error on the job payload and a
@@ -29,7 +30,14 @@
 //	GET    /v1/jobs/{id}          poll status, result and live progress
 //	GET    /v1/jobs/{id}/progress long-poll progress snapshots (?seq=N&wait=5s)
 //	DELETE /v1/jobs/{id}          cancel
+//	POST   /v1/shards             execute one shard leg for a peer coordinator
 //	GET    /v1/models    GET /v1/tests    GET /healthz    GET /metrics
+//
+// Distributed exploration: a submission with "shards": N splits the
+// frontier across N explorers. With -peers, shards beyond the first are
+// round-robined across this daemon and its peers over POST /v1/shards;
+// a peer that dies mid-leg costs only a local re-run of that leg from
+// its last checkpoint — merged totals are unchanged.
 //
 // Observability: running jobs publish progress snapshots every
 // -progress-every (counters, rates, sampled phase breakdown), served in
@@ -51,6 +59,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -89,8 +98,16 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(addr stri
 	checkpointEvery := fs.Int("checkpoint-every", 2000, "executions between journaled exploration checkpoints")
 	progressEvery := fs.Duration("progress-every", time.Second, "cadence of live job progress snapshots (negative disables)")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this separate address (empty disables)")
+	peers := fs.String("peers", "", "comma-separated base URLs of peer hmcd daemons that serve shard legs for multi-shard jobs (empty = all shards run locally)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var peerURLs []string
+	for _, u := range strings.Split(*peers, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			peerURLs = append(peerURLs, u)
+		}
 	}
 
 	svc, err := service.New(service.Config{
@@ -109,6 +126,7 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(addr stri
 		JournalMaxBytes:      *journalMax,
 		CheckpointEveryExecs: *checkpointEvery,
 		ProgressEvery:        *progressEvery,
+		Peers:                peerURLs,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestPeerDeathResilience is the chaos test for distributed sharding: a
+// coordinator daemon farms one shard of a two-shard job out to a peer
+// daemon over POST /v1/shards, the peer is SIGKILLed while that leg is
+// provably in flight, and the job must still finish exhaustively with
+// exactly the single-explorer execution count — the dead peer's leg is
+// re-run locally from its untouched input checkpoint.
+func TestPeerDeathResilience(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills real daemons; skipped in -short")
+	}
+
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "hmcd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	peer, peerAddr := startDaemon(t, bin, filepath.Join(dir, "peer-journal"))
+	peerDead := false
+	defer func() {
+		if !peerDead {
+			peer.Process.Signal(syscall.SIGKILL) //nolint:errcheck
+			peer.Wait()                          //nolint:errcheck
+		}
+	}()
+	coord, coordAddr := startDaemon(t, bin, filepath.Join(dir, "coord-journal"),
+		"-peers", "http://"+peerAddr)
+	defer func() {
+		coord.Process.Signal(syscall.SIGKILL) //nolint:errcheck
+		coord.Wait()                          //nolint:errcheck
+	}()
+
+	// The same store-only program as TestRestartResilience: 11550 sc
+	// executions, several seconds of exploration. With shards=2 and one
+	// peer, shard 0 runs locally and shard 1 on the peer.
+	submit := `{"model": "sc", "shards": 2, "source": "name many-writes\nT0: W x 1 ; W x 2 ; W x 3 ; W x 4\nT1: W x 11 ; W x 12 ; W x 13 ; W x 14\nT2: W x 21 ; W x 22 ; W x 23\nexists x=4\n"}`
+	resp, err := http.Post("http://"+coordAddr+"/v1/jobs", "application/json", strings.NewReader(submit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var job struct {
+		ID string `json:"id"`
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d body %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &job); err != nil || job.ID == "" {
+		t.Fatalf("submit response %s: %v", body, err)
+	}
+
+	// Kill the peer only once a leg is provably running on it — the
+	// in-flight gauge is the proof — so the coordinator must recover from
+	// a mid-leg death, not a before-the-first-byte connection refusal.
+	waitMetric(t, peerAddr, "hmcd_shard_legs_active", 1)
+	peerDead = true
+	if err := peer.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	peer.Wait() //nolint:errcheck // killed: the error is the point
+
+	var done struct {
+		State  string `json:"state"`
+		Error  string `json:"error"`
+		Result *struct {
+			Executions int  `json:"executions"`
+			Truncated  bool `json:"truncated"`
+			Exhaustive bool `json:"exhaustive"`
+		} `json:"result"`
+	}
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		resp, err := http.Get("http://" + coordAddr + "/v1/jobs/" + job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("poll %s: status %d body %s", job.ID, resp.StatusCode, body)
+		}
+		if err := json.Unmarshal(body, &done); err != nil {
+			t.Fatalf("poll response %s: %v", body, err)
+		}
+		if done.State == "done" || done.State == "failed" || done.State == "canceled" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never finished after peer death; last state %s", done.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if done.State != "done" {
+		t.Fatalf("job after peer death: state=%s err=%q, want done", done.State, done.Error)
+	}
+	if done.Result == nil || !done.Result.Exhaustive || done.Result.Executions != 11550 {
+		t.Fatalf("result after peer death %+v, want exhaustive with 11550 executions", done.Result)
+	}
+	if retries := readMetric(t, coordAddr, "hmcd_shard_retries_total"); retries < 1 {
+		t.Fatalf("hmcd_shard_retries_total = %d, want >= 1 (the dead peer's leg was re-run)", retries)
+	}
+}

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"strconv"
+	"strings"
+
+	"hmc/internal/eg"
+	"hmc/internal/prog"
+)
+
+// This file defines state ownership for sharded exploration: a ShardSpec
+// assigns every canonical state key to one of Mod hash buckets and owns a
+// subset of them. An explorer running under Options.Shard expands only the
+// states it owns and records every other constructed graph on its
+// checkpoint's Forwarded list for the coordinator (internal/shard) to
+// route. Because each state is expanded by exactly one owner and each
+// arrival is memo-checked exactly once — at that owner — the counters of
+// the shards sum to exactly the single-process run's, the same
+// exactly-once guarantee the resume path has (checkpoint.go).
+
+// MaxShardBuckets bounds the ownership-bucket count of a ShardSpec. The
+// bucket count trades steal granularity (more buckets = finer work moves)
+// against spec size; 4096 is far above any sane shard fleet.
+const MaxShardBuckets = 4096
+
+// ShardSpec is an immutable ownership claim over the state space: keys
+// hash into Mod buckets (FNV-1a), and the spec owns a subset of them. The
+// coordinator keeps the specs of one run disjoint and covering, so every
+// state has exactly one owner at any time.
+type ShardSpec struct {
+	mod   int
+	owned []bool
+	str   string
+}
+
+// NewShardSpec builds a spec owning the given buckets out of mod.
+func NewShardSpec(mod int, buckets []int) (*ShardSpec, error) {
+	if mod < 1 || mod > MaxShardBuckets {
+		return nil, fmt.Errorf("core: shard bucket count %d out of range [1,%d]", mod, MaxShardBuckets)
+	}
+	s := &ShardSpec{mod: mod, owned: make([]bool, mod)}
+	for _, b := range buckets {
+		if b < 0 || b >= mod {
+			return nil, fmt.Errorf("core: shard bucket %d out of range [0,%d)", b, mod)
+		}
+		s.owned[b] = true
+	}
+	s.str = s.render()
+	return s, nil
+}
+
+// ParseShardSpec parses the String form ("mod:hexmask", nibble i covering
+// buckets 4i..4i+3, bit b%4 = bucket 4⌊b/4⌋+b%4).
+func ParseShardSpec(str string) (*ShardSpec, error) {
+	mods, mask, ok := strings.Cut(str, ":")
+	if !ok {
+		return nil, fmt.Errorf("core: bad shard spec %q: want \"mod:hexmask\"", str)
+	}
+	mod, err := strconv.Atoi(mods)
+	if err != nil || mod < 1 || mod > MaxShardBuckets {
+		return nil, fmt.Errorf("core: bad shard spec %q: bucket count out of range [1,%d]", str, MaxShardBuckets)
+	}
+	if len(mask) != (mod+3)/4 {
+		return nil, fmt.Errorf("core: bad shard spec %q: mask is %d hex digits, %d buckets need %d", str, len(mask), mod, (mod+3)/4)
+	}
+	s := &ShardSpec{mod: mod, owned: make([]bool, mod)}
+	for i := 0; i < len(mask); i++ {
+		v, err := strconv.ParseUint(mask[i:i+1], 16, 8)
+		if err != nil {
+			return nil, fmt.Errorf("core: bad shard spec %q: mask digit %d is not hex", str, i)
+		}
+		for bit := 0; bit < 4; bit++ {
+			if v&(1<<bit) == 0 {
+				continue
+			}
+			b := 4*i + bit
+			if b >= mod {
+				return nil, fmt.Errorf("core: bad shard spec %q: mask sets bucket %d beyond count %d", str, b, mod)
+			}
+			s.owned[b] = true
+		}
+	}
+	s.str = s.render()
+	return s, nil
+}
+
+func (s *ShardSpec) render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d:", s.mod)
+	for i := 0; i < (s.mod+3)/4; i++ {
+		v := 0
+		for bit := 0; bit < 4; bit++ {
+			if b := 4*i + bit; b < s.mod && s.owned[b] {
+				v |= 1 << bit
+			}
+		}
+		fmt.Fprintf(&sb, "%x", v)
+	}
+	return sb.String()
+}
+
+// Mod returns the spec's bucket count.
+func (s *ShardSpec) Mod() int { return s.mod }
+
+// Owns reports whether the spec owns the state with the given canonical
+// key.
+func (s *ShardSpec) Owns(key string) bool { return s.owned[BucketOf(key, s.mod)] }
+
+// OwnsBucket reports whether the spec owns bucket b.
+func (s *ShardSpec) OwnsBucket(b int) bool { return b >= 0 && b < s.mod && s.owned[b] }
+
+// Buckets returns the owned buckets in ascending order.
+func (s *ShardSpec) Buckets() []int {
+	var out []int
+	for b, own := range s.owned {
+		if own {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// String renders the spec in the form ParseShardSpec reads; equal specs
+// render identically, so the string is also the identity recorded on
+// checkpoints (Checkpoint.Shard).
+func (s *ShardSpec) String() string { return s.str }
+
+// BucketOf maps a canonical state key to its ownership bucket: FNV-1a
+// (32-bit) over the key, mod the bucket count. The hash is part of the
+// checkpoint contract — every engine routing for the same run must bucket
+// identically — so it is fixed here rather than delegated to hash/maphash
+// (which is seeded per process).
+func BucketOf(key string, mod int) int {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return int(h % uint32(mod))
+}
+
+// KeyFunc returns the canonical state-key function of a run: the semantic
+// graph key, minimized over thread permutations when symmetry reduction
+// is on. This is exactly the key visit memoizes on and ShardSpec.Owns
+// buckets by, exported so the coordinator can re-bucket pending graphs
+// when re-balancing shards. Computing the permutation set replays engine
+// code on the untrusted program, so it gets the same panic→error boundary
+// as the other entry points.
+func KeyFunc(p *prog.Program, symmetry bool) (fn func(*eg.Graph) string, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			fn = nil
+			err = &EngineError{
+				Op:          "keyfunc",
+				Program:     p.Name,
+				Fingerprint: p.Fingerprint(),
+				PanicValue:  r,
+				Stack:       string(debug.Stack()),
+			}
+		}
+	}()
+	var perms [][]int
+	if symmetry {
+		perms = symmetryPerms(len(p.Threads), p.SymmetryGroups())
+	}
+	return func(g *eg.Graph) string {
+		key := g.Key()
+		for _, perm := range perms {
+			if k := g.RenameThreads(perm).Key(); k < key {
+				key = k
+			}
+		}
+		return key
+	}, nil
+}
+
+// InitialCheckpoint describes a run of p under opts that has done no work
+// yet: empty memo, zero counters, the initial (empty) graph pending. It
+// is what the shard coordinator splits when starting a fresh job, and
+// resuming from it is equivalent to a fresh Explore call.
+func InitialCheckpoint(p *prog.Program, opts Options) (cp *Checkpoint, err error) {
+	if opts.Model == nil {
+		return nil, errors.New("core: Options.Model is required")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	// Fingerprinting and graph construction run engine code on the
+	// untrusted program — same panic→error boundary as Explore.
+	defer func() {
+		if r := recover(); r != nil {
+			cp = nil
+			err = &EngineError{
+				Op:          "initial-checkpoint",
+				Program:     p.Name,
+				Fingerprint: p.Fingerprint(),
+				Model:       opts.Model.Name(),
+				PanicValue:  r,
+				Stack:       string(debug.Stack()),
+			}
+		}
+	}()
+	g := eg.NewGraph(len(p.Threads), p.NumLocs)
+	data, err := encodeWireGraph(g)
+	if err != nil {
+		return nil, err
+	}
+	return &Checkpoint{
+		Version:     CheckpointVersion,
+		Schema:      SchemaVersion,
+		Fingerprint: p.Fingerprint(),
+		Model:       opts.Model.Name(),
+		Opts:        optsSignature(opts),
+		Pending:     []json.RawMessage{data},
+	}, nil
+}

@@ -75,10 +75,28 @@ type ProgressSnapshot struct {
 	ETA          time.Duration `json:"eta_ns,omitempty"`
 
 	Phases PhaseTimes `json:"phases"`
+	// Shards, when the run is sharded (internal/shard), breaks the fleet
+	// down per shard; the top-level counters are their sums. Empty for
+	// single-explorer runs.
+	Shards []ShardProgress `json:"shards,omitempty"`
 	// Final marks the last snapshot of a run: the run has stopped
 	// (exhausted, truncated or interrupted) and the counters equal the
 	// Result's.
 	Final bool `json:"final,omitempty"`
+}
+
+// ShardProgress is one shard's slice of a sharded run: who it is, how
+// much frontier it still holds, and how fast its legs have been going.
+type ShardProgress struct {
+	Shard       int     `json:"shard"`
+	Frontier    int     `json:"frontier"`
+	Executions  int     `json:"executions"`
+	ExecsPerSec float64 `json:"execs_per_sec"`
+	Running     bool    `json:"running,omitempty"`
+	// Steals counts times this shard's frontier was split for an idle
+	// peer; Retries counts leg re-runs after a worker death.
+	Steals  int `json:"steals,omitempty"`
+	Retries int `json:"retries,omitempty"`
 }
 
 // Rate returns n per second over elapsed, guarded against zero and

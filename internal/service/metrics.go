@@ -33,6 +33,16 @@ type Metrics struct {
 	JobsRetried     atomic.Int64 // re-runs after a memory-budget truncation
 	BreakerRejected atomic.Int64 // submissions refused by the circuit breaker
 
+	// Sharded-exploration counters (internal/shard): legs running across
+	// all sharded jobs (gauge), completed work-steals, leg re-runs after a
+	// worker death, and peer legs served through POST /v1/shards (gauge of
+	// in-flight ones plus a lifetime total).
+	ShardsActive    atomic.Int64
+	ShardSteals     atomic.Int64
+	ShardRetries    atomic.Int64
+	ShardLegsActive atomic.Int64
+	ShardLegsServed atomic.Int64
+
 	JournalReplayedJobs   atomic.Int64 // incomplete jobs re-enqueued from the journal on startup
 	JournalCheckpoints    atomic.Int64 // periodic exploration checkpoints journaled
 	JournalSkippedRecords atomic.Int64 // torn or wrong-schema journal records dropped on replay
@@ -198,6 +208,11 @@ func (m *Metrics) writePrometheus(w io.Writer, queueDepth, cacheEntries, cacheCa
 	counter("hmcd_crash_artifacts_total", "Crash repro artifacts written.", m.CrashArtifacts.Load())
 	counter("hmcd_jobs_retried_total", "Job re-runs after a transient memory-budget truncation.", m.JobsRetried.Load())
 	counter("hmcd_breaker_rejected_total", "Submissions refused by the per-program circuit breaker.", m.BreakerRejected.Load())
+	gaugeI("hmcd_shards_active", "Shard legs currently running across all sharded jobs.", m.ShardsActive.Load())
+	counter("hmcd_shard_steals_total", "Work-steals completed (frontier buckets moved to an idle shard).", m.ShardSteals.Load())
+	counter("hmcd_shard_retries_total", "Shard legs re-run after a worker death or peer failure.", m.ShardRetries.Load())
+	gaugeI("hmcd_shard_legs_active", "Peer shard legs currently executing for remote coordinators.", m.ShardLegsActive.Load())
+	counter("hmcd_shard_legs_served_total", "Peer shard legs served through /v1/shards.", m.ShardLegsServed.Load())
 	counter("hmcd_journal_replayed_jobs_total", "Incomplete jobs re-enqueued from the journal on startup.", m.JournalReplayedJobs.Load())
 	counter("hmcd_journal_checkpoints_total", "Periodic exploration checkpoints journaled.", m.JournalCheckpoints.Load())
 	counter("hmcd_journal_skipped_records_total", "Torn or wrong-schema journal records dropped on replay.", m.JournalSkippedRecords.Load())

@@ -31,6 +31,7 @@ import (
 	"hmc/internal/memmodel"
 	"hmc/internal/obs"
 	"hmc/internal/prog"
+	"hmc/internal/shard"
 )
 
 // Config sizes the service. Zero values select the defaults.
@@ -97,6 +98,11 @@ type Config struct {
 	// Snapshots ride the explorer's drain barrier, so the overhead is one
 	// wave pause per cadence (EXPERIMENTS.md T15 bounds it at <5%).
 	ProgressEvery time.Duration
+	// Peers are base URLs of peer hmcd daemons (e.g. "http://host:8433")
+	// that sharded jobs may farm legs to through POST /v1/shards. Shard 0
+	// always runs locally; further shards round-robin over local + peers.
+	// Empty means sharded jobs run all their legs in-process.
+	Peers []string
 }
 
 func (c Config) withDefaults() Config {
@@ -172,6 +178,11 @@ type SubmitRequest struct {
 	MemoryBudget  int64
 	Workers       int
 	Symmetry      bool
+	// Shards splits the exploration across this many explorers
+	// (internal/shard) with work-stealing and exactly-once leg retries;
+	// the merged totals are identical to a single-explorer run. 0 or 1 is
+	// the legacy single-explorer path. Capped at MaxShards.
+	Shards int
 	// Timeout is the job's wall-clock budget (0: Config.DefaultTimeout).
 	// A job that exceeds it completes with a partial, Interrupted result.
 	Timeout time.Duration
@@ -395,6 +406,7 @@ func (s *Service) replayJob(jj *journalJob) {
 		MemoryBudget:  rec.MemoryBudget,
 		Workers:       rec.Workers,
 		Symmetry:      rec.Symmetry,
+		Shards:        rec.Shards,
 		Timeout:       time.Duration(rec.TimeoutMS) * time.Millisecond,
 		Source:        rec.Source,
 		Test:          rec.Test,
@@ -504,6 +516,16 @@ func (s *Service) safeRunJob(j *Job) {
 	s.runJob(j)
 }
 
+// shardRunners builds the leg runners for one sharded job: shard 0 is
+// always local, further shards round-robin over local + configured peers.
+func (s *Service) shardRunners() []shard.Runner {
+	runners := []shard.Runner{shard.Local{}}
+	for _, u := range s.cfg.Peers {
+		runners = append(runners, &shard.HTTPPeer{BaseURL: u})
+	}
+	return runners
+}
+
 // Metrics exposes the counters (for tests and embedding servers).
 func (s *Service) Metrics() *Metrics { return &s.metrics }
 
@@ -514,14 +536,25 @@ func (s *Service) Config() Config { return s.cfg }
 // QueueDepth reports the jobs currently waiting.
 func (s *Service) QueueDepth() int { return len(s.queue) }
 
+// MaxShards bounds SubmitRequest.Shards: past this, coordination overhead
+// dwarfs any parallelism a litmus-sized job can expose.
+const MaxShards = 64
+
 // cacheKey builds the verdict-cache key: everything that determines the
 // result, nothing that only determines how fast it is computed (Workers)
 // or what a client called the program (the fingerprint ignores names).
 // MemoryBudget is deliberately excluded: a memory-truncated result is
 // transient and never cached (see runJob), and an untruncated run under a
-// budget equals the unbudgeted run.
+// budget equals the unbudgeted run. Shards is excluded on the unbounded
+// path for the same reason — merged totals are identical by construction —
+// but included when MaxExecutions is set, because that bound applies per
+// shard and changes which prefix of the space a truncated run covers.
 func cacheKey(fp string, req SubmitRequest) string {
-	return fmt.Sprintf("%s|%s|max=%d|maxev=%d|symm=%v", fp, req.Model, req.MaxExecutions, req.MaxEvents, req.Symmetry)
+	k := fmt.Sprintf("%s|%s|max=%d|maxev=%d|symm=%v", fp, req.Model, req.MaxExecutions, req.MaxEvents, req.Symmetry)
+	if req.MaxExecutions > 0 && req.Shards > 1 {
+		k += fmt.Sprintf("|shards=%d", req.Shards)
+	}
+	return k
 }
 
 // Submit validates req, answers it from the verdict cache when possible,
@@ -537,6 +570,9 @@ func (s *Service) Submit(req SubmitRequest) (JobView, error) {
 	}
 	if err := req.Program.Validate(); err != nil {
 		return JobView{}, err
+	}
+	if req.Shards < 0 || req.Shards > MaxShards {
+		return JobView{}, fmt.Errorf("service: shards %d out of range [0, %d]", req.Shards, MaxShards)
 	}
 	if req.Timeout <= 0 {
 		req.Timeout = s.cfg.DefaultTimeout
@@ -710,6 +746,54 @@ func (s *Service) runJob(j *Job) {
 		}
 	}
 
+	// explore runs one attempt: the legacy single explorer, or — when the
+	// submission asked for shards — the internal/shard coordinator, with
+	// journal durability and progress rerouted through its own hooks
+	// (core's Checkpoint/Progress options are coordinator-owned there).
+	explore := func(ctx context.Context) (*core.Result, error) {
+		copts := core.Options{
+			Model:         j.model,
+			Context:       ctx,
+			MaxExecutions: j.req.MaxExecutions,
+			MaxEvents:     j.req.MaxEvents,
+			MemoryBudget:  j.req.MemoryBudget,
+			Workers:       j.req.Workers,
+			Symmetry:      j.req.Symmetry,
+			ResumeFrom:    j.resumeFrom,
+		}
+		if j.req.Shards <= 1 {
+			copts.Checkpoint = ckptOpts
+			copts.Progress = progOpts
+			return core.Explore(j.req.Program, copts)
+		}
+		so := shard.Options{
+			Shards:  j.req.Shards,
+			Core:    copts,
+			Source:  j.req.Source,
+			Test:    j.req.Test,
+			Runners: s.shardRunners(),
+			OnSteal: func() { s.metrics.ShardSteals.Add(1) },
+			OnRetry: func() { s.metrics.ShardRetries.Add(1) },
+		}
+		// The coordinator reports its own active-leg count from its event
+		// loop (single-threaded per job); the service gauge sums the deltas
+		// across jobs, and every run ends back at zero.
+		prev := 0
+		so.OnActive = func(active int) {
+			s.metrics.ShardsActive.Add(int64(active - prev))
+			prev = active
+		}
+		if ckptOpts != nil {
+			so.CheckpointSink = ckptOpts.Sink
+			so.CheckpointEveryExecs = ckptOpts.EveryExecs
+		}
+		if progOpts != nil {
+			so.OnProgress = progOpts.Sink
+			so.ProgressEvery = progOpts.Every
+		}
+		return shard.Explore(j.req.Program, so)
+	}
+
 	var res *core.Result
 	var err error
 	for attempt := 1; ; attempt++ {
@@ -730,18 +814,7 @@ func (s *Service) runJob(j *Job) {
 		}
 
 		s.metrics.InFlight.Add(1)
-		res, err = core.Explore(j.req.Program, core.Options{
-			Model:         j.model,
-			Context:       ctx,
-			MaxExecutions: j.req.MaxExecutions,
-			MaxEvents:     j.req.MaxEvents,
-			MemoryBudget:  j.req.MemoryBudget,
-			Workers:       j.req.Workers,
-			Symmetry:      j.req.Symmetry,
-			Checkpoint:    ckptOpts,
-			ResumeFrom:    j.resumeFrom,
-			Progress:      progOpts,
-		})
+		res, err = explore(ctx)
 		s.metrics.InFlight.Add(-1)
 		cancel()
 

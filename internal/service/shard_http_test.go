@@ -1,0 +1,95 @@
+package service_test
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+
+	"hmc/internal/service"
+)
+
+// TestHTTPShardedJobViaPeer runs a two-shard job whose second shard is
+// served by a *separate* service over POST /v1/shards — the full
+// distributed path: LegWire encode, peer-side program rebuild, leg
+// execution, checkpoint return, coordinator merge. The verdict must be
+// the exact single-explorer totals, and the peer must have counted the
+// leg it served.
+func TestHTTPShardedJobViaPeer(t *testing.T) {
+	_, peerTS := startServer(t, service.Config{Workers: 1})
+	_, coordTS := startServer(t, service.Config{Workers: 1, Peers: []string{peerTS.URL}})
+
+	// 8 writes over 3 threads: 8!/(3!·3!·2!) = 560 interleavings — big
+	// enough to split across shards, small enough for the race detector.
+	source := "name peer-writes\n" +
+		"T0: W x 1 ; W x 2 ; W x 3\n" +
+		"T1: W x 11 ; W x 12 ; W x 13\n" +
+		"T2: W x 21 ; W x 22\n" +
+		"exists x=3\n"
+	body := `{"model": "sc", "shards": 2, "source": ` + jsonString(source) + `}`
+	status, job := postJob(t, coordTS, body)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit: status %d", status)
+	}
+	done := pollJob(t, coordTS, job.ID)
+	if done.State != "done" || done.Result == nil {
+		t.Fatalf("job state %s (err %q)", done.State, done.Error)
+	}
+	if done.Result.Executions != 560 || !done.Result.Exhaustive {
+		t.Fatalf("sharded-via-peer result %+v, want exhaustive 560 executions", done.Result)
+	}
+
+	status, metrics := getBody(t, peerTS, "/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("peer /metrics: status %d", status)
+	}
+	if served := metricValue(t, metrics, "hmcd_shard_legs_served_total"); served == "0" {
+		t.Fatal("peer served no shard legs; the job ran entirely locally")
+	}
+	status, shardStatus := getBody(t, peerTS, "/v1/shards")
+	if status != http.StatusOK || !strings.Contains(shardStatus, `"served":`) {
+		t.Fatalf("GET /v1/shards: status %d body %s", status, shardStatus)
+	}
+}
+
+// TestHTTPShardLegRejectsBadBodies: the peer-leg endpoint is an
+// untrusted-input boundary like job submission.
+func TestHTTPShardLegRejectsBadBodies(t *testing.T) {
+	_, ts := startServer(t, service.Config{Workers: 1})
+	for _, tc := range []struct{ name, body string }{
+		{"not json", "not json"},
+		{"unknown field", `{"bogus": 1}`},
+		{"no program", `{"model": "sc", "shard": "2:0"}`},
+		{"both programs", `{"source": "name x\nT0: W x 1\nexists x=1\n", "test": "SB", "model": "sc"}`},
+		{"unknown test", `{"test": "no-such-test", "model": "sc"}`},
+		{"no checkpoint", `{"test": "SB", "model": "sc", "shard": "2:0"}`},
+	} {
+		resp, err := http.Post(ts.URL+"/v1/shards", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+}
+
+// jsonString quotes s as a JSON string literal.
+func jsonString(s string) string {
+	b := new(strings.Builder)
+	b.WriteByte('"')
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}

@@ -1,0 +1,128 @@
+package service
+
+import (
+	"context"
+	"testing"
+
+	"hmc/internal/litmus"
+)
+
+// TestShardedSubmitMatchesSingle: a sharded job's merged verdict and
+// counts are identical to the single-explorer run of the same program,
+// and the active-shards gauge nets back to zero when the fleet drains.
+func TestShardedSubmitMatchesSingle(t *testing.T) {
+	s := mustNew(t, Config{Workers: 1, CacheSize: -1}) // no cache: both jobs must really run
+	defer s.Shutdown(context.Background())
+
+	p, err := litmus.Parse(manyExecsSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := s.Submit(SubmitRequest{Program: p, Model: "sc", Source: manyExecsSource})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain = waitState(t, s, plain.ID)
+	sharded, err := s.Submit(SubmitRequest{Program: p, Model: "sc", Source: manyExecsSource, Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded = waitState(t, s, sharded.ID)
+
+	if plain.State != StateDone || sharded.State != StateDone {
+		t.Fatalf("states: plain=%s sharded=%s (errs %q / %q)", plain.State, sharded.State, plain.Err, sharded.Err)
+	}
+	if sharded.CacheHit {
+		t.Fatal("cache disabled, yet the sharded submission hit it")
+	}
+	pr, sr := plain.Result, sharded.Result
+	if pr == nil || sr == nil {
+		t.Fatalf("missing results: plain=%v sharded=%v", pr, sr)
+	}
+	if pr.Executions != sr.Executions || pr.Blocked != sr.Blocked ||
+		pr.ExistsCount != sr.ExistsCount || pr.States != sr.States ||
+		pr.MemoHits != sr.MemoHits || !sr.Exhaustive() {
+		t.Fatalf("sharded run diverged:\nplain:   execs=%d blocked=%d exists=%d states=%d memo=%d\nsharded: execs=%d blocked=%d exists=%d states=%d memo=%d exhaustive=%v",
+			pr.Executions, pr.Blocked, pr.ExistsCount, pr.States, pr.MemoHits,
+			sr.Executions, sr.Blocked, sr.ExistsCount, sr.States, sr.MemoHits, sr.Exhaustive())
+	}
+	if got := s.metrics.ShardsActive.Load(); got != 0 {
+		t.Fatalf("hmcd_shards_active = %d after all jobs drained, want 0", got)
+	}
+}
+
+// TestShardedSubmitValidation: the shard count is bounded.
+func TestShardedSubmitValidation(t *testing.T) {
+	s := mustNew(t, Config{Workers: 1})
+	defer s.Shutdown(context.Background())
+
+	mp, _ := litmus.ByName("MP")
+	if _, err := s.Submit(SubmitRequest{Program: mp.P, Model: "imm", Shards: -1}); err == nil {
+		t.Error("negative shards must be rejected")
+	}
+	if _, err := s.Submit(SubmitRequest{Program: mp.P, Model: "imm", Shards: MaxShards + 1}); err == nil {
+		t.Errorf("shards > %d must be rejected", MaxShards)
+	}
+	if _, err := s.Submit(SubmitRequest{Program: mp.P, Model: "imm", Shards: 2}); err != nil {
+		t.Errorf("shards=2 rejected: %v", err)
+	}
+}
+
+// TestShardedCacheKey: an execution-bounded run covers different ground
+// per shard count (the bound applies per shard), so bounded sharded and
+// unsharded submissions must not share a verdict-cache entry; unbounded
+// ones explore everything either way and do share.
+func TestShardedCacheKey(t *testing.T) {
+	s := mustNew(t, Config{Workers: 1})
+	defer s.Shutdown(context.Background())
+
+	sb, _ := litmus.ByName("SB")
+	bounded, err := s.Submit(SubmitRequest{Program: sb.P, Model: "tso", Test: "SB", MaxExecutions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, bounded.ID)
+	boundedSharded, err := s.Submit(SubmitRequest{Program: sb.P, Model: "tso", Test: "SB", MaxExecutions: 2, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if boundedSharded = waitState(t, s, boundedSharded.ID); boundedSharded.CacheHit {
+		t.Error("bounded sharded submission reused the unsharded verdict; per-shard MaxExecutions changes coverage")
+	}
+
+	full, err := s.Submit(SubmitRequest{Program: sb.P, Model: "tso", Test: "SB", Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, full.ID)
+	fullPlain, err := s.Submit(SubmitRequest{Program: sb.P, Model: "tso", Test: "SB"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fullPlain = waitState(t, s, fullPlain.ID); !fullPlain.CacheHit {
+		t.Error("unbounded runs have identical totals across shard counts; the verdict should be shared")
+	}
+}
+
+// TestJournalRecordsShards: the shard count of a live job survives the
+// journal round trip, so a crashed daemon resumes the job as the same
+// sharded exploration it accepted.
+func TestJournalRecordsShards(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := openJournal(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.submit("job-000001", SubmitRequest{Test: "SB", Model: "sc", Shards: 4})
+	j.close()
+
+	j2, _, err := openJournal(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.close()
+	live := j2.takeLive()
+	if len(live) != 1 || live[0].submit.Shards != 4 {
+		t.Fatalf("replayed live jobs = %+v, want one with shards=4", live)
+	}
+}

@@ -1,0 +1,71 @@
+package shard
+
+import (
+	"bytes"
+	"testing"
+
+	"hmc/internal/core"
+	"hmc/internal/litmus"
+	"hmc/internal/memmodel"
+)
+
+// FuzzShardSplit asserts the split/merge contract on untrusted
+// checkpoints: any bytes DecodeCheckpoint accepts either refuse to Split
+// with an error (never a panic), or survive the full distribution round
+// trip — Split, each leg re-encoded and re-decoded through the wire
+// codec, Merge — landing back on the original checkpoint modulo the
+// canonical ordering Merge applies.
+func FuzzShardSplit(f *testing.F) {
+	imm, _ := memmodel.ByName("imm")
+	for _, name := range []string{"SB", "LB", "MP"} {
+		tc, ok := litmus.ByName(name)
+		if !ok {
+			continue
+		}
+		for _, k := range []int{2, 6} {
+			res, err := core.Explore(tc.P, core.Options{Model: imm, DedupSafeguard: true, CollectKeys: true, FailAfter: k})
+			if err != nil || res.Checkpoint == nil {
+				continue
+			}
+			if data, err := res.Checkpoint.Encode(); err == nil {
+				f.Add(data, 3)
+				f.Add(data, 8)
+			}
+		}
+	}
+	f.Add([]byte(`{"version":1,"schema":1}`), 2)
+	f.Add([]byte(`not json`), 2)
+	f.Fuzz(func(t *testing.T, data []byte, n int) {
+		cp, err := core.DecodeCheckpoint(data)
+		if err != nil {
+			return
+		}
+		if n < 1 || n > 64 {
+			n = 1 + (n&0x7fffffff)%8
+		}
+		parts, err := Split(cp, n, 0)
+		if err != nil {
+			return // already-sharded or otherwise unsplittable: refusal is fine
+		}
+		if len(parts) != n {
+			t.Fatalf("Split(%d) returned %d parts", n, len(parts))
+		}
+		wired := make([]*core.Checkpoint, n)
+		for i, part := range parts {
+			enc, err := part.Encode()
+			if err != nil {
+				t.Fatalf("shard %d failed to encode: %v", i, err)
+			}
+			if wired[i], err = core.DecodeCheckpoint(enc); err != nil {
+				t.Fatalf("shard %d failed to re-decode: %v", i, err)
+			}
+		}
+		merged, err := Merge(wired)
+		if err != nil {
+			t.Fatalf("Merge after Split(%d): %v", n, err)
+		}
+		if !bytes.Equal(normalized(t, cp), normalized(t, merged)) {
+			t.Fatalf("Merge(Split(cp, %d)) != cp", n)
+		}
+	})
+}

@@ -1,0 +1,224 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"hmc/internal/core"
+	"hmc/internal/memmodel"
+	"hmc/internal/prog"
+)
+
+// LegRequest is one shard leg: resume the shard's checkpoint under its
+// ownership spec and run the owned frontier to exhaustion (or until the
+// context cancels), returning the leg's final checkpoint — new memo, new
+// counters, forwarded graphs and any drained pending.
+type LegRequest struct {
+	// Program is the in-process program; Source/Test identify it for
+	// remote runners (a litmus source, or a built-in corpus test name).
+	Program *prog.Program
+	Source  string
+	Test    string
+	// Opts carries the run's semantic options. The per-leg fields —
+	// Context, ResumeFrom, Shard, Checkpoint, Progress, Trace, FailAfter
+	// — are overridden by the runner.
+	Opts       core.Options
+	Checkpoint *core.Checkpoint
+	Spec       *core.ShardSpec
+}
+
+// Runner executes shard legs. Implementations must be safe for
+// concurrent use: the coordinator runs several legs at once.
+type Runner interface {
+	RunLeg(ctx context.Context, req *LegRequest) (*core.Checkpoint, error)
+}
+
+// inProcess marks runners whose legs run in this process and therefore
+// can invoke the run's callbacks (Options.OnExecution and friends).
+type inProcess interface{ InProcess() bool }
+
+// Local runs legs in-process via core.Explore.
+type Local struct{}
+
+// InProcess marks Local legs callback-capable.
+func (Local) InProcess() bool { return true }
+
+// RunLeg implements Runner.
+func (Local) RunLeg(ctx context.Context, req *LegRequest) (*core.Checkpoint, error) {
+	opts := req.Opts
+	opts.Context = ctx
+	opts.ResumeFrom = req.Checkpoint
+	opts.Shard = req.Spec
+	opts.Checkpoint = nil
+	opts.Progress = nil
+	opts.Trace = nil
+	opts.FailAfter = 0
+	res, err := core.Explore(req.Program, opts)
+	if err != nil {
+		return nil, err
+	}
+	if res.Checkpoint == nil {
+		return nil, errors.New("shard: leg ended without a checkpoint")
+	}
+	return res.Checkpoint, nil
+}
+
+// LegWire is the on-the-wire form of a LegRequest (POST /v1/shards on a
+// peer hmcd). Callback options do not travel: a peer leg contributes
+// counters, keys and error reports through its checkpoint only.
+type LegWire struct {
+	Source           string          `json:"source,omitempty"`
+	Test             string          `json:"test,omitempty"`
+	Model            string          `json:"model"`
+	Shard            string          `json:"shard"`
+	Checkpoint       json.RawMessage `json:"checkpoint"`
+	MaxSteps         int             `json:"max_steps,omitempty"`
+	MaxExecutions    int             `json:"max_executions,omitempty"`
+	MaxEvents        int             `json:"max_events,omitempty"`
+	MemoryBudget     int64           `json:"memory_budget,omitempty"`
+	Workers          int             `json:"workers,omitempty"`
+	Symmetry         bool            `json:"symmetry,omitempty"`
+	StaticAnalysis   bool            `json:"static_analysis,omitempty"`
+	CheckDeps        bool            `json:"check_deps,omitempty"`
+	PorfOnlyRevisits bool            `json:"porf_only_revisits,omitempty"`
+	CollectKeys      bool            `json:"collect_keys,omitempty"`
+	DedupSafeguard   bool            `json:"dedup_safeguard,omitempty"`
+}
+
+// LegResponse is the peer's reply: the leg's final checkpoint.
+type LegResponse struct {
+	Checkpoint json.RawMessage `json:"checkpoint"`
+}
+
+// ExecuteLeg runs a wire-form leg in this process — the peer side of
+// HTTPPeer, shared with the hmcd /v1/shards handler. The caller resolves
+// the program (it owns the corpus); everything else is validated here:
+// the checkpoint decodes, matches the program, and carries the request's
+// shard spec.
+func ExecuteLeg(ctx context.Context, w *LegWire, p *prog.Program) (*core.Checkpoint, error) {
+	model, err := memmodel.ByName(w.Model)
+	if err != nil {
+		return nil, err
+	}
+	cp, err := core.DecodeCheckpoint(w.Checkpoint)
+	if err != nil {
+		return nil, err
+	}
+	if cp.Shard != w.Shard {
+		return nil, fmt.Errorf("shard: leg checkpoint spec %q, request says %q", cp.Shard, w.Shard)
+	}
+	spec, err := core.ParseShardSpec(w.Shard)
+	if err != nil {
+		return nil, err
+	}
+	req := &LegRequest{
+		Program: p,
+		Opts: core.Options{
+			Model:            model,
+			MaxSteps:         w.MaxSteps,
+			MaxExecutions:    w.MaxExecutions,
+			MaxEvents:        w.MaxEvents,
+			MemoryBudget:     w.MemoryBudget,
+			Workers:          w.Workers,
+			Symmetry:         w.Symmetry,
+			StaticAnalysis:   w.StaticAnalysis,
+			CheckDeps:        w.CheckDeps,
+			PorfOnlyRevisits: w.PorfOnlyRevisits,
+			CollectKeys:      w.CollectKeys,
+			DedupSafeguard:   w.DedupSafeguard,
+		},
+		Checkpoint: cp,
+		Spec:       spec,
+	}
+	return Local{}.RunLeg(ctx, req)
+}
+
+// HTTPPeer farms legs to a peer hmcd over its /v1/shards endpoint. Any
+// transport or peer failure is returned as an error with the input
+// checkpoint untouched, so the coordinator can re-run the leg elsewhere
+// exactly-once — a dead peer costs the leg's partial work, never
+// correctness.
+type HTTPPeer struct {
+	// BaseURL is the peer's base URL, e.g. "http://host:4780".
+	BaseURL string
+	// Client, when nil, falls back to http.DefaultClient. Cancellation
+	// and deadlines ride the leg context either way.
+	Client *http.Client
+}
+
+// RunLeg implements Runner.
+func (h *HTTPPeer) RunLeg(ctx context.Context, req *LegRequest) (*core.Checkpoint, error) {
+	if req.Source == "" && req.Test == "" {
+		return nil, errors.New("shard: peer legs need the program's source or test name")
+	}
+	o := req.Opts
+	w := &LegWire{
+		Source:           req.Source,
+		Test:             req.Test,
+		Model:            o.Model.Name(),
+		Shard:            req.Spec.String(),
+		MaxSteps:         o.MaxSteps,
+		MaxExecutions:    o.MaxExecutions,
+		MaxEvents:        o.MaxEvents,
+		MemoryBudget:     o.MemoryBudget,
+		Workers:          o.Workers,
+		Symmetry:         o.Symmetry,
+		StaticAnalysis:   o.StaticAnalysis,
+		CheckDeps:        o.CheckDeps,
+		PorfOnlyRevisits: o.PorfOnlyRevisits,
+		CollectKeys:      o.CollectKeys,
+		DedupSafeguard:   o.DedupSafeguard,
+	}
+	var err error
+	if w.Checkpoint, err = req.Checkpoint.Encode(); err != nil {
+		return nil, err
+	}
+	body, err := json.Marshal(w)
+	if err != nil {
+		return nil, err
+	}
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, h.BaseURL+"/v1/shards", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	client := h.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(hr)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("shard: peer %s: status %d: %.200s", h.BaseURL, resp.StatusCode, data)
+	}
+	var lr LegResponse
+	if err := json.Unmarshal(data, &lr); err != nil {
+		return nil, fmt.Errorf("shard: peer %s: bad response: %w", h.BaseURL, err)
+	}
+	cp, err := core.DecodeCheckpoint(lr.Checkpoint)
+	if err != nil {
+		return nil, fmt.Errorf("shard: peer %s: bad checkpoint: %w", h.BaseURL, err)
+	}
+	// The peer speaks for one leg of our run and nothing else: a spec or
+	// identity mismatch would corrupt the exactly-once accounting, so it
+	// is rejected here rather than trusted.
+	if cp.Shard != req.Spec.String() {
+		return nil, fmt.Errorf("shard: peer %s returned spec %q, leg is %q", h.BaseURL, cp.Shard, req.Spec)
+	}
+	if cp.Fingerprint != req.Checkpoint.Fingerprint || cp.Model != req.Checkpoint.Model || cp.Opts != req.Checkpoint.Opts {
+		return nil, fmt.Errorf("shard: peer %s returned a checkpoint for a different run", h.BaseURL)
+	}
+	return cp, nil
+}

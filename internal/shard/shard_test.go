@@ -1,0 +1,536 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"hmc/internal/core"
+	"hmc/internal/gen"
+	"hmc/internal/litmus"
+	"hmc/internal/memmodel"
+	"hmc/internal/prog"
+)
+
+// This file validates the tentpole N-way equivalence property: splitting
+// one exploration across N shards — under any leg schedule, with workers
+// killed mid-leg and frontiers stolen between shards — must land on
+// exactly the same execution set and the same Stats counters as the
+// single-process explorer. It is checkpoint_test.go's resume-equivalence
+// suite lifted from one explorer over time to N explorers over space.
+
+// singleRun is the oracle: a plain single-process exploration.
+func singleRun(t *testing.T, p *prog.Program, model string, opts core.Options) *core.Result {
+	t.Helper()
+	m, err := memmodel.ByName(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Model = m
+	opts.DedupSafeguard = true
+	opts.CollectKeys = true
+	res, err := core.Explore(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// shardRun explores p across n shards.
+func shardRun(t *testing.T, p *prog.Program, model string, n int, opts core.Options, mod func(*Options)) *core.Result {
+	t.Helper()
+	m, err := memmodel.ByName(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Model = m
+	opts.DedupSafeguard = true
+	opts.CollectKeys = true
+	o := Options{Shards: n, Core: opts}
+	if mod != nil {
+		mod(&o)
+	}
+	res, err := Explore(p, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func sortedKeys(r *core.Result) []string {
+	out := append([]string(nil), r.Keys...)
+	sort.Strings(out)
+	return out
+}
+
+// assertSame compares a sharded run against the single-process oracle,
+// mirroring core's assertSameExploration. The semantic invariants —
+// execution-key sets, Executions, ExistsCount, Blocked, Duplicates,
+// StuckReads, errors, truncation — always hold. With strict set the
+// search-effort counters must be byte-identical too; that holds on the
+// corpus but — exactly as for resume and parallel runs — is not an engine
+// invariant on arbitrary programs: the memo collapses stamp-order
+// variants of a state, and which representative a shard expands first is
+// schedule-dependent (routinely so under Symmetry).
+func assertSame(t *testing.T, label string, straight, sharded *core.Result, strict bool) {
+	t.Helper()
+	if got, want := sortedKeys(sharded), sortedKeys(straight); len(got) != len(want) {
+		t.Errorf("%s: execution set has %d keys, straight run %d", label, len(got), len(want))
+	} else {
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("%s: execution set diverges at key %d:\n got %s\nwant %s", label, i, got[i], want[i])
+				break
+			}
+		}
+	}
+	type counts struct {
+		Executions, ExistsCount, Blocked, Duplicates, States, MemoHits int
+		RevisitsTried, RevisitsTaken, RevisitsRepairFail, RevisitsPorf int
+		ConsistencyChecks, StuckReads, MaxGraphEvents, Errs, DepViol   int
+		StaticPrunedRf, StaticPrunedCo, StaticPrunedScans              int
+		Truncated                                                      bool
+		Reason                                                         string
+	}
+	of := func(r *core.Result) counts {
+		c := counts{
+			r.Executions, r.ExistsCount, r.Blocked, r.Duplicates, r.States, r.MemoHits,
+			r.RevisitsTried, r.RevisitsTaken, r.RevisitsRepairFail, r.RevisitsPorfSkip,
+			r.ConsistencyChecks, r.StuckReads, r.MaxGraphEvents, len(r.Errors), r.DepViolations,
+			r.StaticPrunedRf, r.StaticPrunedCo, r.StaticPrunedScans,
+			r.Truncated, r.TruncatedReason,
+		}
+		if !strict {
+			c.States, c.MemoHits, c.RevisitsTried, c.RevisitsTaken = 0, 0, 0, 0
+			c.RevisitsRepairFail, c.RevisitsPorf, c.ConsistencyChecks = 0, 0, 0
+			c.MaxGraphEvents = 0
+			c.StaticPrunedRf, c.StaticPrunedCo, c.StaticPrunedScans = 0, 0, 0
+		}
+		return c
+	}
+	if got, want := of(sharded), of(straight); got != want {
+		t.Errorf("%s: counters diverge:\n sharded %+v\nstraight %+v", label, got, want)
+	}
+}
+
+var shardCounts = []int{2, 3, 8}
+
+// TestShardEquivalenceCorpus is the tentpole assertion: litmus corpus ×
+// memory models × n ∈ {2,3,8}, sharded counters byte-identical to the
+// single explorer's.
+func TestShardEquivalenceCorpus(t *testing.T) {
+	models := memmodel.Names()
+	if testing.Short() {
+		models = []string{"sc", "tso", "imm"}
+	}
+	for _, tc := range litmus.Corpus() {
+		for _, model := range models {
+			straight := singleRun(t, tc.P, model, core.Options{})
+			for _, n := range shardCounts {
+				sharded := shardRun(t, tc.P, model, n, core.Options{}, nil)
+				assertSame(t, fmt.Sprintf("%s under %s split %d ways", tc.Name, model, n),
+					straight, sharded, true)
+			}
+		}
+	}
+}
+
+// TestShardEquivalenceRandom widens the net over generated programs, the
+// same 250-seed family the resume suite uses, rotating the shard count.
+func TestShardEquivalenceRandom(t *testing.T) {
+	const seeds = 250
+	models := []string{"imm", "tso", "arm"}
+	step := 1
+	if testing.Short() {
+		step = 5
+	}
+	for seed := 0; seed < seeds; seed += step {
+		p := gen.Random(int64(seed))
+		model := models[seed%len(models)]
+		n := shardCounts[seed%len(shardCounts)]
+		straight := singleRun(t, p, model, core.Options{})
+		sharded := shardRun(t, p, model, n, core.Options{}, nil)
+		assertSame(t, fmt.Sprintf("gen.Random(%d) under %s split %d ways", seed, model, n),
+			straight, sharded, false)
+	}
+}
+
+// TestShardEquivalenceWithOptions exercises the semantic options that
+// ride in the checkpoint signature across the shard boundary.
+func TestShardEquivalenceWithOptions(t *testing.T) {
+	cases := []struct {
+		name string
+		p    *prog.Program
+		opts core.Options
+	}{
+		{"symmetry-inc", gen.IncN(3, 2), core.Options{Symmetry: true}},
+		{"static-indexer", gen.IndexerN(2), core.Options{StaticAnalysis: true}},
+		{"porf-lb", mustCorpus(t, "LB").P, core.Options{PorfOnlyRevisits: true}},
+		{"maxevents-sb", mustCorpus(t, "SB").P, core.Options{MaxEvents: 3}},
+		{"workers-sb", mustCorpus(t, "SB").P, core.Options{Workers: 2}},
+	}
+	for _, c := range cases {
+		straight := singleRun(t, c.p, "imm", c.opts)
+		for _, n := range shardCounts {
+			sharded := shardRun(t, c.p, "imm", n, c.opts, nil)
+			assertSame(t, fmt.Sprintf("%s split %d ways", c.name, n),
+				straight, sharded, !c.opts.Symmetry)
+		}
+	}
+}
+
+func mustCorpus(t *testing.T, name string) litmus.Test {
+	t.Helper()
+	tc, ok := litmus.ByName(name)
+	if !ok {
+		t.Fatalf("litmus test %q not in corpus", name)
+	}
+	return tc
+}
+
+// TestShardErrorsSurvivePartition: assertion failures found by different
+// shards all land in the merged result.
+func TestShardErrorsSurvivePartition(t *testing.T) {
+	// Unfenced message passing: the assertion fails under IMM's reordering.
+	b := prog.NewBuilder("mp-unfenced")
+	x, y := b.Loc("x"), b.Loc("y")
+	t0 := b.Thread()
+	t0.Store(x, prog.Const(1))
+	t0.Store(y, prog.Const(1))
+	t1 := b.Thread()
+	ry := t1.Load(y)
+	rx := t1.Load(x)
+	t1.Assert(prog.Or(prog.Eq(prog.R(ry), prog.Const(0)), prog.Ne(prog.R(rx), prog.Const(0))),
+		"flag set implies data visible")
+	p := b.MustBuild()
+	straight := singleRun(t, p, "imm", core.Options{})
+	if len(straight.Errors) == 0 {
+		t.Fatal("oracle found no assertion failures; pick a racier program")
+	}
+	for _, n := range shardCounts {
+		sharded := shardRun(t, p, "imm", n, core.Options{}, nil)
+		assertSame(t, fmt.Sprintf("mp-unfenced split %d ways", n), straight, sharded, true)
+	}
+}
+
+// TestShardWorkStealEquivalence forces aggressive stealing — zero idle
+// patience on a program big enough that shards drain at different times —
+// and asserts the totals still match to the byte. Steal moves buckets,
+// memo entries and pending graphs between live shards, so this is the
+// ownership-invariant stress test.
+func TestShardWorkStealEquivalence(t *testing.T) {
+	p := gen.SBN(6)
+	straight := singleRun(t, p, "sc", core.Options{})
+	for _, n := range []int{3, 8} {
+		steals := 0
+		sharded := shardRun(t, p, "sc", n, core.Options{}, func(o *Options) {
+			o.StealAfter = time.Millisecond
+			o.OnSteal = func() { steals++ }
+		})
+		assertSame(t, fmt.Sprintf("SB(6) split %d ways with forced steals", n),
+			straight, sharded, true)
+		t.Logf("n=%d: %d steals", n, steals)
+	}
+}
+
+// TestShardChaosWorkerKill is the in-process half of the chaos
+// requirement: every shard's first leg attempt dies — one by an injected
+// error, the rest by a real panic in the runner (the in-process analogue
+// of a SIGKILLed worker) — and the coordinator re-runs each from its
+// input checkpoint with totals unchanged.
+func TestShardChaosWorkerKill(t *testing.T) {
+	p := gen.SBN(5)
+	straight := singleRun(t, p, "tso", core.Options{})
+	for _, n := range shardCounts {
+		retries := 0
+		sharded := shardRun(t, p, "tso", n, core.Options{}, func(o *Options) {
+			o.Runners = []Runner{&panicOnFirstAttempt{}}
+			o.StealAfter = time.Millisecond
+			o.OnRetry = func() { retries++ }
+			o.failLeg = func(shard, attempt int) error {
+				if shard == 0 && attempt == 0 {
+					return errors.New("injected worker kill")
+				}
+				return nil
+			}
+		})
+		if retries == 0 {
+			t.Errorf("n=%d: chaos run saw no leg retries", n)
+		}
+		assertSame(t, fmt.Sprintf("SB(5) split %d ways with killed workers", n),
+			straight, sharded, true)
+	}
+}
+
+// panicOnFirstAttempt is a Runner whose first leg per shard dies by
+// panic; the coordinator's recover boundary must turn that into a retry.
+type panicOnFirstAttempt struct {
+	mu   sync.Mutex
+	died map[string]bool
+}
+
+func (*panicOnFirstAttempt) InProcess() bool { return true }
+
+func (r *panicOnFirstAttempt) RunLeg(ctx context.Context, req *LegRequest) (*core.Checkpoint, error) {
+	key := req.Spec.String()
+	r.mu.Lock()
+	first := !r.died[key]
+	if first {
+		if r.died == nil {
+			r.died = make(map[string]bool)
+		}
+		r.died[key] = true
+	}
+	r.mu.Unlock()
+	if first {
+		panic("chaos: worker died mid-leg")
+	}
+	return Local{}.RunLeg(ctx, req)
+}
+
+// TestShardInterruptResume: cancelling a sharded run yields a merged
+// whole-run checkpoint that a plain single explorer resumes to the exact
+// single-run totals — distribution composes with durability.
+func TestShardInterruptResume(t *testing.T) {
+	p := gen.SBN(5)
+	straight := singleRun(t, p, "sc", core.Options{})
+	m, _ := memmodel.ByName("sc")
+
+	// Cancel after the first few leg completions.
+	ctx, cancel := context.WithCancel(context.Background())
+	legs := 0
+	opts := core.Options{Model: m, DedupSafeguard: true, CollectKeys: true, Context: ctx}
+	res, err := Explore(p, Options{
+		Shards: 3,
+		Core:   opts,
+		OnActive: func(int) {
+			if legs++; legs == 4 {
+				cancel()
+			}
+		},
+	})
+	cancel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Interrupted {
+		t.Skip("run finished before the cancellation landed; nothing to resume")
+	}
+	if res.Checkpoint == nil {
+		t.Fatal("interrupted sharded run returned no checkpoint")
+	}
+	if res.Checkpoint.Shard != "" {
+		t.Fatalf("merged checkpoint still carries a shard spec %q", res.Checkpoint.Shard)
+	}
+	data, err := res.Checkpoint.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := core.DecodeCheckpoint(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumeOpts := core.Options{Model: m, DedupSafeguard: true, CollectKeys: true, ResumeFrom: cp}
+	resumed, err := core.Explore(p, resumeOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSame(t, "sharded interrupt, single-process resume", straight, resumed, true)
+}
+
+// TestShardSplitMergeRoundTrip: Split then Merge reproduces a real
+// mid-run checkpoint exactly (modulo the canonical ordering Merge
+// applies), byte-for-byte through the wire codec.
+func TestShardSplitMergeRoundTrip(t *testing.T) {
+	m, _ := memmodel.ByName("sc")
+	for _, fail := range []int{2, 5, 8} {
+		res, err := core.Explore(mustCorpus(t, "SB").P, core.Options{
+			Model: m, DedupSafeguard: true, CollectKeys: true, FailAfter: fail,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Checkpoint == nil {
+			t.Fatalf("FailAfter=%d produced no checkpoint", fail)
+		}
+		for _, n := range []int{1, 2, 3, 8} {
+			parts, err := Split(res.Checkpoint, n, 0)
+			if err != nil {
+				t.Fatalf("Split(%d): %v", n, err)
+			}
+			if len(parts) != n {
+				t.Fatalf("Split(%d) returned %d checkpoints", n, len(parts))
+			}
+			merged, err := Merge(parts)
+			if err != nil {
+				t.Fatalf("Merge after Split(%d): %v", n, err)
+			}
+			want := normalized(t, res.Checkpoint)
+			got := normalized(t, merged)
+			if !bytes.Equal(want, got) {
+				t.Errorf("FailAfter=%d n=%d: Merge(Split(cp)) != cp\n got %.400s\nwant %.400s", fail, n, got, want)
+			}
+		}
+	}
+}
+
+// normalized canonically re-encodes a whole-run checkpoint: Merge sorts
+// Keys, DepViolationDetails, Memo, Seen, Pending and Errors (a live
+// capture records some in completion order, and untrusted snapshots can
+// order them arbitrarily), so comparisons sort both sides the same way.
+func normalized(t *testing.T, cp *core.Checkpoint) []byte {
+	t.Helper()
+	c := *cp
+	c.Keys = append([]string(nil), cp.Keys...)
+	sort.Strings(c.Keys)
+	c.DepViolationDetails = append([]string(nil), cp.DepViolationDetails...)
+	sort.Strings(c.DepViolationDetails)
+	c.Memo = append([]string(nil), cp.Memo...)
+	sort.Strings(c.Memo)
+	c.Seen = append([]string(nil), cp.Seen...)
+	sort.Strings(c.Seen)
+	c.Pending = append([]json.RawMessage(nil), cp.Pending...)
+	sort.Slice(c.Pending, func(i, j int) bool { return bytes.Compare(c.Pending[i], c.Pending[j]) < 0 })
+	c.Errors = append([]core.WireError(nil), cp.Errors...)
+	sort.Slice(c.Errors, func(i, j int) bool {
+		a, b := c.Errors[i], c.Errors[j]
+		if a.Thread != b.Thread {
+			return a.Thread < b.Thread
+		}
+		if a.Msg != b.Msg {
+			return a.Msg < b.Msg
+		}
+		return bytes.Compare(a.Graph, b.Graph) < 0
+	})
+	if len(c.Keys) == 0 {
+		c.Keys = nil
+	}
+	if len(c.Errors) == 0 {
+		c.Errors = nil
+	}
+	data, err := c.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestMergeValidation: Merge must reject fleets that do not partition the
+// bucket space or describe different runs.
+func TestMergeValidation(t *testing.T) {
+	m, _ := memmodel.ByName("sc")
+	base, err := core.InitialCheckpoint(mustCorpus(t, "SB").P, core.Options{Model: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := Split(base, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Merge(parts[:2]); err == nil {
+		t.Error("Merge must reject an incomplete bucket cover")
+	}
+	if _, err := Merge([]*core.Checkpoint{parts[0], parts[1], parts[2], parts[2]}); err == nil {
+		t.Error("Merge must reject overlapping ownership")
+	}
+	other := *parts[2]
+	other.Fingerprint = "different"
+	if _, err := Merge([]*core.Checkpoint{parts[0], parts[1], &other}); err == nil {
+		t.Error("Merge must reject mixed fingerprints")
+	}
+	if _, err := Merge(nil); err == nil {
+		t.Error("Merge of nothing must fail")
+	}
+	if _, err := Split(parts[0], 2, 0); err == nil {
+		t.Error("Split must reject an already-sharded checkpoint")
+	}
+	if _, err := Split(base, 3, 2); err == nil {
+		t.Error("Split must reject fewer buckets than shards")
+	}
+}
+
+// TestMergeStatsCoversAllFields keeps mergeStats honest by reflection: a
+// new core.Stats counter that mergeStats does not aggregate would
+// silently break counter exactness; this test fails instead.
+func TestMergeStatsCoversAllFields(t *testing.T) {
+	var a, b core.Stats
+	av, bv := reflect.ValueOf(&a).Elem(), reflect.ValueOf(&b).Elem()
+	tp := av.Type()
+	for i := 0; i < tp.NumField(); i++ {
+		f := tp.Field(i)
+		if f.Type.Kind() != reflect.Int {
+			if f.Name != "Errors" {
+				t.Errorf("core.Stats has non-int field %s; teach mergeStats and this test about it", f.Name)
+			}
+			continue
+		}
+		av.Field(i).SetInt(int64(100 + i))
+		bv.Field(i).SetInt(int64(1000 + 7*i))
+	}
+	var got core.Stats
+	mergeStats(&got, a)
+	mergeStats(&got, b)
+	gv := reflect.ValueOf(got)
+	for i := 0; i < tp.NumField(); i++ {
+		f := tp.Field(i)
+		if f.Type.Kind() != reflect.Int {
+			continue
+		}
+		want := int64(100 + i + 1000 + 7*i)
+		if f.Name == "MaxGraphEvents" {
+			want = int64(1000 + 7*i) // max, not sum
+		}
+		if gv.Field(i).Int() != want {
+			t.Errorf("mergeStats drops or mishandles core.Stats.%s: got %d, want %d",
+				f.Name, gv.Field(i).Int(), want)
+		}
+	}
+}
+
+// TestShardSpecRoundTrip: the spec codec is canonical.
+func TestShardSpecRoundTrip(t *testing.T) {
+	spec, err := core.NewShardSpec(64, []int{0, 3, 17, 63})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := core.ParseShardSpec(spec.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != spec.String() {
+		t.Errorf("spec round trip: %q != %q", back.String(), spec.String())
+	}
+	if got := back.Buckets(); !reflect.DeepEqual(got, []int{0, 3, 17, 63}) {
+		t.Errorf("buckets round trip: %v", got)
+	}
+	for _, bad := range []string{"", "64", ":ff", "0:", "4:zz", "4:111", "2:4", "9999999:0"} {
+		if _, err := core.ParseShardSpec(bad); err == nil {
+			t.Errorf("ParseShardSpec(%q) must fail", bad)
+		}
+	}
+}
+
+// TestShardRejectsUnsupportedOptions: coordinator-owned knobs and hard
+// stops are refused up front, not silently dropped.
+func TestShardRejectsUnsupportedOptions(t *testing.T) {
+	p := mustCorpus(t, "SB").P
+	m, _ := memmodel.ByName("sc")
+	bad := []Options{
+		{Shards: 2, Core: core.Options{Model: m, StopOnError: true}},
+		{Shards: 2, Core: core.Options{Model: m, FailAfter: 3}},
+		{Shards: 2, Core: core.Options{Model: m, Checkpoint: &core.CheckpointOptions{}}},
+		{Shards: 2, Core: core.Options{}},
+	}
+	for i, o := range bad {
+		if _, err := Explore(p, o); err == nil {
+			t.Errorf("case %d: Explore must reject unsupported options", i)
+		}
+	}
+}
