@@ -43,6 +43,12 @@
 // wall clock changes. Composes with -checkpoint/-resume (checkpoints are
 // merged, whole-run ones) and -progress; -trace does not compose.
 //
+// -peers http://a:8433,http://b:8433 (with -shards N>1) farms legs to
+// peer hmcd daemons through the same resilience pool hmcd uses: breaker,
+// transient retries, local demotion. A dark peer's legs run locally and
+// the totals are unchanged; -stats prints a per-peer row. -v and -dot do
+// not compose with -peers (witness callbacks cannot cross the wire).
+//
 // `hmc vet` lints a program without exploring it: the static analysis in
 // internal/analyze reports dead stores, statically-false assertions and
 // assumptions, fences that cannot order anything (positionally, or under
@@ -65,6 +71,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"hmc/internal/core"
@@ -121,6 +128,7 @@ func run(args []string, out io.Writer) error {
 	progressEvery := fs.Duration("progress-every", time.Second, "progress ticker cadence (with -progress)")
 	tracePath := fs.String("trace", "", "write a JSONL exploration trace (waves, revisits, prunes, snapshots) to this file")
 	shards := fs.Int("shards", 1, "split the frontier across this many parallel explorers (1 = the classic single-explorer path); totals are identical, wall-clock shrinks with cores")
+	peersFlag := fs.String("peers", "", "comma-separated base URLs of hmcd daemons to farm shard legs to (with -shards N>1); a dark peer's legs run locally, totals unchanged")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -135,14 +143,29 @@ func run(args []string, out io.Writer) error {
 	if *shards > 1 && *tracePath != "" {
 		return fmt.Errorf("-trace records one explorer's event stream; it does not compose with -shards (drop one)")
 	}
+	var peerURLs []string
+	for _, u := range strings.Split(*peersFlag, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			peerURLs = append(peerURLs, u)
+		}
+	}
+	if len(peerURLs) > 0 {
+		if *shards <= 1 {
+			return fmt.Errorf("-peers farms shard legs; it needs -shards N>1")
+		}
+		if *verbose || *dotPath != "" {
+			return fmt.Errorf("-v and -dot need in-process executions; they do not compose with -peers (drop one)")
+		}
+	}
 
 	if *reproPath != "" {
 		return repro(out, *reproPath)
 	}
-	p, err := loadProgram(fs.Args(), *testName)
+	p, source, test, err := loadProgram(fs.Args(), *testName)
 	if err != nil {
 		return err
 	}
+	pc := peerConfig{urls: peerURLs, source: source, test: test}
 	if *showProg {
 		fmt.Fprint(out, p)
 	}
@@ -181,7 +204,7 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 	for _, name := range models {
-		if err := check(out, p, name, *verbose, *maxExec, *maxEvents, *memBudget, *dotPath, *workers, *shards, *symm, *static, *checkDeps, *stats, ck, ob, newCtx); err != nil {
+		if err := check(out, p, name, *verbose, *maxExec, *maxEvents, *memBudget, *dotPath, *workers, *shards, *symm, *static, *checkDeps, *stats, ck, ob, pc, newCtx); err != nil {
 			return err
 		}
 		if *robust {
@@ -307,16 +330,19 @@ func repro(out io.Writer, path string) error {
 	return nil
 }
 
-func loadProgram(args []string, testName string) (*prog.Program, error) {
+// loadProgram resolves the program plus its wire identity — the litmus
+// source text or the corpus test name — which peer legs need to rebuild
+// the program on the far side.
+func loadProgram(args []string, testName string) (*prog.Program, string, string, error) {
 	if testName != "" {
 		tc, ok := litmus.ByName(testName)
 		if !ok {
-			return nil, fmt.Errorf("unknown corpus test %q (see hmc-litmus for the list)", testName)
+			return nil, "", "", fmt.Errorf("unknown corpus test %q (see hmc-litmus for the list)", testName)
 		}
-		return tc.P, nil
+		return tc.P, "", testName, nil
 	}
 	if len(args) != 1 {
-		return nil, fmt.Errorf("want exactly one litmus file (or '-' for stdin), or -test <name>")
+		return nil, "", "", fmt.Errorf("want exactly one litmus file (or '-' for stdin), or -test <name>")
 	}
 	var src []byte
 	var err error
@@ -326,9 +352,13 @@ func loadProgram(args []string, testName string) (*prog.Program, error) {
 		src, err = os.ReadFile(args[0])
 	}
 	if err != nil {
-		return nil, err
+		return nil, "", "", err
 	}
-	return litmus.Parse(string(src))
+	p, err := litmus.Parse(string(src))
+	if err != nil {
+		return nil, "", "", err
+	}
+	return p, string(src), "", nil
 }
 
 // ckptConfig carries the -checkpoint/-resume flags into check.
@@ -343,6 +373,15 @@ type obsConfig struct {
 	progress bool          // live stderr ticker
 	every    time.Duration // ticker cadence
 	trace    string        // JSONL trace path ("" disables)
+}
+
+// peerConfig carries the -peers flag into check: hmcd daemons that serve
+// shard legs, plus the program's wire identity (litmus source or corpus
+// test name) so the peers can rebuild it.
+type peerConfig struct {
+	urls   []string
+	source string
+	test   string
 }
 
 // progressTicker renders one snapshot as a stderr line. The ETA comes
@@ -375,7 +414,7 @@ func writeCheckpointFile(path string, cp *core.Checkpoint) error {
 	return os.Rename(tmp, path)
 }
 
-func check(out io.Writer, p *prog.Program, model string, verbose bool, maxExec, maxEvents int, memBudget int64, dotPath string, workers, shards int, symm, static, checkDeps, stats bool, ck ckptConfig, ob obsConfig, newCtx func() (context.Context, context.CancelFunc)) error {
+func check(out io.Writer, p *prog.Program, model string, verbose bool, maxExec, maxEvents int, memBudget int64, dotPath string, workers, shards int, symm, static, checkDeps, stats bool, ck ckptConfig, ob obsConfig, pc peerConfig, newCtx func() (context.Context, context.CancelFunc)) error {
 	m, err := memmodel.ByName(model)
 	if err != nil {
 		return err
@@ -429,24 +468,38 @@ func check(out io.Writer, p *prog.Program, model string, verbose bool, maxExec, 
 	}
 	var witness *eg.Graph
 	witnessWeak := false
-	opts.OnExecution = func(g *eg.Graph, fsv prog.FinalState) {
-		if verbose {
-			fmt.Fprintf(out, "--- execution (mem=%v)\n%s", fsv.Mem, g.StringNamed(p.LocName))
-		}
-		weak := p.Exists != nil && p.Exists(fsv)
-		if witness == nil || (weak && !witnessWeak) {
-			witness = g.Clone()
-			witnessWeak = weak
+	if len(pc.urls) == 0 {
+		// Witness capture is an in-process callback; peer legs cannot carry
+		// it (run() already rejects -v/-dot with -peers).
+		opts.OnExecution = func(g *eg.Graph, fsv prog.FinalState) {
+			if verbose {
+				fmt.Fprintf(out, "--- execution (mem=%v)\n%s", fsv.Mem, g.StringNamed(p.LocName))
+			}
+			weak := p.Exists != nil && p.Exists(fsv)
+			if witness == nil || (weak && !witnessWeak) {
+				witness = g.Clone()
+				witnessWeak = weak
+			}
 		}
 	}
 	var res *core.Result
 	var steals, retries int
+	var pool *shard.Pool
 	if shards > 1 {
 		so := shard.Options{
 			Shards:  shards,
 			Core:    opts,
 			OnSteal: func() { steals++ },
 			OnRetry: func() { retries++ },
+		}
+		if len(pc.urls) > 0 {
+			pool = shard.NewPool(pc.urls, shard.PoolConfig{})
+			pool.Start()
+			defer pool.Close()
+			so.Runners = pool.Runners()
+			so.Source = pc.source
+			so.Test = pc.test
+			so.PeerStatus = pool.Snapshot
 		}
 		// The coordinator owns checkpointing and progress for the whole
 		// fleet: reroute the flags to its merged-snapshot hooks so the
@@ -543,6 +596,12 @@ func check(out io.Writer, p *prog.Program, model string, verbose bool, maxExec, 
 		}
 		if shards > 1 {
 			fmt.Fprintf(out, "  shards=%d steals=%d leg-retries=%d\n", shards, steals, retries)
+		}
+		if pool != nil {
+			for _, pr := range pool.Snapshot() {
+				fmt.Fprintf(out, "  peer %s healthy=%v breaker-open=%v legs=%d retries=%d hedges=%d demotions=%d\n",
+					pr.Peer, pr.Healthy, pr.BreakerOpen, pr.Legs, pr.TransientRetries, pr.Hedges, pr.Demotions)
+			}
 		}
 	}
 	if checkDeps {

@@ -17,6 +17,8 @@
 //	     [-retry-backoff 50ms] [-breaker-threshold 3] [-breaker-cooldown 10m]
 //	     [-progress-every 1s] [-pprof 127.0.0.1:6060]
 //	     [-peers http://host1:8433,http://host2:8433]
+//	     [-peer-probe-every 5s] [-peer-timeout 0] [-peer-hedge-after 0]
+//	     [-chaos-plan plan.json]
 //
 // Fault containment: an engine panic fails only its own job — the panic
 // is recovered into a structured engine_error on the job payload and a
@@ -35,9 +37,17 @@
 //
 // Distributed exploration: a submission with "shards": N splits the
 // frontier across N explorers. With -peers, shards beyond the first are
-// round-robined across this daemon and its peers over POST /v1/shards;
-// a peer that dies mid-leg costs only a local re-run of that leg from
-// its last checkpoint — merged totals are unchanged.
+// round-robined across this daemon and its peers over POST /v1/shards.
+// Peer legs run behind a resilience pool: active /readyz probes
+// (-peer-probe-every), per-peer circuit breakers with half-open probes,
+// bounded jittered retries on transient transport errors, optional
+// hedged local copies for stragglers (-peer-hedge-after), and — as the
+// last rung — demotion to local execution from the leg's untouched input
+// checkpoint. A dark peer costs latency, never a leg and never a
+// counter: merged totals stay byte-identical to a single-process run,
+// even with every peer down. -chaos-plan (dev only) injects a
+// deterministic fault plan into the peer transport and journal to
+// rehearse exactly these failures.
 //
 // Observability: running jobs publish progress snapshots every
 // -progress-every (counters, rates, sampled phase breakdown), served in
@@ -63,6 +73,7 @@ import (
 	"syscall"
 	"time"
 
+	"hmc/internal/faultinject"
 	"hmc/internal/service"
 )
 
@@ -99,6 +110,10 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(addr stri
 	progressEvery := fs.Duration("progress-every", time.Second, "cadence of live job progress snapshots (negative disables)")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this separate address (empty disables)")
 	peers := fs.String("peers", "", "comma-separated base URLs of peer hmcd daemons that serve shard legs for multi-shard jobs (empty = all shards run locally)")
+	peerProbeEvery := fs.Duration("peer-probe-every", 5*time.Second, "cadence of active /readyz probes against each peer (negative disables)")
+	peerTimeout := fs.Duration("peer-timeout", 0, "per-attempt deadline for one peer shard leg (0 = none; overruns are retried, then run locally)")
+	peerHedgeAfter := fs.Duration("peer-hedge-after", 0, "race a local copy of any peer leg still unfinished after this long (0 disables hedging)")
+	chaosPlan := fs.String("chaos-plan", "", "dev only: JSON fault-injection plan (internal/faultinject) applied to peer HTTP and the journal")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -108,6 +123,15 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(addr stri
 		if u = strings.TrimSpace(u); u != "" {
 			peerURLs = append(peerURLs, u)
 		}
+	}
+
+	var plan *faultinject.Plan
+	if *chaosPlan != "" {
+		var err error
+		if plan, err = faultinject.LoadPlan(*chaosPlan); err != nil {
+			return fmt.Errorf("chaos plan: %w", err)
+		}
+		fmt.Fprintf(out, "hmcd: CHAOS PLAN %s active (seed %d) — dev harness, never production\n", *chaosPlan, plan.Seed)
 	}
 
 	svc, err := service.New(service.Config{
@@ -127,6 +151,10 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(addr stri
 		CheckpointEveryExecs: *checkpointEvery,
 		ProgressEvery:        *progressEvery,
 		Peers:                peerURLs,
+		PeerProbeEvery:       *peerProbeEvery,
+		PeerTimeout:          *peerTimeout,
+		PeerHedgeAfter:       *peerHedgeAfter,
+		ChaosPlan:            plan,
 	})
 	if err != nil {
 		return err

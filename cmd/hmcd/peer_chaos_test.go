@@ -112,7 +112,12 @@ func TestPeerDeathResilience(t *testing.T) {
 	if done.Result == nil || !done.Result.Exhaustive || done.Result.Executions != 11550 {
 		t.Fatalf("result after peer death %+v, want exhaustive with 11550 executions", done.Result)
 	}
-	if retries := readMetric(t, coordAddr, "hmcd_shard_retries_total"); retries < 1 {
-		t.Fatalf("hmcd_shard_retries_total = %d, want >= 1 (the dead peer's leg was re-run)", retries)
+	// The dead peer's leg is re-run locally either by the peer pool
+	// (transient retries exhausted → exactly-once demotion) or, if the
+	// failure surfaced past the runner, by the coordinator's leg retry.
+	retries := readMetric(t, coordAddr, "hmcd_shard_retries_total")
+	demotions := readMetric(t, coordAddr, "hmcd_peer_demotions_total")
+	if retries+demotions < 1 {
+		t.Fatalf("hmcd_shard_retries_total = %d, hmcd_peer_demotions_total = %d, want the dead peer's leg re-run", retries, demotions)
 	}
 }

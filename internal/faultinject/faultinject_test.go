@@ -1,0 +1,246 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestDecideDeterministic: the same (seed, boundary, kind, ordinal)
+// always decides the same way, different seeds decide differently
+// somewhere, and the hit rate lands near the requested percentage.
+func TestDecideDeterministic(t *testing.T) {
+	const trials = 10000
+	hits, diverged := 0, false
+	for n := int64(1); n <= trials; n++ {
+		a := decide(1, "http", "drop", n, 30)
+		if a != decide(1, "http", "drop", n, 30) {
+			t.Fatalf("decision for ordinal %d not stable", n)
+		}
+		if a != decide(2, "http", "drop", n, 30) {
+			diverged = true
+		}
+		if a {
+			hits++
+		}
+	}
+	if !diverged {
+		t.Error("seeds 1 and 2 produced identical schedules over 10k ordinals")
+	}
+	rate := float64(hits) / trials
+	if rate < 0.25 || rate > 0.35 {
+		t.Errorf("30%% drop rate measured at %.1f%%", rate*100)
+	}
+	if decide(1, "http", "drop", 7, 0) {
+		t.Error("0%% must never fire")
+	}
+	if !decide(1, "http", "drop", 7, 100) {
+		t.Error("100%% must always fire")
+	}
+}
+
+// TestMixSeparatesBoundaries: the fault coordinates are independent —
+// "drop" firing on ordinal n says nothing about "err5xx" on n.
+func TestMixSeparatesBoundaries(t *testing.T) {
+	same := 0
+	for n := int64(1); n <= 1000; n++ {
+		if decide(9, "http", "drop", n, 50) == decide(9, "http", "err5xx", n, 50) {
+			same++
+		}
+	}
+	if same < 400 || same > 600 {
+		t.Errorf("drop and err5xx decisions agree %d/1000 times; want ~500 (independent)", same)
+	}
+}
+
+func TestPlanValidateAndLoad(t *testing.T) {
+	bad := &Plan{HTTP: &HTTPFaults{DropPct: 150}}
+	if err := bad.Validate(); err == nil {
+		t.Error("drop_pct=150 must be rejected")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "plan.json")
+	if err := os.WriteFile(path, []byte(`{"seed": 7, "http": {"drop_pct": 30}, "journal": {"sync_err_at": [2]}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := LoadPlan(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 7 || p.HTTP.DropPct != 30 || len(p.Journal.SyncErrAt) != 1 {
+		t.Errorf("loaded plan %+v lost fields", p)
+	}
+	if err := os.WriteFile(path, []byte(`{"http": {"drop_pct": -1}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPlan(path); err == nil {
+		t.Error("invalid plan file must fail to load")
+	}
+}
+
+// TestTransportFaults drives each HTTP fault kind through a real server.
+func TestTransportFaults(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, strings.Repeat("payload-", 16))
+	}))
+	defer srv.Close()
+
+	get := func(rt http.RoundTripper) (*http.Response, error) {
+		c := &http.Client{Transport: rt}
+		return c.Get(srv.URL)
+	}
+
+	t.Run("drop", func(t *testing.T) {
+		var kinds []string
+		rt := NewTransport(nil, &Plan{HTTP: &HTTPFaults{DropPct: 100}}, func(k string) { kinds = append(kinds, k) })
+		if _, err := get(rt); !errors.Is(err, ErrInjectedDrop) {
+			t.Fatalf("err = %v, want ErrInjectedDrop", err)
+		}
+		if len(kinds) != 1 || kinds[0] != "drop" {
+			t.Errorf("observer saw %v, want [drop]", kinds)
+		}
+	})
+
+	t.Run("err5xx", func(t *testing.T) {
+		rt := NewTransport(nil, &Plan{HTTP: &HTTPFaults{Err5xxPct: 100}}, nil)
+		resp, err := get(rt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("status = %d, want 503", resp.StatusCode)
+		}
+	})
+
+	t.Run("corrupt", func(t *testing.T) {
+		rt := NewTransport(nil, &Plan{HTTP: &HTTPFaults{CorruptAt: []int64{1}}}, nil)
+		resp, err := get(rt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		want := strings.Repeat("payload-", 16)
+		if string(body) == want {
+			t.Error("body came back uncorrupted")
+		}
+		if len(body) != len(want) {
+			t.Errorf("corruption changed the length: %d != %d", len(body), len(want))
+		}
+	})
+
+	t.Run("truncate", func(t *testing.T) {
+		rt := NewTransport(nil, &Plan{HTTP: &HTTPFaults{TruncateAt: []int64{1}}}, nil)
+		resp, err := get(rt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("read err = %v, want ErrUnexpectedEOF", err)
+		}
+		if len(body) >= len(strings.Repeat("payload-", 16)) {
+			t.Error("body not truncated")
+		}
+	})
+
+	t.Run("latency-and-slow-body", func(t *testing.T) {
+		rt := NewTransport(nil, &Plan{HTTP: &HTTPFaults{
+			LatencyPct: 100, LatencyMS: 30, SlowBodyPct: 100, SlowBodyMS: 1,
+		}}, nil)
+		start := time.Now()
+		resp, err := get(rt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+		if string(body) != strings.Repeat("payload-", 16) {
+			t.Error("slow body altered the payload")
+		}
+		if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+			t.Errorf("latency injection took only %v", elapsed)
+		}
+	})
+
+	t.Run("untouched-without-faults", func(t *testing.T) {
+		rt := NewTransport(nil, &Plan{}, nil)
+		if _, ok := rt.(*Transport); ok {
+			t.Error("plan without HTTP faults must return the base transport unwrapped")
+		}
+	})
+}
+
+// TestFileFaults drives the journal-file faults against a real file.
+func TestFileFaults(t *testing.T) {
+	open := func(t *testing.T, plan *Plan, obs Observer) SyncFile {
+		f, err := os.Create(filepath.Join(t.TempDir(), "journal.jsonl"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := WrapFile(f, plan, obs)
+		t.Cleanup(func() { w.Close() })
+		return w
+	}
+
+	t.Run("enospc", func(t *testing.T) {
+		var kinds []string
+		w := open(t, &Plan{Journal: &FileFaults{WriteErrAt: []int64{2}}}, func(k string) { kinds = append(kinds, k) })
+		if _, err := w.Write([]byte("first\n")); err != nil {
+			t.Fatalf("write 1: %v", err)
+		}
+		if _, err := w.Write([]byte("second\n")); !errors.Is(err, syscall.ENOSPC) {
+			t.Fatalf("write 2 err = %v, want ENOSPC", err)
+		}
+		if _, err := w.Write([]byte("third\n")); err != nil {
+			t.Fatalf("write 3 must recover: %v", err)
+		}
+		if len(kinds) != 1 || kinds[0] != "write-err" {
+			t.Errorf("observer saw %v, want [write-err]", kinds)
+		}
+	})
+
+	t.Run("short-write", func(t *testing.T) {
+		w := open(t, &Plan{Journal: &FileFaults{ShortWriteAt: []int64{1}}}, nil)
+		n, err := w.Write([]byte("0123456789"))
+		if !errors.Is(err, io.ErrShortWrite) {
+			t.Fatalf("err = %v, want ErrShortWrite", err)
+		}
+		if n != 5 {
+			t.Errorf("short write reported %d bytes, want 5", n)
+		}
+	})
+
+	t.Run("sync-err", func(t *testing.T) {
+		w := open(t, &Plan{Journal: &FileFaults{SyncErrAt: []int64{1}}}, nil)
+		if err := w.Sync(); !errors.Is(err, syscall.EIO) {
+			t.Fatalf("sync 1 err = %v, want EIO", err)
+		}
+		if err := w.Sync(); err != nil {
+			t.Fatalf("sync 2 must recover: %v", err)
+		}
+	})
+
+	t.Run("untouched-without-faults", func(t *testing.T) {
+		f, err := os.Create(filepath.Join(t.TempDir(), "j"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if w := WrapFile(f, &Plan{}, nil); w != SyncFile(f) {
+			t.Error("plan without journal faults must return the file unwrapped")
+		}
+	})
+}

@@ -1,0 +1,169 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjectedDrop is the connection-level failure Transport returns for a
+// dropped request; it is an ordinary transport error to the caller, so
+// retry/breaker machinery exercises exactly the code paths a real
+// connection reset would.
+var ErrInjectedDrop = errors.New("faultinject: connection dropped")
+
+// Observer receives one callback per injected fault, keyed by kind
+// ("drop", "latency", "err5xx", "corrupt", "truncate", "slow-body",
+// "write-err", "short-write", "sync-err"). Nil observers are fine.
+type Observer func(kind string)
+
+func (o Observer) note(kind string) {
+	if o != nil {
+		o(kind)
+	}
+}
+
+// Transport wraps an http.RoundTripper with the plan's HTTP faults.
+// Safe for concurrent use; each request takes the next ordinal.
+type Transport struct {
+	base    http.RoundTripper
+	faults  *HTTPFaults
+	seed    int64
+	observe Observer
+	n       atomic.Int64
+}
+
+// NewTransport wraps base (nil = http.DefaultTransport) with the plan's
+// HTTP faults. A plan without HTTP faults returns base untouched.
+func NewTransport(base http.RoundTripper, plan *Plan, observe Observer) http.RoundTripper {
+	if plan == nil || plan.HTTP == nil {
+		if base == nil {
+			return http.DefaultTransport
+		}
+		return base
+	}
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &Transport{base: base, faults: plan.HTTP, seed: plan.Seed, observe: observe}
+}
+
+// Requests reports how many requests have passed through (the ordinal
+// counter), for tests that want to pin a fault to a specific call.
+func (t *Transport) Requests() int64 { return t.n.Load() }
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	n := t.n.Add(1)
+	f := t.faults
+	if decide(t.seed, "http", "latency", n, f.LatencyPct) && f.LatencyMS > 0 {
+		t.observe.note("latency")
+		select {
+		case <-time.After(time.Duration(f.LatencyMS) * time.Millisecond):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	if decide(t.seed, "http", "drop", n, f.DropPct) {
+		t.observe.note("drop")
+		return nil, ErrInjectedDrop
+	}
+	if decide(t.seed, "http", "err5xx", n, f.Err5xxPct) {
+		t.observe.note("err5xx")
+		return synthetic503(req), nil
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case at(f.CorruptAt, n):
+		t.observe.note("corrupt")
+		return corruptBody(resp)
+	case at(f.TruncateAt, n):
+		t.observe.note("truncate")
+		return truncateBody(resp)
+	case decide(t.seed, "http", "slow-body", n, f.SlowBodyPct) && f.SlowBodyMS > 0:
+		t.observe.note("slow-body")
+		resp.Body = &slowBody{rc: resp.Body, pause: time.Duration(f.SlowBodyMS) * time.Millisecond, ctx: req.Context()}
+		return resp, nil
+	}
+	return resp, nil
+}
+
+func synthetic503(req *http.Request) *http.Response {
+	body := []byte("faultinject: synthetic 503\n")
+	return &http.Response{
+		Status:        "503 Service Unavailable",
+		StatusCode:    http.StatusServiceUnavailable,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        http.Header{"Content-Type": {"text/plain"}},
+		Body:          io.NopCloser(bytes.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// corruptBody flips bytes spread through the response body, preserving
+// its length — the framing survives, the payload does not parse (or
+// worse, parses into garbage the caller must reject).
+func corruptBody(resp *http.Response) (*http.Response, error) {
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < len(data); i += 17 {
+		data[i] ^= 0x5a
+	}
+	resp.Body = io.NopCloser(bytes.NewReader(data))
+	resp.ContentLength = int64(len(data))
+	resp.Header.Set("Content-Length", strconv.Itoa(len(data)))
+	return resp, nil
+}
+
+// truncateBody cuts the response body in half mid-stream: the reader gets
+// an io.ErrUnexpectedEOF after half the declared length, like a peer that
+// died mid-send.
+func truncateBody(resp *http.Response) (*http.Response, error) {
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	resp.Body = io.NopCloser(io.MultiReader(bytes.NewReader(data[:len(data)/2]), errReader{io.ErrUnexpectedEOF}))
+	return resp, nil
+}
+
+type errReader struct{ err error }
+
+func (r errReader) Read([]byte) (int, error) { return 0, r.err }
+
+// slowBody dribbles reads in small chunks with a pause between them.
+type slowBody struct {
+	rc    io.ReadCloser
+	pause time.Duration
+	ctx   interface{ Done() <-chan struct{} }
+}
+
+const slowChunk = 512
+
+func (s *slowBody) Read(p []byte) (int, error) {
+	if len(p) > slowChunk {
+		p = p[:slowChunk]
+	}
+	select {
+	case <-time.After(s.pause):
+	case <-s.ctx.Done():
+		return 0, errors.New("faultinject: slow body read cancelled")
+	}
+	return s.rc.Read(p)
+}
+
+func (s *slowBody) Close() error { return s.rc.Close() }

@@ -79,6 +79,9 @@ type ProgressSnapshot struct {
 	// down per shard; the top-level counters are their sums. Empty for
 	// single-explorer runs.
 	Shards []ShardProgress `json:"shards,omitempty"`
+	// Peers, when the run dispatches legs to peer daemons, reports each
+	// peer's health and resilience counters. Empty for local-only runs.
+	Peers []PeerProgress `json:"peers,omitempty"`
 	// Final marks the last snapshot of a run: the run has stopped
 	// (exhausted, truncated or interrupted) and the counters equal the
 	// Result's.
@@ -97,6 +100,30 @@ type ShardProgress struct {
 	// peer; Retries counts leg re-runs after a worker death.
 	Steals  int `json:"steals,omitempty"`
 	Retries int `json:"retries,omitempty"`
+}
+
+// PeerProgress is one peer daemon's row in a distributed run's snapshot:
+// probe-derived health, breaker state, and the resilience counters that
+// explain where its legs went.
+type PeerProgress struct {
+	// Peer is the peer's base URL.
+	Peer string `json:"peer"`
+	// Healthy reflects the last active /readyz probe (or passive leg
+	// verdict when probing is off).
+	Healthy bool `json:"healthy"`
+	// BreakerOpen is true while the peer's circuit breaker rejects legs.
+	BreakerOpen bool `json:"breaker_open,omitempty"`
+	// ProbeFailures counts failed active health probes.
+	ProbeFailures int64 `json:"probe_failures,omitempty"`
+	// TransientRetries counts leg attempts re-dispatched to this peer
+	// after a transient transport failure.
+	TransientRetries int64 `json:"transient_retries,omitempty"`
+	// Hedges counts straggler legs raced against a local copy.
+	Hedges int64 `json:"hedges,omitempty"`
+	// Demotions counts legs this peer surrendered to the local fallback.
+	Demotions int64 `json:"demotions,omitempty"`
+	// Legs counts legs this peer completed successfully.
+	Legs int64 `json:"legs,omitempty"`
 }
 
 // Rate returns n per second over elapsed, guarded against zero and

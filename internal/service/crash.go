@@ -190,8 +190,12 @@ func (cs *crashStore) evict() error {
 // crashes on the same program content, further submissions of that
 // fingerprint are rejected until the cooldown has passed since the last
 // crash — one poisoned test cannot grind the worker pool in a crash loop.
-// The trip map is bounded; when full, the stalest entry is dropped (a
-// fingerprint that has not crashed recently is the safest to forget).
+// After the cooldown the breaker goes half-open: exactly one probe
+// submission is admitted, and the entry stays tripped until that probe's
+// outcome arrives — succeed closes the breaker, another crash reopens it
+// with a fresh cooldown. The trip map is bounded; when full, the stalest
+// entry is dropped (a fingerprint that has not crashed recently is the
+// safest to forget).
 type breaker struct {
 	threshold int
 	cooldown  time.Duration
@@ -199,8 +203,10 @@ type breaker struct {
 }
 
 type breakerEntry struct {
-	count int
-	last  time.Time
+	count   int
+	last    time.Time
+	probing bool
+	probeAt time.Time // when the in-flight half-open probe was admitted
 }
 
 const breakerMaxEntries = 1024
@@ -209,8 +215,9 @@ func newBreaker(threshold int, cooldown time.Duration) *breaker {
 	return &breaker{threshold: threshold, cooldown: cooldown, trips: map[string]*breakerEntry{}}
 }
 
-// allow reports whether a submission of fp should be accepted. An entry
-// past its cooldown is reset, so a fixed engine gets a fresh start.
+// allow reports whether a submission of fp should be accepted. A tripped
+// entry past its cooldown admits exactly one half-open probe; the entry
+// is only cleared when succeed reports the probe ran clean.
 func (b *breaker) allow(fp string, now time.Time) bool {
 	if b.threshold <= 0 {
 		return true
@@ -219,14 +226,30 @@ func (b *breaker) allow(fp string, now time.Time) bool {
 	if !ok {
 		return true
 	}
-	if now.Sub(e.last) >= b.cooldown {
-		delete(b.trips, fp)
+	if e.count < b.threshold {
 		return true
 	}
-	return e.count < b.threshold
+	if e.probing {
+		// A probe is in flight; wait for its verdict. A probe whose
+		// verdict never arrives (canceled, lost to history eviction) must
+		// not wedge the fingerprint shut forever — after a full further
+		// cooldown the breaker admits a fresh probe.
+		if now.Sub(e.probeAt) < b.cooldown {
+			return false
+		}
+		e.probeAt = now
+		return true
+	}
+	if now.Sub(e.last) >= b.cooldown {
+		e.probing = true
+		e.probeAt = now
+		return true
+	}
+	return false
 }
 
-// record notes one engine crash on fp.
+// record notes one engine crash on fp. A crash during a half-open probe
+// reopens the breaker with a fresh cooldown.
 func (b *breaker) record(fp string, now time.Time) {
 	e, ok := b.trips[fp]
 	if !ok {
@@ -245,4 +268,11 @@ func (b *breaker) record(fp string, now time.Time) {
 	}
 	e.count++
 	e.last = now
+	e.probing = false
+}
+
+// succeed notes a clean run of fp: a half-open probe (or any successful
+// submission) closes the breaker and forgets the crash history.
+func (b *breaker) succeed(fp string) {
+	delete(b.trips, fp)
 }

@@ -220,6 +220,77 @@ func TestBreakerCooldownResets(t *testing.T) {
 	}
 }
 
+// TestBreakerHalfOpenCloses walks the half-open happy path: open →
+// cooldown → exactly one probe admitted → clean run → closed, with the
+// crash history forgotten.
+func TestBreakerHalfOpenCloses(t *testing.T) {
+	b := newBreaker(2, 10*time.Millisecond)
+	now := time.Now()
+	b.record("fp", now)
+	b.record("fp", now)
+	if b.allow("fp", now) {
+		t.Fatal("breaker must be open after threshold crashes")
+	}
+	probeAt := now.Add(11 * time.Millisecond)
+	if !b.allow("fp", probeAt) {
+		t.Fatal("past cooldown the breaker must admit a half-open probe")
+	}
+	if b.allow("fp", probeAt) {
+		t.Fatal("only one probe may be in flight; the second submission must wait")
+	}
+	b.succeed("fp")
+	if !b.allow("fp", probeAt) {
+		t.Fatal("a clean probe must close the breaker")
+	}
+	// The history is gone too: one fresh crash is below threshold.
+	b.record("fp", probeAt)
+	if !b.allow("fp", probeAt) {
+		t.Fatal("a closed breaker starts its crash count from zero")
+	}
+}
+
+// TestBreakerHalfOpenReopens: a crash during the half-open probe reopens
+// the breaker for a full fresh cooldown before the next probe.
+func TestBreakerHalfOpenReopens(t *testing.T) {
+	b := newBreaker(2, 10*time.Millisecond)
+	now := time.Now()
+	b.record("fp", now)
+	b.record("fp", now)
+	probeAt := now.Add(11 * time.Millisecond)
+	if !b.allow("fp", probeAt) {
+		t.Fatal("past cooldown the breaker must admit a half-open probe")
+	}
+	b.record("fp", probeAt) // the probe crashed
+	if b.allow("fp", probeAt.Add(5*time.Millisecond)) {
+		t.Fatal("a failed probe must reopen the breaker for a fresh cooldown")
+	}
+	if !b.allow("fp", probeAt.Add(11*time.Millisecond)) {
+		t.Fatal("after the fresh cooldown the breaker must probe again")
+	}
+}
+
+// TestBreakerStuckProbeExpires: a probe whose verdict never arrives (the
+// job was canceled, or evicted from history) must not wedge the
+// fingerprint shut — after a further cooldown a new probe is admitted.
+func TestBreakerStuckProbeExpires(t *testing.T) {
+	b := newBreaker(2, 10*time.Millisecond)
+	now := time.Now()
+	b.record("fp", now)
+	b.record("fp", now)
+	probeAt := now.Add(11 * time.Millisecond)
+	if !b.allow("fp", probeAt) {
+		t.Fatal("past cooldown the breaker must admit a half-open probe")
+	}
+	// The probe's verdict never lands. A further cooldown later, a new
+	// probe goes out instead of rejecting forever.
+	if b.allow("fp", probeAt.Add(5*time.Millisecond)) {
+		t.Fatal("while the probe is fresh, further submissions must wait")
+	}
+	if !b.allow("fp", probeAt.Add(11*time.Millisecond)) {
+		t.Fatal("a probe that never reported must expire after a cooldown")
+	}
+}
+
 func TestMemoryBudgetRetries(t *testing.T) {
 	s := mustNew(t, Config{Workers: 1, CrashDir: t.TempDir(), MaxAttempts: 3, RetryBackoff: time.Millisecond})
 	defer s.Shutdown(context.Background())

@@ -464,15 +464,26 @@ func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
 // journal backlog has been re-enqueued, and again once draining starts —
 // so a rolling restart routes new submissions elsewhere both while a
 // replacement warms up and while the old daemon winds down.
+// A journal running degraded (a write or fsync failed — disk full, dying
+// device) still answers 200: the service keeps checking programs, only
+// crash durability is suspended. The body says so, for operators and for
+// probes that read it.
 func (s *Service) handleReady(w http.ResponseWriter, r *http.Request) {
 	if !s.Ready() {
 		s.writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "not ready"})
 		return
 	}
-	s.writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+	body := map[string]any{"status": "ready"}
+	if s.journal != nil {
+		if degraded, why := s.journal.degradedState(); degraded {
+			body["status"] = "degraded"
+			body["journal"] = why
+		}
+	}
+	s.writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.writePrometheus(w, s.QueueDepth(), s.cache.len(), s.cache.capacity(), s.CrashArtifacts(), s.Ready())
+	s.metrics.writePrometheus(w, s.QueueDepth(), s.cache.len(), s.cache.capacity(), s.CrashArtifacts(), s.Ready(), s.PeerStatus())
 }

@@ -3,12 +3,15 @@ package service
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+	"syscall"
 
 	"hmc/internal/core"
 )
@@ -76,6 +79,27 @@ type journalStats struct {
 	wrongSchema int // records from another engine schema dropped
 }
 
+// journalFile is what the journal needs from its backing file. *os.File
+// satisfies it directly; tests and the chaos harness interpose fault-
+// injecting wrappers through journalHooks.Wrap.
+type journalFile interface {
+	io.WriteCloser
+	Sync() error
+	Name() string
+}
+
+// journalHooks customises a journal's file handling. Both fields are
+// optional.
+type journalHooks struct {
+	// Wrap interposes on every freshly opened journal file (used by the
+	// chaos harness to inject write/fsync faults).
+	Wrap func(journalFile) journalFile
+	// OnWriteError is called, without j.mu held by the caller's metrics
+	// in mind, for every failed write or fsync — once per failure, after
+	// classification.
+	OnWriteError func(err error)
+}
+
 // journal is the append side. All methods are safe for concurrent use;
 // the lock also covers rotation, so a checkpoint append never interleaves
 // with a compaction snapshot. The journal never calls back into the
@@ -84,11 +108,15 @@ type journal struct {
 	mu       sync.Mutex
 	dir      string
 	maxBytes int64
-	f        *os.File
+	hooks    journalHooks
+	f        journalFile
 	size     int64
 	seq      int
 	live     map[string]*journalJob
 	dead     bool // test hook: simulate the process having been killed
+
+	degraded    bool   // a write or fsync failed and has not yet succeeded again
+	degradedWhy string // classification of the most recent failure
 }
 
 const defaultJournalMaxBytes = 4 << 20
@@ -98,13 +126,19 @@ const defaultJournalMaxBytes = 4 << 20
 // the old files. The returned stats include the live jobs for the caller
 // to re-enqueue (fetch them with takeLive).
 func openJournal(dir string, maxBytes int64) (*journal, journalStats, error) {
+	return openJournalWith(dir, maxBytes, journalHooks{})
+}
+
+// openJournalWith is openJournal with file hooks (fault injection,
+// write-error accounting).
+func openJournalWith(dir string, maxBytes int64, hooks journalHooks) (*journal, journalStats, error) {
 	if maxBytes <= 0 {
 		maxBytes = defaultJournalMaxBytes
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, journalStats{}, err
 	}
-	j := &journal{dir: dir, maxBytes: maxBytes, live: map[string]*journalJob{}}
+	j := &journal{dir: dir, maxBytes: maxBytes, hooks: hooks, live: map[string]*journalJob{}}
 	files, err := j.files()
 	if err != nil {
 		return nil, journalStats{}, err
@@ -301,13 +335,47 @@ func (j *journal) append(rec jrec) {
 	n, err := j.f.Write(data)
 	j.size += int64(n)
 	if err != nil {
-		return // disk trouble: degrade to an in-memory journal
+		// Disk trouble: degrade to an in-memory journal rather than wedge
+		// the worker. The record is already applied to the live map, so
+		// serving continues; only crash durability is lost until a write
+		// succeeds again, and /readyz reports the window.
+		j.noteWriteErrorLocked("write", err)
+		return
 	}
-	j.f.Sync() //nolint:errcheck // best effort; next append retries
+	if err := j.f.Sync(); err != nil {
+		j.noteWriteErrorLocked("fsync", err)
+		return
+	}
+	if j.degraded {
+		// A full write+fsync landed: durability is back.
+		j.degraded, j.degradedWhy = false, ""
+	}
 	if j.size > j.maxBytes {
 		j.seq++
 		j.rotateLocked() //nolint:errcheck // keep appending to the old file on failure
 	}
+}
+
+// noteWriteErrorLocked classifies a failed write or fsync, flips the
+// journal into its degraded state, and reports the failure to the
+// OnWriteError hook. Callers hold j.mu.
+func (j *journal) noteWriteErrorLocked(op string, err error) {
+	why := op + " error"
+	if errors.Is(err, syscall.ENOSPC) {
+		why = "disk full (ENOSPC)"
+	}
+	j.degraded, j.degradedWhy = true, why
+	if j.hooks.OnWriteError != nil {
+		j.hooks.OnWriteError(err)
+	}
+}
+
+// degradedState reports whether the journal is running without durability
+// (a write or fsync failed and none has succeeded since) and why.
+func (j *journal) degradedState() (bool, string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.degraded, j.degradedWhy
 }
 
 // rotateLocked opens journal-<seq>.jsonl, writes a compaction snapshot of
@@ -315,9 +383,13 @@ func (j *journal) append(rec jrec) {
 // j.mu (or are on the single-threaded open path).
 func (j *journal) rotateLocked() error {
 	path := filepath.Join(j.dir, fmt.Sprintf("journal-%09d.jsonl", j.seq))
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	of, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
+	}
+	var f journalFile = of
+	if j.hooks.Wrap != nil {
+		f = j.hooks.Wrap(f)
 	}
 	var buf []byte
 	for _, jj := range j.liveSorted() {

@@ -43,6 +43,16 @@ type Metrics struct {
 	ShardLegsActive atomic.Int64
 	ShardLegsServed atomic.Int64
 
+	// Peer-resilience counters (internal/shard pool): failed /readyz
+	// probes, transient-error retries before demotion, hedged straggler
+	// legs, and legs demoted to local execution.
+	PeerProbeFailures    atomic.Int64
+	PeerTransientRetries atomic.Int64
+	ShardLegHedges       atomic.Int64
+	PeerDemotions        atomic.Int64
+
+	JournalWriteErrors atomic.Int64 // journal write/fsync failures survived in degraded mode
+
 	JournalReplayedJobs   atomic.Int64 // incomplete jobs re-enqueued from the journal on startup
 	JournalCheckpoints    atomic.Int64 // periodic exploration checkpoints journaled
 	JournalSkippedRecords atomic.Int64 // torn or wrong-schema journal records dropped on replay
@@ -181,8 +191,10 @@ func (m *Metrics) CacheHitRate() float64 {
 
 // writePrometheus renders the counters in the Prometheus text exposition
 // format (version 0.0.4), stdlib only. queueDepth, cacheEntries, cacheCap
-// and crashResident are point-in-time gauges supplied by the service.
-func (m *Metrics) writePrometheus(w io.Writer, queueDepth, cacheEntries, cacheCap, crashResident int, ready bool) {
+// and crashResident are point-in-time gauges supplied by the service;
+// peers carries the peer pool's per-peer health snapshot (nil when the
+// run is single-process).
+func (m *Metrics) writePrometheus(w io.Writer, queueDepth, cacheEntries, cacheCap, crashResident int, ready bool, peers []obs.PeerProgress) {
 	m.ensureHistograms()
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
@@ -213,6 +225,29 @@ func (m *Metrics) writePrometheus(w io.Writer, queueDepth, cacheEntries, cacheCa
 	counter("hmcd_shard_retries_total", "Shard legs re-run after a worker death or peer failure.", m.ShardRetries.Load())
 	gaugeI("hmcd_shard_legs_active", "Peer shard legs currently executing for remote coordinators.", m.ShardLegsActive.Load())
 	counter("hmcd_shard_legs_served_total", "Peer shard legs served through /v1/shards.", m.ShardLegsServed.Load())
+	counter("hmcd_peer_probe_failures_total", "Failed active /readyz probes against peers.", m.PeerProbeFailures.Load())
+	counter("hmcd_peer_transient_retries_total", "Peer legs retried after a transient transport error.", m.PeerTransientRetries.Load())
+	counter("hmcd_shard_leg_hedges_total", "Straggling peer legs hedged with a local copy.", m.ShardLegHedges.Load())
+	counter("hmcd_peer_demotions_total", "Peer legs demoted to local execution.", m.PeerDemotions.Load())
+	counter("hmcd_journal_write_errors_total", "Journal write or fsync failures survived in degraded mode.", m.JournalWriteErrors.Load())
+	if len(peers) > 0 {
+		fmt.Fprintf(w, "# HELP hmcd_peer_healthy 1 while the peer answers its /readyz probes.\n# TYPE hmcd_peer_healthy gauge\n")
+		for _, p := range peers {
+			v := 0
+			if p.Healthy {
+				v = 1
+			}
+			fmt.Fprintf(w, "hmcd_peer_healthy{peer=%q} %d\n", p.Peer, v)
+		}
+		fmt.Fprintf(w, "# HELP hmcd_peer_breaker_open 1 while the peer's circuit breaker is open.\n# TYPE hmcd_peer_breaker_open gauge\n")
+		for _, p := range peers {
+			v := 0
+			if p.BreakerOpen {
+				v = 1
+			}
+			fmt.Fprintf(w, "hmcd_peer_breaker_open{peer=%q} %d\n", p.Peer, v)
+		}
+	}
 	counter("hmcd_journal_replayed_jobs_total", "Incomplete jobs re-enqueued from the journal on startup.", m.JournalReplayedJobs.Load())
 	counter("hmcd_journal_checkpoints_total", "Periodic exploration checkpoints journaled.", m.JournalCheckpoints.Load())
 	counter("hmcd_journal_skipped_records_total", "Torn or wrong-schema journal records dropped on replay.", m.JournalSkippedRecords.Load())

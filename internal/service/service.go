@@ -21,12 +21,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"hmc/internal/analyze"
 	"hmc/internal/core"
+	"hmc/internal/faultinject"
 	"hmc/internal/litmus"
 	"hmc/internal/memmodel"
 	"hmc/internal/obs"
@@ -101,8 +103,27 @@ type Config struct {
 	// Peers are base URLs of peer hmcd daemons (e.g. "http://host:8433")
 	// that sharded jobs may farm legs to through POST /v1/shards. Shard 0
 	// always runs locally; further shards round-robin over local + peers.
-	// Empty means sharded jobs run all their legs in-process.
+	// Empty means sharded jobs run all their legs in-process. Peer legs
+	// run through a resilience pool: active /readyz probes, per-peer
+	// circuit breakers, bounded transient retries, optional hedging, and
+	// local demotion as the last rung — a dark peer never loses a leg.
 	Peers []string
+	// PeerProbeEvery is the cadence of active /readyz probes against each
+	// peer (default 5s; negative disables active probing — peers are then
+	// judged passively from leg outcomes).
+	PeerProbeEvery time.Duration
+	// PeerTimeout, when >0, is the per-attempt deadline for one peer leg;
+	// an overrun counts as a transient failure (retried, then demoted).
+	PeerTimeout time.Duration
+	// PeerHedgeAfter, when >0, races a local copy of any peer leg still
+	// unfinished after this long; the first finisher wins and the loser is
+	// cancelled. Totals stay byte-identical either way.
+	PeerHedgeAfter time.Duration
+	// ChaosPlan, when non-nil, threads a deterministic fault-injection
+	// plan (internal/faultinject) through the peer HTTP transport and the
+	// journal file — the dev-only harness behind `hmcd -chaos-plan`. Never
+	// set in production.
+	ChaosPlan *faultinject.Plan
 }
 
 func (c Config) withDefaults() Config {
@@ -311,6 +332,7 @@ type Service struct {
 	metrics Metrics
 	crashes *crashStore // nil when artifact capture is disabled
 	journal *journal    // nil when Config.JournalDir is empty
+	pool    *shard.Pool // nil when Config.Peers is empty
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -355,9 +377,34 @@ func New(cfg Config) (*Service, error) {
 	if cfg.MaxCrashArtifacts > 0 {
 		s.crashes = &crashStore{dir: cfg.CrashDir, max: cfg.MaxCrashArtifacts}
 	}
+	if len(cfg.Peers) > 0 {
+		pc := shard.PoolConfig{
+			ProbeEvery: cfg.PeerProbeEvery,
+			LegTimeout: cfg.PeerTimeout,
+			HedgeAfter: cfg.PeerHedgeAfter,
+			Observer: shard.PoolObserver{
+				OnProbeFailure:   func() { s.metrics.PeerProbeFailures.Add(1) },
+				OnTransientRetry: func() { s.metrics.PeerTransientRetries.Add(1) },
+				OnHedge:          func() { s.metrics.ShardLegHedges.Add(1) },
+				OnDemotion:       func() { s.metrics.PeerDemotions.Add(1) },
+			},
+		}
+		if cfg.ChaosPlan != nil && cfg.ChaosPlan.HTTP != nil {
+			pc.Client = &http.Client{Transport: faultinject.NewTransport(nil, cfg.ChaosPlan, nil)}
+		}
+		s.pool = shard.NewPool(cfg.Peers, pc)
+		s.pool.Start()
+	}
 	var replay []*journalJob
 	if cfg.JournalDir != "" {
-		jl, stats, err := openJournal(cfg.JournalDir, cfg.JournalMaxBytes)
+		hooks := journalHooks{
+			OnWriteError: func(error) { s.metrics.JournalWriteErrors.Add(1) },
+		}
+		if cfg.ChaosPlan != nil && cfg.ChaosPlan.Journal != nil {
+			plan := cfg.ChaosPlan
+			hooks.Wrap = func(f journalFile) journalFile { return faultinject.WrapFile(f, plan, nil) }
+		}
+		jl, stats, err := openJournalWith(cfg.JournalDir, cfg.JournalMaxBytes, hooks)
 		if err != nil {
 			return nil, fmt.Errorf("service: journal: %w", err)
 		}
@@ -517,13 +564,23 @@ func (s *Service) safeRunJob(j *Job) {
 }
 
 // shardRunners builds the leg runners for one sharded job: shard 0 is
-// always local, further shards round-robin over local + configured peers.
+// always local, further shards round-robin over local + configured peers,
+// each peer behind the resilience pool (breaker, retries, hedging, local
+// demotion).
 func (s *Service) shardRunners() []shard.Runner {
-	runners := []shard.Runner{shard.Local{}}
-	for _, u := range s.cfg.Peers {
-		runners = append(runners, &shard.HTTPPeer{BaseURL: u})
+	if s.pool == nil {
+		return []shard.Runner{shard.Local{}}
 	}
-	return runners
+	return s.pool.Runners()
+}
+
+// PeerStatus snapshots the peer pool's per-peer health for /metrics and
+// progress rows; nil when the service has no peers.
+func (s *Service) PeerStatus() []obs.PeerProgress {
+	if s.pool == nil {
+		return nil
+	}
+	return s.pool.Snapshot()
 }
 
 // Metrics exposes the counters (for tests and embedding servers).
@@ -775,6 +832,9 @@ func (s *Service) runJob(j *Job) {
 			OnSteal: func() { s.metrics.ShardSteals.Add(1) },
 			OnRetry: func() { s.metrics.ShardRetries.Add(1) },
 		}
+		if s.pool != nil {
+			so.PeerStatus = s.pool.Snapshot
+		}
 		// The coordinator reports its own active-leg count from its event
 		// loop (single-threaded per job); the service gauge sums the deltas
 		// across jobs, and every run ends back at zero.
@@ -864,6 +924,15 @@ func (s *Service) runJob(j *Job) {
 		}
 	}
 
+	// A sharded run that finished while every peer was dark ran fully
+	// local; say so where clients can see it, not just in the metrics.
+	if err == nil && j.req.Shards > 1 && s.pool != nil && s.pool.AllDark() {
+		s.mu.Lock()
+		j.diagnostics = append(j.diagnostics,
+			"degraded: all peers dark, shard legs ran locally (hmcd_peer_demotions_total counts them)")
+		s.mu.Unlock()
+	}
+
 	cached := false
 	s.mu.Lock()
 	j.finished = time.Now()
@@ -887,6 +956,9 @@ func (s *Service) runJob(j *Job) {
 		j.result = res
 		s.metrics.JobsCompleted.Add(1)
 		s.metrics.addStats(&res.Stats)
+		// A clean run closes the fingerprint's breaker — in particular the
+		// half-open probe that admitted this job after a cooldown.
+		s.breaker.succeed(j.fingerprint)
 		if res.Interrupted {
 			s.metrics.JobsInterrupted.Add(1)
 		} else if res.TruncatedReason != core.TruncMemoryBudget {
@@ -1087,6 +1159,9 @@ func (s *Service) Shutdown(ctx context.Context) error {
 			return ctx.Err()
 		}
 	}()
+	if first && s.pool != nil {
+		s.pool.Close() // stop the probe goroutines; workers are done
+	}
 	if first && s.journal != nil {
 		if !s.killed.Load() {
 			s.persistVerdicts()

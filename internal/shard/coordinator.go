@@ -72,6 +72,9 @@ type Options struct {
 	OnActive func(active int)
 	OnSteal  func()
 	OnRetry  func()
+	// PeerStatus, when non-nil, supplies per-peer rows for progress
+	// snapshots (see Pool.Snapshot).
+	PeerStatus func() []obs.PeerProgress
 
 	// failLeg is the chaos-test hook: consulted before each leg launch
 	// with (shard, attempt); a non-nil error kills that leg attempt as if
@@ -643,6 +646,9 @@ func (c *coordinator) maybeProgress(final bool) {
 	}
 	snap.ExecsPerSec = obs.Rate(snap.Executions, elapsed)
 	snap.ChecksPerSec = obs.Rate(snap.ConsistencyChecks, elapsed)
+	if c.o.PeerStatus != nil {
+		snap.Peers = c.o.PeerStatus()
+	}
 	c.o.OnProgress(snap)
 }
 

@@ -1,0 +1,470 @@
+package shard
+
+import (
+	"context"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"hmc/internal/core"
+	"hmc/internal/obs"
+)
+
+// Pool defaults; each is overridable through PoolConfig.
+const (
+	DefaultProbeEvery       = 5 * time.Second
+	DefaultProbeTimeout     = 2 * time.Second
+	DefaultMaxPeerRetries   = 2
+	DefaultRetryBackoff     = 100 * time.Millisecond
+	DefaultBreakerThreshold = 3
+	DefaultBreakerCooldown  = 10 * time.Second
+)
+
+// maxRetryBackoff caps the exponential backoff between transient-retry
+// attempts; beyond this, waiting longer just delays the local demotion.
+const maxRetryBackoff = 2 * time.Second
+
+// PoolConfig tunes a peer pool. The zero value means: probe every 5s
+// with a 2s timeout, no per-attempt leg deadline, 2 transient retries
+// with 100ms jittered exponential backoff, breaker opens after 3
+// consecutive failures and half-opens after 10s, no hedging.
+type PoolConfig struct {
+	// ProbeEvery is the active /readyz probe period (<0 disables active
+	// probing; peers are then judged passively from leg outcomes).
+	ProbeEvery time.Duration
+	// ProbeTimeout bounds one probe request.
+	ProbeTimeout time.Duration
+	// LegTimeout, when >0, is the per-attempt deadline for one peer leg.
+	// Legs are long-lived by design; set this well above the expected
+	// leg duration — it exists to unstick hung peers, not pace them.
+	LegTimeout time.Duration
+	// MaxRetries bounds transient-error retries per leg before the local
+	// demotion (<0 disables retries).
+	MaxRetries int
+	// RetryBackoff is the base of the jittered exponential backoff
+	// between transient retries.
+	RetryBackoff time.Duration
+	// BreakerThreshold is the consecutive-failure count that opens a
+	// peer's circuit breaker; BreakerCooldown is how long it stays open
+	// before a single half-open probe leg is allowed through.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// HedgeAfter, when >0, races a local copy of any peer leg still
+	// running after this long; the first success wins, the loser is
+	// cancelled and its result discarded. Legs are deterministic, so the
+	// winner's checkpoint is the same either way.
+	HedgeAfter time.Duration
+	// Client dispatches probes and legs (nil = the shared default peer
+	// client). Chaos plans wrap its transport.
+	Client *http.Client
+	// Observer receives resilience-event callbacks for metrics. All
+	// fields are optional.
+	Observer PoolObserver
+}
+
+// PoolObserver carries the pool's metrics hooks; any field may be nil.
+type PoolObserver struct {
+	// OnProbeFailure fires per failed active health probe.
+	OnProbeFailure func()
+	// OnTransientRetry fires per leg attempt retried after a transient
+	// transport failure.
+	OnTransientRetry func()
+	// OnHedge fires when a straggling peer leg grows a local hedge.
+	OnHedge func()
+	// OnDemotion fires when a leg is surrendered to the local fallback
+	// (breaker open, peer dark, or retries exhausted).
+	OnDemotion func()
+}
+
+func (cfg *PoolConfig) withDefaults() {
+	if cfg.ProbeEvery == 0 {
+		cfg.ProbeEvery = DefaultProbeEvery
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = DefaultProbeTimeout
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = DefaultMaxPeerRetries
+	} else if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = DefaultRetryBackoff
+	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = DefaultBreakerThreshold
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = DefaultBreakerCooldown
+	}
+	if cfg.Client == nil {
+		cfg.Client = defaultPeerClient
+	}
+}
+
+// Pool manages the health of a set of peer daemons and hands out
+// resilient Runners that retry, hedge and degrade instead of failing a
+// leg on the first network hiccup. The degradation ladder per leg is:
+// peer attempt → bounded transient retries with jittered backoff →
+// (optionally) a hedged local race → local demotion. A leg is never
+// lost: the worst case is that it runs locally, exactly-once, from the
+// same input checkpoint.
+type Pool struct {
+	cfg   PoolConfig
+	peers []*peerState
+	stop  chan struct{}
+	wg    sync.WaitGroup
+	once  sync.Once
+}
+
+// peerState is one peer's health record: probe-derived liveness plus the
+// circuit breaker fed by passive leg outcomes.
+type peerState struct {
+	url    string
+	runner *HTTPPeer
+
+	mu       sync.Mutex
+	healthy  bool
+	fails    int       // consecutive leg failures (breaker input)
+	openedAt time.Time // when the breaker last opened
+	probing  bool      // a half-open probe leg is in flight
+
+	probeFailures    int64
+	transientRetries int64
+	hedges           int64
+	demotions        int64
+	legs             int64
+}
+
+// NewPool builds a pool over the given peer base URLs. Call Start to
+// begin active probing and Close to stop it.
+func NewPool(urls []string, cfg PoolConfig) *Pool {
+	cfg.withDefaults()
+	p := &Pool{cfg: cfg, stop: make(chan struct{})}
+	for _, u := range urls {
+		p.peers = append(p.peers, &peerState{
+			url:     u,
+			runner:  &HTTPPeer{BaseURL: u, Client: cfg.Client},
+			healthy: true, // optimistic until the first probe says otherwise
+		})
+	}
+	return p
+}
+
+// Start launches the active /readyz probe loops (no-op when probing is
+// disabled or there are no peers).
+func (p *Pool) Start() {
+	if p.cfg.ProbeEvery < 0 {
+		return
+	}
+	for _, ps := range p.peers {
+		p.wg.Add(1)
+		go p.probeLoop(ps)
+	}
+}
+
+// Close stops the probe loops and waits for them.
+func (p *Pool) Close() {
+	p.once.Do(func() { close(p.stop) })
+	p.wg.Wait()
+}
+
+// Runners returns the runner set for a sharded run: the local runner
+// first, then one resilient runner per peer — the same shape the
+// coordinator's shard-to-runner assignment expects.
+func (p *Pool) Runners() []Runner {
+	rs := []Runner{Local{}}
+	for _, ps := range p.peers {
+		rs = append(rs, &resilientRunner{pool: p, peer: ps})
+	}
+	return rs
+}
+
+// Snapshot reports every peer's health and resilience counters, sorted
+// in construction order (stable across calls).
+func (p *Pool) Snapshot() []obs.PeerProgress {
+	out := make([]obs.PeerProgress, 0, len(p.peers))
+	for _, ps := range p.peers {
+		ps.mu.Lock()
+		out = append(out, obs.PeerProgress{
+			Peer:             ps.url,
+			Healthy:          ps.healthy,
+			BreakerOpen:      ps.fails >= p.cfg.BreakerThreshold,
+			ProbeFailures:    ps.probeFailures,
+			TransientRetries: ps.transientRetries,
+			Hedges:           ps.hedges,
+			Demotions:        ps.demotions,
+			Legs:             ps.legs,
+		})
+		ps.mu.Unlock()
+	}
+	return out
+}
+
+func (p *Pool) probeLoop(ps *peerState) {
+	defer p.wg.Done()
+	t := time.NewTicker(p.cfg.ProbeEvery)
+	defer t.Stop()
+	p.probe(ps)
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			p.probe(ps)
+		}
+	}
+}
+
+// probe hits the peer's /readyz and updates its health mark. Probes only
+// move the health gauge — the breaker is fed by leg outcomes, so a
+// ready-but-flaky peer still trips it.
+func (p *Pool) probe(ps *peerState) {
+	ctx, cancel := context.WithTimeout(context.Background(), p.cfg.ProbeTimeout)
+	defer cancel()
+	ok := false
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ps.url+"/readyz", nil)
+	if err == nil {
+		resp, rerr := p.cfg.Client.Do(req)
+		if rerr == nil {
+			resp.Body.Close()
+			ok = resp.StatusCode == http.StatusOK
+		}
+	}
+	ps.mu.Lock()
+	ps.healthy = ok
+	if !ok {
+		ps.probeFailures++
+	}
+	ps.mu.Unlock()
+	if !ok && p.cfg.Observer.OnProbeFailure != nil {
+		p.cfg.Observer.OnProbeFailure()
+	}
+}
+
+// admit decides whether a leg may attempt this peer right now: the peer
+// must look alive and its breaker must be closed — or due a single
+// half-open probe leg, in which case that leg is it.
+func (ps *peerState) admit(threshold int, cooldown time.Duration, now time.Time) bool {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if !ps.healthy {
+		return false
+	}
+	if ps.fails < threshold {
+		return true // closed
+	}
+	if ps.probing {
+		return false // half-open: one probe at a time
+	}
+	if now.Sub(ps.openedAt) >= cooldown {
+		ps.probing = true // this leg is the half-open probe
+		return true
+	}
+	return false // open
+}
+
+// legSucceeded closes the breaker and restores the passive health mark.
+func (ps *peerState) legSucceeded() {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	ps.fails = 0
+	ps.probing = false
+	ps.healthy = true
+	ps.legs++
+}
+
+// legFailed records a passive failure; crossing the threshold (or
+// failing the half-open probe) opens the breaker, timestamped for the
+// cooldown.
+func (ps *peerState) legFailed(threshold int, now time.Time) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	ps.fails++
+	if ps.probing || ps.fails == threshold {
+		ps.openedAt = now
+	}
+	if ps.probing {
+		// A failed probe reopens fully: hold fails at the threshold so
+		// the next cooldown admits exactly one new probe.
+		ps.fails = threshold
+		ps.probing = false
+	}
+}
+
+// resilientRunner dispatches one shard's legs to a pooled peer, walking
+// the degradation ladder before giving the leg to the local fallback.
+// It deliberately does not implement InProcess: callback options still
+// reject peer-backed runs even though demoted legs execute locally.
+type resilientRunner struct {
+	pool *Pool
+	peer *peerState
+}
+
+// RunLeg implements Runner. It never returns a transient error: those
+// are retried and finally demoted to a local run, so the only errors
+// that escape are deterministic refusals and local-engine failures —
+// zero legs lost to the network.
+func (r *resilientRunner) RunLeg(ctx context.Context, req *LegRequest) (*core.Checkpoint, error) {
+	cfg := &r.pool.cfg
+	for attempt := 0; ; attempt++ {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if !r.peer.admit(cfg.BreakerThreshold, cfg.BreakerCooldown, time.Now()) {
+			return r.demote(ctx, req)
+		}
+		cp, viaLocal, err := r.attempt(ctx, req)
+		if err == nil {
+			if !viaLocal {
+				// A hedge won by the local copy says nothing about the
+				// peer — neither success nor failure is recorded for it.
+				r.peer.legSucceeded()
+			}
+			return cp, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err() // the run was cancelled, not the peer's fault
+		}
+		r.peer.legFailed(cfg.BreakerThreshold, time.Now())
+		if !IsTransient(err) {
+			return nil, err // deterministic: the coordinator decides
+		}
+		if attempt >= cfg.MaxRetries {
+			return r.demote(ctx, req)
+		}
+		if r.pool.cfg.Observer.OnTransientRetry != nil {
+			r.pool.cfg.Observer.OnTransientRetry()
+		}
+		r.peer.mu.Lock()
+		r.peer.transientRetries++
+		r.peer.mu.Unlock()
+		if err := sleepBackoff(ctx, cfg.RetryBackoff, attempt); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// demote runs the leg on the local fallback — the bottom of the ladder.
+// The input checkpoint is untouched, so this is exactly the coordinator's
+// own retry semantics, just without burning a coordinator retry.
+func (r *resilientRunner) demote(ctx context.Context, req *LegRequest) (*core.Checkpoint, error) {
+	r.peer.mu.Lock()
+	r.peer.demotions++
+	r.peer.mu.Unlock()
+	if r.pool.cfg.Observer.OnDemotion != nil {
+		r.pool.cfg.Observer.OnDemotion()
+	}
+	return Local{}.RunLeg(ctx, req)
+}
+
+// attempt runs one peer attempt, optionally hedged: when the peer leg is
+// still running after HedgeAfter, a local copy of the same leg is raced
+// against it. The first success wins and the loser is cancelled — legs
+// are deterministic functions of their input checkpoint, so both would
+// return the same counters and discarding the loser changes nothing.
+func (r *resilientRunner) attempt(ctx context.Context, req *LegRequest) (*core.Checkpoint, bool, error) {
+	cfg := &r.pool.cfg
+	actx := ctx
+	cancel := context.CancelFunc(func() {})
+	if cfg.LegTimeout > 0 {
+		actx, cancel = context.WithTimeout(ctx, cfg.LegTimeout)
+	}
+	defer cancel()
+	if cfg.HedgeAfter <= 0 {
+		cp, err := r.peer.runner.RunLeg(actx, req)
+		return cp, false, err
+	}
+	hctx, hcancel := context.WithCancel(actx)
+	defer hcancel()
+	type outcome struct {
+		cp    *core.Checkpoint
+		err   error
+		local bool
+	}
+	ch := make(chan outcome, 2) // buffered: the loser must not leak
+	go func() {
+		cp, err := r.peer.runner.RunLeg(hctx, req)
+		ch <- outcome{cp: cp, err: err, local: false}
+	}()
+	hedge := time.NewTimer(cfg.HedgeAfter)
+	defer hedge.Stop()
+	pending := 1
+	hedged := false
+	var peerErr, localErr error
+	for pending > 0 {
+		select {
+		case <-hedge.C:
+			if !hedged {
+				hedged = true
+				pending++
+				r.peer.mu.Lock()
+				r.peer.hedges++
+				r.peer.mu.Unlock()
+				if cfg.Observer.OnHedge != nil {
+					cfg.Observer.OnHedge()
+				}
+				go func() {
+					cp, err := Local{}.RunLeg(hctx, req)
+					ch <- outcome{cp: cp, err: err, local: true}
+				}()
+			}
+		case o := <-ch:
+			pending--
+			if o.err == nil {
+				return o.cp, o.local, nil // deferred hcancel reaps the loser
+			}
+			if o.local {
+				localErr = o.err
+			} else {
+				peerErr = o.err
+			}
+		}
+	}
+	// Both sides failed (or the hedge never fired and the peer did): the
+	// peer error drives the retry classification; a lone local failure is
+	// an engine error and surfaces as-is.
+	if peerErr != nil {
+		return nil, false, peerErr
+	}
+	return nil, true, localErr
+}
+
+// sleepBackoff waits one jittered exponential-backoff step, bailing out
+// on cancellation. The jitter decorrelates retry storms across legs; the
+// cap keeps the ladder from stalling a run longer than a demotion would.
+func sleepBackoff(ctx context.Context, base time.Duration, attempt int) error {
+	d := base << attempt
+	if d > maxRetryBackoff || d <= 0 {
+		d = maxRetryBackoff
+	}
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// AllDark reports whether no pooled peer is currently admitting legs —
+// the fully-degraded state. The run still completes (every leg demotes
+// to local); this exists so callers can say so out loud.
+func (p *Pool) AllDark() bool {
+	if len(p.peers) == 0 {
+		return false
+	}
+	now := time.Now()
+	for _, ps := range p.peers {
+		ps.mu.Lock()
+		ok := ps.healthy && (ps.fails < p.cfg.BreakerThreshold || now.Sub(ps.openedAt) >= p.cfg.BreakerCooldown)
+		ps.mu.Unlock()
+		if ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,345 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hmc/internal/core"
+	"hmc/internal/faultinject"
+	"hmc/internal/gen"
+	"hmc/internal/memmodel"
+	"hmc/internal/prog"
+)
+
+// newLegServer serves /v1/shards for a fixed program — an in-test peer
+// daemon. wrap, when non-nil, may hijack a request before the leg runs
+// (return true = handled).
+func newLegServer(t *testing.T, p *prog.Program, wrap func(w http.ResponseWriter, r *http.Request, n int64) bool) *httptest.Server {
+	t.Helper()
+	var n atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/readyz" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		if r.URL.Path != "/v1/shards" {
+			http.NotFound(w, r)
+			return
+		}
+		seq := n.Add(1)
+		if wrap != nil && wrap(w, r, seq) {
+			return
+		}
+		var lw LegWire
+		if err := json.NewDecoder(r.Body).Decode(&lw); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		cp, err := ExecuteLeg(r.Context(), &lw, p)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		raw, err := cp.Encode()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		json.NewEncoder(w).Encode(LegResponse{Checkpoint: raw})
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestPeerBreakerLifecycle walks the per-peer breaker state machine with
+// explicit clocks: closed → open at the threshold → half-open single
+// probe after the cooldown → closed on probe success, reopened on probe
+// failure.
+func TestPeerBreakerLifecycle(t *testing.T) {
+	const threshold = 3
+	cooldown := 10 * time.Second
+	t0 := time.Unix(1000, 0)
+	ps := &peerState{healthy: true}
+
+	if !ps.admit(threshold, cooldown, t0) {
+		t.Fatal("fresh peer must admit legs")
+	}
+	for i := 0; i < threshold; i++ {
+		if !ps.admit(threshold, cooldown, t0) {
+			t.Fatalf("breaker opened after only %d failures", i)
+		}
+		ps.legFailed(threshold, t0)
+	}
+	if ps.admit(threshold, cooldown, t0) {
+		t.Fatal("breaker must be open after the threshold failure")
+	}
+	if ps.admit(threshold, cooldown, t0.Add(cooldown-time.Second)) {
+		t.Fatal("breaker must stay open through the cooldown")
+	}
+	// Half-open: exactly one probe leg through.
+	tProbe := t0.Add(cooldown)
+	if !ps.admit(threshold, cooldown, tProbe) {
+		t.Fatal("cooldown elapsed: one half-open probe must be admitted")
+	}
+	if ps.admit(threshold, cooldown, tProbe) {
+		t.Fatal("a second leg during the half-open probe must be rejected")
+	}
+	// Probe failure → fully open again, new cooldown from now.
+	ps.legFailed(threshold, tProbe)
+	if ps.admit(threshold, cooldown, tProbe.Add(cooldown-time.Second)) {
+		t.Fatal("failed probe must restart the cooldown")
+	}
+	tProbe2 := tProbe.Add(cooldown)
+	if !ps.admit(threshold, cooldown, tProbe2) {
+		t.Fatal("second cooldown elapsed: a new probe must be admitted")
+	}
+	// Probe success → closed.
+	ps.legSucceeded()
+	if !ps.admit(threshold, cooldown, tProbe2) || !ps.admit(threshold, cooldown, tProbe2) {
+		t.Fatal("successful probe must close the breaker for all legs")
+	}
+	if ps.fails != 0 {
+		t.Fatalf("closed breaker holds %d stale failures", ps.fails)
+	}
+}
+
+// TestPoolPeerEquivalence: legs dispatched through pooled peers produce
+// totals byte-identical to the single-process oracle — first on a clean
+// network, then through an adversarial fault plan (drops, 5xx, latency,
+// one corrupt body), then with every peer dark. Zero legs may be lost in
+// any of these.
+func TestPoolPeerEquivalence(t *testing.T) {
+	p := gen.SBN(5)
+	straight := singleRun(t, p, "sc", core.Options{})
+
+	run := func(t *testing.T, pool *Pool) *core.Result {
+		t.Helper()
+		return shardRun(t, p, "sc", 4, core.Options{}, func(o *Options) {
+			o.Test = "SBN5" // peer legs need a program identity on the wire
+			o.Runners = pool.Runners()
+		})
+	}
+
+	t.Run("clean", func(t *testing.T) {
+		srv := newLegServer(t, p, nil)
+		pool := NewPool([]string{srv.URL}, PoolConfig{ProbeEvery: -1})
+		defer pool.Close()
+		assertSame(t, "pooled peers, clean network", straight, run(t, pool), true)
+		snap := pool.Snapshot()
+		if snap[0].Legs == 0 {
+			t.Error("no legs reached the peer; the pool never left the local path")
+		}
+		if snap[0].Demotions != 0 || snap[0].TransientRetries != 0 {
+			t.Errorf("clean network saw demotions=%d retries=%d", snap[0].Demotions, snap[0].TransientRetries)
+		}
+	})
+
+	t.Run("hostile", func(t *testing.T) {
+		srv := newLegServer(t, p, nil)
+		plan := &faultinject.Plan{Seed: 42, HTTP: &faultinject.HTTPFaults{
+			DropPct:    30,
+			LatencyPct: 20, LatencyMS: 5,
+			Err5xxPct: 10,
+			CorruptAt: []int64{3},
+		}}
+		client := &http.Client{Transport: faultinject.NewTransport(nil, plan, nil)}
+		var retries atomic.Int64
+		pool := NewPool([]string{srv.URL}, PoolConfig{
+			ProbeEvery:   -1,
+			RetryBackoff: time.Millisecond,
+			Client:       client,
+			Observer:     PoolObserver{OnTransientRetry: func() { retries.Add(1) }},
+		})
+		defer pool.Close()
+		assertSame(t, "pooled peers, hostile network", straight, run(t, pool), true)
+		if retries.Load() == 0 {
+			t.Log("note: fault plan fired no transient retries this schedule")
+		}
+	})
+
+	t.Run("all-dark", func(t *testing.T) {
+		dead := httptest.NewServer(http.NotFoundHandler())
+		url := dead.URL
+		dead.Close() // connection refused from the first leg on
+		var demotions atomic.Int64
+		pool := NewPool([]string{url}, PoolConfig{
+			ProbeEvery:      -1,
+			RetryBackoff:    time.Millisecond,
+			BreakerCooldown: time.Hour,
+			Observer:        PoolObserver{OnDemotion: func() { demotions.Add(1) }},
+		})
+		defer pool.Close()
+		assertSame(t, "pooled peers, all dark", straight, run(t, pool), true)
+		if demotions.Load() == 0 {
+			t.Error("dead peer produced no demotions; where did its legs run?")
+		}
+		if !pool.AllDark() {
+			t.Error("pool does not report AllDark with its only peer refusing connections")
+		}
+	})
+}
+
+// TestPoolTransientRetrySucceeds: a peer that fails the first two
+// attempts of a leg with 503s is retried in place and completes the leg
+// itself — no demotion, breaker still closed.
+func TestPoolTransientRetrySucceeds(t *testing.T) {
+	p := gen.SBN(3)
+	var flaked atomic.Int64
+	srv := newLegServer(t, p, func(w http.ResponseWriter, r *http.Request, n int64) bool {
+		if flaked.Add(1) <= 2 {
+			http.Error(w, "synthetic flake", http.StatusServiceUnavailable)
+			return true
+		}
+		return false
+	})
+	retries, demotions := 0, 0
+	pool := NewPool([]string{srv.URL}, PoolConfig{
+		ProbeEvery:   -1,
+		MaxRetries:   3,
+		RetryBackoff: time.Millisecond,
+		Observer: PoolObserver{
+			OnTransientRetry: func() { retries++ },
+			OnDemotion:       func() { demotions++ },
+		},
+	})
+	defer pool.Close()
+
+	req, oracle := poolLegRequest(t, p)
+	cp, err := pool.Runners()[1].RunLeg(context.Background(), req)
+	if err != nil {
+		t.Fatalf("leg failed through a recoverable flake: %v", err)
+	}
+	if got, want := mustJSON(t, cp.Stats), mustJSON(t, oracle.Stats); got != want {
+		t.Errorf("retried peer leg diverged:\n got %s\nwant %s", got, want)
+	}
+	if retries != 2 || demotions != 0 {
+		t.Errorf("retries=%d demotions=%d, want 2 retries and no demotion", retries, demotions)
+	}
+	if snap := pool.Snapshot()[0]; !snap.Healthy || snap.BreakerOpen || snap.Legs != 1 {
+		t.Errorf("peer snapshot after recovery: %+v", snap)
+	}
+}
+
+// TestPoolHedgedLeg: a peer that hangs forever loses the race to its
+// local hedge; the leg completes with identical totals and the hedge is
+// counted.
+func TestPoolHedgedLeg(t *testing.T) {
+	p := gen.SBN(3)
+	srv := newLegServer(t, p, func(w http.ResponseWriter, r *http.Request, n int64) bool {
+		// Drain the body so the server can observe the client hangup
+		// (HTTP/1 disconnects only surface once the body is consumed),
+		// then straggle until the hedge win cancels us.
+		io.Copy(io.Discard, r.Body)
+		<-r.Context().Done()
+		return true
+	})
+	hedges := 0
+	pool := NewPool([]string{srv.URL}, PoolConfig{
+		ProbeEvery: -1,
+		HedgeAfter: 10 * time.Millisecond,
+		Observer:   PoolObserver{OnHedge: func() { hedges++ }},
+	})
+	defer pool.Close()
+
+	req, oracle := poolLegRequest(t, p)
+	cp, err := pool.Runners()[1].RunLeg(context.Background(), req)
+	if err != nil {
+		t.Fatalf("hedged leg failed: %v", err)
+	}
+	if got, want := mustJSON(t, cp.Stats), mustJSON(t, oracle.Stats); got != want {
+		t.Errorf("hedged leg diverged:\n got %s\nwant %s", got, want)
+	}
+	if hedges != 1 {
+		t.Errorf("hedges = %d, want 1", hedges)
+	}
+	if snap := pool.Snapshot()[0]; snap.Legs != 0 {
+		t.Errorf("straggling peer credited with %d completed legs", snap.Legs)
+	}
+}
+
+// TestPoolProbesTrackHealth: active /readyz probes flip the health mark
+// both ways and count failures.
+func TestPoolProbesTrackHealth(t *testing.T) {
+	var ready atomic.Bool
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/readyz" && ready.Load() {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		http.Error(w, "not ready", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	pool := NewPool([]string{srv.URL}, PoolConfig{ProbeEvery: 5 * time.Millisecond, ProbeTimeout: time.Second})
+	pool.Start()
+	defer pool.Close()
+
+	waitFor(t, "peer marked unhealthy", func() bool {
+		s := pool.Snapshot()[0]
+		return !s.Healthy && s.ProbeFailures > 0
+	})
+	if !pool.AllDark() {
+		t.Error("probe-dark peer should leave the pool AllDark")
+	}
+	ready.Store(true)
+	waitFor(t, "peer marked healthy again", func() bool { return pool.Snapshot()[0].Healthy })
+	if pool.AllDark() {
+		t.Error("pool still AllDark after the peer recovered")
+	}
+}
+
+// poolLegRequest builds a single full-coverage leg for p under sc, plus
+// the local oracle's checkpoint for comparison.
+func poolLegRequest(t *testing.T, p *prog.Program) (*LegRequest, *core.Checkpoint) {
+	t.Helper()
+	m, err := memmodel.ByName("sc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.Options{Model: m, DedupSafeguard: true, CollectKeys: true}
+	base, err := core.InitialCheckpoint(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cps, err := Split(base, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := core.ParseShardSpec(cps[0].Shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := &LegRequest{Program: p, Test: "SBN3", Opts: opts, Checkpoint: cps[0], Spec: spec}
+	oracle, err := Local{}.RunLeg(context.Background(), &LegRequest{Program: p, Opts: opts, Checkpoint: cps[0], Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return req, oracle
+}
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

@@ -7,7 +7,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
+	"time"
 
 	"hmc/internal/core"
 	"hmc/internal/memmodel"
@@ -138,16 +140,59 @@ func ExecuteLeg(ctx context.Context, w *LegWire, p *prog.Program) (*core.Checkpo
 	return Local{}.RunLeg(ctx, req)
 }
 
+// transientError marks leg failures caused by the transport or a
+// momentarily unhealthy peer — the kind a retry can fix. Failures that
+// are deterministic functions of the request (4xx, spec mismatches,
+// checkpoint identity mismatches) are returned bare: re-sending the same
+// bytes would fail the same way.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+func transient(err error) error { return &transientError{err: err} }
+
+// IsTransient reports whether a leg error is a transient transport-side
+// failure worth retrying on the same peer (connection errors, 5xx,
+// truncated or unparseable response bodies, deadline overruns).
+func IsTransient(err error) bool {
+	var t *transientError
+	return errors.As(err, &t)
+}
+
+// defaultPeerClient is the fallback client for peers without an explicit
+// one: bounded dials and keep-alives suited to long-lived legs. The
+// response-header timeout is deliberately generous — the peer computes
+// the entire leg before it writes headers, so this is a liveness bound
+// on a hung peer, not a latency bound on a busy one. Per-leg deadlines
+// ride the request context.
+var defaultPeerClient = &http.Client{
+	Transport: &http.Transport{
+		Proxy: http.ProxyFromEnvironment,
+		DialContext: (&net.Dialer{
+			Timeout:   10 * time.Second,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		TLSHandshakeTimeout:   10 * time.Second,
+		MaxIdleConns:          32,
+		MaxIdleConnsPerHost:   4,
+		IdleConnTimeout:       90 * time.Second,
+		ResponseHeaderTimeout: 15 * time.Minute,
+		ExpectContinueTimeout: time.Second,
+	},
+}
+
 // HTTPPeer farms legs to a peer hmcd over its /v1/shards endpoint. Any
 // transport or peer failure is returned as an error with the input
 // checkpoint untouched, so the coordinator can re-run the leg elsewhere
 // exactly-once — a dead peer costs the leg's partial work, never
-// correctness.
+// correctness. Retryable failures satisfy IsTransient.
 type HTTPPeer struct {
 	// BaseURL is the peer's base URL, e.g. "http://host:4780".
 	BaseURL string
-	// Client, when nil, falls back to http.DefaultClient. Cancellation
-	// and deadlines ride the leg context either way.
+	// Client, when nil, falls back to a shared default with sane dial
+	// and response-header timeouts (never http.DefaultClient, which has
+	// none). Cancellation and deadlines ride the leg context either way.
 	Client *http.Client
 }
 
@@ -189,27 +234,35 @@ func (h *HTTPPeer) RunLeg(ctx context.Context, req *LegRequest) (*core.Checkpoin
 	hr.Header.Set("Content-Type", "application/json")
 	client := h.Client
 	if client == nil {
-		client = http.DefaultClient
+		client = defaultPeerClient
 	}
 	resp, err := client.Do(hr)
 	if err != nil {
-		return nil, err
+		return nil, transient(err)
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
 	if err != nil {
-		return nil, err
+		// A body that dies mid-read is the transport's fault (truncation,
+		// reset), not the request's.
+		return nil, transient(fmt.Errorf("shard: peer %s: reading response: %w", h.BaseURL, err))
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("shard: peer %s: status %d: %.200s", h.BaseURL, resp.StatusCode, data)
+		err := fmt.Errorf("shard: peer %s: status %d: %.200s", h.BaseURL, resp.StatusCode, data)
+		if resp.StatusCode >= 500 {
+			return nil, transient(err) // peer-side trouble; the request may be fine
+		}
+		return nil, err // 4xx: the peer understood and refused — deterministic
 	}
 	var lr LegResponse
 	if err := json.Unmarshal(data, &lr); err != nil {
-		return nil, fmt.Errorf("shard: peer %s: bad response: %w", h.BaseURL, err)
+		// The peer only sends well-formed LegResponses; garbage here means
+		// the bytes were damaged in flight.
+		return nil, transient(fmt.Errorf("shard: peer %s: bad response: %w", h.BaseURL, err))
 	}
 	cp, err := core.DecodeCheckpoint(lr.Checkpoint)
 	if err != nil {
-		return nil, fmt.Errorf("shard: peer %s: bad checkpoint: %w", h.BaseURL, err)
+		return nil, transient(fmt.Errorf("shard: peer %s: bad checkpoint: %w", h.BaseURL, err))
 	}
 	// The peer speaks for one leg of our run and nothing else: a spec or
 	// identity mismatch would corrupt the exactly-once accounting, so it
