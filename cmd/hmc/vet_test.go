@@ -13,7 +13,7 @@ func TestVetBuiltinTest(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := out.String()
-	for _, want := range []string{"SB:t0:", "symmetry-candidate", "1 findings"} {
+	for _, want := range []string{"SB:t0:", "symmetry-candidate", "racy-pair", "3 findings"} {
 		if !strings.Contains(got, want) {
 			t.Errorf("output missing %q:\n%s", want, got)
 		}
@@ -25,8 +25,8 @@ func TestVetCleanFile(t *testing.T) {
 	path := filepath.Join(dir, "mp.lit")
 	src := `
 name MP-cli
-T0: W x 1 ; W y 1
-T1: r0 = R y ; r1 = R x
+T0: W.rel x 1 ; W.rel y 1
+T1: r0 = R.acq y ; r1 = R.acq x
 exists T1:r0=1 & T1:r1=0
 `
 	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {

@@ -117,6 +117,7 @@ func (r *Result) lintModelFree() []Finding {
 	out = append(out, r.lintDeadStores()...)
 	out = append(out, r.lintUnwrittenRegs()...)
 	out = append(out, r.lintFencePositions()...)
+	out = append(out, r.lintRacyPairs()...)
 	out = append(out, r.lintSymmetryCandidates()...)
 	sortFindings(out)
 	return out
@@ -489,6 +490,34 @@ func accessReach(code []prog.Instr, reachable []bool) (before, after []bool) {
 		}
 	}
 	return before, after
+}
+
+// lintRacyPairs reports statically-possible data races from the
+// footprint: cross-thread conflicting access pairs (same location, at
+// least one write) with at least one plain side — the static
+// over-approximation of core.CheckRaces' rc11 race definition. No
+// happens-before is computed, so a correctly synchronized program (fences,
+// release/acquire chains) still gets the finding; it is Info severity for
+// exactly that reason, and most litmus tests race on purpose. CheckRaces
+// is the dynamic confirmation.
+func (r *Result) lintRacyPairs() []Finding {
+	var out []Finding
+	for l := 0; l < r.Foot.NumLocs; l++ {
+		loc := eg.Loc(l)
+		for _, pr := range r.Foot.RacyPairs(loc) {
+			var kinds []string
+			if pr.WW {
+				kinds = append(kinds, "write/write")
+			}
+			if pr.WR {
+				kinds = append(kinds, "write/read")
+			}
+			out = append(out, Finding{Sev: Info, Code: "racy-pair", Thread: pr.A, PC: -1,
+				Msg: fmt.Sprintf("unsynchronized %s pair on %s between t%d and t%d may race (plain access, no static happens-before; `hmc -races` confirms dynamically)",
+					strings.Join(kinds, " and "), r.P.LocName(loc), pr.A, pr.B)})
+		}
+	}
+	return out
 }
 
 // lintSymmetryCandidates reports groups of threads whose code is

@@ -21,33 +21,51 @@ type Footprint struct {
 	// as both.
 	Reads  [][]bool
 	Writes [][]bool
+	// PlainReads[l][t] / PlainWrites[l][t]: the subset of the above made
+	// through a plain (ModePlain, unannotated) access — the accesses that
+	// can participate in an rc11 data race. Annotated atomics (rlx and
+	// up) never race with each other.
+	PlainReads  [][]bool
+	PlainWrites [][]bool
 	// UnknownRead[t] / UnknownWrite[t]: thread t has a reachable access
 	// with a register-dependent address.
 	UnknownRead  []bool
 	UnknownWrite []bool
+	// UnknownPlainRead[t] / UnknownPlainWrite[t]: as above, restricted to
+	// plain accesses.
+	UnknownPlainRead  []bool
+	UnknownPlainWrite []bool
 }
 
 // footprint derives the access map from the per-thread reachability.
 func footprint(p *prog.Program, r *Result) *Footprint {
 	f := &Footprint{
-		NumLocs:      p.NumLocs,
-		Reads:        make([][]bool, p.NumLocs),
-		Writes:       make([][]bool, p.NumLocs),
-		UnknownRead:  make([]bool, len(p.Threads)),
-		UnknownWrite: make([]bool, len(p.Threads)),
+		NumLocs:           p.NumLocs,
+		Reads:             make([][]bool, p.NumLocs),
+		Writes:            make([][]bool, p.NumLocs),
+		PlainReads:        make([][]bool, p.NumLocs),
+		PlainWrites:       make([][]bool, p.NumLocs),
+		UnknownRead:       make([]bool, len(p.Threads)),
+		UnknownWrite:      make([]bool, len(p.Threads)),
+		UnknownPlainRead:  make([]bool, len(p.Threads)),
+		UnknownPlainWrite: make([]bool, len(p.Threads)),
 	}
 	for l := range f.Reads {
 		f.Reads[l] = make([]bool, len(p.Threads))
 		f.Writes[l] = make([]bool, len(p.Threads))
+		f.PlainReads[l] = make([]bool, len(p.Threads))
+		f.PlainWrites[l] = make([]bool, len(p.Threads))
 	}
-	mark := func(t int, addr *prog.Expr, read, write bool) {
+	mark := func(t int, addr *prog.Expr, read, write, plain bool) {
 		v, isConst := ConstExpr(addr)
 		if !isConst {
 			if read {
 				f.UnknownRead[t] = true
+				f.UnknownPlainRead[t] = f.UnknownPlainRead[t] || plain
 			}
 			if write {
 				f.UnknownWrite[t] = true
+				f.UnknownPlainWrite[t] = f.UnknownPlainWrite[t] || plain
 			}
 			return
 		}
@@ -56,9 +74,11 @@ func footprint(p *prog.Program, r *Result) *Footprint {
 		}
 		if read {
 			f.Reads[v][t] = true
+			f.PlainReads[v][t] = f.PlainReads[v][t] || plain
 		}
 		if write {
 			f.Writes[v][t] = true
+			f.PlainWrites[v][t] = f.PlainWrites[v][t] || plain
 		}
 	}
 	for t, code := range p.Threads {
@@ -66,17 +86,60 @@ func footprint(p *prog.Program, r *Result) *Footprint {
 			if !r.Threads[t].Reachable[pc] {
 				continue
 			}
+			plain := inst.Mode == eg.ModePlain
 			switch inst.Op {
 			case prog.ILoad:
-				mark(t, inst.Addr, true, false)
+				mark(t, inst.Addr, true, false, plain)
 			case prog.IStore:
-				mark(t, inst.Addr, false, true)
+				mark(t, inst.Addr, false, true, plain)
 			case prog.ICAS, prog.IFAdd, prog.IXchg:
-				mark(t, inst.Addr, true, true)
+				mark(t, inst.Addr, true, true, plain)
 			}
 		}
 	}
 	return f
+}
+
+// RacyPair is one statically-possible data race: two threads with
+// conflicting accesses (same location, at least one a write) where at
+// least one side is a plain access.
+type RacyPair struct {
+	Loc  eg.Loc
+	A, B int  // thread ids, A < B
+	WW   bool // some plain-involving write/write conflict
+	WR   bool // some plain-involving write/read conflict
+}
+
+// RacyPairs lists the cross-thread pairs that may race on l. This is the
+// static over-approximation of core.CheckRaces' dynamic definition —
+// conflicting accesses, cross-thread, not both atomic — with no
+// happens-before: fences and release/acquire chains do not remove pairs,
+// so a pair here is "may race", never "does race". Register-dependent
+// accesses conservatively touch every location.
+func (f *Footprint) RacyPairs(l eg.Loc) []RacyPair {
+	n := len(f.UnknownRead)
+	var out []RacyPair
+	for a := 0; a < n; a++ {
+		wA := f.Writes[l][a] || f.UnknownWrite[a]
+		rA := f.Reads[l][a] || f.UnknownRead[a]
+		pwA := f.PlainWrites[l][a] || f.UnknownPlainWrite[a]
+		prA := f.PlainReads[l][a] || f.UnknownPlainRead[a]
+		for b := a + 1; b < n; b++ {
+			wB := f.Writes[l][b] || f.UnknownWrite[b]
+			rB := f.Reads[l][b] || f.UnknownRead[b]
+			pwB := f.PlainWrites[l][b] || f.UnknownPlainWrite[b]
+			prB := f.PlainReads[l][b] || f.UnknownPlainRead[b]
+			p := RacyPair{
+				Loc: l, A: a, B: b,
+				WW: (pwA && wB) || (wA && pwB),
+				WR: (pwA && rB) || (wA && prB) || (pwB && rA) || (wB && prA),
+			}
+			if p.WW || p.WR {
+				out = append(out, p)
+			}
+		}
+	}
+	return out
 }
 
 // readers returns the set of threads that may read l.

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"hmc/internal/analyze"
+	"hmc/internal/core"
 	"hmc/internal/eg"
 	"hmc/internal/gen"
 	"hmc/internal/litmus"
@@ -57,5 +58,60 @@ func TestFamiliesVetSweep(t *testing.T) {
 	}
 	if !warned {
 		t.Error("indexer: expected the documented unwritten-register finding")
+	}
+}
+
+// TestCorpusRacyPairSweep pins the racy-pair lint across the corpus: it
+// must stay Info (litmus tests race on purpose; the sweep above would
+// explode otherwise) and it must not be inert — the classic plain-access
+// shapes (SB, MP, ...) have to surface it.
+func TestCorpusRacyPairSweep(t *testing.T) {
+	racy := 0
+	for _, tc := range litmus.Corpus() {
+		for _, f := range analyze.Analyze(tc.P).Findings {
+			if f.Code != "racy-pair" {
+				continue
+			}
+			racy++
+			if f.Sev != analyze.Info {
+				t.Errorf("%s: racy-pair finding is %v, want info: %s", tc.Name, f.Sev, f)
+			}
+		}
+	}
+	if racy == 0 {
+		t.Error("no racy-pair finding across the whole corpus: the lint is inert")
+	}
+}
+
+// TestRacyPairsCoverDynamicRaces cross-validates the static
+// over-approximation against the dynamic oracle: every race
+// core.CheckRaces reports must be covered by a static RacyPair on the
+// same location and thread pair. (The converse is not required — the
+// lint has no happens-before, so it over-reports by design.)
+func TestRacyPairsCoverDynamicRaces(t *testing.T) {
+	for _, tc := range litmus.Corpus() {
+		rep, err := core.CheckRaces(tc.P, core.Options{MaxExecutions: 200})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.Name, err)
+		}
+		if len(rep.Races) == 0 {
+			continue
+		}
+		foot := analyze.Analyze(tc.P).Foot
+		static := map[[3]int]bool{} // (loc, a, b) with a < b
+		for l := 0; l < foot.NumLocs; l++ {
+			for _, pr := range foot.RacyPairs(eg.Loc(l)) {
+				static[[3]int{l, pr.A, pr.B}] = true
+			}
+		}
+		for _, race := range rep.Races {
+			a, b := race.A.T, race.B.T
+			if a > b {
+				a, b = b, a
+			}
+			if !static[[3]int{int(race.Loc), a, b}] {
+				t.Errorf("%s: dynamic race %v not covered by any static racy-pair", tc.Name, race)
+			}
+		}
 	}
 }

@@ -47,6 +47,7 @@ const memCheckInterval = 256
 // Options configures an exploration.
 type Options struct {
 	// Model is the memory model to check against (required).
+	//hmc:identity(Model) — checked through the dedicated Checkpoint.Model field on resume
 	Model memmodel.Model
 	// Context, when non-nil, makes the exploration cancellable: it is
 	// polled at every branch point (forward branches, revisits, and the
@@ -54,6 +55,7 @@ type Options struct {
 	// mid-exploration. An interrupted run is not an error — Explore
 	// returns the partial Result accumulated so far with Interrupted set,
 	// mirroring how MaxExecutions sets Truncated.
+	//hmc:transient(cancellation is a property of the run, not of the saved state)
 	Context context.Context
 	// MaxSteps bounds each thread replay (≤0: interp.DefaultMaxSteps).
 	MaxSteps int
@@ -75,6 +77,7 @@ type Options struct {
 	// kill. The check is shared-process-wide, so under concurrent
 	// explorations (a service) a truncation may be caused by a neighbor's
 	// allocation burst: callers should treat it as transient.
+	//hmc:transient(a property of the machine and moment; a truncated run resumes under the new process's budget)
 	MemoryBudget int64
 	// StopOnError aborts exploration at the first assertion failure.
 	StopOnError bool
@@ -91,10 +94,12 @@ type Options struct {
 	PorfOnlyRevisits bool
 	// OnExecution, when non-nil, is invoked for every complete consistent
 	// execution with its graph and final state.
+	//hmc:transient(callbacks observe the run; they never change what is explored)
 	OnExecution func(g *eg.Graph, fs prog.FinalState)
 	// OnBlocked, when non-nil, is invoked for every maximal blocked
 	// execution (some thread's assume failed and no thread can add an
 	// event). Like OnExecution, invocations are serialized.
+	//hmc:transient(callbacks observe the run; they never change what is explored)
 	OnBlocked func(g *eg.Graph)
 	// CollectKeys records each complete execution's canonical key in
 	// Result.Keys (tests and cross-validation).
@@ -102,6 +107,7 @@ type Options struct {
 	// OnDuplicate, when non-nil (and DedupSafeguard set), receives each
 	// suppressed duplicate execution — a debugging hook for the
 	// optimality tests.
+	//hmc:transient(callbacks observe the run; they never change what is explored)
 	OnDuplicate func(g *eg.Graph)
 	// Workers sets the number of concurrent exploration workers (≤1:
 	// sequential). Exploration subtrees are independent — graphs are
@@ -111,6 +117,7 @@ type Options struct {
 	// sequential run except for ordering: Keys, Errors and the OnExecution
 	// callback sequence follow completion order, not DFS order (the
 	// callbacks themselves are serialized).
+	//hmc:transient(parallelism only reorders the same work; legs of a resume chain may differ)
 	Workers int
 	// StaticAnalysis enables static pruning: before exploration the
 	// program is run through internal/analyze, and its location footprint
@@ -152,6 +159,7 @@ type Options struct {
 	// one wave of branch construction — but never what it explores.
 	// StopOnError and engine panics still stop hard and yield no
 	// checkpoint.
+	//hmc:transient(checkpoint cadence changes when the run stops, never what it explores)
 	Checkpoint *CheckpointOptions
 	// ResumeFrom continues a prior run from its checkpoint. The
 	// checkpoint must match this program's fingerprint, the model, and
@@ -159,6 +167,7 @@ type Options struct {
 	// ErrCheckpointMismatch. The resumed Result's counters include the
 	// checkpointed work, so a straight run and any
 	// interrupt/resume chain report identical totals.
+	//hmc:transient(the checkpoint being resumed is the state itself, not part of its signature)
 	ResumeFrom *Checkpoint
 	// FailAfter, when positive, injects a deterministic fault: the run
 	// behaves as if the process had been killed at its FailAfter-th
@@ -167,6 +176,7 @@ type Options struct {
 	// resume-equivalence test hook ("kill at every k-th branch point"
 	// without wall-clock races); production kills exercise the same
 	// drain path via Context cancellation.
+	//hmc:transient(a deterministic kill injection: decides when the run stops, never what it explores)
 	FailAfter int
 	// Progress, when non-nil (with a Sink), delivers periodic
 	// ProgressSnapshots of the running exploration: counters, rates,
@@ -177,6 +187,7 @@ type Options struct {
 	// is a transient knob: it is excluded from checkpoint signatures, and
 	// interruption semantics are unchanged (a progress-only run still
 	// hard-stops on cancellation).
+	//hmc:transient(snapshots observe the run at quiescent points; they never change what is explored)
 	Progress *ProgressOptions
 	// Shard, when non-nil, restricts the run to the states the spec owns:
 	// a graph whose canonical key hashes to a bucket outside the spec is
@@ -189,12 +200,14 @@ type Options struct {
 	// implicitly checkpointable and always ends with a final checkpoint
 	// on Result.Checkpoint (even when its frontier ran to exhaustion);
 	// the spec identity rides Checkpoint.Shard and must match on resume.
+	//hmc:identity(Shard) — checked through the dedicated Checkpoint.Shard field on resume
 	Shard *ShardSpec
 	// Trace, when non-nil, streams structured exploration events —
 	// waves, revisits, static prunes, snapshots — as JSON lines to the
 	// tracer (see internal/obs). Tracing enables the same sampled phase
 	// timers as Progress; a tracer write error is latched and reported by
 	// Tracer.Err, never aborting the run.
+	//hmc:transient(tracing observes the run; a straight and a traced run explore the same states)
 	Trace *obs.Tracer
 }
 

@@ -66,7 +66,7 @@ func (e *explorer) initObs() {
 		if every <= 0 {
 			every = DefaultProgressEvery
 		}
-		now := time.Now()
+		now := time.Now() //hmc:nondet(progress timestamps describe the run, they never feed counters or keys)
 		e.prog = &progressState{opts: *p, every: every, start: now, last: now}
 	}
 	e.tracer = e.opts.Trace
@@ -88,7 +88,7 @@ func (e *explorer) progressDueLocked() bool {
 	}
 	// Reset at request time, not emission time: a storm of completions
 	// during the drain wave must not re-request.
-	e.prog.last = time.Now()
+	e.prog.last = time.Now() //hmc:nondet(snapshot cadence is wall-clock by design; emission timing never changes what is explored)
 	return true
 }
 

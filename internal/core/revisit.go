@@ -100,7 +100,7 @@ func (e *explorer) rebindAndVisit(g *eg.Graph, keep map[eg.EvID]bool, w, r eg.Ev
 		// Ablation: RC11-style revisits delete everything po-after r.
 		// If a kept event is po-after r the revisit is skipped entirely
 		// (under porf-acyclic models it would be inconsistent anyway).
-		for ev := range keep {
+		for ev := range keep { //hmc:nondet(existential scan: any po-after hit skips, order-invariant)
 			if ev != w && ev.T == r.T && ev.I > r.I {
 				e.count(func(s *Stats) { s.RevisitsPorfSkip++ })
 				return true
@@ -263,7 +263,7 @@ func pruneTainted(g *eg.Graph, keep map[eg.EvID]bool, w, r eg.EvID) bool {
 	if doomed[w] || doomed[r] {
 		return false
 	}
-	for id := range doomed {
+	for id := range doomed { //hmc:nondet(set difference: deletions commute, order-invariant)
 		delete(keep, id)
 	}
 	return true

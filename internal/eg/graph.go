@@ -70,7 +70,7 @@ func (g *Graph) Clone() *Graph {
 	for t, th := range g.threads {
 		c.threads[t] = append([]Event(nil), th...)
 	}
-	for r, w := range g.rf {
+	for r, w := range g.rf { //hmc:nondet(map-to-map copy: same entries land regardless of order)
 		c.rf[r] = w
 	}
 	for l, ws := range g.co {
@@ -136,7 +136,7 @@ func (g *Graph) SetRF(r, w EvID) {
 
 // HasReaders reports whether any read in the graph reads from w.
 func (g *Graph) HasReaders(w EvID) bool {
-	for _, src := range g.rf {
+	for _, src := range g.rf { //hmc:nondet(existential scan: any reader answers, order-invariant)
 		if src == w {
 			return true
 		}
@@ -312,7 +312,7 @@ func (g *Graph) Restrict(keep func(EvID) bool) *Graph {
 		}
 		c.threads[t] = append([]Event(nil), th[:cut]...)
 	}
-	for r, w := range g.rf {
+	for r, w := range g.rf { //hmc:nondet(filtered map-to-map copy: membership test per entry, order-invariant)
 		if c.Has(r) && c.Has(w) {
 			c.rf[r] = w
 		}
@@ -467,6 +467,7 @@ func (g *Graph) CheckWellFormed() error {
 			}
 		}
 	}
+	//hmc:nondet(validation sweep: pass/fail is order-invariant; the offending edge in the error is diagnostic only)
 	for r := range g.rf {
 		if !g.Has(r) {
 			return fmt.Errorf("rf edge from absent read %v", r)

@@ -43,7 +43,7 @@ func (g *Graph) RenameThreads(perm []int) *Graph {
 		}
 		c.threads[perm[t]] = nth
 	}
-	for r, w := range g.rf {
+	for r, w := range g.rf { //hmc:nondet(map-to-map rename: keys are distinct, so insertions commute)
 		c.rf[ren(r)] = ren(w)
 	}
 	for l, ws := range g.co {

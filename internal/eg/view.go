@@ -98,7 +98,7 @@ func (v *View) Rf() *relation.Rel {
 		return v.rf
 	}
 	r := v.Empty()
-	for read, w := range v.G.rf {
+	for read, w := range v.G.rf { //hmc:nondet(builds a bit-matrix: set semantics, insertion order immaterial)
 		r.Add(v.Idx(w), v.Idx(read))
 	}
 	v.rf = r

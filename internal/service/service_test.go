@@ -338,13 +338,22 @@ func TestSubmitAttachesDiagnostics(t *testing.T) {
 		t.Fatal(err)
 	}
 	found := false
+	racy := false
 	for _, d := range v.Diagnostics {
 		if strings.Contains(d, "useless-fence") {
 			found = true
 		}
+		if strings.Contains(d, "racy-pair") {
+			racy = true
+		}
 	}
 	if !found {
 		t.Errorf("submission diagnostics lack useless-fence: %v", v.Diagnostics)
+	}
+	// Both threads touch x and y through plain accesses with a write on
+	// each side, so the racy-pair lint must ride along on the job too.
+	if !racy {
+		t.Errorf("submission diagnostics lack racy-pair: %v", v.Diagnostics)
 	}
 	if got := s.Metrics().VetFindings.Load(); got < 1 {
 		t.Errorf("VetFindings = %d, want >= 1", got)

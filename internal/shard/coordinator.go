@@ -201,7 +201,7 @@ func (c *coordinator) run() (*core.Result, error) {
 	if c.keyOf, err = core.KeyFunc(c.p, c.coreOpts.Symmetry); err != nil {
 		return nil, err
 	}
-	c.started = time.Now()
+	c.started = time.Now() //hmc:nondet(run start time feeds progress rates only, never merged counters)
 
 	workers := o.Workers
 	if workers <= 0 {
@@ -348,7 +348,7 @@ func (c *coordinator) launch(i int, done chan<- legDone) {
 	st.cancel = cancel
 	st.running = true
 	st.launchPending = len(st.cp.Pending)
-	st.launched = time.Now()
+	st.launched = time.Now() //hmc:nondet(leg launch time drives steal patience, an availability heuristic outside the counter path)
 	c.active++
 	if c.o.OnActive != nil {
 		c.o.OnActive(c.active)
@@ -614,7 +614,7 @@ func (c *coordinator) maybeProgress(final bool) {
 	if !final && time.Since(c.lastProgress) < every {
 		return
 	}
-	c.lastProgress = time.Now()
+	c.lastProgress = time.Now() //hmc:nondet(progress snapshot cadence is wall-clock by design; snapshots observe, never steer)
 	c.progressSeq++
 	snap := obs.ProgressSnapshot{Seq: c.progressSeq, Wave: c.legsDone, Final: final}
 	elapsed := time.Since(c.started)

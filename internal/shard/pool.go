@@ -312,6 +312,7 @@ func (r *resilientRunner) RunLeg(ctx context.Context, req *LegRequest) (*core.Ch
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
+		//hmc:nondet(breaker admission is a wall-clock availability decision; any outcome yields the same merged counters)
 		if !r.peer.admit(cfg.BreakerThreshold, cfg.BreakerCooldown, time.Now()) {
 			return r.demote(ctx, req)
 		}
@@ -327,7 +328,7 @@ func (r *resilientRunner) RunLeg(ctx context.Context, req *LegRequest) (*core.Ch
 		if ctx.Err() != nil {
 			return nil, ctx.Err() // the run was cancelled, not the peer's fault
 		}
-		r.peer.legFailed(cfg.BreakerThreshold, time.Now())
+		r.peer.legFailed(cfg.BreakerThreshold, time.Now()) //hmc:nondet(breaker bookkeeping: failure times gate retries, not results)
 		if !IsTransient(err) {
 			return nil, err // deterministic: the coordinator decides
 		}
@@ -439,7 +440,7 @@ func sleepBackoff(ctx context.Context, base time.Duration, attempt int) error {
 	if d > maxRetryBackoff || d <= 0 {
 		d = maxRetryBackoff
 	}
-	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1)) //hmc:nondet(backoff jitter decorrelates retry storms; sleep length never reaches results)
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
@@ -457,7 +458,7 @@ func (p *Pool) AllDark() bool {
 	if len(p.peers) == 0 {
 		return false
 	}
-	now := time.Now()
+	now := time.Now() //hmc:nondet(breaker-cooldown health probe; reporting degradation is inherently wall-clock)
 	for _, ps := range p.peers {
 		ps.mu.Lock()
 		ok := ps.healthy && (ps.fails < p.cfg.BreakerThreshold || now.Sub(ps.openedAt) >= p.cfg.BreakerCooldown)

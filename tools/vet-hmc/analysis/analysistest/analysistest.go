@@ -1,0 +1,179 @@
+// Package analysistest runs a vet-hmc analyzer over fixture packages and
+// checks its diagnostics against // want "regexp" comments — the same
+// contract as golang.org/x/tools/go/analysis/analysistest, rebuilt on the
+// stdlib-only framework in the parent package.
+//
+// Fixtures live under <testdata>/src/<importpath>/*.go. The import path is
+// synthetic; analyzers are invoked directly, so Analyzer.Match is not
+// consulted (fixtures conventionally use paths ending in the matched
+// suffix anyway, as documentation). Fixture packages may import each other
+// (recoverboundary's fixtures import a local prog package) and any stdlib
+// package; stdlib type information comes from `go list -export` data, so
+// the harness needs no network and no GOPATH layout.
+//
+// Expectation syntax, on the same line as the flagged construct:
+//
+//	resp, err := c.Do(req) // want `transport-class`
+//	m := time.Now()        // want "time.Now" "second finding on this line"
+//
+// Both "double-quoted" (with escapes) and `backquoted` regexps are
+// accepted. Every diagnostic must match exactly one pending want on its
+// line and every want must be consumed, or the test fails with a
+// file:line inventory of what was off.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"hmc/tools/vet-hmc/analysis"
+)
+
+// Run loads each fixture package from testdata/src/<path>, runs the
+// analyzer over it, and compares diagnostics against want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	loader := analysis.NewLoader("")
+
+	checked := map[string]*analysis.Package{}
+	var load func(path string) (*analysis.Package, error)
+	load = func(path string) (*analysis.Package, error) {
+		if p, ok := checked[path]; ok {
+			return p, nil
+		}
+		dir := filepath.Join(testdata, "src", filepath.FromSlash(path))
+		names, err := goFiles(dir)
+		if err != nil {
+			return nil, err
+		}
+		p, err := loader.Check(path, dir, names)
+		if err != nil {
+			return nil, err
+		}
+		checked[path] = p
+		return p, nil
+	}
+	// Fixture-local imports resolve through the same load, memoized; any
+	// other path falls through to the export-data importer.
+	loader.Local = func(path string) (*types.Package, error) {
+		dir := filepath.Join(testdata, "src", filepath.FromSlash(path))
+		if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+			return nil, nil
+		}
+		p, err := load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Pkg, nil
+	}
+
+	for _, path := range paths {
+		pkg, err := load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		var diags []analysis.Diagnostic
+		err = analysis.Analyze(a, pkg, loader.Fset, func(d analysis.Diagnostic) {
+			diags = append(diags, d)
+		})
+		if err != nil {
+			t.Fatalf("%s on %s: %v", a.Name, path, err)
+		}
+		check(t, loader.Fset, pkg, diags)
+	}
+}
+
+func goFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	return names, nil
+}
+
+// want is one pending expectation: a diagnostic on file:line matching re.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wantRE finds the expectation comment; quotedRE pulls out its regexps.
+var (
+	wantRE   = regexp.MustCompile(`//\s*want\s+(.*)`)
+	quotedRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+)
+
+func collectWants(t *testing.T, fset *token.FileSet, pkg *analysis.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range quotedRE.FindAllStringSubmatch(m[1], -1) {
+					pat := q[1]
+					if q[2] != "" || pat == "" {
+						unq, err := strconv.Unquote(`"` + q[2] + `"`)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, q[2], err)
+						}
+						pat = unq
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func check(t *testing.T, fset *token.FileSet, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, fset, pkg)
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", d.Pos.Filename, d.Pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Loader turns package patterns into type-checked Packages using only the
+// standard library: `go list -export` supplies package metadata and gc
+// export data for every dependency (the go command builds what is stale),
+// and go/importer's gc importer reads that export data back through a
+// lookup function. This is the classic pre-go/packages loading scheme; it
+// works because driver and export data always come from the same
+// toolchain.
+type Loader struct {
+	// Dir is the working directory for go list (the module root in the
+	// driver, the fixture test's package dir in analysistest).
+	Dir string
+
+	// Local, when set, gets first crack at resolving an import path —
+	// analysistest points it at testdata/src so fixture packages can
+	// import sibling fixture packages. Returning (nil, nil) falls through
+	// to the export-data importer.
+	Local func(path string) (*types.Package, error)
+
+	Fset    *token.FileSet
+	exports map[string]string // import path -> export data file
+	imp     types.Importer
+}
+
+// localFirst consults Loader.Local before the gc export-data importer.
+type localFirst struct{ l *Loader }
+
+func (i localFirst) Import(path string) (*types.Package, error) {
+	if i.l.Local != nil {
+		if pkg, err := i.l.Local(path); pkg != nil || err != nil {
+			return pkg, err
+		}
+	}
+	return i.l.imp.Import(path)
+}
+
+// NewLoader returns a Loader rooted at dir ("" = current directory).
+func NewLoader(dir string) *Loader {
+	l := &Loader{Dir: dir, Fset: token.NewFileSet(), exports: make(map[string]string)}
+	l.imp = importer.ForCompiler(l.Fset, "gc", l.lookup)
+	return l
+}
+
+// Meta is the `go list` metadata this tool consumes.
+type Meta struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+}
+
+// Package is one parsed, type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+}
+
+// List resolves patterns to the metadata of the matched packages (no
+// dependencies, no export data) — the driver's work list.
+func (l *Loader) List(patterns ...string) ([]*Meta, error) {
+	return l.golist(append([]string{"-json=ImportPath,Dir,Export,GoFiles,Standard"}, patterns...))
+}
+
+// LoadExports runs `go list -export -deps` over the patterns and records
+// every package's export data location, making the whole transitive
+// closure importable. Call once before Check.
+func (l *Loader) LoadExports(patterns ...string) error {
+	metas, err := l.golist(append([]string{"-export", "-deps", "-json=ImportPath,Export"}, patterns...))
+	if err != nil {
+		return err
+	}
+	for _, m := range metas {
+		if m.Export != "" {
+			l.exports[m.ImportPath] = m.Export
+		}
+	}
+	return nil
+}
+
+func (l *Loader) golist(args []string) ([]*Meta, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = l.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", args, err, stderr.String())
+	}
+	var metas []*Meta
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		m := &Meta{}
+		if err := dec.Decode(m); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		metas = append(metas, m)
+	}
+	return metas, nil
+}
+
+// lookup feeds export data to the gc importer, fetching it on demand for
+// paths not covered by a prior LoadExports (analysistest fixtures import
+// stdlib packages lazily this way).
+func (l *Loader) lookup(path string) (io.ReadCloser, error) {
+	if e, ok := l.exports[path]; ok {
+		return os.Open(e)
+	}
+	if err := l.LoadExports(path); err != nil {
+		return nil, err
+	}
+	if e, ok := l.exports[path]; ok {
+		return os.Open(e)
+	}
+	return nil, fmt.Errorf("no export data for %q", path)
+}
+
+// Check parses and type-checks one package from its source files. The
+// importPath may be synthetic (fixtures); imports resolve through the
+// export-data map.
+func (l *Loader) Check(importPath, dir string, goFiles []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(l.Fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: localFirst{l}}
+	pkg, err := conf.Check(importPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", importPath, err)
+	}
+	return &Package{ImportPath: importPath, Dir: dir, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// Analyze runs one analyzer over one package, appending diagnostics.
+func Analyze(a *Analyzer, p *Package, fset *token.FileSet, sink func(Diagnostic)) error {
+	pass := &Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      p.Files,
+		ImportPath: p.ImportPath,
+		Pkg:        p.Pkg,
+		TypesInfo:  p.Info,
+		report:     sink,
+	}
+	return a.Run(pass)
+}

@@ -1,0 +1,183 @@
+// Package errtaxonomy pins the peer error taxonomy of internal/shard
+// (PR 7): the pool's retry/demotion ladder branches on shard.IsTransient,
+// so every remote Runner implementation must classify its failures at the
+// source. Transport-side failures — the connection died, the body was
+// truncated, the peer replied with garbage — are fixable by retrying and
+// must be wrapped with transient(...); failures that are deterministic
+// functions of the request (4xx, spec mismatches) must stay bare so the
+// pool demotes immediately instead of burning its retry budget.
+//
+// The drift class: someone adds a new early return to a peer RunLeg —
+// say a second read or a decode — and returns the error bare. Nothing
+// fails until a flaky network turns every hiccup into an instant
+// demotion. This analyzer makes the omission visible at review time:
+// inside any method named RunLeg whose receiver is not Local, an error
+// obtained from a transport-class call
+//
+//	(net/http.Client).Do, io.ReadAll, io.Copy, encoding/json.Unmarshal
+//
+// must pass through a call to transient (or any function whose name
+// contains "transient") before being returned.
+package errtaxonomy
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"hmc/tools/vet-hmc/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errtaxonomy",
+	Doc: "peer RunLeg implementations must wrap transport-class errors " +
+		"(http Do, body reads, response decodes) with transient(...) so the " +
+		"pool's IsTransient retry/demotion split stays sound",
+	Match: analysis.HasSuffix("internal/shard"),
+	Run:   run,
+}
+
+func run(pass *analysis.Pass) error {
+	analysis.Funcs(pass.Files, func(fn *ast.FuncDecl) {
+		if fn.Name.Name != "RunLeg" || fn.Recv == nil || receiverName(fn) == "Local" {
+			return
+		}
+		checkRunLeg(pass, fn)
+	})
+	return nil
+}
+
+// transportClass reports whether the call fetches bytes from the wire —
+// the failures a retry can fix.
+func transportClass(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	obj := analysis.CalleeObj(pass.TypesInfo, call)
+	if obj == nil || obj.Pkg() == nil {
+		return "", false
+	}
+	key := obj.Pkg().Path() + "." + obj.Name()
+	switch key {
+	case "io.ReadAll", "io.Copy", "encoding/json.Unmarshal":
+		return key, true
+	case "net/http.Do":
+		// (*http.Client).Do — method objects carry the package, and no
+		// other Do in net/http returns (resp, err) we would assign here.
+		return "(*http.Client).Do", true
+	}
+	return "", false
+}
+
+func checkRunLeg(pass *analysis.Pass, fn *ast.FuncDecl) {
+	// source[v] records the transport call an error variable currently
+	// holds the result of; updated in traversal (≈ source) order.
+	source := map[types.Object]string{}
+
+	classify := func(lhs []ast.Expr, rhs []ast.Expr) {
+		if len(rhs) != 1 {
+			return
+		}
+		call, ok := ast.Unparen(rhs[0]).(*ast.CallExpr)
+		isTransport := false
+		from := ""
+		if ok {
+			from, isTransport = transportClass(pass, call)
+		}
+		for _, l := range lhs {
+			id, ok := ast.Unparen(l).(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = pass.TypesInfo.Uses[id]
+			}
+			if obj == nil || !isErrorType(obj.Type()) {
+				continue
+			}
+			if isTransport {
+				source[obj] = from
+			} else {
+				delete(source, obj) // reassigned from a benign source
+			}
+		}
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			classify(n.Lhs, n.Rhs)
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				checkResult(pass, source, res)
+			}
+		}
+		return true
+	})
+}
+
+// checkResult reports error results that reference a transport-sourced
+// variable without a transient(...) wrapper anywhere in the expression.
+func checkResult(pass *analysis.Pass, source map[types.Object]string, res ast.Expr) {
+	if wrapsTransient(res) {
+		return
+	}
+	ast.Inspect(res, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if from, ok := source[obj]; ok {
+			pass.Reportf(res.Pos(),
+				"error from %s returned without transient(...) classification: the pool will demote the peer instead of retrying — wrap it, or rebind the variable if the failure is a deterministic function of the request", from)
+			return false
+		}
+		return true
+	})
+}
+
+// wrapsTransient reports whether the expression contains a call to a
+// transient-classifying function.
+func wrapsTransient(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			if strings.Contains(strings.ToLower(fun.Name), "transient") {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if strings.Contains(strings.ToLower(fun.Sel.Name), "transient") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Implements(t, errorIface)
+}
+
+func receiverName(fn *ast.FuncDecl) string {
+	if len(fn.Recv.List) == 0 {
+		return ""
+	}
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}

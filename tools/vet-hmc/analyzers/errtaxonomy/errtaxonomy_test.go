@@ -1,0 +1,12 @@
+package errtaxonomy_test
+
+import (
+	"testing"
+
+	"hmc/tools/vet-hmc/analysis/analysistest"
+	"hmc/tools/vet-hmc/analyzers/errtaxonomy"
+)
+
+func TestErrtaxonomy(t *testing.T) {
+	analysistest.Run(t, "testdata", errtaxonomy.Analyzer, "fix/internal/shard")
+}

@@ -1,0 +1,78 @@
+// Fixture for the errtaxonomy analyzer: a remote RunLeg whose transport
+// errors must be classified transient, alongside the deterministic
+// failures that must stay bare.
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Checkpoint stands in for core.Checkpoint.
+type Checkpoint struct{}
+
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+
+func transient(err error) error { return &transientError{err: err} }
+
+// HTTPPeer mirrors the real remote runner.
+type HTTPPeer struct {
+	client *http.Client
+	url    string
+}
+
+func (p *HTTPPeer) RunLeg(req *http.Request) (*Checkpoint, error) {
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return nil, err // want `error from \(\*http\.Client\)\.Do returned without transient\(\.\.\.\) classification`
+	}
+	defer resp.Body.Close()
+
+	if resp.StatusCode/100 == 4 {
+		// Deterministic function of the request: bare is correct.
+		return nil, fmt.Errorf("peer rejected leg: %s", resp.Status)
+	}
+
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, transient(fmt.Errorf("reading leg response: %w", err))
+	}
+
+	var cp Checkpoint
+	if err := json.Unmarshal(body, &cp); err != nil {
+		return nil, err // want `error from encoding/json\.Unmarshal returned without transient\(\.\.\.\) classification`
+	}
+	return &cp, nil
+}
+
+// Local is exempt by name: in-process legs have no transport class.
+type Local struct{}
+
+func (l *Local) RunLeg(req *http.Request) (*Checkpoint, error) {
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	resp.Body.Close()
+	return &Checkpoint{}, nil
+}
+
+// RebindPeer shows the sanctioned rebind: once the variable holds a
+// deterministic error, returning it bare is fine.
+type RebindPeer struct {
+	client *http.Client
+}
+
+func (p *RebindPeer) RunLeg(req *http.Request) (*Checkpoint, error) {
+	resp, err := p.client.Do(req)
+	if err != nil {
+		err = fmt.Errorf("leg transport failed (spec %s)", req.URL)
+		return nil, err
+	}
+	resp.Body.Close()
+	return &Checkpoint{}, nil
+}

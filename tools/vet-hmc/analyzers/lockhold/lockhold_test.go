@@ -1,0 +1,12 @@
+package lockhold_test
+
+import (
+	"testing"
+
+	"hmc/tools/vet-hmc/analysis/analysistest"
+	"hmc/tools/vet-hmc/analyzers/lockhold"
+)
+
+func TestLockhold(t *testing.T) {
+	analysistest.Run(t, "testdata", lockhold.Analyzer, "fix/internal/service")
+}

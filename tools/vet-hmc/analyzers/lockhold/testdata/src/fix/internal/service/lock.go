@@ -1,0 +1,94 @@
+// Fixture for the lockhold analyzer: blocking constructs under a held
+// mutex, against the sanctioned snapshot-then-block shapes.
+package service
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+type server struct {
+	mu    sync.Mutex
+	state sync.RWMutex
+	ch    chan int
+	wg    sync.WaitGroup
+	c     *http.Client
+}
+
+// sendUnderLock is the canonical violation.
+func (s *server) sendUnderLock(v int) {
+	s.mu.Lock()
+	s.ch <- v // want `channel send while holding s\.mu`
+	s.mu.Unlock()
+}
+
+// deferredHold pins the lock to function end; the round-trip blocks under it.
+func (s *server) deferredHold(req *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.c.Do(req) // want `HTTP round-trip \(http\.Client\.Do\) while holding s\.mu`
+}
+
+// snapshotThenBlock is the house style: copy under the lock, block outside.
+func (s *server) snapshotThenBlock(v int) {
+	s.mu.Lock()
+	target := s.ch
+	s.mu.Unlock()
+	target <- v
+}
+
+// guardClause unlocks on the early path; the branch copy of the held set
+// keeps the later receive clean only on the unlocked path.
+func (s *server) guardClause(ready bool) int {
+	s.state.RLock()
+	if !ready {
+		s.state.RUnlock()
+		return <-s.ch
+	}
+	v := 0
+	s.state.RUnlock()
+	return v
+}
+
+// selectUnderLock blocks unless a default case makes it a poll.
+func (s *server) selectUnderLock() {
+	s.mu.Lock()
+	select { // want `select without default while holding s\.mu`
+	case v := <-s.ch:
+		_ = v
+	}
+	s.mu.Unlock()
+	s.mu.Lock()
+	select { // a default case makes this a non-blocking poll
+	case v := <-s.ch:
+		_ = v
+	default:
+	}
+	s.mu.Unlock()
+}
+
+// sleepAndWait covers the scheduler-parking calls.
+func (s *server) sleepAndWait() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while holding s\.mu`
+	s.wg.Wait()                  // want `WaitGroup\.Wait while holding s\.mu`
+	s.mu.Unlock()
+}
+
+// goroutineBody does not run under the caller's lock.
+func (s *server) goroutineBody(v int) {
+	s.mu.Lock()
+	go func() {
+		s.ch <- v
+	}()
+	s.mu.Unlock()
+}
+
+// sanctioned is the journal-fsync shape: annotated in place.
+func (s *server) sanctioned(v int) {
+	s.mu.Lock()
+	//hmc:lockhold(single-writer handoff; the receiver never blocks)
+	s.ch <- v
+	s.mu.Unlock()
+}

@@ -1,0 +1,12 @@
+package metricsreg_test
+
+import (
+	"testing"
+
+	"hmc/tools/vet-hmc/analysis/analysistest"
+	"hmc/tools/vet-hmc/analyzers/metricsreg"
+)
+
+func TestMetricsreg(t *testing.T) {
+	analysistest.Run(t, "testdata", metricsreg.Analyzer, "fix/internal/service")
+}

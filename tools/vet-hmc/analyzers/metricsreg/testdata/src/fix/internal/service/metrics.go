@@ -1,0 +1,64 @@
+// Fixture for the metricsreg analyzer: a hand-rolled Metrics struct with
+// the same exposition helpers as internal/service, exercising naming,
+// duplicate-registration, flatline and dead-field findings.
+package service
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// Metrics mirrors the daemon's metric fields.
+type Metrics struct {
+	JobsDone     atomic.Int64 // healthy counter: incremented and exported
+	GaugeDepth   atomic.Int64 // healthy gauge
+	Flatline     atomic.Int64 // exported but never incremented (reported at its registration)
+	WriteOnly    atomic.Int64 // want `Metrics\.WriteOnly is never exported by writePrometheus`
+	DeadField    atomic.Int64 // want `Metrics\.DeadField is neither incremented nor exported — dead metric field`
+	Loaned       atomic.Int64 // incremented through an address-taken alias
+	LegDurations histogram    // healthy histogram
+}
+
+// histogram mirrors the service's local histogram type.
+type histogram struct {
+	count atomic.Int64
+}
+
+func (h *histogram) observe(v float64) { h.count.Add(1) }
+
+func (h *histogram) write(w io.Writer, name, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n%s_count %d\n", name, help, name, h.count.Load())
+}
+
+func (m *Metrics) work() {
+	m.JobsDone.Add(1)
+	m.GaugeDepth.Store(3)
+	m.WriteOnly.Add(1)
+	m.LegDurations.observe(0.25)
+	evictions := &m.Loaned // the alias is handed off; assume it is written
+	evictions.Add(1)
+}
+
+func (m *Metrics) writePrometheus(w io.Writer) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n%s %d\n", name, help, name, v)
+	}
+	gaugeI := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n%s %d\n", name, help, name, v)
+	}
+
+	counter("hmcd_jobs_done_total", "Jobs finished.", m.JobsDone.Load())
+	gaugeI("hmcd_queue_depth", "Queue depth.", m.GaugeDepth.Load())
+	counter("hmcd_flatline_total", "Never written.", m.Flatline.Load()) // want `metric hmcd_flatline_total is exported from Metrics\.Flatline, which is never incremented`
+	counter("hmcd_loans_total", "Written via alias.", m.Loaned.Load())
+	m.LegDurations.write(w, "hmcd_leg_duration_seconds", "Leg durations.")
+
+	counter("hmcd_jobs_done_total", "Duplicate.", m.JobsDone.Load()) // want `metric hmcd_jobs_done_total is registered more than once`
+	counter("hmcd_missing_suffix", "Bad name.", m.JobsDone.Load())   // want `counter "hmcd_missing_suffix" must end in _total`
+	gaugeI("hmcd_depth_total", "Bad name.", m.GaugeDepth.Load())     // want `gauge "hmcd_depth_total" must not end in _total`
+	counter("jobs_done_total", "Bad prefix.", m.JobsDone.Load())     // want `metric name "jobs_done_total" does not match`
+	counter(dynamicName(), "Dynamic.", 0)                            // want `metric name must be a string literal`
+}
+
+func dynamicName() string { return "hmcd_dynamic_total" }

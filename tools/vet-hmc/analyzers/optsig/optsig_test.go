@@ -1,0 +1,12 @@
+package optsig_test
+
+import (
+	"testing"
+
+	"hmc/tools/vet-hmc/analysis/analysistest"
+	"hmc/tools/vet-hmc/analyzers/optsig"
+)
+
+func TestOptsig(t *testing.T) {
+	analysistest.Run(t, "testdata", optsig.Analyzer, "fix/internal/core")
+}

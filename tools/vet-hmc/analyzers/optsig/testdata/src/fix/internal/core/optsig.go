@@ -1,0 +1,41 @@
+// Fixture for the optsig analyzer: an Options struct whose fields span
+// every coverage class — rendered, transient, identity, conflicting, and
+// plain uncovered drift.
+package core
+
+import "fmt"
+
+// Options mirrors the real core.Options shape.
+type Options struct {
+	// MaxSteps bounds the interpreter and changes what is explored.
+	MaxSteps int
+	// Model selects the memory model; checked through a dedicated
+	// checkpoint field rather than the signature string.
+	//hmc:identity(Model)
+	Model string
+	// Workers only reorders the same work.
+	//hmc:transient(parallelism does not change what is explored)
+	Workers int
+	// BadReason has a marker but no rationale.
+	//hmc:transient()
+	BadReason bool // want `Options\.BadReason: hmc:transient annotation needs a non-empty reason`
+	// BadIdentity names a checkpoint field that does not exist.
+	//hmc:identity(Nope)
+	BadIdentity int // want `Options\.BadIdentity is marked hmc:identity\(Nope\) but Checkpoint has no field "Nope"`
+	// Conflicted is rendered below AND marked — pick one.
+	//hmc:transient(already in the signature)
+	Conflicted bool // want `Options\.Conflicted is rendered by optsSignature but also marked hmc:transient`
+	// Drifted is the bug this analyzer exists for: a semantics-affecting
+	// field nobody accounted for.
+	Drifted bool // want `Options\.Drifted is not covered by the checkpoint options signature`
+}
+
+// Checkpoint carries the identity fields.
+type Checkpoint struct {
+	Model string
+	Opts  string
+}
+
+func optsSignature(o *Options) string {
+	return fmt.Sprintf("steps=%d conflicted=%v", o.MaxSteps, o.Conflicted)
+}

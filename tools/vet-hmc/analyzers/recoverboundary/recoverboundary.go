@@ -1,0 +1,117 @@
+// Package recoverboundary is the PR 3 analyzer, moved under the vet-hmc
+// driver: every exported entry point of internal/core that accepts a
+// program — the functions that run engine code and can therefore panic on
+// a poisoned input — must route through the panic→error boundary
+// (internal/core/recover.go). Concretely, an exported package-level
+// function whose first parameter is *prog.Program must syntactically
+// contain at least one of:
+//
+//   - a deferred function literal that calls recover() (Estimate's own
+//     boundary),
+//   - a call to Explore (which installs the boundary itself), or
+//   - a call to the explorer's guard method.
+//
+// Without this, a new analysis added to internal/core could silently turn
+// an engine panic back into a process crash, undoing PR 2's containment
+// work. The check stays syntactic on purpose — it predates the typed
+// framework and needs nothing from it, which keeps the fixture matrix
+// trivial. Packages beneath core (eg, interp, relation, axenum, …) run
+// inside core's guard and are exempt by design.
+package recoverboundary
+
+import (
+	"go/ast"
+
+	"hmc/tools/vet-hmc/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "recoverboundary",
+	Doc: "exported internal/core entry points taking *prog.Program must " +
+		"route through the panic→error recover boundary",
+	Match: analysis.HasSuffix("internal/core"),
+	Run:   run,
+}
+
+func run(pass *analysis.Pass) error {
+	analysis.Funcs(pass.Files, func(fn *ast.FuncDecl) {
+		if !isEntryPoint(fn) {
+			return
+		}
+		if !routesThroughBoundary(fn) {
+			pass.Reportf(fn.Pos(),
+				"exported engine entry point %s does not route through the recover boundary (needs a deferred recover, an Explore call, or a guard call)", fn.Name.Name)
+		}
+	})
+	return nil
+}
+
+// isEntryPoint reports whether fn is an exported package-level function
+// whose first parameter is *prog.Program — the signature shared by every
+// engine entry point (Explore, Estimate, CheckRobustness, CheckRaces,
+// CheckLiveness). Methods and helpers with other signatures are exempt:
+// they cannot be called without going through an entry point first.
+func isEntryPoint(fn *ast.FuncDecl) bool {
+	if fn.Recv != nil || !fn.Name.IsExported() || fn.Body == nil {
+		return false
+	}
+	params := fn.Type.Params
+	if params == nil || len(params.List) == 0 {
+		return false
+	}
+	star, ok := params.List[0].Type.(*ast.StarExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := star.X.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Program" {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	return ok && pkg.Name == "prog"
+}
+
+// routesThroughBoundary reports whether fn's body contains a deferred
+// recover, a call to Explore, or a call to a guard method.
+func routesThroughBoundary(fn *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok && callsRecover(lit) {
+				found = true
+			}
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.Ident:
+				if fun.Name == "Explore" {
+					found = true
+				}
+			case *ast.SelectorExpr:
+				if fun.Sel.Name == "guard" || fun.Sel.Name == "Explore" {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// callsRecover reports whether the function literal's body calls the
+// recover builtin (directly or in a nested node).
+func callsRecover(lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "recover" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

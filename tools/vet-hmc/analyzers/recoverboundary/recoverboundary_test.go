@@ -1,0 +1,12 @@
+package recoverboundary_test
+
+import (
+	"testing"
+
+	"hmc/tools/vet-hmc/analysis/analysistest"
+	"hmc/tools/vet-hmc/analyzers/recoverboundary"
+)
+
+func TestRecoverBoundary(t *testing.T) {
+	analysistest.Run(t, "testdata", recoverboundary.Analyzer, "fix/internal/core")
+}

@@ -1,0 +1,76 @@
+// Fixture for the recoverboundary analyzer, porting the regression cases
+// from the standalone tools/analyzers/recoverboundary vettool: unguarded
+// entry points and recover-less defers are flagged; Explore routing, own
+// deferred recover, guard routing, and non-entry-point signatures pass.
+package core
+
+import "fix/internal/prog"
+
+// Options stands in for core.Options.
+type Options struct{}
+
+type explorer struct{ p *prog.Program }
+
+func (e *explorer) visit(x interface{}) {}
+
+func (e *explorer) guard(f func()) {
+	defer func() { recover() }()
+	f()
+}
+
+func engine(p *prog.Program) error { return nil }
+
+func wrap(r interface{}) error { return nil }
+
+func cleanup() {}
+
+// Explore installs the boundary itself — its own deferred recover.
+func Explore(p *prog.Program, o Options) (int, error) {
+	defer func() {
+		if r := recover(); r != nil {
+			_ = wrap(r)
+		}
+	}()
+	return 0, engine(p)
+}
+
+// CheckNew runs engine code without any boundary: must be flagged.
+func CheckNew(p *prog.Program, n int) error { // want `exported engine entry point CheckNew does not route through the recover boundary`
+	e := &explorer{p: p}
+	e.visit(nil)
+	return nil
+}
+
+// CheckD defers cleanup but never recover — a defer alone is no boundary.
+func CheckD(p *prog.Program) { // want `exported engine entry point CheckD does not route through the recover boundary`
+	defer func() { cleanup() }()
+	_ = engine(p)
+}
+
+// CheckA routes through Explore: ok.
+func CheckA(p *prog.Program) error {
+	_, err := Explore(p, Options{})
+	return err
+}
+
+// CheckB owns a deferred recover: ok.
+func CheckB(p *prog.Program) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = wrap(r)
+		}
+	}()
+	return engine(p)
+}
+
+// CheckC routes through the explorer's guard: ok.
+func CheckC(p *prog.Program) {
+	e := &explorer{p: p}
+	e.guard(func() { e.visit(nil) })
+}
+
+// helper is unexported: exempt.
+func helper(p *prog.Program) { _ = engine(p) }
+
+// AsSomething's first parameter is not *prog.Program: exempt.
+func AsSomething(err error) bool { return false }

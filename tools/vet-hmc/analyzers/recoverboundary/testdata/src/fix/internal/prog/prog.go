@@ -1,0 +1,7 @@
+// Package prog stands in for hmc/internal/prog in the recoverboundary
+// fixtures: entry points are recognized by a *prog.Program first
+// parameter.
+package prog
+
+// Program is the fixture stand-in for the real litmus program.
+type Program struct{}
