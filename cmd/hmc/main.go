@@ -9,8 +9,9 @@
 //
 //	hmc [flags] <file.lit | ->
 //	hmc [flags] -test MP
+//	hmc [flags] -backend portfolio -test MP
 //	hmc vet [flags] <file.lit | ->
-//	hmc -repro <crash-artifact.json>
+//	hmc -repro <crash-or-quarantine-artifact.json>
 //
 // Examples:
 //
@@ -59,10 +60,17 @@
 // only for error-severity findings (and for programs that fail to parse
 // or validate).
 //
-// -repro replays a crash artifact written by the hmcd service: it rebuilds
-// the program that panicked the engine (from its litmus source or corpus
-// test name), re-runs the exploration with the recorded model and bounds,
-// and reports whether the panic reproduces.
+// -backend selects the verdict engine: dfs (the default explorer), axenum
+// (the herd-style axiomatic enumerator), operational (the SC/TSO/PSO
+// store-buffer machines), or portfolio, which races every applicable
+// engine, serves the first exhaustive verdict and cross-checks the rest —
+// a disagreement prints both answers and exits non-zero.
+//
+// -repro replays an artifact written by the hmcd service: a crash
+// artifact rebuilds the program that panicked the engine, re-runs the
+// exploration with the recorded model and bounds, and reports whether the
+// panic reproduces; a quarantine (backend-disagreement) artifact re-runs
+// both disagreeing backends and reports whether they still split.
 package main
 
 import (
@@ -74,6 +82,7 @@ import (
 	"strings"
 	"time"
 
+	"hmc/internal/backend"
 	"hmc/internal/core"
 	"hmc/internal/eg"
 	"hmc/internal/litmus"
@@ -129,6 +138,7 @@ func run(args []string, out io.Writer) error {
 	tracePath := fs.String("trace", "", "write a JSONL exploration trace (waves, revisits, prunes, snapshots) to this file")
 	shards := fs.Int("shards", 1, "split the frontier across this many parallel explorers (1 = the classic single-explorer path); totals are identical, wall-clock shrinks with cores")
 	peersFlag := fs.String("peers", "", "comma-separated base URLs of hmcd daemons to farm shard legs to (with -shards N>1); a dark peer's legs run locally, totals unchanged")
+	backendName := fs.String("backend", "dfs", "verdict engine: "+strings.Join(backend.Names(), "|")+" (non-dfs prints a normalized verdict; portfolio races all applicable engines and cross-checks)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -177,6 +187,26 @@ func run(args []string, out io.Writer) error {
 			return context.WithTimeout(context.Background(), *timeout)
 		}
 		return context.Background(), func() {}
+	}
+
+	if *backendName != "dfs" {
+		// Alternate engines answer through the normalized Verdict, not the
+		// explorer's native result, so the DFS-shaped extras don't compose.
+		if *verbose || *dotPath != "" || *shards > 1 || *tracePath != "" ||
+			ck.path != "" || ck.resume != "" || ob.progress || *estimate > 0 ||
+			*static || *checkDeps || *races || *live || *robust {
+			return fmt.Errorf("-backend %s prints normalized verdicts; it composes only with -model/-all/-test/-max/-max-events/-mem-budget/-workers/-symm/-timeout/-stats", *backendName)
+		}
+		models := []string{*model}
+		if *all {
+			models = memmodel.Names()
+		}
+		for _, name := range models {
+			if err := checkBackend(out, p, name, *backendName, *maxExec, *maxEvents, *memBudget, *workers, *symm, *stats, newCtx); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 
 	models := []string{*model}
@@ -290,11 +320,100 @@ func reportLiveness(out io.Writer, p *prog.Program, model string, newCtx func() 
 	return nil
 }
 
-// repro replays a crash artifact: rebuild the program the service saw,
-// re-run the exploration with the recorded model and bounds, and report
-// whether the engine panic reproduces. Exit status is success either way —
-// "no longer reproduces" is a useful answer, not a failure.
+// checkBackend answers one model through the backend interface: a single
+// alternate engine, or the portfolio racing every applicable one.
+func checkBackend(out io.Writer, p *prog.Program, model, name string, maxExec, maxEvents int, memBudget int64, workers int, symm, stats bool, newCtx func() (context.Context, context.CancelFunc)) error {
+	spec := backend.Spec{
+		Model:         model,
+		MaxExecutions: maxExec,
+		MaxEvents:     maxEvents,
+		MemoryBudget:  memBudget,
+		Workers:       workers,
+		Symmetry:      symm,
+	}
+	ctx, cancel := newCtx()
+	defer cancel()
+	if name == "portfolio" {
+		pf := backend.NewPortfolio(backend.PortfolioOptions{})
+		res, err := pf.Run(ctx, p, spec)
+		if err != nil {
+			return err
+		}
+		printVerdict(out, p, model, res.Verdict)
+		if stats || res.Disagreement != nil {
+			for _, att := range res.Attempts {
+				line := fmt.Sprintf("  %-11s %-9s", att.Backend, att.Status)
+				if att.Verdict != nil {
+					line += fmt.Sprintf(" digest=%s execs=%d", att.Verdict.OutcomeDigest, att.Verdict.Executions)
+				}
+				if att.Reason != "" {
+					line += " (" + att.Reason + ")"
+				}
+				fmt.Fprintln(out, line)
+			}
+		}
+		if d := res.Disagreement; d != nil {
+			return fmt.Errorf("BACKEND DISAGREEMENT (%s vs %s): %s", d.Winner.Backend, d.Dissenter.Backend, d.Diff)
+		}
+		return nil
+	}
+	b, err := backend.ByName(name)
+	if err != nil {
+		return err
+	}
+	if err := b.Applicable(p, spec); err != nil {
+		return err
+	}
+	v, err := b.Run(ctx, p, spec)
+	if err != nil {
+		return err
+	}
+	printVerdict(out, p, model, v)
+	return nil
+}
+
+// printVerdict renders a normalized backend verdict in the spirit of the
+// classic check line.
+func printVerdict(out io.Writer, p *prog.Program, model string, v *backend.Verdict) {
+	if v == nil {
+		fmt.Fprintf(out, "%-16s model=%-8s no verdict\n", p.Name, model)
+		return
+	}
+	status := "forbidden"
+	if v.Allowed {
+		status = "ALLOWED"
+	}
+	if !v.Exhaustive && !v.Allowed {
+		status = "not observed (INCONCLUSIVE)"
+	}
+	line := fmt.Sprintf("%-16s model=%-8s backend=%-11s executions=%-6d weak outcome [%s]: %s",
+		p.Name, model, v.Backend, v.Executions, p.ExistsDesc, status)
+	switch {
+	case v.Interrupted:
+		line += " INTERRUPTED (partial)"
+	case !v.Exhaustive:
+		line += fmt.Sprintf(" (truncated: %s)", v.TruncatedReason)
+	}
+	line += fmt.Sprintf(" digest=%s", v.OutcomeDigest)
+	fmt.Fprintln(out, line)
+	if v.Assertion == backend.Fail {
+		for _, msg := range v.AssertionErrors {
+			fmt.Fprintf(out, "  assertion failure: %s\n", msg)
+		}
+	}
+}
+
+// repro replays an artifact written by the hmcd service: a crash artifact
+// re-runs the exploration that panicked and reports whether the panic
+// reproduces; a quarantine (backend-disagreement) artifact re-runs both
+// disagreeing backends and reports whether they still split. Exit status
+// is success either way for crashes — "no longer reproduces" is a useful
+// answer, not a failure — but a still-standing disagreement exits non-zero
+// exactly like the service's quarantined job state.
 func repro(out io.Writer, path string) error {
+	if service.IsQuarantineArtifact(path) {
+		return reproQuarantine(out, path)
+	}
 	a, err := service.LoadCrashArtifact(path)
 	if err != nil {
 		return err
@@ -327,6 +446,48 @@ func repro(out io.Writer, path string) error {
 	}
 	fmt.Fprintf(out, "NOT REPRODUCED: exploration completed cleanly (%d executions, %d blocked)\n",
 		res.Executions, res.Blocked)
+	return nil
+}
+
+// reproQuarantine replays a backend-disagreement artifact: rebuild the
+// disputed program and re-run the two backends that split. Both verdicts
+// print either way; agreement on the re-run suggests a since-fixed (or
+// non-deterministic — worse) engine bug, while a reproduced disagreement
+// exits non-zero.
+func reproQuarantine(out io.Writer, path string) error {
+	a, err := service.LoadQuarantineArtifact(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "replaying %s: job %s, program %q (fingerprint %.12s), model %s\n",
+		path, a.JobID, a.Program, a.Fingerprint, a.Model)
+	fmt.Fprintf(out, "recorded disagreement: %s (winner %s, dissenter %s)\n",
+		a.Diff, a.Winner.Backend, a.Dissenter.Backend)
+	p, err := a.BuildProgram()
+	if err != nil {
+		return fmt.Errorf("%w\nprogram dump (not replayable):\n%s", err, a.ProgramDump)
+	}
+	spec := backend.Spec{Model: a.Model}
+	verdicts := make([]*backend.Verdict, 0, 2)
+	for _, name := range []string{a.Winner.Backend, a.Dissenter.Backend} {
+		b, err := backend.ByName(name)
+		if err != nil {
+			return err
+		}
+		if err := b.Applicable(p, spec); err != nil {
+			return fmt.Errorf("backend %s no longer applicable: %w", name, err)
+		}
+		v, err := b.Run(context.Background(), p, spec)
+		if err != nil {
+			return fmt.Errorf("backend %s: %w", name, err)
+		}
+		printVerdict(out, p, a.Model, v)
+		verdicts = append(verdicts, v)
+	}
+	if diff := backend.Diff(verdicts[0], verdicts[1]); diff != "" {
+		return fmt.Errorf("REPRODUCED: backends still disagree: %s", diff)
+	}
+	fmt.Fprintln(out, "NOT REPRODUCED: both backends now agree")
 	return nil
 }
 

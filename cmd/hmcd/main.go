@@ -19,6 +19,8 @@
 //	     [-peers http://host1:8433,http://host2:8433]
 //	     [-peer-probe-every 5s] [-peer-timeout 0] [-peer-hedge-after 0]
 //	     [-chaos-plan plan.json]
+//	     [-portfolio] [-portfolio-timeout 30s] [-portfolio-grace 0]
+//	     [-quarantine-dir hmcd-quarantine] [-quarantine-max 32]
 //
 // Fault containment: an engine panic fails only its own job — the panic
 // is recovered into a structured engine_error on the job payload and a
@@ -34,6 +36,17 @@
 //	DELETE /v1/jobs/{id}          cancel
 //	POST   /v1/shards             execute one shard leg for a peer coordinator
 //	GET    /v1/models    GET /v1/tests    GET /healthz    GET /metrics
+//
+// Verdict portfolio: with -portfolio, every unsharded job is raced across
+// all applicable backends (the DFS anchor, the axiomatic enumerator, the
+// operational store-buffer machines; see internal/backend). The anchor's
+// result is still what the job serves, but the job payload gains a
+// per-backend attestation trail and the winning verdict's outcome digest.
+// If two exhaustive backends disagree, the job fails with the distinct
+// "quarantined" state: neither verdict is served or cached, both are
+// written to a replayable artifact under -quarantine-dir (replay with
+// `hmc -repro`), hmcd_backend_disagreements_total is bumped, and the
+// program's fingerprint trips toward the circuit breaker.
 //
 // Distributed exploration: a submission with "shards": N splits the
 // frontier across N explorers. With -peers, shards beyond the first are
@@ -114,6 +127,11 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(addr stri
 	peerTimeout := fs.Duration("peer-timeout", 0, "per-attempt deadline for one peer shard leg (0 = none; overruns are retried, then run locally)")
 	peerHedgeAfter := fs.Duration("peer-hedge-after", 0, "race a local copy of any peer leg still unfinished after this long (0 disables hedging)")
 	chaosPlan := fs.String("chaos-plan", "", "dev only: JSON fault-injection plan (internal/faultinject) applied to peer HTTP and the journal")
+	portfolio := fs.Bool("portfolio", false, "race every applicable backend per job and cross-attest verdicts; disagreements are quarantined, never served")
+	portfolioTimeout := fs.Duration("portfolio-timeout", 30*time.Second, "per-run deadline for non-anchor portfolio backends")
+	portfolioGrace := fs.Duration("portfolio-grace", 0, "how long losing backends keep cross-checking after a win (0 = default, negative cancels immediately)")
+	quarantineDir := fs.String("quarantine-dir", "hmcd-quarantine", "directory for backend-disagreement repro artifacts")
+	quarantineMax := fs.Int("quarantine-max", 32, "max quarantine artifacts kept, oldest evicted (negative disables capture)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -155,6 +173,12 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(addr stri
 		PeerTimeout:          *peerTimeout,
 		PeerHedgeAfter:       *peerHedgeAfter,
 		ChaosPlan:            plan,
+
+		Portfolio:               *portfolio,
+		PortfolioBackendTimeout: *portfolioTimeout,
+		PortfolioGrace:          *portfolioGrace,
+		QuarantineDir:           *quarantineDir,
+		MaxQuarantineArtifacts:  *quarantineMax,
 	})
 	if err != nil {
 		return err
@@ -191,6 +215,10 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(addr stri
 	eff := svc.Config()
 	fmt.Fprintf(out, "hmcd: listening on %s (workers=%d queue=%d cache=%d timeout=%v)\n",
 		ln.Addr(), eff.Workers, eff.QueueSize, eff.CacheSize, eff.DefaultTimeout)
+	if *portfolio {
+		fmt.Fprintf(out, "hmcd: portfolio on (backend timeout %v, quarantine dir %s)\n",
+			eff.PortfolioBackendTimeout, eff.QuarantineDir)
+	}
 	if *journalDir != "" {
 		// Replay runs in the background (watch /readyz); the verdict and
 		// skipped-record counts are known synchronously at open.

@@ -18,6 +18,7 @@
 package axenum
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -40,6 +41,10 @@ type Options struct {
 	// MaxCandidates aborts after enumerating this many candidates (0 =
 	// unlimited).
 	MaxCandidates int
+	// Context, when non-nil, lets callers cancel the enumeration. The
+	// loops poll it periodically; on cancellation the result is marked
+	// Interrupted and the partial counters are returned.
+	Context context.Context
 }
 
 // Result aggregates the enumeration.
@@ -50,6 +55,7 @@ type Result struct {
 	ExistsCount    int
 	Blocked        int // value assignments whose replay blocks
 	Truncated      bool
+	Interrupted    bool // Options.Context was cancelled mid-enumeration
 	Errors         []string
 	// Keys is the set of canonical execution keys of consistent
 	// executions (same format as eg.Graph.Key, diffable against core).
@@ -124,10 +130,38 @@ func deriveValueBound(p *prog.Program) int64 {
 }
 
 type enumerator struct {
-	p    *prog.Program
-	opts Options
-	res  *Result
-	stop bool
+	p     *prog.Program
+	opts  Options
+	res   *Result
+	stop  bool
+	polls int
+}
+
+// cancelled polls Options.Context (cheaply: one select every pollEvery
+// calls) and raises the stop flag when it is done. Every enumeration loop
+// funnels through a call site of this, so cancellation latency is bounded
+// by the work between polls.
+const pollEvery = 1024
+
+func (e *enumerator) cancelled() bool {
+	if e.stop {
+		return true
+	}
+	if e.opts.Context == nil {
+		return false
+	}
+	e.polls++
+	if e.polls%pollEvery != 1 {
+		return false
+	}
+	select {
+	case <-e.opts.Context.Done():
+		e.res.Interrupted = true
+		e.stop = true
+		return true
+	default:
+		return false
+	}
 }
 
 func (e *enumerator) run() {
@@ -143,7 +177,7 @@ func (e *enumerator) run() {
 
 // combine walks the cartesian product of thread variants.
 func (e *enumerator) combine(vars [][]threadVariant, t int, combo []threadVariant) {
-	if e.stop {
+	if e.cancelled() {
 		return
 	}
 	if t == len(vars) {
@@ -222,7 +256,7 @@ func (e *enumerator) enumerateGraphs(combo []threadVariant) {
 	rf := make([]eg.EvID, len(reads))
 	var assignRF func(ri int)
 	assignRF = func(ri int) {
-		if e.stop {
+		if e.cancelled() {
 			return
 		}
 		if ri == len(reads) {
@@ -251,7 +285,7 @@ func (e *enumerator) enumerateCo(events []flatEvent, reads []int, rf []eg.EvID, 
 	co := make([][]eg.EvID, e.p.NumLocs)
 	var assignCo func(l int)
 	assignCo = func(l int) {
-		if e.stop {
+		if e.cancelled() {
 			return
 		}
 		if l == e.p.NumLocs {

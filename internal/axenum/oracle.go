@@ -42,6 +42,9 @@ func (e *enumerator) threadVariants(t int) []threadVariant {
 	seen := map[string]bool{}
 	var rec func(guesses []int64)
 	rec = func(guesses []int64) {
+		if e.cancelled() {
+			return
+		}
 		v, needMore := e.replayThread(t, guesses)
 		if needMore {
 			for val := int64(0); val <= e.opts.ValueBound; val++ {

@@ -1,0 +1,327 @@
+package backend
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"hmc/internal/prog"
+)
+
+// mock is a scriptable backend for portfolio tests. Run blocks for delay
+// (honoring ctx) and then returns the scripted verdict or error.
+type mock struct {
+	name       string
+	applicable error
+	delay      time.Duration
+	verdict    *Verdict
+	err        error
+	// stall, when set, ignores delay and blocks until ctx is cancelled,
+	// then returns an Interrupted verdict — the chaos straggler.
+	stall bool
+}
+
+func (m *mock) Name() string                             { return m.name }
+func (m *mock) Applicable(p *prog.Program, s Spec) error { return m.applicable }
+func (m *mock) Run(ctx context.Context, p *prog.Program, s Spec) (*Verdict, error) {
+	if m.stall {
+		<-ctx.Done()
+		return &Verdict{Backend: m.name, Interrupted: true}, nil
+	}
+	if m.delay > 0 {
+		select {
+		case <-time.After(m.delay):
+		case <-ctx.Done():
+			return &Verdict{Backend: m.name, Interrupted: true}, nil
+		}
+	}
+	if m.err != nil {
+		return nil, m.err
+	}
+	v := *m.verdict
+	v.Backend = m.name
+	return &v, nil
+}
+
+func verdictFor(keys ...string) *Verdict {
+	return &Verdict{
+		Outcomes:      keys,
+		OutcomeDigest: Digest(keys),
+		Allowed:       true,
+		Assertion:     Pass,
+		Exhaustive:    true,
+	}
+}
+
+func attemptByBackend(t *testing.T, out *Outcome, name string) Attempt {
+	t.Helper()
+	for _, att := range out.Attempts {
+		if att.Backend == name {
+			return att
+		}
+	}
+	t.Fatalf("no attempt for backend %q in %+v", name, out.Attempts)
+	return Attempt{}
+}
+
+func runMocks(t *testing.T, opts PortfolioOptions) (*Outcome, error) {
+	t.Helper()
+	p := mustTest(t, "SB")
+	return NewPortfolio(opts).Run(context.Background(), p, Spec{Model: "tso"})
+}
+
+func TestPortfolioFastestWins(t *testing.T) {
+	v := verdictFor("k1")
+	out, err := runMocks(t, PortfolioOptions{
+		Backends: []Backend{
+			&mock{name: "anchor", delay: 50 * time.Millisecond, verdict: v},
+			&mock{name: "fast", verdict: v},
+		},
+		Grace: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Verdict == nil || out.Verdict.Backend != "fast" {
+		t.Fatalf("want fast to win, got %+v", out.Verdict)
+	}
+	if att := attemptByBackend(t, out, "fast"); att.Status != AttemptWon {
+		t.Errorf("fast: want won, got %s", att.Status)
+	}
+	// The anchor is exempt from loser cancellation: it finishes and agrees.
+	if att := attemptByBackend(t, out, "anchor"); att.Status != AttemptAgreed {
+		t.Errorf("anchor: want agreed, got %s (%s)", att.Status, att.Reason)
+	}
+	if out.Disagreement != nil {
+		t.Errorf("unexpected disagreement: %+v", out.Disagreement)
+	}
+}
+
+func TestPortfolioDisagreementRecorded(t *testing.T) {
+	out, err := runMocks(t, PortfolioOptions{
+		Backends: []Backend{
+			&mock{name: "anchor", verdict: verdictFor("k1")},
+			&mock{name: "liar", delay: 10 * time.Millisecond, verdict: verdictFor("k1", "bogus")},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Disagreement == nil {
+		t.Fatal("want a disagreement")
+	}
+	if out.Disagreement.Winner.Backend != "anchor" || out.Disagreement.Dissenter.Backend != "liar" {
+		t.Errorf("wrong pair: %+v", out.Disagreement)
+	}
+	if att := attemptByBackend(t, out, "liar"); att.Status != AttemptDisagreed {
+		t.Errorf("liar: want disagreed, got %s", att.Status)
+	}
+}
+
+func TestPortfolioSkipsInapplicable(t *testing.T) {
+	out, err := runMocks(t, PortfolioOptions{
+		Backends: []Backend{
+			&mock{name: "anchor", verdict: verdictFor("k1")},
+			&mock{name: "picky", applicable: Unsupported("picky", "not today")},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	att := attemptByBackend(t, out, "picky")
+	if att.Status != AttemptSkipped || att.Reason == "" {
+		t.Errorf("picky: want skipped with reason, got %+v", att)
+	}
+	if att := attemptByBackend(t, out, "anchor"); att.Status != AttemptWon {
+		t.Errorf("anchor: want won, got %s", att.Status)
+	}
+}
+
+func TestPortfolioAnchorInapplicableIsHardError(t *testing.T) {
+	_, err := runMocks(t, PortfolioOptions{
+		Backends: []Backend{
+			&mock{name: "anchor", applicable: errors.New("bad model")},
+			&mock{name: "other", verdict: verdictFor("k1")},
+		},
+	})
+	if err == nil {
+		t.Fatal("anchor inapplicability must fail the run")
+	}
+}
+
+// TestPortfolioAnchorErrorFailsRunEvenAfterWin: the anchor is the
+// authority — its engine failure fails the job even when a faster backend
+// already produced a verdict.
+func TestPortfolioAnchorErrorFailsRunEvenAfterWin(t *testing.T) {
+	boom := errors.New("engine exploded")
+	out, err := runMocks(t, PortfolioOptions{
+		Backends: []Backend{
+			&mock{name: "anchor", delay: 20 * time.Millisecond, err: boom},
+			&mock{name: "fast", verdict: verdictFor("k1")},
+		},
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want anchor error, got %v", err)
+	}
+	if out == nil || out.Verdict == nil || out.Verdict.Backend != "fast" {
+		t.Fatalf("attestation should still carry the winner: %+v", out)
+	}
+}
+
+// TestPortfolioErrorDegradesAttestation: a non-anchor failure costs a
+// co-signer, never the job.
+func TestPortfolioErrorDegradesAttestation(t *testing.T) {
+	out, err := runMocks(t, PortfolioOptions{
+		Backends: []Backend{
+			&mock{name: "anchor", verdict: verdictFor("k1")},
+			&mock{name: "flaky", delay: 5 * time.Millisecond, err: errors.New("transient")},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if att := attemptByBackend(t, out, "flaky"); att.Status != AttemptError {
+		t.Errorf("flaky: want error status, got %s", att.Status)
+	}
+	if out.Verdict == nil || out.Verdict.Backend != "anchor" {
+		t.Errorf("anchor verdict should be served: %+v", out.Verdict)
+	}
+}
+
+// TestPortfolioCancelsStalledLoserAndDoesNotLeak is the chaos case: a
+// backend stalls mid-race and only unblocks on cancellation. The win plus
+// the grace window must cancel it, Run must return, and no goroutine may
+// outlive the call.
+func TestPortfolioCancelsStalledLoserAndDoesNotLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	start := time.Now()
+	out, err := runMocks(t, PortfolioOptions{
+		Backends: []Backend{
+			&mock{name: "anchor", verdict: verdictFor("k1")},
+			&mock{name: "stuck", stall: true},
+		},
+		Grace: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("run did not cut the straggler loose: took %v", elapsed)
+	}
+	if att := attemptByBackend(t, out, "stuck"); att.Status != AttemptTimeout {
+		t.Errorf("stuck: want timeout, got %s (%s)", att.Status, att.Reason)
+	}
+	// Goroutine accounting: give exited goroutines a beat to unwind.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutines leaked: %d before, %d after", before, after)
+	}
+}
+
+// TestPortfolioBackendTimeoutBoundsLosers: with no winner-grace involved,
+// the per-backend deadline alone must stop a stalled non-anchor backend.
+func TestPortfolioBackendTimeoutBoundsLosers(t *testing.T) {
+	out, err := runMocks(t, PortfolioOptions{
+		Backends: []Backend{
+			&mock{name: "anchor", delay: 30 * time.Millisecond, verdict: verdictFor("k1")},
+			&mock{name: "stuck", stall: true},
+		},
+		BackendTimeout: 10 * time.Millisecond,
+		Grace:          time.Hour, // must not matter: the deadline fires first
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if att := attemptByBackend(t, out, "stuck"); att.Status != AttemptTimeout {
+		t.Errorf("stuck: want timeout, got %s", att.Status)
+	}
+	if out.Verdict == nil || out.Verdict.Backend != "anchor" {
+		t.Errorf("anchor should win: %+v", out.Verdict)
+	}
+}
+
+// TestPortfolioNoWinnerFallsBackToAnchor: when nothing is exhaustive the
+// anchor's partial verdict is served, like a truncated single-engine run.
+func TestPortfolioNoWinnerFallsBackToAnchor(t *testing.T) {
+	partial := &Verdict{Outcomes: []string{"k1"}, OutcomeDigest: Digest([]string{"k1"}), TruncatedReason: "budget"}
+	out, err := runMocks(t, PortfolioOptions{
+		Backends: []Backend{
+			&mock{name: "anchor", verdict: partial},
+			&mock{name: "other", verdict: &Verdict{TruncatedReason: "budget"}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Verdict == nil || out.Verdict.Backend != "anchor" || out.Verdict.Exhaustive {
+		t.Fatalf("want the anchor's partial verdict, got %+v", out.Verdict)
+	}
+	if att := attemptByBackend(t, out, "other"); att.Status != AttemptTruncated {
+		t.Errorf("other: want truncated, got %s", att.Status)
+	}
+}
+
+// TestPortfolioOnWinnerFiresBeforeReturn: the winner callback observes
+// the verdict while the straggler is still running.
+func TestPortfolioOnWinnerFiresBeforeReturn(t *testing.T) {
+	won := make(chan string, 1)
+	out, err := runMocks(t, PortfolioOptions{
+		Backends: []Backend{
+			&mock{name: "anchor", verdict: verdictFor("k1")},
+			&mock{name: "slow", delay: 30 * time.Millisecond, verdict: verdictFor("k1")},
+		},
+		Grace:    time.Second,
+		OnWinner: func(v *Verdict) { won <- v.Backend },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case name := <-won:
+		if name != "anchor" {
+			t.Errorf("want anchor to win, got %s", name)
+		}
+	default:
+		t.Fatal("OnWinner never fired")
+	}
+	if att := attemptByBackend(t, out, "slow"); att.Status != AttemptAgreed {
+		t.Errorf("slow: want agreed (grace let it finish), got %s", att.Status)
+	}
+}
+
+// TestPortfolioRealEnginesOnCorpusSample races the three real engines on
+// a few corpus tests end to end and demands total agreement — the unit
+// version of crossval's TestPortfolioCorpus.
+func TestPortfolioRealEnginesOnCorpusSample(t *testing.T) {
+	for _, name := range []string{"SB", "MP", "LB"} {
+		for _, model := range []string{"sc", "tso"} {
+			p := mustTest(t, name)
+			out, err := NewPortfolio(PortfolioOptions{}).Run(context.Background(), p, Spec{Model: model})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, model, err)
+			}
+			if out.Disagreement != nil {
+				t.Errorf("%s/%s: %s", name, model, out.Disagreement.Diff)
+			}
+			if out.Verdict == nil || !out.Verdict.Exhaustive {
+				t.Errorf("%s/%s: no exhaustive verdict", name, model)
+			}
+			agreed := 0
+			for _, att := range out.Attempts {
+				if att.Status == AttemptAgreed || att.Status == AttemptWon {
+					agreed++
+				}
+			}
+			if agreed < 3 {
+				t.Errorf("%s/%s: want all 3 engines in agreement, got %d (%s)",
+					name, model, agreed, fmt.Sprint(out.Attempts))
+			}
+		}
+	}
+}

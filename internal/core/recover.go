@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+
+	"hmc/internal/prog"
 )
 
 // EngineError is a contained engine failure: a panic raised anywhere in
@@ -59,6 +61,31 @@ const (
 	TruncMaxEvents     = "max-events"
 	TruncMemoryBudget  = "memory-budget"
 )
+
+// Contain runs fn with the engine's panic→EngineError boundary installed
+// and returns fn's error, or an *EngineError if fn panicked. It is the
+// exported face of the guard for callers that drive engine-adjacent code
+// outside Explore — the backend adapters wrap the axiomatic enumerator
+// and the operational machines (which, as test oracles, were written to
+// panic on internal invariant violations) so that a poisoned program
+// fails its own portfolio leg instead of taking the process down. The op
+// string names the failing operation ("backend:axenum", …); model is the
+// memory-model name recorded for triage.
+func Contain(op string, p *prog.Program, model string, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &EngineError{
+				Op:          op,
+				Program:     p.Name,
+				Fingerprint: p.Fingerprint(),
+				Model:       model,
+				PanicValue:  r,
+				Stack:       string(debug.Stack()),
+			}
+		}
+	}()
+	return fn()
+}
 
 // guard runs task and converts a panic into the shared EngineError,
 // stopping the exploration. It is installed at the root of every worker

@@ -1,0 +1,55 @@
+package crossval
+
+import (
+	"context"
+	"testing"
+
+	"hmc/internal/backend"
+	"hmc/internal/memmodel"
+)
+
+// TestPortfolioCorpus folds the cross-validation suite onto the backend
+// interface: the verdict portfolio runs over the full litmus corpus under
+// every registered model, and every applicable backend must agree — no
+// Disagreement, and the portfolio's winning digest identical to a plain
+// single-engine DFS run. This is the acceptance gate for the portfolio:
+// racing backends must never change what a job answers, only how fast and
+// how well-attested the answer is.
+func TestPortfolioCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full corpus × models portfolio sweep")
+	}
+	dfs := &backend.DFS{}
+	for _, tc := range corpusTests() {
+		for _, model := range memmodel.Names() {
+			tc, model := tc, model
+			t.Run(tc.Name+"/"+model, func(t *testing.T) {
+				t.Parallel()
+				spec := backend.Spec{Model: model}
+				out, err := backend.NewPortfolio(backend.PortfolioOptions{}).
+					Run(context.Background(), tc.P, spec)
+				if err != nil {
+					t.Fatalf("portfolio: %v", err)
+				}
+				if out.Disagreement != nil {
+					t.Fatalf("backends disagree: %s\nwinner=%+v\ndissenter=%+v",
+						out.Disagreement.Diff, out.Disagreement.Winner, out.Disagreement.Dissenter)
+				}
+				if out.Verdict == nil || !out.Verdict.Exhaustive {
+					t.Fatalf("no exhaustive portfolio verdict: %+v", out.Verdict)
+				}
+				ref, err := dfs.Run(context.Background(), tc.P, spec)
+				if err != nil {
+					t.Fatalf("dfs reference: %v", err)
+				}
+				if diff := backend.Diff(ref, out.Verdict); diff != "" {
+					t.Errorf("portfolio verdict diverges from single-engine DFS: %s", diff)
+				}
+				if out.Verdict.OutcomeDigest != ref.OutcomeDigest {
+					t.Errorf("digest %s (portfolio, won by %s) != %s (dfs)",
+						out.Verdict.OutcomeDigest, out.Verdict.Backend, ref.OutcomeDigest)
+				}
+			})
+		}
+	}
+}

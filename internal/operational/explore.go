@@ -1,6 +1,7 @@
 package operational
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -23,6 +24,10 @@ type Options struct {
 	Memo bool
 	// StopOnError aborts at the first assertion failure.
 	StopOnError bool
+	// Context, when non-nil, lets callers cancel the exploration. The
+	// visit loop polls it periodically; on cancellation the result is
+	// marked Interrupted and the partial counters are returned.
+	Context context.Context
 }
 
 // DefaultMaxSteps bounds per-thread execution.
@@ -36,6 +41,7 @@ type Result struct {
 	ExistsCount int // complete runs satisfying the Exists clause
 	Errors      []string
 	Truncated   bool
+	Interrupted bool // Options.Context was cancelled mid-exploration
 	// Finals maps canonical final-state keys to one representative.
 	Finals map[string]prog.FinalState
 }
@@ -73,11 +79,38 @@ func Explore(p *prog.Program, opts Options) (*Result, error) {
 }
 
 type opExplorer struct {
-	p    *prog.Program
-	opts Options
-	res  *Result
-	seen map[string]bool
-	stop bool
+	p     *prog.Program
+	opts  Options
+	res   *Result
+	seen  map[string]bool
+	stop  bool
+	polls int
+}
+
+// cancelled polls Options.Context (one select every pollEvery visits) and
+// raises the stop flag when it is done, so a portfolio deadline or a job
+// cancellation unwinds the recursion promptly.
+const pollEvery = 256
+
+func (e *opExplorer) cancelled() bool {
+	if e.stop {
+		return true
+	}
+	if e.opts.Context == nil {
+		return false
+	}
+	e.polls++
+	if e.polls%pollEvery != 1 {
+		return false
+	}
+	select {
+	case <-e.opts.Context.Done():
+		e.res.Interrupted = true
+		e.stop = true
+		return true
+	default:
+		return false
+	}
 }
 
 // runLocal advances thread t through register-only instructions. It stops
@@ -275,7 +308,7 @@ func (e *opExplorer) recordError(msg string) {
 
 // visit explores all runs from s (which need not be normalized).
 func (e *opExplorer) visit(s *state) {
-	if e.stop {
+	if e.cancelled() {
 		return
 	}
 	if msg := e.normalize(s); msg != "" {

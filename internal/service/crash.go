@@ -96,18 +96,24 @@ type crashStore struct {
 	max int
 }
 
-// write serializes a into the store and evicts beyond the bound. It
-// returns the path of the file written.
+// write serializes a crash artifact into the store and evicts beyond the
+// bound. It returns the path of the file written.
 func (cs *crashStore) write(a *CrashArtifact) (string, error) {
+	return cs.writeJSON("crash", a.Fingerprint, a.JobID, a)
+}
+
+// writeJSON serializes any artifact under a kind-prefixed name — the
+// shared body of the crash and quarantine stores.
+func (cs *crashStore) writeJSON(kind, fingerprint, jobID string, v any) (string, error) {
 	if err := os.MkdirAll(cs.dir, 0o755); err != nil {
 		return "", err
 	}
-	fp := a.Fingerprint
+	fp := fingerprint
 	if len(fp) > 12 {
 		fp = fp[:12]
 	}
-	path := filepath.Join(cs.dir, fmt.Sprintf("crash-%s-%s.json", fp, a.JobID))
-	data, err := json.MarshalIndent(a, "", "  ")
+	path := filepath.Join(cs.dir, fmt.Sprintf("%s-%s-%s.json", kind, fp, jobID))
+	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return "", err
 	}

@@ -53,6 +53,13 @@ type jobJSON struct {
 	EngineError   *engineErrorJSON `json:"engine_error,omitempty"`
 	CrashArtifact string           `json:"crash_artifact,omitempty"`
 	Result        *resultJSON      `json:"result,omitempty"`
+	// Portfolio attestation: which backend's exhaustive verdict landed
+	// first (with its outcome-set digest), the compact per-backend trail,
+	// and — for quarantined jobs — the disagreement artifact's path.
+	WinnerBackend      string       `json:"winner_backend,omitempty"`
+	OutcomeDigest      string       `json:"outcome_digest,omitempty"`
+	Attestation        []attestJSON `json:"attestation,omitempty"`
+	QuarantineArtifact string       `json:"quarantine_artifact,omitempty"`
 	// Progress is the latest exploration snapshot: live counters, rates and
 	// the sampled phase breakdown while the job runs, the final snapshot
 	// once it stops. Absent before the first snapshot and for cache hits.
@@ -72,6 +79,22 @@ type engineErrorJSON struct {
 }
 
 const maxStackBytes = 4096
+
+// attestJSON is one backend's compact attestation record on a job
+// payload: the verdict's comparable core without the full outcome list
+// (which scales with the program; the complete verdicts live in the
+// quarantine artifact when they matter).
+type attestJSON struct {
+	Backend       string `json:"backend"`
+	Status        string `json:"status"`
+	Reason        string `json:"reason,omitempty"`
+	ElapsedMS     int64  `json:"elapsed_ms"`
+	OutcomeDigest string `json:"outcome_digest,omitempty"`
+	Outcomes      int    `json:"outcomes,omitempty"`
+	Allowed       *bool  `json:"allowed,omitempty"`
+	Assertion     string `json:"assertion,omitempty"`
+	Exhaustive    bool   `json:"exhaustive,omitempty"`
+}
 
 // resultJSON is the wire form of an exploration outcome. Allowed is the
 // litmus verdict (ExistsCount > 0); Exhaustive distinguishes a definitive
@@ -108,6 +131,29 @@ func toJobJSON(v JobView) jobJSON {
 		Diagnostics:   v.Diagnostics,
 		CrashArtifact: v.CrashArtifact,
 		Progress:      v.Progress,
+
+		QuarantineArtifact: v.QuarantineArtifact,
+	}
+	if v.Winner != nil {
+		out.WinnerBackend = v.Winner.Backend
+		out.OutcomeDigest = v.Winner.OutcomeDigest
+	}
+	for _, att := range v.Attestation {
+		aj := attestJSON{
+			Backend:   att.Backend,
+			Status:    string(att.Status),
+			Reason:    att.Reason,
+			ElapsedMS: att.Elapsed.Milliseconds(),
+		}
+		if vd := att.Verdict; vd != nil {
+			aj.OutcomeDigest = vd.OutcomeDigest
+			aj.Outcomes = len(vd.Outcomes)
+			allowed := vd.Allowed
+			aj.Allowed = &allowed
+			aj.Assertion = string(vd.Assertion)
+			aj.Exhaustive = vd.Exhaustive
+		}
+		out.Attestation = append(out.Attestation, aj)
 	}
 	if ee := v.EngineError; ee != nil {
 		stack := ee.Stack

@@ -3,6 +3,7 @@ package service
 import (
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -51,6 +52,17 @@ type Metrics struct {
 	ShardLegHedges       atomic.Int64
 	PeerDemotions        atomic.Int64
 
+	// Portfolio counters (internal/backend): backend runs launched in
+	// races, races won, runs cut off by deadline or grace cancellation,
+	// confirmed cross-backend disagreements, jobs quarantined by one, and
+	// disagreement repro artifacts written.
+	BackendRuns          atomic.Int64
+	BackendWins          atomic.Int64
+	BackendTimeouts      atomic.Int64
+	BackendDisagreements atomic.Int64
+	JobsQuarantined      atomic.Int64
+	QuarantineArtifacts  atomic.Int64
+
 	JournalWriteErrors atomic.Int64 // journal write/fsync failures survived in degraded mode
 
 	JournalReplayedJobs   atomic.Int64 // incomplete jobs re-enqueued from the journal on startup
@@ -85,6 +97,13 @@ type Metrics struct {
 	WaveSize                histogram
 	ConsistencyCheckSeconds histogram
 
+	// backendLat is the per-backend portfolio run-latency distribution,
+	// keyed by backend name and rendered with a backend label (like the
+	// per-peer health gauges). Guarded by backendLatMu; histograms are
+	// created on first observation.
+	backendLatMu sync.Mutex
+	backendLat   map[string]*histogram
+
 	histOnce sync.Once
 }
 
@@ -96,7 +115,27 @@ var (
 	execRateBounds = []float64{10, 100, 1e3, 1e4, 5e4, 1e5, 5e5, 1e6}
 	waveSizeBounds = []float64{1, 4, 16, 64, 256, 1024, 4096, 16384}
 	checkSecBounds = []float64{1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1}
+	// Backend races span sub-millisecond oracle runs on toy litmus tests
+	// to DFS anchors grinding for minutes.
+	backendLatBounds = []float64{1e-4, 1e-3, 1e-2, 0.1, 1, 10, 60, 300}
 )
+
+// observeBackendLatency folds one portfolio run's wall-clock into the
+// backend's latency distribution.
+func (m *Metrics) observeBackendLatency(name string, seconds float64) {
+	m.backendLatMu.Lock()
+	defer m.backendLatMu.Unlock()
+	if m.backendLat == nil {
+		m.backendLat = map[string]*histogram{}
+	}
+	h := m.backendLat[name]
+	if h == nil {
+		h = &histogram{}
+		h.init(backendLatBounds)
+		m.backendLat[name] = h
+	}
+	h.observe(seconds)
+}
 
 // ensureHistograms sets the bucket bounds exactly once; callers invoke it
 // before any observe or export so the zero-valued Metrics struct keeps
@@ -180,6 +219,24 @@ func (h *histogram) write(w io.Writer, name, help string) {
 	fmt.Fprintf(w, "%s_count %d\n", name, cum)
 }
 
+// writeLabeled renders the histogram's bucket/sum/count lines with an
+// extra label pair; the caller emits the family's HELP/TYPE header once.
+func (h *histogram) writeLabeled(w io.Writer, name, label string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket{%s,le=\"%g\"} %d\n", name, label, b, cum)
+	}
+	if h.counts != nil {
+		cum += h.counts[len(h.bounds)]
+	}
+	fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, label, cum)
+	fmt.Fprintf(w, "%s_sum{%s} %g\n", name, label, h.sum)
+	fmt.Fprintf(w, "%s_count{%s} %d\n", name, label, cum)
+}
+
 // CacheHitRate returns hits / (hits+misses), or 0 before any lookup.
 func (m *Metrics) CacheHitRate() float64 {
 	h, mi := m.CacheHits.Load(), m.CacheMisses.Load()
@@ -220,6 +277,13 @@ func (m *Metrics) writePrometheus(w io.Writer, queueDepth, cacheEntries, cacheCa
 	counter("hmcd_crash_artifacts_total", "Crash repro artifacts written.", m.CrashArtifacts.Load())
 	counter("hmcd_jobs_retried_total", "Job re-runs after a transient memory-budget truncation.", m.JobsRetried.Load())
 	counter("hmcd_breaker_rejected_total", "Submissions refused by the per-program circuit breaker.", m.BreakerRejected.Load())
+	counter("hmcd_backend_runs_total", "Portfolio backend runs launched in verdict races.", m.BackendRuns.Load())
+	counter("hmcd_backend_wins_total", "Portfolio races won (first exhaustive verdict).", m.BackendWins.Load())
+	counter("hmcd_backend_timeouts_total", "Portfolio backend runs cut off by deadline or grace cancellation.", m.BackendTimeouts.Load())
+	counter("hmcd_backend_disagreements_total", "Confirmed cross-backend verdict disagreements.", m.BackendDisagreements.Load())
+	counter("hmcd_jobs_quarantined_total", "Jobs failed with a quarantined cross-backend disagreement.", m.JobsQuarantined.Load())
+	counter("hmcd_quarantine_artifacts_total", "Disagreement repro artifacts written.", m.QuarantineArtifacts.Load())
+	m.writeBackendLatencies(w)
 	gaugeI("hmcd_shards_active", "Shard legs currently running across all sharded jobs.", m.ShardsActive.Load())
 	counter("hmcd_shard_steals_total", "Work-steals completed (frontier buckets moved to an idle shard).", m.ShardSteals.Load())
 	counter("hmcd_shard_retries_total", "Shard legs re-run after a worker death or peer failure.", m.ShardRetries.Load())
@@ -285,6 +349,26 @@ func (m *Metrics) writePrometheus(w io.Writer, queueDepth, cacheEntries, cacheCa
 	m.JobExecRate.write(w, "hmcd_job_exec_rate", "Overall executions/sec of each finished job.")
 	m.WaveSize.write(w, "hmcd_wave_size", "Frontier width at each progress snapshot.")
 	m.ConsistencyCheckSeconds.write(w, "hmcd_consistency_check_seconds", "Mean consistency-check latency of each finished job.")
+}
+
+// writeBackendLatencies renders the per-backend latency distributions as
+// one labeled histogram family, backends in sorted order so the exposition
+// is deterministic.
+func (m *Metrics) writeBackendLatencies(w io.Writer) {
+	m.backendLatMu.Lock()
+	defer m.backendLatMu.Unlock()
+	if len(m.backendLat) == 0 {
+		return
+	}
+	names := make([]string, 0, len(m.backendLat))
+	for name := range m.backendLat {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "# HELP hmcd_backend_latency_seconds Per-backend portfolio run latency.\n# TYPE hmcd_backend_latency_seconds histogram\n")
+	for _, name := range names {
+		m.backendLat[name].writeLabeled(w, "hmcd_backend_latency_seconds", fmt.Sprintf("backend=%q", name))
+	}
 }
 
 // addStats folds one finished exploration's counters into the totals.

@@ -1,0 +1,111 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"hmc/internal/backend"
+	"hmc/internal/core"
+	"hmc/internal/prog"
+)
+
+// quarantineKind tags disagreement artifacts (the Kind field and the file
+// name prefix) so `hmc -repro` can tell them apart from crash artifacts.
+const quarantineKind = "backend-disagreement"
+
+// QuarantineArtifact is a self-contained repro of a cross-backend
+// disagreement: two engines both claimed exhaustive coverage of the same
+// program under the same model and returned conflicting verdicts. The
+// artifact carries the program (replayable exactly like a CrashArtifact),
+// both verdicts, the diff, and the full attestation trail; `hmc -repro`
+// re-runs both backends from it.
+type QuarantineArtifact struct {
+	// Schema gates replay exactly like CrashArtifact.Schema: a
+	// disagreement from another engine schema is not reproducible here.
+	Schema int    `json:"schema"`
+	Kind   string `json:"kind"` // always quarantineKind
+
+	JobID       string    `json:"job_id"`
+	Time        time.Time `json:"time"`
+	Program     string    `json:"program"`
+	Fingerprint string    `json:"fingerprint"`
+	Model       string    `json:"model"`
+
+	// Exactly one of Source/Test is set when the submission carried one;
+	// ProgramDump is always set (human-readable, not machine-replayable).
+	Source      string `json:"source,omitempty"`
+	Test        string `json:"test,omitempty"`
+	ProgramDump string `json:"program_dump"`
+
+	// Diff names the first divergence; Winner and Dissenter are the two
+	// complete verdicts; Attempts is every backend's part in the race.
+	Diff      string            `json:"diff"`
+	Winner    *backend.Verdict  `json:"winner"`
+	Dissenter *backend.Verdict  `json:"dissenter"`
+	Attempts  []backend.Attempt `json:"attempts"`
+}
+
+// BuildProgram reconstructs the disputed program for replay, from the
+// litmus source or the named corpus test.
+func (a *QuarantineArtifact) BuildProgram() (*prog.Program, error) {
+	c := CrashArtifact{Source: a.Source, Test: a.Test}
+	return c.BuildProgram()
+}
+
+// LoadQuarantineArtifact reads one disagreement artifact written by the
+// service, rejecting files of the wrong kind or engine schema.
+func LoadQuarantineArtifact(path string) (*QuarantineArtifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	a := &QuarantineArtifact{}
+	if err := json.Unmarshal(data, a); err != nil {
+		return nil, fmt.Errorf("quarantine artifact %s: %w", path, err)
+	}
+	if a.Kind != quarantineKind {
+		return nil, fmt.Errorf("quarantine artifact %s: kind %q, want %q", path, a.Kind, quarantineKind)
+	}
+	if a.Schema != core.SchemaVersion {
+		return nil, fmt.Errorf("quarantine artifact %s: engine schema %d, this binary is %d — not replayable",
+			path, a.Schema, core.SchemaVersion)
+	}
+	return a, nil
+}
+
+// IsQuarantineArtifact sniffs whether the file at path is a disagreement
+// artifact (vs. a crash artifact) without fully decoding it — the
+// dispatch behind `hmc -repro`.
+func IsQuarantineArtifact(path string) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false
+	}
+	var peek struct {
+		Kind string `json:"kind"`
+	}
+	return json.Unmarshal(data, &peek) == nil && peek.Kind == quarantineKind
+}
+
+// buildQuarantine assembles the disagreement repro for a quarantined job.
+func (s *Service) buildQuarantine(j *Job, out *backend.Outcome) *QuarantineArtifact {
+	d := out.Disagreement
+	return &QuarantineArtifact{
+		Schema:      core.SchemaVersion,
+		Kind:        quarantineKind,
+		JobID:       j.id,
+		Time:        time.Now().UTC(),
+		Program:     j.req.Program.Name,
+		Fingerprint: j.fingerprint,
+		Model:       j.req.Model,
+		Source:      j.req.Source,
+		Test:        j.req.Test,
+		ProgramDump: j.req.Program.String(),
+		Diff:        d.Diff,
+		Winner:      d.Winner,
+		Dissenter:   d.Dissenter,
+		Attempts:    out.Attempts,
+	}
+}

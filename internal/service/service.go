@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"hmc/internal/analyze"
+	"hmc/internal/backend"
 	"hmc/internal/core"
 	"hmc/internal/faultinject"
 	"hmc/internal/litmus"
@@ -124,6 +125,23 @@ type Config struct {
 	// journal file — the dev-only harness behind `hmcd -chaos-plan`. Never
 	// set in production.
 	ChaosPlan *faultinject.Plan
+	// Portfolio races every applicable backend (internal/backend) on each
+	// unsharded, non-resumed job and cross-attests the verdicts. The DFS
+	// anchor still produces the served result — behavior is identical to
+	// the single-engine path — but a confirmed disagreement quarantines
+	// the job instead of serving either answer.
+	Portfolio bool
+	// PortfolioBackendTimeout is the per-run deadline for the non-anchor
+	// backends (default 30s; the anchor is bounded only by the job).
+	PortfolioBackendTimeout time.Duration
+	// PortfolioGrace bounds how long losing backends keep cross-checking
+	// after a win (0 = backend.DefaultGrace; negative cancels immediately).
+	PortfolioGrace time.Duration
+	// QuarantineDir is where disagreement artifacts are written (default
+	// "hmcd-quarantine"); MaxQuarantineArtifacts bounds the directory
+	// (default 32, oldest evicted; negative disables capture).
+	QuarantineDir          string
+	MaxQuarantineArtifacts int
 }
 
 func (c Config) withDefaults() Config {
@@ -166,11 +184,20 @@ func (c Config) withDefaults() Config {
 	if c.ProgressEvery == 0 {
 		c.ProgressEvery = core.DefaultProgressEvery
 	}
+	if c.PortfolioBackendTimeout == 0 {
+		c.PortfolioBackendTimeout = 30 * time.Second
+	}
+	if c.QuarantineDir == "" {
+		c.QuarantineDir = "hmcd-quarantine"
+	}
+	if c.MaxQuarantineArtifacts == 0 {
+		c.MaxQuarantineArtifacts = 32
+	}
 	return c
 }
 
 // JobState is the lifecycle of a job: queued → running → one of
-// done/failed/canceled. Cache hits are born done.
+// done/failed/canceled/quarantined. Cache hits are born done.
 type JobState string
 
 const (
@@ -179,11 +206,15 @@ const (
 	StateDone     JobState = "done"
 	StateFailed   JobState = "failed"
 	StateCanceled JobState = "canceled"
+	// StateQuarantined is the distinct failure of a portfolio job whose
+	// backends disagreed: no verdict is served or cached, and the
+	// disagreement artifact holds both answers for replay.
+	StateQuarantined JobState = "quarantined"
 )
 
 // Terminal reports whether the state is final.
 func (s JobState) Terminal() bool {
-	return s == StateDone || s == StateFailed || s == StateCanceled
+	return s == StateDone || s == StateFailed || s == StateCanceled || s == StateQuarantined
 }
 
 // SubmitRequest describes one checking job.
@@ -239,11 +270,19 @@ type Job struct {
 	diagnostics []string
 	attempts    int
 	engineErr   *core.EngineError
-	artifact    string             // crash artifact path, when one was written
-	cancel      context.CancelFunc // non-nil only while running
-	userCancel  bool               // Cancel() was called
-	resumeFrom  *core.Checkpoint   // journal-replayed checkpoint to resume from
-	resumed     bool               // this job continued a pre-restart exploration
+	artifact    string // crash artifact path, when one was written
+
+	// Portfolio attestation: the per-backend trail, the winning verdict
+	// (published the moment it lands, before cross-checking completes)
+	// and the disagreement artifact path when the job was quarantined.
+	attestation []backend.Attempt
+	winner      *backend.Verdict
+	quarantine  string
+
+	cancel     context.CancelFunc // non-nil only while running
+	userCancel bool               // Cancel() was called
+	resumeFrom *core.Checkpoint   // journal-replayed checkpoint to resume from
+	resumed    bool               // this job continued a pre-restart exploration
 
 	// progress is the job's latest exploration snapshot (nil until the
 	// first one lands); progressCh, when non-nil, is closed to wake
@@ -295,6 +334,13 @@ type JobView struct {
 	// from the journal and its exploration continued from the last
 	// checkpoint instead of starting over.
 	Resumed bool
+	// Attestation is the portfolio's per-backend trail (nil on the
+	// single-engine path); Winner is the first exhaustive verdict of the
+	// race, published before cross-checking completes. QuarantineArtifact
+	// is the disagreement repro's path when the job was quarantined.
+	Attestation        []backend.Attempt
+	Winner             *backend.Verdict
+	QuarantineArtifact string
 	// Progress is the job's latest exploration snapshot: live counters and
 	// rates while running, the final (counters == Result) snapshot once
 	// done. Nil before the first snapshot and for cache hits. The pointee
@@ -321,7 +367,11 @@ func (j *Job) view() JobView {
 		EngineError:   j.engineErr,
 		CrashArtifact: j.artifact,
 		Resumed:       j.resumed,
-		Progress:      j.progress,
+		Attestation:   j.attestation,
+		Winner:        j.winner,
+
+		QuarantineArtifact: j.quarantine,
+		Progress:           j.progress,
 	}
 }
 
@@ -333,6 +383,12 @@ type Service struct {
 	crashes *crashStore // nil when artifact capture is disabled
 	journal *journal    // nil when Config.JournalDir is empty
 	pool    *shard.Pool // nil when Config.Peers is empty
+
+	// quarantines stores disagreement artifacts (nil when capture is
+	// disabled); alternates are the non-anchor portfolio backends — nil
+	// selects the standard pair, tests inject mocks here.
+	quarantines *crashStore
+	alternates  []backend.Backend
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -376,6 +432,9 @@ func New(cfg Config) (*Service, error) {
 	s.cache.evictions = &s.metrics.CacheEvictions
 	if cfg.MaxCrashArtifacts > 0 {
 		s.crashes = &crashStore{dir: cfg.CrashDir, max: cfg.MaxCrashArtifacts}
+	}
+	if cfg.Portfolio && cfg.MaxQuarantineArtifacts > 0 {
+		s.quarantines = &crashStore{dir: cfg.QuarantineDir, max: cfg.MaxQuarantineArtifacts}
 	}
 	if len(cfg.Peers) > 0 {
 		pc := shard.PoolConfig{
@@ -821,6 +880,12 @@ func (s *Service) runJob(j *Job) {
 		if j.req.Shards <= 1 {
 			copts.Checkpoint = ckptOpts
 			copts.Progress = progOpts
+			// The portfolio covers plain one-explorer runs; a job resuming
+			// from a checkpoint (journal replay, memory-budget retry) covers
+			// a prefix no other engine can reproduce, so it runs legacy.
+			if s.cfg.Portfolio && j.resumeFrom == nil {
+				return s.explorePortfolio(ctx, j, copts)
+			}
 			return core.Explore(j.req.Program, copts)
 		}
 		so := shard.Options{
@@ -924,6 +989,20 @@ func (s *Service) runJob(j *Job) {
 		}
 	}
 
+	// A cross-backend disagreement likewise writes its repro — both
+	// verdicts plus the program — before the lock.
+	var dis *disagreementError
+	quarantine := ""
+	if errors.As(err, &dis) && s.quarantines != nil {
+		s.crashMu.Lock()
+		path, werr := s.quarantines.writeJSON(quarantineKind, j.fingerprint, j.id, s.buildQuarantine(j, dis.out))
+		s.crashMu.Unlock()
+		if werr == nil {
+			quarantine = path
+			s.metrics.QuarantineArtifacts.Add(1)
+		}
+	}
+
 	// A sharded run that finished while every peer was dark ran fully
 	// local; say so where clients can see it, not just in the metrics.
 	if err == nil && j.req.Shards > 1 && s.pool != nil && s.pool.AllDark() {
@@ -939,6 +1018,18 @@ func (s *Service) runJob(j *Job) {
 	j.engineErr = ee
 	j.artifact = artifact
 	switch {
+	case dis != nil:
+		// Two engines both claim exhaustive coverage and disagree: at
+		// least one is wrong, and the service cannot tell which. The job
+		// fails with its own state, neither verdict is served or cached,
+		// and the fingerprint trips toward the breaker exactly like an
+		// engine crash — a program that splits the engines is poisoned
+		// until a human reads the quarantine artifact.
+		j.state = StateQuarantined
+		j.errMsg = err.Error()
+		j.quarantine = quarantine
+		s.metrics.JobsQuarantined.Add(1)
+		s.breaker.record(j.fingerprint, time.Now())
 	case err != nil:
 		j.state = StateFailed
 		j.errMsg = err.Error()

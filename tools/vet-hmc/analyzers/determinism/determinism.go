@@ -4,7 +4,7 @@
 // (core.Checkpoint) and the equivalence tests that pin both all assume
 // that the same program explored twice produces the same bytes. Three
 // constructs silently break that in Go, and this analyzer flags each in
-// the counter-affecting packages (internal/{core,shard,eg,relation}):
+// the counter-affecting packages (internal/{core,shard,eg,relation,backend}):
 //
 //   - time.Now — wall-clock values must never feed counters, keys or
 //     serialized state. Legitimate uses (progress timestamps, breaker
@@ -36,10 +36,11 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "determinism",
 	Doc: "flags time.Now, global math/rand draws and unsorted map iteration " +
-		"in the counter-affecting packages (internal/{core,shard,eg,relation}); " +
+		"in the counter-affecting packages (internal/{core,shard,eg,relation,backend}); " +
 		"legitimate sites carry //hmc:nondet(reason)",
 	Match: analysis.HasSuffix(
 		"internal/core", "internal/shard", "internal/eg", "internal/relation",
+		"internal/backend",
 	),
 	Run: run,
 }

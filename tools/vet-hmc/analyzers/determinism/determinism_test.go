@@ -10,3 +10,7 @@ import (
 func TestDeterminism(t *testing.T) {
 	analysistest.Run(t, "testdata", determinism.Analyzer, "fix/internal/core")
 }
+
+func TestDeterminismBackend(t *testing.T) {
+	analysistest.Run(t, "testdata", determinism.Analyzer, "fix/internal/backend")
+}

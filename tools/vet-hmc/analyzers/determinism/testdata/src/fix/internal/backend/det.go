@@ -1,0 +1,43 @@
+// Fixture for the determinism analyzer in the verdict-portfolio package:
+// outcome digests and attestation records must be byte-stable across
+// runs, so internal/backend is in the counter-affecting scope. Latency
+// stamps are the sanctioned wall-clock use; digest assembly must be
+// collect-then-sort.
+package backend
+
+import (
+	"sort"
+	"time"
+)
+
+// verdictLatency is the sanctioned shape: elapsed time on an attestation
+// record, never compared or counted.
+func verdictLatency() time.Duration {
+	start := time.Now() //hmc:nondet(verdict latency is observability, never compared or counted)
+	return time.Since(start)
+}
+
+// rawDeadline is the violation: a wall-clock read with no stated reason.
+func rawDeadline() time.Time {
+	return time.Now() // want `time\.Now in a counter-affecting package`
+}
+
+// digestKeys is the blessed collect-then-sort idiom for outcome digests.
+func digestKeys(finals map[string]bool) []string {
+	keys := make([]string, 0, len(finals))
+	for k := range finals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// unsortedKeys builds ordered output straight from a map range — the
+// digest-instability violation.
+func unsortedKeys(finals map[string]bool) []string {
+	var keys []string
+	for k := range finals { // want `map iteration order is randomized`
+		keys = append(keys, k)
+	}
+	return keys
+}

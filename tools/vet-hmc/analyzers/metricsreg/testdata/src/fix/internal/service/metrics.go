@@ -18,6 +18,14 @@ type Metrics struct {
 	DeadField    atomic.Int64 // want `Metrics\.DeadField is neither incremented nor exported — dead metric field`
 	Loaned       atomic.Int64 // incremented through an address-taken alias
 	LegDurations histogram    // healthy histogram
+
+	// The verdict-portfolio shape: plain counters under the helper
+	// discipline plus a per-backend labeled histogram family rendered
+	// with raw Fprintf — the map field is outside the atomic/histogram
+	// tracking and the labeled names are outside the literal-name check.
+	BackendRuns          atomic.Int64 // healthy: bumped by recordAttestation
+	BackendDisagreements atomic.Int64 // healthy: bumped by recordAttestation
+	backendLat           map[string]*histogram
 }
 
 // histogram mirrors the service's local histogram type.
@@ -40,6 +48,31 @@ func (m *Metrics) work() {
 	evictions.Add(1)
 }
 
+// recordAttestation mirrors the portfolio bookkeeping path: counters
+// bumped away from writePrometheus, latencies observed per backend name.
+func (m *Metrics) recordAttestation(name string, seconds float64) {
+	m.BackendRuns.Add(1)
+	m.BackendDisagreements.Add(1)
+	if m.backendLat == nil {
+		m.backendLat = map[string]*histogram{}
+	}
+	h, ok := m.backendLat[name]
+	if !ok {
+		h = &histogram{}
+		m.backendLat[name] = h
+	}
+	h.observe(seconds)
+}
+
+// writeBackendLatencies mirrors the labeled-family rendering: raw Fprintf
+// with a backend label, outside the helper discipline and this analyzer's
+// literal-name scope.
+func (m *Metrics) writeBackendLatencies(w io.Writer) {
+	for name, h := range m.backendLat {
+		fmt.Fprintf(w, "hmcd_backend_latency_seconds_count{backend=%q} %d\n", name, h.count.Load())
+	}
+}
+
 func (m *Metrics) writePrometheus(w io.Writer) {
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n%s %d\n", name, help, name, v)
@@ -53,6 +86,9 @@ func (m *Metrics) writePrometheus(w io.Writer) {
 	counter("hmcd_flatline_total", "Never written.", m.Flatline.Load()) // want `metric hmcd_flatline_total is exported from Metrics\.Flatline, which is never incremented`
 	counter("hmcd_loans_total", "Written via alias.", m.Loaned.Load())
 	m.LegDurations.write(w, "hmcd_leg_duration_seconds", "Leg durations.")
+	counter("hmcd_backend_runs_total", "Portfolio backend runs.", m.BackendRuns.Load())
+	counter("hmcd_backend_disagreements_total", "Portfolio disagreements.", m.BackendDisagreements.Load())
+	m.writeBackendLatencies(w)
 
 	counter("hmcd_jobs_done_total", "Duplicate.", m.JobsDone.Load()) // want `metric hmcd_jobs_done_total is registered more than once`
 	counter("hmcd_missing_suffix", "Bad name.", m.JobsDone.Load())   // want `counter "hmcd_missing_suffix" must end in _total`
