@@ -81,6 +81,17 @@ type Options struct {
 	MemoryBudget int64
 	// StopOnError aborts exploration at the first assertion failure.
 	StopOnError bool
+	// LegacyChecks routes consistency checking through the reference
+	// path — heap-allocated views and the materialized-union predicates
+	// preserved in memmodel's legacy build — instead of pooled arena
+	// views and incremental acyclicity. Both paths decide the same
+	// predicate, so verdicts, every counter and the checkpoint stream are
+	// identical (pinned by the equivalence tests and the T17 harness
+	// experiment); only wall-clock and allocation differ. A performance
+	// A/B knob, not a semantic option, hence excluded from the
+	// checkpoint options signature.
+	//hmc:transient(both paths decide the same predicate; only wall-clock and allocation change)
+	LegacyChecks bool
 	// DedupSafeguard tracks complete-execution keys and suppresses
 	// duplicates, counting them in Stats.Duplicates. The algorithm is
 	// optimal, so this is a diagnostic: the test suite asserts the count
@@ -772,7 +783,14 @@ func (e *explorer) consistent(g *eg.Graph) bool {
 	e.sh.res.ConsistencyChecks++
 	e.sh.mu.Unlock()
 	ts := e.tConsist.Start()
-	ok := e.opts.Model.Consistent(eg.NewView(g))
+	var ok bool
+	if e.opts.LegacyChecks {
+		ok = memmodel.Legacy(e.opts.Model).Consistent(eg.NewView(g))
+	} else {
+		v := eg.GetView(g)
+		ok = e.opts.Model.Consistent(v)
+		eg.PutView(v)
+	}
 	e.tConsist.Stop(ts)
 	return ok
 }

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"hmc/internal/gen"
+	"hmc/internal/litmus"
+	"hmc/internal/memmodel"
+	"hmc/internal/prog"
+)
+
+// TestLegacyChecksCountPreserving is the central invariant of the
+// incremental-checking rewrite: Options.LegacyChecks toggles between the
+// pooled/incremental consistency path and the reference materialized-union
+// path, and every observable of the run — each Stats counter, the
+// execution key set, truncation status — must be byte-identical between
+// the two. The knob may only move wall-clock and allocation.
+func TestLegacyChecksCountPreserving(t *testing.T) {
+	check := func(name string, p *prog.Program, model string) {
+		t.Helper()
+		fast := explore(t, p, model, Options{CollectKeys: true})
+		legacy := explore(t, p, model, Options{CollectKeys: true, LegacyChecks: true})
+		if !reflect.DeepEqual(fast.Stats, legacy.Stats) {
+			t.Errorf("%s under %s: stats diverge\nfast:   %+v\nlegacy: %+v",
+				name, model, fast.Stats, legacy.Stats)
+		}
+		if got, want := sortedKeys(fast), sortedKeys(legacy); !reflect.DeepEqual(got, want) {
+			t.Errorf("%s under %s: execution key sets diverge (%d vs %d keys)",
+				name, model, len(got), len(want))
+		}
+	}
+	for _, tc := range litmus.Corpus() {
+		for model := range tc.Allowed {
+			check(tc.Name, tc.P, model)
+		}
+	}
+	check("SB(6)", gen.SBN(6), "sc")
+	check("SB(6)", gen.SBN(6), "tso")
+	check("SB(6)", gen.SBN(6), "pso")
+	check("inc(2,2)", gen.IncN(2, 2), "sc")
+	check("indexer(2)", gen.IndexerN(2), "tso")
+}
+
+// TestLegacyChecksCheckpointCompatible kills a run and resumes it with the
+// LegacyChecks knob flipped on every leg. The knob is transient — excluded
+// from the checkpoint options signature — so the cross-path chain must be
+// accepted and finish with the same totals as a straight run.
+func TestLegacyChecksCheckpointCompatible(t *testing.T) {
+	p := gen.SBN(6)
+	m, err := memmodel.ByName("tso")
+	if err != nil {
+		t.Fatal(err)
+	}
+	straight := explore(t, p, "tso", Options{CollectKeys: true})
+
+	var resume *Checkpoint
+	legacy := false
+	for leg := 0; ; leg++ {
+		if leg > 10000 {
+			t.Fatal("cross-path resume chain did not terminate")
+		}
+		res, err := Explore(p, Options{
+			Model:          m,
+			DedupSafeguard: true,
+			CollectKeys:    true,
+			FailAfter:      6,
+			ResumeFrom:     resume,
+			LegacyChecks:   legacy,
+		})
+		if err != nil {
+			t.Fatalf("leg %d (legacy=%v): %v", leg, legacy, err)
+		}
+		if !res.Interrupted {
+			if leg == 0 {
+				t.Fatal("run finished before a single kill; raise the program size")
+			}
+			assertSameExploration(t, "cross-path resume", straight, res, true)
+			return
+		}
+		if res.Checkpoint == nil {
+			t.Fatal("interrupted result without checkpoint")
+		}
+		resume = encodeDecode(t, res.Checkpoint)
+		legacy = !legacy // alternate the path across process generations
+	}
+}

@@ -24,19 +24,21 @@ type Graph struct {
 	co      [][]EvID
 	next    int // next stamp
 
+	// Copy-on-write state. Clone shares the thread slices, the rf map and
+	// the co lists between parent and clone; a piece is deep-copied only
+	// when a graph that does not own it is about to mutate it. A false flag
+	// means "possibly shared: copy before writing".
+	ownT  []bool
+	ownRF bool
+	ownCo []bool
 }
 
 // NewGraph returns an empty graph for a program with the given number of
 // threads and shared locations. Initial writes (value 0) exist implicitly
 // for every location and carry stamp 0.
 func NewGraph(numThreads, numLocs int) *Graph {
-	g := &Graph{
-		numLocs: numLocs,
-		threads: make([][]Event, numThreads),
-		rf:      make(map[EvID]EvID),
-		co:      make([][]EvID, numLocs),
-		next:    1,
-	}
+	g := newOwned(numThreads, numLocs)
+	g.next = 1
 	return g
 }
 
@@ -58,25 +60,63 @@ func (g *Graph) NumEvents() int {
 	return n
 }
 
-// Clone returns a deep copy of g (stamps preserved).
+// Clone returns a copy of g (stamps preserved). The copy is lazy: parent
+// and clone share the thread slices, the rf map and the co lists until one
+// of them mutates a piece, which is deep-copied at that point. Both sides
+// give up ownership — in-place patches like SetEventVal and slice appends
+// into shared backing arrays would otherwise leak between the two graphs.
+// Clone must only be called by a goroutine with exclusive write access to
+// g (the explorer clones before forking, never on a shared graph).
 func (g *Graph) Clone() *Graph {
+	for t := range g.ownT {
+		g.ownT[t] = false
+	}
+	g.ownRF = false
+	for l := range g.ownCo {
+		g.ownCo[l] = false
+	}
 	c := &Graph{
 		numLocs: g.numLocs,
-		threads: make([][]Event, len(g.threads)),
-		rf:      make(map[EvID]EvID, len(g.rf)),
-		co:      make([][]EvID, len(g.co)),
+		threads: append(make([][]Event, 0, len(g.threads)), g.threads...),
+		rf:      g.rf,
+		co:      append(make([][]EvID, 0, len(g.co)), g.co...),
 		next:    g.next,
-	}
-	for t, th := range g.threads {
-		c.threads[t] = append([]Event(nil), th...)
-	}
-	for r, w := range g.rf { //hmc:nondet(map-to-map copy: same entries land regardless of order)
-		c.rf[r] = w
-	}
-	for l, ws := range g.co {
-		c.co[l] = append([]EvID(nil), ws...)
+		ownT:    make([]bool, len(g.threads)),
+		ownCo:   make([]bool, len(g.co)),
 	}
 	return c
+}
+
+// ownThread ensures g exclusively owns threads[t] before a mutation,
+// copying the shared slice if necessary.
+func (g *Graph) ownThread(t int) {
+	if g.ownT[t] {
+		return
+	}
+	g.threads[t] = append(make([]Event, 0, len(g.threads[t])+1), g.threads[t]...)
+	g.ownT[t] = true
+}
+
+// ownRFMap ensures g exclusively owns its rf map before a mutation.
+func (g *Graph) ownRFMap() {
+	if g.ownRF {
+		return
+	}
+	m := make(map[EvID]EvID, len(g.rf)+1)
+	for r, w := range g.rf { //hmc:nondet(map-to-map copy: same entries land regardless of order)
+		m[r] = w
+	}
+	g.rf = m
+	g.ownRF = true
+}
+
+// ownCoLoc ensures g exclusively owns co[l] before a mutation.
+func (g *Graph) ownCoLoc(l Loc) {
+	if g.ownCo[l] {
+		return
+	}
+	g.co[l] = append(make([]EvID, 0, len(g.co[l])+1), g.co[l]...)
+	g.ownCo[l] = true
 }
 
 // Add appends ev to its thread, assigning the next stamp. The event's
@@ -94,6 +134,7 @@ func (g *Graph) Add(ev Event) {
 	}
 	ev.Stamp = g.next
 	g.next++
+	g.ownThread(t)
 	g.threads[t] = append(g.threads[t], ev)
 }
 
@@ -131,6 +172,7 @@ func (g *Graph) SetRF(r, w EvID) {
 	if re.Loc != we.Loc {
 		panic(fmt.Sprintf("eg: SetRF location mismatch %v vs %v", re, we))
 	}
+	g.ownRFMap()
 	g.rf[r] = w
 }
 
@@ -170,6 +212,7 @@ func (g *Graph) CoLoc(l Loc) []EvID { return g.co[l] }
 // (0 = immediately after init). The write event must already be in the
 // graph.
 func (g *Graph) CoInsert(l Loc, pos int, w EvID) {
+	g.ownCoLoc(l)
 	ws := g.co[l]
 	if pos < 0 || pos > len(ws) {
 		panic(fmt.Sprintf("eg: co position %d out of range [0,%d]", pos, len(ws)))
@@ -238,6 +281,7 @@ func (g *Graph) SetEventVal(id EvID, val int64) {
 	if !ev.Kind.IsWrite() || ev.Kind == KInit {
 		panic(fmt.Sprintf("eg: SetEventVal on non-write %v", id))
 	}
+	g.ownThread(id.T)
 	g.threads[id.T][id.I].Val = val
 }
 
@@ -248,6 +292,7 @@ func (g *Graph) SetEventKind(id EvID, kind Kind) {
 	if kind != KRead && kind != KUpdate {
 		panic(fmt.Sprintf("eg: SetEventKind to unsupported kind %v", kind))
 	}
+	g.ownThread(id.T)
 	g.threads[id.T][id.I].Kind = kind
 }
 
@@ -257,7 +302,30 @@ func (g *Graph) CoRemove(l Loc, w EvID) {
 	if i < 0 {
 		panic(fmt.Sprintf("eg: CoRemove of absent %v", w))
 	}
+	g.ownCoLoc(l)
 	g.co[l] = append(g.co[l][:i], g.co[l][i+1:]...)
+}
+
+// newOwned returns an empty graph shell whose every piece is exclusively
+// owned — the construction target for operations that build fresh deep
+// structures (Restrict, RenameThreads).
+func newOwned(numThreads, numLocs int) *Graph {
+	g := &Graph{
+		numLocs: numLocs,
+		threads: make([][]Event, numThreads),
+		rf:      make(map[EvID]EvID),
+		co:      make([][]EvID, numLocs),
+		ownT:    make([]bool, numThreads),
+		ownRF:   true,
+		ownCo:   make([]bool, numLocs),
+	}
+	for t := range g.ownT {
+		g.ownT[t] = true
+	}
+	for l := range g.ownCo {
+		g.ownCo[l] = true
+	}
+	return g
 }
 
 // LastEvent returns the po-last event of thread t, or ok=false if the
@@ -290,13 +358,8 @@ func (g *Graph) ForEach(fn func(Event)) {
 // stamp counter stays at its high-water mark so newly added events are
 // stamped after every surviving event.
 func (g *Graph) Restrict(keep func(EvID) bool) *Graph {
-	c := &Graph{
-		numLocs: g.numLocs,
-		threads: make([][]Event, len(g.threads)),
-		rf:      make(map[EvID]EvID),
-		co:      make([][]EvID, g.numLocs),
-		next:    g.next,
-	}
+	c := newOwned(len(g.threads), g.numLocs)
+	c.next = g.next
 	for t, th := range g.threads {
 		cut := len(th)
 		for i, ev := range th {

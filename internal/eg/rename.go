@@ -25,13 +25,8 @@ func (g *Graph) RenameThreads(perm []int) *Graph {
 		}
 		return out
 	}
-	c := &Graph{
-		numLocs: g.numLocs,
-		threads: make([][]Event, len(g.threads)),
-		rf:      make(map[EvID]EvID, len(g.rf)),
-		co:      make([][]EvID, len(g.co)),
-		next:    g.next,
-	}
+	c := newOwned(len(g.threads), g.numLocs)
+	c.next = g.next
 	for t, th := range g.threads {
 		nth := make([]Event, len(th))
 		for i, ev := range th {

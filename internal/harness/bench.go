@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
 	"time"
 
@@ -27,7 +28,13 @@ type BenchRow struct {
 	States            int    `json:"states"`
 	ConsistencyChecks int    `json:"consistency_checks"`
 	RevisitsTried     int    `json:"revisits_tried"`
-	NS                int64  `json:"ns"` // wall-clock, informational only
+	// AllocsPerExec is heap allocations per explored execution (runtime
+	// Mallocs delta across the run, divided by Executions). Unlike
+	// wall-clock it barely moves between machines, so it IS gated — it is
+	// the counter that catches an allocation regression on the hot path
+	// (a dropped pool, a per-check slice) that the work counters can't see.
+	AllocsPerExec int64 `json:"allocs_per_exec"`
+	NS            int64 `json:"ns"` // wall-clock, informational only
 }
 
 // BenchReport is the BENCH_explore.json payload.
@@ -63,10 +70,17 @@ func benchJobs(opts Options) []struct {
 func BenchExplore(opts Options) (*BenchReport, error) {
 	r := &BenchReport{Suite: "explore"}
 	for _, j := range benchJobs(opts) {
+		// Settle the heap so the Mallocs delta measures the exploration,
+		// not a concurrently finishing sweep from the previous row.
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
 		res, d, err := explore("bench", j.p, j.model)
 		if err != nil {
 			return nil, err
 		}
+		runtime.ReadMemStats(&after)
+		allocs := int64(after.Mallocs - before.Mallocs)
 		r.Rows = append(r.Rows, BenchRow{
 			Name:              j.p.Name,
 			Model:             j.model,
@@ -75,6 +89,7 @@ func BenchExplore(opts Options) (*BenchReport, error) {
 			States:            res.Stats.States,
 			ConsistencyChecks: res.Stats.ConsistencyChecks,
 			RevisitsTried:     res.Stats.RevisitsTried,
+			AllocsPerExec:     allocs / int64(max1(res.Stats.Executions)),
 			NS:                d.Nanoseconds(),
 		})
 	}
@@ -108,11 +123,11 @@ func (r *BenchReport) Table() *Table {
 	t := &Table{
 		ID:      "BENCH",
 		Title:   "tracked exploration counters (suite " + r.Suite + ")",
-		Columns: []string{"program", "model", "execs", "blocked", "states", "checks", "revisits", "time"},
+		Columns: []string{"program", "model", "execs", "blocked", "states", "checks", "revisits", "allocs/exec", "time"},
 	}
 	for _, row := range r.Rows {
 		t.AddRow(row.Name, row.Model, row.Executions, row.Blocked, row.States,
-			row.ConsistencyChecks, row.RevisitsTried, ms(time.Duration(row.NS)))
+			row.ConsistencyChecks, row.RevisitsTried, row.AllocsPerExec, ms(time.Duration(row.NS)))
 	}
 	return t
 }
@@ -121,7 +136,10 @@ func (r *BenchReport) Table() *Table {
 // any tracked work counter growing past baseline·(1+tolerance) — or a
 // baseline row the current suite no longer runs — is a regression and
 // returns an error naming every offender. Counters shrinking is an
-// improvement, never an error; wall-clock is ignored.
+// improvement, never an error; wall-clock is ignored. Allocations per
+// execution are gated like the work counters (they are machine-stable
+// enough), but only when the baseline row recorded them — an old
+// baseline without the field never trips the gate.
 func CompareBaseline(current, baseline *BenchReport, tolerance float64) error {
 	cur := map[string]BenchRow{}
 	for _, row := range current.Rows {
@@ -146,6 +164,12 @@ func CompareBaseline(current, baseline *BenchReport, tolerance float64) error {
 		check("states", now.States, base.States)
 		check("consistency_checks", now.ConsistencyChecks, base.ConsistencyChecks)
 		check("revisits_tried", now.RevisitsTried, base.RevisitsTried)
+		if base.AllocsPerExec > 0 &&
+			float64(now.AllocsPerExec) > float64(base.AllocsPerExec)*(1+tolerance) {
+			bad = append(bad, fmt.Sprintf("%s: allocs_per_exec regressed %d -> %d (+%.0f%%, tolerance %.0f%%)",
+				key, base.AllocsPerExec, now.AllocsPerExec,
+				100*(float64(now.AllocsPerExec)/float64(base.AllocsPerExec)-1), 100*tolerance))
+		}
 	}
 	if len(bad) > 0 {
 		return fmt.Errorf("bench baseline: %d regression(s):\n  %s", len(bad), strings.Join(bad, "\n  "))

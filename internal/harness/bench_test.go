@@ -76,3 +76,38 @@ func TestCompareBaseline(t *testing.T) {
 		t.Errorf("wall-clock must not gate: %v", err)
 	}
 }
+
+// TestCompareBaselineAllocs pins the allocation gate: allocs/exec growth
+// beyond tolerance fails naming the row, growth within tolerance and
+// shrinkage pass, and a baseline without the field (an old BENCH JSON)
+// never trips the gate no matter what the current run allocates.
+func TestCompareBaselineAllocs(t *testing.T) {
+	base := &BenchReport{Rows: []BenchRow{
+		{Name: "A", Model: "sc", Executions: 100, States: 200, ConsistencyChecks: 300, AllocsPerExec: 1000},
+	}}
+	ok := &BenchReport{Rows: []BenchRow{
+		{Name: "A", Model: "sc", Executions: 100, States: 200, ConsistencyChecks: 300, AllocsPerExec: 1200},
+	}}
+	if err := CompareBaseline(ok, base, 0.25); err != nil {
+		t.Errorf("within-tolerance allocation growth must pass: %v", err)
+	}
+	better := &BenchReport{Rows: []BenchRow{
+		{Name: "A", Model: "sc", Executions: 100, States: 200, ConsistencyChecks: 300, AllocsPerExec: 100},
+	}}
+	if err := CompareBaseline(better, base, 0.25); err != nil {
+		t.Errorf("allocation shrinkage must pass: %v", err)
+	}
+	bloated := &BenchReport{Rows: []BenchRow{
+		{Name: "A", Model: "sc", Executions: 100, States: 200, ConsistencyChecks: 300, AllocsPerExec: 2000},
+	}}
+	err := CompareBaseline(bloated, base, 0.25)
+	if err == nil || !strings.Contains(err.Error(), "A/sc: allocs_per_exec regressed") {
+		t.Errorf("allocation regression must fail naming the row: %v", err)
+	}
+	oldBase := &BenchReport{Rows: []BenchRow{
+		{Name: "A", Model: "sc", Executions: 100, States: 200, ConsistencyChecks: 300},
+	}}
+	if err := CompareBaseline(bloated, oldBase, 0.25); err != nil {
+		t.Errorf("baseline without the allocs field must not gate: %v", err)
+	}
+}

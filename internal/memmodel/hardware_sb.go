@@ -10,6 +10,12 @@ import (
 // co ∪ fr and ppo is program order with the model's buffered pairs
 // removed (and restored across fences and atomic updates, which drain the
 // buffer).
+//
+// The predicates stream their edge sets into a pooled DeltaRel instead of
+// materializing unions: TSO and PSO load the co ∪ fr edges shared by the
+// coherence and ghb axioms once, snapshot, decide coherence, roll back and
+// decide ghb on top of the same prefix. The from-scratch formulations live
+// in legacy.go.
 
 // SC is sequential consistency: acyclic(po ∪ rf ∪ co ∪ fr).
 type SC struct{}
@@ -19,11 +25,16 @@ func (SC) Name() string { return "sc" }
 
 // Consistent implements Model.
 func (SC) Consistent(v *eg.View) bool {
-	if !baseConsistent(v) {
+	if !Atomic(v) {
 		return false
 	}
-	ghb := v.Po().Union(v.Rf()).UnionWith(v.Co()).UnionWith(v.Fr())
-	return ghb.Acyclic()
+	// Coherence's edge set (po-loc ∪ rf ∪ co ∪ fr) is a subset of SC's
+	// ghb (po-loc ⊆ po), so a single acyclicity pass decides both axioms.
+	d := getDelta(v.N)
+	ok := d.AddRelAcyclic(v.Po()) && d.AddRelAcyclic(v.Rf()) &&
+		d.AddRelAcyclic(v.Co()) && d.AddRelAcyclic(v.Fr())
+	putDelta(d)
+	return ok
 }
 
 // TSO is x86-TSO/SPARC-TSO: stores may be delayed past later loads of
@@ -36,14 +47,7 @@ type TSO struct{}
 func (TSO) Name() string { return "tso" }
 
 // Consistent implements Model.
-func (TSO) Consistent(v *eg.View) bool {
-	if !baseConsistent(v) {
-		return false
-	}
-	ppo := storeBufferPPO(v, false)
-	ghb := ppo.UnionWith(v.Rfe()).UnionWith(v.Co()).UnionWith(v.Fr())
-	return ghb.Acyclic()
-}
+func (TSO) Consistent(v *eg.View) bool { return storeBufferConsistent(v, false) }
 
 // PSO additionally relaxes W→W (per-location store buffers): stores to
 // different locations may commit out of order. lw fences restore W→W;
@@ -54,13 +58,26 @@ type PSO struct{}
 func (PSO) Name() string { return "pso" }
 
 // Consistent implements Model.
-func (PSO) Consistent(v *eg.View) bool {
-	if !baseConsistent(v) {
+func (PSO) Consistent(v *eg.View) bool { return storeBufferConsistent(v, true) }
+
+// storeBufferConsistent decides atomicity ∧ coherence ∧ acyclic(ppo ∪ rfe
+// ∪ co ∪ fr) with one DeltaRel: the co ∪ fr edges common to the two
+// acyclicity axioms are loaded once and shared via snapshot/rollback.
+func storeBufferConsistent(v *eg.View, relaxWW bool) bool {
+	if !Atomic(v) {
 		return false
 	}
-	ppo := storeBufferPPO(v, true)
-	ghb := ppo.UnionWith(v.Rfe()).UnionWith(v.Co()).UnionWith(v.Fr())
-	return ghb.Acyclic()
+	d := getDelta(v.N)
+	defer putDelta(d)
+	if !d.AddRelAcyclic(v.Co()) || !d.AddRelAcyclic(v.Fr()) {
+		return false // a cycle inside co ∪ fr already violates coherence
+	}
+	mark := d.Snapshot()
+	if !d.AddRelAcyclic(v.PoLoc()) || !d.AddRelAcyclic(v.Rf()) {
+		return false // incoherent
+	}
+	d.Rollback(mark)
+	return d.AddRelAcyclic(storeBufferPPO(v, relaxWW)) && d.AddRelAcyclic(v.Rfe())
 }
 
 // storeBufferPPO computes preserved program order for the store-buffer
@@ -73,38 +90,41 @@ func (PSO) Consistent(v *eg.View) bool {
 //
 // Updates count as both reads and writes and are never buffered
 // (x86 locked instructions and SPARC atomics are fencing).
+//
+// Separation is decided in O(1) per pair from prefix counts of separator
+// events: the view lays each thread out contiguously in dense order, so
+// the separators strictly between same-thread events a < b are exactly
+// those in the dense interval (a, b).
 func storeBufferPPO(v *eg.View, relaxWW bool) *relation.Rel {
 	po := v.Po()
 	ppo := po.Clone()
 
-	isPlainWrite := func(e eg.Event) bool { return e.Kind == eg.KWrite }
-	isPlainRead := func(e eg.Event) bool { return e.Kind == eg.KRead && !e.Excl }
+	isPlainWrite := func(e *eg.Event) bool { return e.Kind == eg.KWrite }
+	isPlainRead := func(e *eg.Event) bool { return e.Kind == eg.KRead && !e.Excl }
 
-	// Separators: a full fence or an update restores all order; an lw
-	// fence restores store-store order.
-	sepFull := make([]bool, v.N)
-	sepWW := make([]bool, v.N)
-	for i, e := range v.Events {
+	// pFull[i] / pWW[i] = number of full / store-store separators among
+	// Events[0..i).
+	pFull := make([]int, v.N+1)
+	pWW := make([]int, v.N+1)
+	for i := range v.Events {
+		e := &v.Events[i]
+		f, w := 0, 0
 		if e.Kind == eg.KUpdate || (e.Kind == eg.KRead && e.Excl) ||
 			(e.Kind == eg.KFence && e.Fence == eg.FenceFull) {
-			sepFull[i] = true
-			sepWW[i] = true
+			f, w = 1, 1
 		}
 		if e.Kind == eg.KFence && e.Fence == eg.FenceLW {
-			sepWW[i] = true
+			w = 1
 		}
+		pFull[i+1] = pFull[i] + f
+		pWW[i+1] = pWW[i] + w
 	}
-	separated := func(a, b int, sep []bool) bool {
-		for m := 0; m < v.N; m++ {
-			if sep[m] && po.Has(a, m) && po.Has(m, b) {
-				return true
-			}
-		}
-		return false
+	separated := func(a, b int, prefix []int) bool {
+		return prefix[b] > prefix[a+1]
 	}
 
 	po.Pairs(func(a, b int) {
-		ea, eb := v.Events[a], v.Events[b]
+		ea, eb := &v.Events[a], &v.Events[b]
 		// Fences are not global-order nodes themselves: they only restore
 		// access pairs around them. Leaving fence-incident po edges in ghb
 		// would smuggle W→R order through the fence node.
@@ -117,11 +137,11 @@ func storeBufferPPO(v *eg.View, relaxWW bool) *relation.Rel {
 		}
 		switch {
 		case isPlainWrite(ea) && isPlainRead(eb):
-			if !separated(a, b, sepFull) {
+			if !separated(a, b, pFull) {
 				ppo.Remove(a, b)
 			}
 		case relaxWW && isPlainWrite(ea) && eb.Kind == eg.KWrite && ea.Loc != eb.Loc:
-			if !separated(a, b, sepWW) {
+			if !separated(a, b, pWW) {
 				ppo.Remove(a, b)
 			}
 		}

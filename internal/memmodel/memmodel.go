@@ -17,8 +17,10 @@ package memmodel
 
 import (
 	"fmt"
+	"sync"
 
 	"hmc/internal/eg"
+	"hmc/internal/relation"
 )
 
 // Model is a memory consistency model: a predicate over execution graphs.
@@ -33,11 +35,31 @@ type Model interface {
 	Consistent(v *eg.View) bool
 }
 
+// deltaPool recycles incremental-acyclicity checkers across consistency
+// checks: getDelta hands out a DeltaRel reset to the requested universe,
+// putDelta returns it. The per-check cost is then the streamed edges, not
+// allocation.
+var deltaPool = sync.Pool{New: func() any { return relation.NewDelta(0) }}
+
+func getDelta(n int) *relation.DeltaRel {
+	d := deltaPool.Get().(*relation.DeltaRel)
+	d.Reset(n)
+	return d
+}
+
+func putDelta(d *relation.DeltaRel) { deltaPool.Put(d) }
+
 // Coherent reports SC-per-location: acyclic(po-loc ∪ rf ∪ co ∪ fr).
-// Every model includes this axiom.
+// Every model includes this axiom. The union is never materialized: the
+// edge sets stream into an incremental acyclicity checker that rejects at
+// the first cycle-closing edge (LegacyCoherent keeps the from-scratch
+// formulation).
 func Coherent(v *eg.View) bool {
-	r := v.PoLoc().Union(v.Rf()).UnionWith(v.Co()).UnionWith(v.Fr())
-	return r.Acyclic()
+	d := getDelta(v.N)
+	ok := d.AddRelAcyclic(v.Co()) && d.AddRelAcyclic(v.Fr()) &&
+		d.AddRelAcyclic(v.PoLoc()) && d.AddRelAcyclic(v.Rf())
+	putDelta(d)
+	return ok
 }
 
 // Atomic reports RMW atomicity: each update sits coherence-immediately
@@ -45,7 +67,8 @@ func Coherent(v *eg.View) bool {
 // same write.
 func Atomic(v *eg.View) bool {
 	g := v.G
-	for _, ev := range v.Events {
+	for i := range v.Events {
+		ev := &v.Events[i]
 		if ev.Kind != eg.KUpdate {
 			continue
 		}

@@ -63,10 +63,11 @@ func rc11HB(v *eg.View) *relation.Rel {
 		}
 		// Walk rf chains through updates starting at a.
 		inRS := map[int]bool{a: true}
+		// Pop with a head cursor: re-slicing (frontier = frontier[1:])
+		// keeps the backing array alive and re-slices per pop.
 		frontier := []int{a}
-		for len(frontier) > 0 {
-			w := frontier[0]
-			frontier = frontier[1:]
+		for head := 0; head < len(frontier); head++ {
+			w := frontier[head]
 			v.Rf().Successors(w, func(r int) {
 				if v.Events[r].Kind == eg.KUpdate && !inRS[r] {
 					inRS[r] = true

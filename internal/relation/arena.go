@@ -1,0 +1,90 @@
+package relation
+
+// Arena is a bump allocator for relation bit rows and headers, reset
+// between candidate graphs on the explorer's hot path. A consistency
+// check builds a handful of short-lived relations (unions, compositions,
+// closures); allocating their rows from one reusable slab instead of the
+// heap removes the dominant per-check allocation cost. Relations derived
+// from an arena-backed relation (Clone, Union, Compose, …) come from the
+// same arena, so one arena-backed seed makes a whole predicate
+// arena-allocated.
+//
+// An Arena is not safe for concurrent use, and Reset invalidates every
+// relation allocated from it: callers must not retain arena-backed
+// relations past the check that built them (the explorer's view pool
+// enforces this discipline).
+type Arena struct {
+	slab []uint64 // current word slab; bump-allocated
+	off  int
+	hdrs []Rel // header slab; bump-allocated
+	hoff int
+	// grown accumulates the demand of allocations that overflowed the
+	// slabs, so the next Reset right-sizes them instead of thrashing.
+	grown int
+}
+
+// arenaMinWords sizes a fresh arena slab; checks over bigger universes
+// grow it once and keep the larger slab across Reset.
+const arenaMinWords = 1024
+
+// New allocates an empty relation over a universe of size n from the
+// arena. The relation's derived operations allocate from the same arena.
+func (a *Arena) New(n int) *Rel {
+	if n < 0 {
+		panic("relation: negative universe size")
+	}
+	w := wordsFor(n)
+	r := a.hdr()
+	*r = Rel{n: n, w: w, bits: a.words(n * w), arena: a}
+	return r
+}
+
+// words returns a zeroed word slice of length n carved from the slab,
+// falling back to the heap when the slab is exhausted (the overflow is
+// remembered so Reset grows the slab).
+func (a *Arena) words(n int) []uint64 {
+	if a.off+n > len(a.slab) {
+		a.grown += n
+		return make([]uint64, n)
+	}
+	ws := a.slab[a.off : a.off+n : a.off+n]
+	a.off += n
+	for i := range ws {
+		ws[i] = 0
+	}
+	return ws
+}
+
+// hdr returns a Rel header from the header slab (heap on overflow).
+func (a *Arena) hdr() *Rel {
+	if a.hoff == len(a.hdrs) {
+		a.grown++
+		return new(Rel)
+	}
+	r := &a.hdrs[a.hoff]
+	a.hoff++
+	return r
+}
+
+// Reset recycles the arena for the next candidate graph: every relation
+// previously allocated from it is invalidated. Slabs that overflowed are
+// regrown to fit the observed demand.
+func (a *Arena) Reset() {
+	if a.slab == nil || a.grown > 0 {
+		want := len(a.slab) + a.grown
+		if want < arenaMinWords {
+			want = arenaMinWords
+		}
+		a.slab = make([]uint64, want)
+		if n := a.hoff + 8; n > len(a.hdrs) {
+			a.hdrs = make([]Rel, n)
+		}
+		a.grown = 0
+	}
+	// Drop references held by recycled headers so the GC can reclaim any
+	// heap-allocated overflow rows.
+	for i := 0; i < a.hoff; i++ {
+		a.hdrs[i] = Rel{}
+	}
+	a.off, a.hoff = 0, 0
+}

@@ -20,11 +20,12 @@ import (
 func wordsFor(n int) int { return (n + 63) / 64 }
 
 // Rel is a binary relation over {0, …, n-1}. The zero value is unusable;
-// construct with New.
+// construct with New or Arena.New.
 type Rel struct {
-	n    int
-	w    int      // words per row
-	bits []uint64 // row-major: row i occupies bits[i*w : (i+1)*w]
+	n     int
+	w     int      // words per row
+	bits  []uint64 // row-major: row i occupies bits[i*w : (i+1)*w]
+	arena *Arena   // allocation source for derived relations (nil: heap)
 }
 
 // New returns the empty relation over a universe of size n.
@@ -36,6 +37,17 @@ func New(n int) *Rel {
 	return &Rel{n: n, w: w, bits: make([]uint64, n*w)}
 }
 
+// newLike allocates an empty relation over a universe of size n from the
+// same source as r: r's arena when it has one, the heap otherwise. Every
+// operation that produces a new relation routes through this, so derived
+// relations inherit their operand's allocation discipline.
+func (r *Rel) newLike(n int) *Rel {
+	if r.arena != nil {
+		return r.arena.New(n)
+	}
+	return New(n)
+}
+
 // Size returns the universe size n.
 func (r *Rel) Size() int { return r.n }
 
@@ -44,6 +56,32 @@ func (r *Rel) Add(a, b int) {
 	r.check(a)
 	r.check(b)
 	r.bits[a*r.w+b/64] |= 1 << uint(b%64)
+}
+
+// AddRange inserts the pairs (a, b) for every b in [lo, hi), filling whole
+// 64-bit words at a time instead of setting bits one by one. Dense interval
+// relations (program order's same-thread suffixes, init-before-everything
+// rows) build in O(n/64) per row this way.
+func (r *Rel) AddRange(a, lo, hi int) {
+	if lo >= hi {
+		return
+	}
+	r.check(a)
+	r.check(lo)
+	r.check(hi - 1)
+	row := r.bits[a*r.w : (a+1)*r.w]
+	lw, hw := lo/64, (hi-1)/64
+	loMask := ^uint64(0) << uint(lo%64)
+	hiMask := ^uint64(0) >> uint(63-(hi-1)%64)
+	if lw == hw {
+		row[lw] |= loMask & hiMask
+		return
+	}
+	row[lw] |= loMask
+	for i := lw + 1; i < hw; i++ {
+		row[i] = ^uint64(0)
+	}
+	row[hw] |= hiMask
 }
 
 // Remove deletes the pair (a, b).
@@ -66,9 +104,9 @@ func (r *Rel) check(i int) {
 	}
 }
 
-// Clone returns a deep copy of r.
+// Clone returns a deep copy of r (allocated from r's arena, if any).
 func (r *Rel) Clone() *Rel {
-	c := New(r.n)
+	c := r.newLike(r.n)
 	copy(c.bits, r.bits)
 	return c
 }
@@ -135,7 +173,7 @@ func (r *Rel) sameUniverse(o *Rel) {
 // ({(a, c) | ∃b. (a,b) ∈ r ∧ (b,c) ∈ o}).
 func (r *Rel) Compose(o *Rel) *Rel {
 	r.sameUniverse(o)
-	out := New(r.n)
+	out := r.newLike(r.n)
 	for a := 0; a < r.n; a++ {
 		row := r.bits[a*r.w : (a+1)*r.w]
 		dst := out.bits[a*out.w : (a+1)*out.w]
@@ -155,7 +193,7 @@ func (r *Rel) Compose(o *Rel) *Rel {
 
 // Inverse returns the converse relation {(b, a) | (a, b) ∈ r}.
 func (r *Rel) Inverse() *Rel {
-	out := New(r.n)
+	out := r.newLike(r.n)
 	for a := 0; a < r.n; a++ {
 		row := r.bits[a*r.w : (a+1)*r.w]
 		for wi, word := range row {
@@ -299,9 +337,10 @@ func (r *Rel) TopoSort() (order []int, ok bool) {
 		}
 	}
 	order = make([]int, 0, r.n)
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
+	// Pop with a head cursor: re-slicing (queue = queue[1:]) retains the
+	// full backing array and shifts the header O(n) times per sort.
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
 		order = append(order, v)
 		row := r.bits[v*r.w : (v+1)*r.w]
 		for wi, word := range row {

@@ -259,9 +259,69 @@ func TestPropAcyclicIffTopoSort(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		r := randomRel(rng, 1+rng.Intn(12), 0.15)
 		_, ok := r.TopoSort()
-		return ok == r.Acyclic()
+		if ok != r.Acyclic() {
+			return false
+		}
+		// The incremental checker must agree with both from-scratch
+		// oracles: streaming r's edges into a DeltaRel accepts them all
+		// iff the relation is acyclic.
+		d := NewDelta(r.Size())
+		return d.AddRelAcyclic(r) == ok
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArenaRelOps(t *testing.T) {
+	var a Arena
+	a.Reset()
+	r := a.New(6)
+	r.Add(0, 1)
+	r.Add(1, 2)
+	u := r.Union(r.Inverse()) // derived relations come from the arena
+	if u.arena != &a {
+		t.Fatal("derived relation did not inherit the arena")
+	}
+	if !u.Has(0, 1) || !u.Has(1, 0) || !u.Has(2, 1) {
+		t.Fatal("arena-backed ops computed the wrong pairs")
+	}
+	heap := New(6)
+	heap.Add(3, 4)
+	if got := r.Union(heap); !got.Has(3, 4) || !got.Has(0, 1) {
+		t.Fatal("mixed arena/heap union wrong")
+	}
+	a.Reset()
+	fresh := a.New(6)
+	if fresh.Len() != 0 {
+		t.Fatal("arena Reset leaked pairs into a fresh relation")
+	}
+	// Overflow the slab: allocations past the slab fall back to the heap
+	// and still behave like relations.
+	big := a.New(600)
+	big.Add(599, 0)
+	if !big.Has(599, 0) || big.Clone().Len() != 1 {
+		t.Fatal("overflow allocation misbehaved")
+	}
+}
+
+// TestArenaResultsMatchHeap cross-checks a composite expression computed
+// with arena-backed and heap-backed relations.
+func TestArenaResultsMatchHeap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		h1, h2 := randomRel(rng, n, 0.3), randomRel(rng, n, 0.3)
+		var a Arena
+		a.Reset()
+		a1, a2 := a.New(n), a.New(n)
+		a1.UnionWith(h1)
+		a2.UnionWith(h2)
+		want := h1.Union(h2).Compose(h1.Inverse()).Closure()
+		got := a1.Union(a2).Compose(a1.Inverse()).Closure()
+		return got.Equal(want) && got.Acyclic() == want.Acyclic()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
 	}
 }
@@ -323,5 +383,46 @@ func TestPropInverseDistributesOverUnion(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestPropAddRangeMatchesAdds pins the word-mask interval fill against the
+// per-bit loop across word boundaries and universe sizes.
+func TestPropAddRangeMatchesAdds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200) // spans multi-word rows
+		a := rng.Intn(n)
+		lo := rng.Intn(n + 1)
+		hi := lo + rng.Intn(n+1-lo)
+		fast := New(n)
+		fast.AddRange(a, lo, hi)
+		slow := New(n)
+		for b := lo; b < hi; b++ {
+			slow.Add(a, b)
+		}
+		return fast.Equal(slow)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAddRangePreservesExistingBits checks AddRange only ever sets bits.
+func TestAddRangePreservesExistingBits(t *testing.T) {
+	r := New(130)
+	r.Add(0, 1)
+	r.Add(0, 129)
+	r.AddRange(0, 64, 128)
+	if !r.Has(0, 1) || !r.Has(0, 129) {
+		t.Fatal("AddRange cleared pre-existing bits")
+	}
+	if r.Has(0, 63) || r.Has(0, 128) {
+		t.Fatal("AddRange set bits outside [lo,hi)")
+	}
+	for b := 64; b < 128; b++ {
+		if !r.Has(0, b) {
+			t.Fatalf("AddRange missed bit %d", b)
+		}
 	}
 }
